@@ -1,0 +1,71 @@
+//! Figure 5 — varying the maximum length σ ∈ {5, 10, 50, 100} at fixed τ:
+//! wallclock, bytes, records.
+//!
+//! Paper shapes: APRIORI wallclock keeps growing with σ (more jobs);
+//! NAÏVE and SUFFIX-σ saturate (extra work only for sequences longer than
+//! σ); SUFFIX-σ's *record* count is exactly constant in σ.
+
+use bench::{measure, Outcome};
+use ngrams::{Method, NGramParams};
+
+fn sweep(cluster: &mapreduce::Cluster, coll: &corpus::Collection, tau: u64, sigmas: &[usize]) {
+    let mut wall_rows = Vec::new();
+    let mut byte_rows = Vec::new();
+    let mut record_rows = Vec::new();
+    for &method in &Method::ALL {
+        let mut wall = vec![method.name().to_string()];
+        let mut bytes = vec![method.name().to_string()];
+        let mut records = vec![method.name().to_string()];
+        for &sigma in sigmas {
+            match measure(cluster, coll, method, &NGramParams::new(tau, sigma)) {
+                Outcome::Done(m) => {
+                    wall.push(bench::fmt_duration(m.wall));
+                    bytes.push(bench::fmt_bytes(m.bytes));
+                    records.push(bench::fmt_count(m.records));
+                }
+                Outcome::Dnf(_) => {
+                    wall.push("DNF".into());
+                    bytes.push("-".into());
+                    records.push("-".into());
+                }
+            }
+        }
+        wall_rows.push(wall);
+        byte_rows.push(bytes);
+        record_rows.push(records);
+    }
+    let headers: Vec<String> = std::iter::once("method".to_string())
+        .chain(sigmas.iter().map(|s| format!("σ={s}")))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(String::as_str).collect();
+    bench::print_table(
+        &format!("Figure 5 ({}): wallclock vs σ (τ={tau})", coll.name),
+        &header_refs,
+        &wall_rows,
+    );
+    bench::print_table(
+        &format!("Figure 5 ({}): bytes transferred vs σ", coll.name),
+        &header_refs,
+        &byte_rows,
+    );
+    bench::print_table(
+        &format!("Figure 5 ({}): # records vs σ", coll.name),
+        &header_refs,
+        &record_rows,
+    );
+}
+
+fn main() {
+    let scale = bench::scale_from_env();
+    let cluster = bench::cluster_from_env();
+    let (nyt, cw) = bench::corpora(scale);
+    println!("cluster: {} slots", cluster.slots());
+
+    // Paper: τ = 100 (NYT) / τ = 1000 (CW), scaled to corpus size.
+    sweep(&cluster, &nyt, 5, &[5, 10, 50, 100]);
+    sweep(&cluster, &cw, 25, &[5, 10, 50, 100]);
+
+    println!(
+        "\npaper shapes: APRIORI wallclock grows with σ (one job per length);\nNAIVE/SUFFIX-σ saturate; SUFFIX-σ #records constant across σ."
+    );
+}

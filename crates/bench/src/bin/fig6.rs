@@ -1,0 +1,56 @@
+//! Figure 6 — scaling the datasets: wallclock on random 25/50/75/100 %
+//! document subsets (σ = 5, τ fixed per corpus).
+//!
+//! Paper shape: all methods scale near-linearly; on NYT the non-NAÏVE
+//! methods cope slightly better with additional data than NAÏVE.
+
+use bench::{measure, Outcome};
+use corpus::sample_fraction;
+use ngrams::{Method, NGramParams};
+
+fn sweep(cluster: &mapreduce::Cluster, coll: &corpus::Collection, tau: u64) {
+    let fractions = [0.25, 0.5, 0.75, 1.0];
+    let samples: Vec<corpus::Collection> = fractions
+        .iter()
+        .map(|&f| sample_fraction(coll, f, 4242))
+        .collect();
+    let mut rows = Vec::new();
+    for &method in &Method::ALL {
+        let mut row = vec![method.name().to_string()];
+        let mut walls = Vec::new();
+        for sample in &samples {
+            match measure(cluster, sample, method, &NGramParams::new(tau, 5)) {
+                Outcome::Done(m) => {
+                    row.push(bench::fmt_duration(m.wall));
+                    walls.push(m.wall.as_secs_f64());
+                }
+                Outcome::Dnf(_) => row.push("DNF".into()),
+            }
+        }
+        if walls.len() == fractions.len() {
+            row.push(format!("{:.1}x", walls[3] / walls[0].max(1e-9)));
+        } else {
+            row.push("-".into());
+        }
+        rows.push(row);
+    }
+    bench::print_table(
+        &format!("Figure 6 ({}): wallclock vs dataset fraction (τ={tau}, σ=5)", coll.name),
+        &["method", "25%", "50%", "75%", "100%", "100%/25%"],
+        &rows,
+    );
+}
+
+fn main() {
+    let scale = bench::scale_from_env();
+    let cluster = bench::cluster_from_env();
+    let (nyt, cw) = bench::corpora(scale);
+    println!("cluster: {} slots", cluster.slots());
+
+    sweep(&cluster, &nyt, 10);
+    sweep(&cluster, &cw, 25);
+
+    println!(
+        "\npaper shape: near-linear growth for every method (4x data ⇒ ≲4x time\nplus fixed per-job overheads)."
+    );
+}

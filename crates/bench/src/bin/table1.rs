@@ -1,0 +1,78 @@
+//! Table I — dataset characteristics.
+//!
+//! Prints the synthetic corpora's statistics next to the paper's values
+//! for the real NYT and ClueWeb09-B datasets. Absolute sizes are scaled
+//! down (laptop vs cluster); the *structure* — size ratio between the two
+//! corpora, sentence-length moments — is what the substitution preserves.
+
+use corpus::CollectionStats;
+
+fn main() {
+    let scale = bench::scale_from_env();
+    println!("corpus scale factor: {scale} (NGRAM_BENCH_SCALE to change)");
+    let (nyt, cw) = bench::corpora(scale);
+    let nyt_stats = CollectionStats::compute(&nyt);
+    let cw_stats = CollectionStats::compute(&cw);
+
+    let rows = vec![
+        vec![
+            "# documents".to_string(),
+            nyt_stats.num_docs.to_string(),
+            cw_stats.num_docs.to_string(),
+            "1,830,592".to_string(),
+            "50,221,915".to_string(),
+        ],
+        vec![
+            "# term occurrences".to_string(),
+            nyt_stats.term_occurrences.to_string(),
+            cw_stats.term_occurrences.to_string(),
+            "1,049,440,645".to_string(),
+            "21,404,321,682".to_string(),
+        ],
+        vec![
+            "# distinct terms".to_string(),
+            nyt_stats.distinct_terms.to_string(),
+            cw_stats.distinct_terms.to_string(),
+            "345,827".to_string(),
+            "979,935".to_string(),
+        ],
+        vec![
+            "# sentences".to_string(),
+            nyt_stats.num_sentences.to_string(),
+            cw_stats.num_sentences.to_string(),
+            "55,362,552".to_string(),
+            "1,257,357,167".to_string(),
+        ],
+        vec![
+            "sentence length (mean)".to_string(),
+            format!("{:.2}", nyt_stats.sentence_len_mean),
+            format!("{:.2}", cw_stats.sentence_len_mean),
+            "18.96".to_string(),
+            "17.02".to_string(),
+        ],
+        vec![
+            "sentence length (stddev)".to_string(),
+            format!("{:.2}", nyt_stats.sentence_len_std),
+            format!("{:.2}", cw_stats.sentence_len_std),
+            "14.05".to_string(),
+            "17.56".to_string(),
+        ],
+    ];
+    bench::print_table(
+        "Table I: dataset characteristics (ours vs paper)",
+        &["", "NYT-like", "CW-like", "paper NYT", "paper C09"],
+        &rows,
+    );
+
+    println!(
+        "\nshape checks: CW/NYT token ratio = {:.1}x (paper: 20.4x);",
+        cw_stats.term_occurrences as f64 / nyt_stats.term_occurrences as f64
+    );
+    println!(
+        "sentence-length moments match the paper within sampling noise\n(mean {:.1}/{:.1} vs 18.96/17.02; stddev {:.1}/{:.1} vs 14.05/17.56)",
+        nyt_stats.sentence_len_mean,
+        cw_stats.sentence_len_mean,
+        nyt_stats.sentence_len_std,
+        cw_stats.sentence_len_std
+    );
+}

@@ -1,0 +1,282 @@
+//! Aggregation strategies shared by NAÏVE's reducer and SUFFIX-σ's stack
+//! reducer: occurrence counting (`cf`, the paper's default), document
+//! frequency (`df`, §II-A), and per-year time series (§VI-B).
+//!
+//! SUFFIX-σ's reducer keeps one accumulator per stack entry and *merges*
+//! child accumulators into parents on pop — exactly the paper's
+//! `push(counts, pop(counts) + pop(counts))`, generalized so that "instead
+//! of adding counts, we add time series observations".
+
+use crate::timeseries::TimeSeries;
+use mapreduce::{FxHashSet, Writable};
+
+/// Which frequency a run computes: collection frequency (occurrences,
+/// the paper's default) or document frequency (distinct documents — the
+/// "support" notion of frequent sequence mining, §II-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum CountMode {
+    /// Collection frequency `cf(s) = Σ_d f(s, d)`.
+    #[default]
+    Cf,
+    /// Document frequency `df(s) = |{d : f(s, d) > 0}|`.
+    Df,
+}
+
+/// How n-gram statistics are aggregated.
+pub trait PrefixAggregator: Send + Sync + Clone + 'static {
+    /// Per-occurrence value emitted by mappers.
+    type In: Writable + Send + 'static;
+    /// Accumulator kept per stack entry / reduce group.
+    type Acc: Send;
+    /// Final statistic attached to an emitted n-gram.
+    type Stat: Writable + Clone + Send + 'static;
+
+    /// The value a mapper attaches to one occurrence starting at
+    /// document-global token offset `pos` of document `did` published in
+    /// `year`.
+    fn map_value(&self, did: u64, year: u16, pos: u32) -> Self::In;
+    /// A fresh, empty accumulator.
+    fn new_acc(&self) -> Self::Acc;
+    /// Fold one mapped value into an accumulator.
+    fn absorb(&self, acc: &mut Self::Acc, v: Self::In);
+    /// Merge a popped child accumulator into its parent (prefix).
+    fn merge(&self, parent: &mut Self::Acc, child: &Self::Acc);
+    /// Final statistic, or `None` when the n-gram misses the τ threshold.
+    fn finalize(&self, acc: &Self::Acc) -> Option<Self::Stat>;
+    /// Scalar magnitude of a statistic (collection/document frequency);
+    /// used by the closedness filter and by result normalization.
+    fn magnitude(stat: &Self::Stat) -> u64;
+}
+
+/// Collection-frequency counting: the paper's primary statistic.
+#[derive(Clone)]
+pub struct CountAgg {
+    /// Minimum collection frequency τ.
+    pub tau: u64,
+}
+
+impl PrefixAggregator for CountAgg {
+    type In = u64;
+    type Acc = u64;
+    type Stat = u64;
+
+    #[inline]
+    fn map_value(&self, _did: u64, _year: u16, _pos: u32) -> u64 {
+        1
+    }
+    #[inline]
+    fn new_acc(&self) -> u64 {
+        0
+    }
+    #[inline]
+    fn absorb(&self, acc: &mut u64, v: u64) {
+        *acc += v;
+    }
+    #[inline]
+    fn merge(&self, parent: &mut u64, child: &u64) {
+        *parent += child;
+    }
+    #[inline]
+    fn finalize(&self, acc: &u64) -> Option<u64> {
+        (*acc >= self.tau).then_some(*acc)
+    }
+    #[inline]
+    fn magnitude(stat: &u64) -> u64 {
+        *stat
+    }
+}
+
+/// Document-frequency counting: distinct documents containing the n-gram
+/// (the notion of support in frequent sequence mining, §II-A).
+#[derive(Clone)]
+pub struct DfAgg {
+    /// Minimum document frequency τ.
+    pub tau: u64,
+}
+
+impl PrefixAggregator for DfAgg {
+    type In = u64; // document id
+    type Acc = FxHashSet<u64>;
+    type Stat = u64;
+
+    #[inline]
+    fn map_value(&self, did: u64, _year: u16, _pos: u32) -> u64 {
+        did
+    }
+    fn new_acc(&self) -> Self::Acc {
+        FxHashSet::default()
+    }
+    fn absorb(&self, acc: &mut Self::Acc, did: u64) {
+        acc.insert(did);
+    }
+    fn merge(&self, parent: &mut Self::Acc, child: &Self::Acc) {
+        // A document containing r‖x necessarily contains r, so union is
+        // the correct prefix aggregation.
+        parent.extend(child.iter().copied());
+    }
+    fn finalize(&self, acc: &Self::Acc) -> Option<u64> {
+        (acc.len() as u64 >= self.tau).then_some(acc.len() as u64)
+    }
+    #[inline]
+    fn magnitude(stat: &u64) -> u64 {
+        *stat
+    }
+}
+
+/// Per-year occurrence time series (τ applies to the series total).
+#[derive(Clone)]
+pub struct TsAgg {
+    /// Minimum total collection frequency τ.
+    pub tau: u64,
+}
+
+impl PrefixAggregator for TsAgg {
+    type In = (u64, u16); // (document id, year) — §VI-B
+    type Acc = TimeSeries;
+    type Stat = TimeSeries;
+
+    #[inline]
+    fn map_value(&self, did: u64, year: u16, _pos: u32) -> (u64, u16) {
+        (did, year)
+    }
+    fn new_acc(&self) -> TimeSeries {
+        TimeSeries::default()
+    }
+    fn absorb(&self, acc: &mut TimeSeries, (_did, year): (u64, u16)) {
+        acc.add(year, 1);
+    }
+    fn merge(&self, parent: &mut TimeSeries, child: &TimeSeries) {
+        parent.merge(child);
+    }
+    fn finalize(&self, acc: &TimeSeries) -> Option<TimeSeries> {
+        (acc.total() >= self.tau).then(|| acc.clone())
+    }
+    #[inline]
+    fn magnitude(stat: &TimeSeries) -> u64 {
+        stat.total()
+    }
+}
+
+/// Inverted-index aggregation (§VI-B, first bullet): for every frequent
+/// n-gram, record *where* it occurs — a positional posting list. Each
+/// suffix carries its start offset; a prefix n-gram inherits the start
+/// offsets of every suffix extending it.
+#[derive(Clone)]
+pub struct IndexAgg {
+    /// Minimum collection frequency τ.
+    pub tau: u64,
+}
+
+impl PrefixAggregator for IndexAgg {
+    type In = (u64, u32); // (document id, document-global start offset)
+    type Acc = Vec<(u64, u32)>;
+    type Stat = crate::postings::PostingList;
+
+    #[inline]
+    fn map_value(&self, did: u64, _year: u16, pos: u32) -> (u64, u32) {
+        (did, pos)
+    }
+    fn new_acc(&self) -> Self::Acc {
+        Vec::new()
+    }
+    fn absorb(&self, acc: &mut Self::Acc, v: (u64, u32)) {
+        acc.push(v);
+    }
+    fn merge(&self, parent: &mut Self::Acc, child: &Self::Acc) {
+        parent.extend_from_slice(child);
+    }
+    fn finalize(&self, acc: &Self::Acc) -> Option<Self::Stat> {
+        if (acc.len() as u64) < self.tau {
+            return None;
+        }
+        let mut occurrences = acc.clone();
+        occurrences.sort_unstable();
+        let mut list = crate::postings::PostingList::new();
+        for (did, pos) in occurrences {
+            match list.postings.last_mut() {
+                Some(last) if last.did == did => last.positions.push(pos),
+                _ => list.postings.push(crate::postings::Posting {
+                    did,
+                    positions: vec![pos],
+                }),
+            }
+        }
+        Some(list)
+    }
+    #[inline]
+    fn magnitude(stat: &Self::Stat) -> u64 {
+        stat.cf()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_agg_builds_normalized_posting_lists() {
+        let agg = IndexAgg { tau: 2 };
+        let mut acc = agg.new_acc();
+        agg.absorb(&mut acc, (7, 5));
+        agg.absorb(&mut acc, (3, 1));
+        let mut child = agg.new_acc();
+        agg.absorb(&mut child, (7, 0));
+        agg.merge(&mut acc, &child);
+        let list = agg.finalize(&acc).expect("cf 3 ≥ τ 2");
+        assert_eq!(list.df(), 2);
+        assert_eq!(list.cf(), 3);
+        // Sorted by did, positions sorted within.
+        assert_eq!(list.postings[0].did, 3);
+        assert_eq!(list.postings[1].did, 7);
+        assert_eq!(list.postings[1].positions, vec![0, 5]);
+        assert_eq!(IndexAgg::magnitude(&list), 3);
+    }
+
+    #[test]
+    fn index_agg_thresholds_at_tau() {
+        let agg = IndexAgg { tau: 5 };
+        let mut acc = agg.new_acc();
+        agg.absorb(&mut acc, (1, 1));
+        assert!(agg.finalize(&acc).is_none());
+    }
+
+    #[test]
+    fn count_agg_thresholds_at_tau() {
+        let agg = CountAgg { tau: 3 };
+        let mut acc = agg.new_acc();
+        agg.absorb(&mut acc, 1);
+        agg.absorb(&mut acc, 1);
+        assert_eq!(agg.finalize(&acc), None);
+        let mut child = agg.new_acc();
+        agg.absorb(&mut child, 1);
+        agg.merge(&mut acc, &child);
+        assert_eq!(agg.finalize(&acc), Some(3));
+    }
+
+    #[test]
+    fn df_agg_deduplicates_documents() {
+        let agg = DfAgg { tau: 2 };
+        let mut acc = agg.new_acc();
+        agg.absorb(&mut acc, 7);
+        agg.absorb(&mut acc, 7);
+        agg.absorb(&mut acc, 7);
+        assert_eq!(agg.finalize(&acc), None, "same doc thrice is df=1");
+        let mut child = agg.new_acc();
+        agg.absorb(&mut child, 9);
+        agg.merge(&mut acc, &child);
+        assert_eq!(agg.finalize(&acc), Some(2));
+    }
+
+    #[test]
+    fn ts_agg_accumulates_years() {
+        let agg = TsAgg { tau: 2 };
+        let mut acc = agg.new_acc();
+        agg.absorb(&mut acc, (1, 1999));
+        agg.absorb(&mut acc, (2, 1999));
+        agg.absorb(&mut acc, (3, 2004));
+        let ts = agg.finalize(&acc).unwrap();
+        assert_eq!(ts.get(1999), 2);
+        assert_eq!(ts.get(2004), 1);
+        assert_eq!(TsAgg::magnitude(&ts), 3);
+    }
+}

@@ -1,0 +1,524 @@
+//! APRIORI-INDEX (Algorithm 3): instead of re-scanning the input, build an
+//! inverted index of frequent n-grams incrementally.
+//!
+//! Phase 1 (k ≤ K): index all k-grams with positional postings, filter by
+//! τ. Phase 2 (k > K): self-join the frequent (k−1)-grams' posting lists —
+//! every (k−1)-gram is emitted under its (k−2)-prefix (tagged `r-seq`) and
+//! its (k−2)-suffix (tagged `l-seq`); a reducer joins every compatible
+//! pair positionally. Reduce-side buffers migrate to the key-value store
+//! when they outgrow their memory budget (§III-B, §V).
+
+use crate::aggregate::CountMode;
+use crate::apriori_scan::kv_err;
+use crate::gram::Gram;
+use crate::input::InputSeq;
+use crate::postings::PostingList;
+use kvstore::{KvStore, Options as KvOptions};
+use mapreduce::{
+    from_bytes, to_bytes, ByteReader, Cluster, FxHashMap, Job, JobConfig, MapContext, Mapper,
+    ReduceContext, Reducer, Result, TempDir, ValueIter, Writable,
+};
+
+/// Frequency of a posting list under the chosen mode.
+fn list_count(l: &PostingList, mode: CountMode) -> u64 {
+    match mode {
+        CountMode::Cf => l.cf(),
+        CountMode::Df => l.df(),
+    }
+}
+
+/// Phase-1 mapper: positional postings of every k-gram of the sequence
+/// (Algorithm 3, Mapper #1).
+pub struct IndexMapper {
+    /// Current n-gram length k.
+    pub k: usize,
+}
+
+impl Mapper for IndexMapper {
+    type InKey = u64;
+    type InValue = InputSeq;
+    type OutKey = Gram;
+    type OutValue = PostingList;
+
+    fn map(&mut self, _did: &u64, seq: &InputSeq, ctx: &mut MapContext<'_, Gram, PostingList>) {
+        let terms = &seq.terms;
+        let k = self.k;
+        if terms.len() < k {
+            return;
+        }
+        let mut pos: FxHashMap<&[u32], Vec<u32>> = FxHashMap::default();
+        for b in 0..=terms.len() - k {
+            pos.entry(&terms[b..b + k])
+                .or_default()
+                .push(seq.base + b as u32);
+        }
+        for (gram, positions) in pos {
+            let list = PostingList {
+                postings: vec![crate::postings::Posting {
+                    did: seq.did,
+                    positions,
+                }],
+            };
+            ctx.emit(&Gram::new(gram), &list);
+        }
+    }
+}
+
+/// Phase-1 reducer: merge partial postings, filter by τ (Reducer #1).
+pub struct IndexReducer {
+    /// Minimum frequency τ.
+    pub tau: u64,
+    /// Statistic being computed.
+    pub mode: CountMode,
+}
+
+impl Reducer for IndexReducer {
+    type Key = Gram;
+    type ValueIn = PostingList;
+    type KeyOut = Gram;
+    type ValueOut = PostingList;
+
+    fn reduce(
+        &mut self,
+        key: Gram,
+        values: &mut ValueIter<'_, PostingList>,
+        ctx: &mut ReduceContext<'_, Gram, PostingList>,
+    ) {
+        let merged = PostingList::merge_parts(values);
+        if list_count(&merged, self.mode) >= self.tau {
+            ctx.emit(key, merged);
+        }
+    }
+}
+
+/// A tagged (k−1)-gram with its posting list: the `r-seq` / `l-seq`
+/// values of Mapper #2.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SeqList {
+    /// True for `l-seq` (the key is this gram's *suffix*; the gram sits on
+    /// the left of a join), false for `r-seq`.
+    pub is_left: bool,
+    /// The (k−1)-gram (length-prefixed here, unlike key encoding).
+    pub gram: Vec<u32>,
+    /// Its posting list.
+    pub list: PostingList,
+}
+
+impl Writable for SeqList {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.push(u8::from(self.is_left));
+        self.gram.write_to(out);
+        self.list.write_to(out);
+    }
+
+    fn read_from(r: &mut ByteReader<'_>) -> Result<Self> {
+        let is_left = r.read_u8()? != 0;
+        let gram = Vec::<u32>::read_from(r)?;
+        let list = PostingList::read_from(r)?;
+        Ok(SeqList {
+            is_left,
+            gram,
+            list,
+        })
+    }
+}
+
+/// Phase-2 mapper: route every (k−1)-gram to its (k−2)-prefix and
+/// (k−2)-suffix keys (Mapper #2).
+pub struct JoinMapper;
+
+impl Mapper for JoinMapper {
+    type InKey = Gram;
+    type InValue = PostingList;
+    type OutKey = Gram;
+    type OutValue = SeqList;
+
+    fn map(&mut self, gram: &Gram, list: &PostingList, ctx: &mut MapContext<'_, Gram, SeqList>) {
+        let terms = gram.terms();
+        let n = terms.len();
+        debug_assert!(n >= 1, "phase 2 requires non-empty grams");
+        // Key = prefix s[0..|s|−2] → this gram extends the key rightwards.
+        ctx.emit(
+            &Gram::new(&terms[..n - 1]),
+            &SeqList {
+                is_left: false,
+                gram: terms.to_vec(),
+                list: list.clone(),
+            },
+        );
+        // Key = suffix s[1..|s|−1] → this gram extends the key leftwards.
+        ctx.emit(
+            &Gram::new(&terms[1..]),
+            &SeqList {
+                is_left: true,
+                gram: terms.to_vec(),
+                list: list.clone(),
+            },
+        );
+    }
+}
+
+/// Buffer that spills to the key-value store past a byte budget — the §V
+/// pattern for Reducer #2's posting-list buffering ("a scalable
+/// implementation must deal with the case when this is not possible in
+/// the available main memory").
+pub(crate) struct SpillBuf<T: Writable> {
+    mem: Vec<T>,
+    mem_bytes: usize,
+    budget_bytes: usize,
+    disk: Option<(KvStore, TempDir, u64)>,
+}
+
+impl<T: Writable> SpillBuf<T> {
+    pub(crate) fn new(budget_bytes: usize) -> Self {
+        SpillBuf {
+            mem: Vec::new(),
+            mem_bytes: 0,
+            budget_bytes,
+            disk: None,
+        }
+    }
+
+    pub(crate) fn push(&mut self, value: T) -> Result<()> {
+        if self.disk.is_none() {
+            let bytes = to_bytes(&value);
+            if self.mem_bytes + bytes.len() <= self.budget_bytes {
+                self.mem_bytes += bytes.len();
+                self.mem.push(value);
+                return Ok(());
+            }
+            // Budget exceeded: open a store and migrate nothing (memory
+            // entries stay; only overflow goes to disk).
+            let dir = TempDir::create(None)?;
+            let store = KvStore::open(
+                &dir.path().join("buf"),
+                KvOptions {
+                    cache_bytes: self.budget_bytes.max(4096),
+                },
+            )
+            .map_err(kv_err)?;
+            store.put(&0u64.to_le_bytes(), &bytes).map_err(kv_err)?;
+            self.disk = Some((store, dir, 1));
+            return Ok(());
+        }
+        let (store, _, count) = self.disk.as_mut().unwrap();
+        store
+            .put(&count.to_le_bytes(), &to_bytes(&value))
+            .map_err(kv_err)?;
+        *count += 1;
+        Ok(())
+    }
+
+    pub(crate) fn len(&self) -> usize {
+        self.mem.len() + self.disk.as_ref().map_or(0, |(_, _, c)| *c as usize)
+    }
+
+    pub(crate) fn get(&self, i: usize) -> Result<std::borrow::Cow<'_, T>>
+    where
+        T: Clone,
+    {
+        if i < self.mem.len() {
+            return Ok(std::borrow::Cow::Borrowed(&self.mem[i]));
+        }
+        let (store, _, _) = self.disk.as_ref().expect("index past memory requires disk");
+        let key = ((i - self.mem.len()) as u64).to_le_bytes();
+        let bytes = store
+            .get(&key)
+            .map_err(kv_err)?
+            .expect("spill buffer key must exist");
+        Ok(std::borrow::Cow::Owned(from_bytes::<T>(&bytes)?))
+    }
+
+    pub(crate) fn spilled(&self) -> bool {
+        self.disk.is_some()
+    }
+}
+
+/// Phase-2 reducer: join every compatible (`l-seq`, `r-seq`) pair
+/// positionally and keep results clearing τ (Reducer #2).
+pub struct JoinReducer {
+    /// Minimum frequency τ.
+    pub tau: u64,
+    /// Statistic being computed.
+    pub mode: CountMode,
+    /// Per-group buffer budget before spilling to the key-value store.
+    pub buffer_budget_bytes: usize,
+}
+
+impl Reducer for JoinReducer {
+    type Key = Gram;
+    type ValueIn = SeqList;
+    type KeyOut = Gram;
+    type ValueOut = PostingList;
+
+    fn reduce(
+        &mut self,
+        _key: Gram,
+        values: &mut ValueIter<'_, SeqList>,
+        ctx: &mut ReduceContext<'_, Gram, PostingList>,
+    ) {
+        // Split the group into left-compatible and right-compatible
+        // sequences, buffering with spill-over.
+        let mut lefts: SpillBuf<SeqList> = SpillBuf::new(self.buffer_budget_bytes / 2);
+        let mut rights: SpillBuf<SeqList> = SpillBuf::new(self.buffer_budget_bytes / 2);
+        let mut failed: Option<mapreduce::MrError> = None;
+        for v in values.by_ref() {
+            let target = if v.is_left { &mut lefts } else { &mut rights };
+            if let Err(e) = target.push(v) {
+                failed = Some(e);
+                break;
+            }
+        }
+        if let Some(e) = failed {
+            // Surface via counter; the job will still produce wrong-empty
+            // output, so panic instead: buffering failure is fatal.
+            panic!("apriori-index buffer spill failed: {e}");
+        }
+        if lefts.spilled() || rights.spilled() {
+            ctx.counters().add_user("JOIN_BUFFER_SPILLS", 1);
+        }
+        // Nested-loop join over all compatible combinations.
+        for i in 0..lefts.len() {
+            let m = lefts.get(i).expect("read back left buffer");
+            for j in 0..rights.len() {
+                let n = rights.get(j).expect("read back right buffer");
+                let joined = m.list.join(&n.list);
+                if !joined.is_empty() && list_count(&joined, self.mode) >= self.tau {
+                    let mut gram = m.gram.clone();
+                    gram.push(*n.gram.last().expect("grams are non-empty"));
+                    ctx.emit(Gram(gram), joined);
+                }
+            }
+        }
+    }
+}
+
+/// Options of one APRIORI-INDEX run.
+pub struct IndexParams {
+    /// Minimum frequency τ.
+    pub tau: u64,
+    /// Maximum n-gram length σ (`usize::MAX` for unbounded).
+    pub sigma: usize,
+    /// cf or df.
+    pub mode: CountMode,
+    /// Phase switch-over length K (the paper's best setting: K = 4).
+    pub k_max_indexed: usize,
+    /// Reduce-side buffer budget before kvstore spilling.
+    pub buffer_budget_bytes: usize,
+    /// Template for per-iteration job configs (name is overwritten).
+    pub job: JobConfig,
+}
+
+/// Run APRIORI-INDEX: phase-1 jobs for k ≤ min(K, σ), then phase-2 join
+/// jobs until no frequent k-gram remains or σ is reached.
+///
+/// Returns `(gram, frequency)` pairs; the positional index itself is an
+/// intermediate (as in the paper, which notes the index "can be used to
+/// quickly determine the locations of a specific frequent n-gram" — the
+/// final job's output is available through [`apriori_index_postings`]).
+pub fn apriori_index(
+    cluster: &Cluster,
+    input: &[(u64, InputSeq)],
+    params: &IndexParams,
+) -> Result<Vec<(Gram, u64)>> {
+    let mut all = Vec::new();
+    apriori_index_impl(cluster, input, params, |gram, list| {
+        all.push((gram, list_count(&list, params.mode)));
+    })?;
+    Ok(all)
+}
+
+/// Like [`apriori_index`] but keeps full posting lists.
+pub fn apriori_index_postings(
+    cluster: &Cluster,
+    input: &[(u64, InputSeq)],
+    params: &IndexParams,
+) -> Result<Vec<(Gram, PostingList)>> {
+    let mut all = Vec::new();
+    apriori_index_impl(cluster, input, params, |gram, list| {
+        all.push((gram, list));
+    })?;
+    Ok(all)
+}
+
+fn apriori_index_impl(
+    cluster: &Cluster,
+    input: &[(u64, InputSeq)],
+    params: &IndexParams,
+    mut sink: impl FnMut(Gram, PostingList),
+) -> Result<()> {
+    let kk = params.k_max_indexed.max(1);
+    let mut prev: Vec<(Gram, PostingList)> = Vec::new();
+    let mut k = 1usize;
+    loop {
+        if k > params.sigma {
+            break;
+        }
+        let mut cfg = params.job.clone();
+        cfg.name = format!("apriori-index-k{k}");
+        let (tau, mode) = (params.tau, params.mode);
+        let out: Vec<(Gram, PostingList)> = if k <= kk {
+            let job = Job::<IndexMapper, IndexReducer>::new(
+                cfg,
+                move || IndexMapper { k },
+                move || IndexReducer { tau, mode },
+            );
+            job.run(cluster, input.to_vec())?.into_records()
+        } else {
+            if prev.is_empty() {
+                break;
+            }
+            let budget = params.buffer_budget_bytes;
+            let job = Job::<JoinMapper, JoinReducer>::new(
+                cfg,
+                || JoinMapper,
+                move || JoinReducer {
+                    tau,
+                    mode,
+                    buffer_budget_bytes: budget,
+                },
+            );
+            job.run(cluster, std::mem::take(&mut prev))?.into_records()
+        };
+        if out.is_empty() {
+            break;
+        }
+        for (g, l) in &out {
+            sink(g.clone(), l.clone());
+        }
+        prev = out;
+        k += 1;
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::{reference_cf, reference_df};
+
+    fn seq(did: u64, base: u32, terms: &[u32]) -> (u64, InputSeq) {
+        (
+            did,
+            InputSeq {
+                did,
+                year: 2000,
+                base,
+                terms: terms.to_vec(),
+            },
+        )
+    }
+
+    fn running_example() -> Vec<(u64, InputSeq)> {
+        let (a, b, x) = (2u32, 1u32, 0u32);
+        vec![
+            seq(1, 0, &[a, x, b, x, x]),
+            seq(2, 0, &[b, a, x, b, x]),
+            seq(3, 0, &[x, b, a, x, b]),
+        ]
+    }
+
+    fn params(tau: u64, sigma: usize, kk: usize) -> IndexParams {
+        IndexParams {
+            tau,
+            sigma,
+            mode: CountMode::Cf,
+            k_max_indexed: kk,
+            buffer_budget_bytes: 1 << 20,
+            job: JobConfig::default(),
+        }
+    }
+
+    #[test]
+    fn matches_reference_with_phase_two_join() {
+        // K = 2 forces the trigram to come from the posting-list join.
+        let input = running_example();
+        let cluster = Cluster::new(2);
+        let mut got = apriori_index(&cluster, &input, &params(3, 3, 2)).unwrap();
+        got.sort();
+        let expected: Vec<(Gram, u64)> = reference_cf(&input, 3, 3)
+            .into_iter()
+            .map(|(g, c)| (Gram(g), c))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn phase_one_only_matches_reference() {
+        let input = running_example();
+        let cluster = Cluster::new(2);
+        let mut got = apriori_index(&cluster, &input, &params(3, 3, 4)).unwrap();
+        got.sort();
+        let expected: Vec<(Gram, u64)> = reference_cf(&input, 3, 3)
+            .into_iter()
+            .map(|(g, c)| (Gram(g), c))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn join_produces_paper_posting_list() {
+        let input = running_example();
+        let cluster = Cluster::new(1);
+        let with_postings =
+            apriori_index_postings(&cluster, &input, &params(3, 3, 2)).unwrap();
+        let (a, b, x) = (2u32, 1u32, 0u32);
+        let axb = with_postings
+            .iter()
+            .find(|(g, _)| g.terms() == [a, x, b])
+            .expect("⟨a x b⟩ must be found");
+        // ⟨a x b⟩ : ⟨d1:[0], d2:[1], d3:[2]⟩ (§III-B).
+        let dids: Vec<u64> = axb.1.postings.iter().map(|p| p.did).collect();
+        let positions: Vec<&[u32]> = axb.1.postings.iter().map(|p| &p.positions[..]).collect();
+        assert_eq!(dids, vec![1, 2, 3]);
+        assert_eq!(positions, vec![&[0u32][..], &[1u32][..], &[2u32][..]]);
+    }
+
+    #[test]
+    fn fragments_of_one_document_do_not_join_across_gaps() {
+        // Two fragments of doc 7 with gapped bases: ⟨1 2⟩ at 0, ⟨3⟩ at 3.
+        // A join of ⟨2⟩ and ⟨3⟩ must NOT fire (positions 1 and 3 are not
+        // adjacent), even though both are in the same document.
+        let input = vec![seq(7, 0, &[1, 2]), seq(7, 3, &[3]), seq(8, 0, &[2, 3])];
+        let cluster = Cluster::new(1);
+        let got = apriori_index(&cluster, &input, &params(1, 2, 1)).unwrap();
+        let two_three = got.iter().find(|(g, _)| g.terms() == [2, 3]).unwrap();
+        assert_eq!(two_three.1, 1, "only doc 8 contains ⟨2 3⟩ contiguously");
+    }
+
+    #[test]
+    fn df_mode_counts_documents() {
+        let input = running_example();
+        let cluster = Cluster::new(2);
+        let mut p = params(3, 3, 2);
+        p.mode = CountMode::Df;
+        let mut got = apriori_index(&cluster, &input, &p).unwrap();
+        got.sort();
+        let expected: Vec<(Gram, u64)> = reference_df(&input, 3, 3)
+            .into_iter()
+            .map(|(g, c)| (Gram(g), c))
+            .collect();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn spill_buffer_round_trips_past_budget() {
+        let mut buf: SpillBuf<PostingList> = SpillBuf::new(64);
+        let lists: Vec<PostingList> = (0..50u64)
+            .map(|i| PostingList {
+                postings: vec![crate::postings::Posting {
+                    did: i,
+                    positions: vec![i as u32, i as u32 + 10],
+                }],
+            })
+            .collect();
+        for l in &lists {
+            buf.push(l.clone()).unwrap();
+        }
+        assert!(buf.spilled(), "64-byte budget must force disk overflow");
+        assert_eq!(buf.len(), 50);
+        for (i, l) in lists.iter().enumerate() {
+            assert_eq!(buf.get(i).unwrap().as_ref(), l);
+        }
+    }
+}

@@ -1,0 +1,454 @@
+//! The top-level entry point: choose a method, a statistic, and the
+//! paper's parameters (τ, σ), and compute n-gram statistics over a
+//! collection on a simulated cluster.
+
+use crate::aggregate::{CountAgg, CountMode, DfAgg, IndexAgg, PrefixAggregator, TsAgg};
+use crate::postings::PostingList;
+use crate::apriori_index::{apriori_index, IndexParams};
+use crate::apriori_scan::{apriori_scan, ScanParams};
+use crate::gram::{FirstTermPartitioner, Gram, ReverseLexComparator};
+use crate::input::prepare_input;
+use crate::maximal::filter_suffix_side;
+use crate::naive::{NaiveMapper, NaiveReducer, SumCombiner};
+use crate::suffix_sigma::{EmitFilter, StackReducer, SuffixMapper};
+use crate::timeseries::TimeSeries;
+use corpus::Collection;
+use mapreduce::{Cluster, CounterSnapshot, Job, JobConfig, MrError, Result};
+use std::time::{Duration, Instant};
+
+/// The four methods of the paper.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Method {
+    /// Algorithm 1: emit every n-gram, count, filter.
+    Naive,
+    /// Algorithm 2: one pruned scan per n-gram length.
+    AprioriScan,
+    /// Algorithm 3: incremental inverted index with posting-list joins.
+    AprioriIndex,
+    /// Algorithm 4: suffix sorting & aggregation (the contribution).
+    SuffixSigma,
+}
+
+impl Method {
+    /// All methods, in the paper's presentation order.
+    pub const ALL: [Method; 4] = [
+        Method::Naive,
+        Method::AprioriScan,
+        Method::AprioriIndex,
+        Method::SuffixSigma,
+    ];
+
+    /// Display name matching the paper.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Method::Naive => "NAIVE",
+            Method::AprioriScan => "APRIORI-SCAN",
+            Method::AprioriIndex => "APRIORI-INDEX",
+            Method::SuffixSigma => "SUFFIX-SIGMA",
+        }
+    }
+}
+
+/// Which subset of the frequent n-grams is produced (§VI-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum OutputMode {
+    /// All n-grams with frequency ≥ τ.
+    #[default]
+    All,
+    /// Only maximal n-grams (no frequent strict supersequence).
+    Maximal,
+    /// Only closed n-grams (no equal-frequency strict supersequence).
+    Closed,
+}
+
+/// Parameters of one computation (the paper's τ and σ plus engineering
+/// knobs from §V).
+#[derive(Clone, Debug)]
+pub struct NGramParams {
+    /// Minimum frequency τ.
+    pub tau: u64,
+    /// Maximum n-gram length σ (`usize::MAX` for unbounded).
+    pub sigma: usize,
+    /// Collection or document frequency.
+    pub mode: CountMode,
+    /// Full, maximal, or closed output (SUFFIX-σ only for non-`All`).
+    pub output: OutputMode,
+    /// Document splitting at infrequent terms (§V; benefits all methods).
+    pub split_docs: bool,
+    /// NAÏVE local pre-aggregation via a combiner (§III-A; cf mode only).
+    pub combiner: bool,
+    /// APRIORI-INDEX phase switch-over K (paper's calibrated best: 4).
+    pub apriori_k: usize,
+    /// Memory budget for APRIORI dictionaries / join buffers before they
+    /// migrate to the key-value store (§V).
+    pub memory_budget_bytes: usize,
+    /// Job template: slots, task counts, sort buffer, disk spilling.
+    pub job: JobConfig,
+}
+
+impl Default for NGramParams {
+    fn default() -> Self {
+        NGramParams {
+            tau: 2,
+            sigma: 5,
+            mode: CountMode::Cf,
+            output: OutputMode::All,
+            split_docs: true,
+            combiner: true,
+            apriori_k: 4,
+            memory_budget_bytes: 256 << 20,
+            job: JobConfig::default(),
+        }
+    }
+}
+
+impl NGramParams {
+    /// Convenience constructor for the two headline knobs.
+    pub fn new(tau: u64, sigma: usize) -> Self {
+        NGramParams {
+            tau,
+            sigma,
+            ..Default::default()
+        }
+    }
+}
+
+/// Result of one computation: the statistics plus the run telemetry the
+/// paper reports (wallclock, #records, bytes — aggregated over all jobs
+/// the method launched).
+#[derive(Clone, Debug)]
+pub struct NGramResult {
+    /// `(n-gram, frequency)` pairs, sorted by gram.
+    pub grams: Vec<(Gram, u64)>,
+    /// Counters summed over every job of the run.
+    pub counters: CounterSnapshot,
+    /// Number of MapReduce jobs launched.
+    pub jobs: usize,
+    /// End-to-end wallclock (includes driver work between jobs).
+    pub elapsed: Duration,
+}
+
+/// Compute n-gram statistics with the chosen method.
+///
+/// All four methods produce identical output for identical parameters;
+/// they differ in cost, which is the subject of the paper's evaluation.
+pub fn compute(
+    cluster: &Cluster,
+    coll: &Collection,
+    method: Method,
+    params: &NGramParams,
+) -> Result<NGramResult> {
+    if params.output != OutputMode::All && method != Method::SuffixSigma {
+        return Err(MrError::Config(format!(
+            "maximal/closed output is implemented for SUFFIX-SIGMA (the paper's §VI-A extension), not {}",
+            method.name()
+        )));
+    }
+    if params.output != OutputMode::All && params.mode != CountMode::Cf {
+        return Err(MrError::Config(
+            "maximal/closed output is defined over collection frequency".into(),
+        ));
+    }
+    let started = Instant::now();
+    let log_mark = cluster.job_log().len();
+    let input = prepare_input(coll, params.tau, params.split_docs);
+
+    let mut grams = match (method, params.mode) {
+        (Method::Naive, CountMode::Cf) => {
+            run_naive(cluster, input, CountAgg { tau: params.tau }, params, true)?
+        }
+        (Method::Naive, CountMode::Df) => {
+            run_naive(cluster, input, DfAgg { tau: params.tau }, params, false)?
+        }
+        (Method::AprioriScan, _) => apriori_scan(
+            cluster,
+            &input,
+            &ScanParams {
+                tau: params.tau,
+                sigma: params.sigma,
+                mode: params.mode,
+                dict_budget_bytes: params.memory_budget_bytes,
+                job: named(params, "apriori-scan"),
+            },
+        )?,
+        (Method::AprioriIndex, _) => apriori_index(
+            cluster,
+            &input,
+            &IndexParams {
+                tau: params.tau,
+                sigma: params.sigma,
+                mode: params.mode,
+                k_max_indexed: params.apriori_k,
+                buffer_budget_bytes: params.memory_budget_bytes,
+                job: named(params, "apriori-index"),
+            },
+        )?,
+        (Method::SuffixSigma, CountMode::Cf) => {
+            let filter = match params.output {
+                OutputMode::All => EmitFilter::All,
+                OutputMode::Maximal => EmitFilter::PrefixMaximal,
+                OutputMode::Closed => EmitFilter::PrefixClosed,
+            };
+            let pass1 = run_suffix_sigma(
+                cluster,
+                input,
+                CountAgg { tau: params.tau },
+                params,
+                filter,
+            )?;
+            match params.output {
+                OutputMode::All => pass1,
+                _ => filter_suffix_side(cluster, pass1, filter, named(params, "suffix-sigma"))?
+                    .into_records(),
+            }
+        }
+        (Method::SuffixSigma, CountMode::Df) => run_suffix_sigma(
+            cluster,
+            input,
+            DfAgg { tau: params.tau },
+            params,
+            EmitFilter::All,
+        )?,
+    };
+    grams.sort();
+
+    // Aggregate telemetry over the jobs this call launched.
+    let log = cluster.job_log();
+    let mut counters = CounterSnapshot::default();
+    for entry in &log[log_mark..] {
+        counters.merge(&entry.counters);
+    }
+    Ok(NGramResult {
+        grams,
+        counters,
+        jobs: log.len() - log_mark,
+        elapsed: started.elapsed(),
+    })
+}
+
+/// Compute per-year time series (§VI-B) with NAÏVE or SUFFIX-σ.
+///
+/// The APRIORI methods are not extended here, matching the paper, which
+/// presents this aggregation as a SUFFIX-σ capability with NAÏVE as the
+/// only straightforward alternative.
+pub fn compute_time_series(
+    cluster: &Cluster,
+    coll: &Collection,
+    method: Method,
+    params: &NGramParams,
+) -> Result<Vec<(Gram, TimeSeries)>> {
+    let input = prepare_input(coll, params.tau, params.split_docs);
+    let agg = TsAgg { tau: params.tau };
+    let mut out = match method {
+        Method::Naive => {
+            let cfg = named(params, "naive-ts");
+            let sigma = params.sigma;
+            let a = agg.clone();
+            let a2 = agg.clone();
+            let job = Job::<NaiveMapper<TsAgg>, NaiveReducer<TsAgg>>::new(
+                cfg,
+                move || NaiveMapper {
+                    sigma,
+                    agg: a.clone(),
+                },
+                move || NaiveReducer { agg: a2.clone() },
+            );
+            job.run(cluster, input)?.into_records()
+        }
+        Method::SuffixSigma => {
+            let cfg = named(params, "suffix-sigma-ts");
+            let sigma = params.sigma;
+            let a = agg.clone();
+            let a2 = agg;
+            let job = Job::<SuffixMapper<TsAgg>, StackReducer<TsAgg>>::new(
+                cfg,
+                move || SuffixMapper {
+                    sigma,
+                    agg: a.clone(),
+                },
+                move || StackReducer::new(a2.clone(), EmitFilter::All),
+            )
+            .partitioner(FirstTermPartitioner)
+            .sort_comparator(ReverseLexComparator);
+            job.run(cluster, input)?.into_records()
+        }
+        other => {
+            return Err(MrError::Config(format!(
+                "time-series aggregation is implemented for NAIVE and SUFFIX-SIGMA, not {}",
+                other.name()
+            )))
+        }
+    };
+    out.sort_by(|a, b| a.0.cmp(&b.0));
+    Ok(out)
+}
+
+/// Build a positional inverted index of all frequent n-grams with a
+/// single SUFFIX-σ job (§VI-B, "build an inverted index that records for
+/// every n-gram how often or where it occurs in individual documents").
+///
+/// Produces the same index APRIORI-INDEX materializes incrementally
+/// ([`crate::apriori_index_postings`]) at a fraction of the shuffle
+/// volume: one record per term occurrence.
+pub fn compute_inverted_index(
+    cluster: &Cluster,
+    coll: &Collection,
+    params: &NGramParams,
+) -> Result<Vec<(Gram, PostingList)>> {
+    let input = prepare_input(coll, params.tau, params.split_docs);
+    let cfg = named(params, "suffix-sigma-index");
+    let sigma = params.sigma;
+    let agg = IndexAgg { tau: params.tau };
+    let a = agg.clone();
+    let job = Job::<SuffixMapper<IndexAgg>, StackReducer<IndexAgg>>::new(
+        cfg,
+        move || SuffixMapper {
+            sigma,
+            agg: agg.clone(),
+        },
+        move || StackReducer::new(a.clone(), EmitFilter::All),
+    )
+    .partitioner(FirstTermPartitioner)
+    .sort_comparator(ReverseLexComparator);
+    let mut out = job.run(cluster, input)?.into_records();
+    out.sort_by(|x, y| x.0.cmp(&y.0));
+    Ok(out)
+}
+
+fn named(params: &NGramParams, name: &str) -> JobConfig {
+    let mut cfg = params.job.clone();
+    cfg.name = name.to_string();
+    cfg
+}
+
+fn run_naive<A: PrefixAggregator>(
+    cluster: &Cluster,
+    input: Vec<(u64, crate::input::InputSeq)>,
+    agg: A,
+    params: &NGramParams,
+    combinable: bool,
+) -> Result<Vec<(Gram, u64)>>
+where
+    A: PrefixAggregator<Stat = u64, In = u64>,
+{
+    let cfg = named(params, "naive");
+    let sigma = params.sigma;
+    let a = agg.clone();
+    let a2 = agg;
+    let mut job = Job::<NaiveMapper<A>, NaiveReducer<A>>::new(
+        cfg,
+        move || NaiveMapper {
+            sigma,
+            agg: a.clone(),
+        },
+        move || NaiveReducer { agg: a2.clone() },
+    );
+    if params.combiner && combinable {
+        job = job.combiner(|| Box::new(SumCombiner));
+    }
+    Ok(job.run(cluster, input)?.into_records())
+}
+
+fn run_suffix_sigma<A>(
+    cluster: &Cluster,
+    input: Vec<(u64, crate::input::InputSeq)>,
+    agg: A,
+    params: &NGramParams,
+    filter: EmitFilter,
+) -> Result<Vec<(Gram, u64)>>
+where
+    A: PrefixAggregator<Stat = u64>,
+{
+    let cfg = named(params, "suffix-sigma");
+    let sigma = params.sigma;
+    let a = agg.clone();
+    let a2 = agg;
+    let job = Job::<SuffixMapper<A>, StackReducer<A>>::new(
+        cfg,
+        move || SuffixMapper {
+            sigma,
+            agg: a.clone(),
+        },
+        move || StackReducer::new(a2.clone(), filter),
+    )
+    .partitioner(FirstTermPartitioner)
+    .sort_comparator(ReverseLexComparator);
+    Ok(job.run(cluster, input)?.into_records())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::{generate, CorpusProfile};
+
+    #[test]
+    fn all_methods_agree_on_a_tiny_corpus() {
+        let coll = generate(&CorpusProfile::tiny("agree", 30), 17);
+        let cluster = Cluster::new(2);
+        let params = NGramParams::new(3, 4);
+        let baseline = compute(&cluster, &coll, Method::SuffixSigma, &params)
+            .unwrap()
+            .grams;
+        assert!(!baseline.is_empty(), "tiny corpus must have frequent n-grams");
+        for method in [Method::Naive, Method::AprioriScan, Method::AprioriIndex] {
+            let got = compute(&cluster, &coll, method, &params).unwrap().grams;
+            assert_eq!(got, baseline, "{} disagrees", method.name());
+        }
+    }
+
+    #[test]
+    fn maximal_output_rejected_for_other_methods() {
+        let coll = generate(&CorpusProfile::tiny("rej", 5), 1);
+        let cluster = Cluster::new(1);
+        let mut params = NGramParams::new(2, 3);
+        params.output = OutputMode::Maximal;
+        assert!(compute(&cluster, &coll, Method::Naive, &params).is_err());
+        assert!(compute(&cluster, &coll, Method::SuffixSigma, &params).is_ok());
+    }
+
+    #[test]
+    fn suffix_sigma_inverted_index_equals_apriori_index() {
+        let coll = generate(&CorpusProfile::tiny("invidx", 25), 41);
+        let cluster = Cluster::new(2);
+        let params = NGramParams::new(2, 3);
+        let via_suffix = compute_inverted_index(&cluster, &coll, &params).unwrap();
+
+        let input = crate::input::prepare_input(&coll, params.tau, params.split_docs);
+        let mut via_apriori = crate::apriori_index::apriori_index_postings(
+            &cluster,
+            &input,
+            &crate::apriori_index::IndexParams {
+                tau: params.tau,
+                sigma: params.sigma,
+                mode: CountMode::Cf,
+                k_max_indexed: 2,
+                buffer_budget_bytes: 1 << 20,
+                job: JobConfig::default(),
+            },
+        )
+        .unwrap();
+        via_apriori.sort_by(|x, y| x.0.cmp(&y.0));
+        assert_eq!(via_suffix, via_apriori);
+        assert!(!via_suffix.is_empty());
+        // The counts derived from the index equal the plain run.
+        let counted = compute(&cluster, &coll, Method::SuffixSigma, &params).unwrap();
+        let from_index: Vec<(Gram, u64)> = via_suffix
+            .iter()
+            .map(|(g, l)| (g.clone(), l.cf()))
+            .collect();
+        assert_eq!(from_index, counted.grams);
+    }
+
+    #[test]
+    fn job_counts_match_method_structure() {
+        let coll = generate(&CorpusProfile::tiny("jobs", 30), 23);
+        let cluster = Cluster::new(2);
+        let params = NGramParams::new(2, 3);
+        let naive = compute(&cluster, &coll, Method::Naive, &params).unwrap();
+        assert_eq!(naive.jobs, 1);
+        let suffix = compute(&cluster, &coll, Method::SuffixSigma, &params).unwrap();
+        assert_eq!(suffix.jobs, 1);
+        let scan = compute(&cluster, &coll, Method::AprioriScan, &params).unwrap();
+        assert!(scan.jobs >= 3, "one job per k plus the terminating scan");
+    }
+}

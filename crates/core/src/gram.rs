@@ -1,0 +1,242 @@
+//! The n-gram key type and SUFFIX-σ's shuffle customizations: the
+//! first-term partitioner and the reverse lexicographic raw comparator
+//! (paper §IV).
+
+use mapreduce::{
+    write_vu32, ByteReader, Partitioner, RawComparator, Result, Writable,
+};
+use std::cmp::Ordering;
+
+/// A sequence of term identifiers — an n-gram (or a truncated suffix).
+///
+/// Serialized as bare varints with **no length prefix**: the record framing
+/// already bounds the key, and a length prefix would break prefix-ordered
+/// raw comparison.
+#[derive(Clone, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Gram(pub Vec<u32>);
+
+impl Gram {
+    /// Construct from a term-id slice.
+    pub fn new(terms: &[u32]) -> Self {
+        Gram(terms.to_vec())
+    }
+
+    /// Number of terms.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// True for the empty sequence.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The term ids.
+    pub fn terms(&self) -> &[u32] {
+        &self.0
+    }
+
+    /// True when `self` is a prefix of `other` (`self ⊴ other`, allowing
+    /// equality).
+    pub fn is_prefix_of(&self, other: &Gram) -> bool {
+        other.0.len() >= self.0.len() && other.0[..self.0.len()] == self.0[..]
+    }
+
+    /// The reversed sequence (used by the maximality post-filter job).
+    pub fn reversed(&self) -> Gram {
+        Gram(self.0.iter().rev().copied().collect())
+    }
+}
+
+impl From<Vec<u32>> for Gram {
+    fn from(v: Vec<u32>) -> Self {
+        Gram(v)
+    }
+}
+
+impl Writable for Gram {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        for &t in &self.0 {
+            write_vu32(out, t);
+        }
+    }
+
+    fn read_from(r: &mut ByteReader<'_>) -> Result<Self> {
+        let mut terms = Vec::with_capacity(r.remaining());
+        while !r.is_empty() {
+            terms.push(r.read_vu32()?);
+        }
+        Ok(Gram(terms))
+    }
+}
+
+/// Length of the longest common prefix of two term slices (`lcp()` in
+/// Algorithm 4).
+pub fn lcp(a: &[u32], b: &[u32]) -> usize {
+    a.iter().zip(b).take_while(|(x, y)| x == y).count()
+}
+
+/// Routes a suffix by its **first term only** (paper §IV): "it is thus
+/// guaranteed that a single reducer receives all suffixes that begin with
+/// the same term", which is what makes a single job sufficient.
+pub struct FirstTermPartitioner;
+
+impl Partitioner<Gram> for FirstTermPartitioner {
+    #[inline]
+    fn partition(&self, key: &Gram, num_partitions: usize) -> usize {
+        let first = key.0.first().copied().unwrap_or(0);
+        (mapreduce::fx_hash(&first) % num_partitions as u64) as usize
+    }
+}
+
+/// Reverse lexicographic order over varbyte-serialized grams, decoded on
+/// the fly (a "raw comparator" in Hadoop terms — no allocation, no object
+/// materialization; §V).
+///
+/// The defining property from §IV is that every suffix sorts *before* all
+/// of its proper prefixes (`|r| > |s| ∧ s ⊴ r ⇒ r < s`), so the stack
+/// reducer can finalize an n-gram the moment a non-extension arrives; the
+/// per-position direction is free as long as it is a consistent total
+/// order. We compare positions by **ascending term id** — ids are
+/// frequency ranks, so this is descending collection frequency, and it
+/// reproduces the paper's worked example: the reducer for `b` sees
+/// `⟨b x x⟩, ⟨b x⟩, ⟨b a x⟩, ⟨b⟩` in exactly that order (x is the most
+/// frequent term and has the smallest id).
+pub struct ReverseLexComparator;
+
+impl RawComparator for ReverseLexComparator {
+    fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        let mut ra = ByteReader::new(a);
+        let mut rb = ByteReader::new(b);
+        loop {
+            match (ra.is_empty(), rb.is_empty()) {
+                (true, true) => return Ordering::Equal,
+                // a is a proper prefix of b → b (the extension) comes first.
+                (true, false) => return Ordering::Greater,
+                (false, true) => return Ordering::Less,
+                (false, false) => {}
+            }
+            let x = ra.read_vu64().unwrap_or(0);
+            let y = rb.read_vu64().unwrap_or(0);
+            match x.cmp(&y) {
+                Ordering::Equal => {}
+                other => return other,
+            }
+        }
+    }
+}
+
+/// Compare two grams in reverse lexicographic order without serializing
+/// (typed twin of [`ReverseLexComparator`], used by tests and the
+/// reference implementation).
+pub fn reverse_lex(a: &Gram, b: &Gram) -> Ordering {
+    let n = a.0.len().min(b.0.len());
+    for i in 0..n {
+        match a.0[i].cmp(&b.0[i]) {
+            Ordering::Equal => {}
+            other => return other,
+        }
+    }
+    b.0.len().cmp(&a.0.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::{from_bytes, to_bytes};
+
+    fn g(terms: &[u32]) -> Gram {
+        Gram::new(terms)
+    }
+
+    #[test]
+    fn gram_round_trips_without_length_prefix() {
+        for gram in [g(&[]), g(&[0]), g(&[1, 2, 3]), g(&[1_000_000, 0, 127, 128])] {
+            let bytes = to_bytes(&gram);
+            assert_eq!(from_bytes::<Gram>(&bytes).unwrap(), gram);
+        }
+        // Compactness: three small ids → three bytes.
+        assert_eq!(to_bytes(&g(&[1, 2, 3])).len(), 3);
+    }
+
+    #[test]
+    fn prefix_and_lcp() {
+        assert!(g(&[1, 2]).is_prefix_of(&g(&[1, 2, 3])));
+        assert!(g(&[1, 2]).is_prefix_of(&g(&[1, 2])));
+        assert!(!g(&[1, 3]).is_prefix_of(&g(&[1, 2, 3])));
+        assert!(!g(&[1, 2, 3]).is_prefix_of(&g(&[1, 2])));
+        assert!(g(&[]).is_prefix_of(&g(&[9])));
+        assert_eq!(lcp(&[1, 2, 3], &[1, 2, 9]), 2);
+        assert_eq!(lcp(&[], &[1]), 0);
+        assert_eq!(lcp(&[5], &[5]), 1);
+    }
+
+    #[test]
+    fn reverse_lex_matches_paper_example() {
+        // With term ids a=2, b=1, x=0 (frequency-ranked: x most frequent),
+        // the reducer for first term b must see, in order:
+        //   ⟨b x x⟩, ⟨b x⟩, ⟨b a x⟩, ⟨b⟩
+        let (a, b, x) = (2u32, 1u32, 0u32);
+        let mut keys = vec![g(&[b]), g(&[b, a, x]), g(&[b, x]), g(&[b, x, x])];
+        keys.sort_by(reverse_lex);
+        assert_eq!(
+            keys,
+            vec![g(&[b, x, x]), g(&[b, x]), g(&[b, a, x]), g(&[b])]
+        );
+    }
+
+    #[test]
+    fn raw_comparator_agrees_with_typed_reverse_lex() {
+        let samples = [
+            g(&[]),
+            g(&[0]),
+            g(&[1]),
+            g(&[0, 0]),
+            g(&[0, 1]),
+            g(&[1, 0]),
+            g(&[300]),
+            g(&[300, 2]),
+            g(&[1, 2, 3]),
+            g(&[1, 2]),
+            g(&[1, 2, 3, 4]),
+        ];
+        let raw = ReverseLexComparator;
+        for x in &samples {
+            for y in &samples {
+                assert_eq!(
+                    raw.compare(&to_bytes(x), &to_bytes(y)),
+                    reverse_lex(x, y),
+                    "mismatch for {x:?} vs {y:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn extensions_sort_before_prefixes() {
+        let raw = ReverseLexComparator;
+        let long = to_bytes(&g(&[5, 7, 9]));
+        let short = to_bytes(&g(&[5, 7]));
+        assert_eq!(raw.compare(&long, &short), Ordering::Less);
+        assert_eq!(raw.compare(&short, &long), Ordering::Greater);
+    }
+
+    #[test]
+    fn first_term_partitioner_groups_by_first_term() {
+        let p = FirstTermPartitioner;
+        for n in [1usize, 3, 17] {
+            let a = p.partition(&g(&[42, 1, 2]), n);
+            let b = p.partition(&g(&[42, 99]), n);
+            let c = p.partition(&g(&[42]), n);
+            assert_eq!(a, b);
+            assert_eq!(b, c);
+            assert!(a < n);
+        }
+    }
+
+    #[test]
+    fn reversed_reverses() {
+        assert_eq!(g(&[1, 2, 3]).reversed(), g(&[3, 2, 1]));
+        assert_eq!(g(&[]).reversed(), g(&[]));
+    }
+}

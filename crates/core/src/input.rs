@@ -1,0 +1,192 @@
+//! Input preparation: sentence flattening, global position bases, and the
+//! document-splits optimization (§V): "Collection frequencies of
+//! individual terms (i.e., unigrams) can be exploited to drastically
+//! reduce required work by splitting up every document at infrequent terms
+//! ... this is safe due to the APRIORI principle, since no frequent n-gram
+//! can contain [an infrequent term]."
+
+use corpus::Collection;
+use mapreduce::FxHashMap;
+
+/// One map-input record: a contiguous term sequence (a sentence, or a
+/// fragment of one after document splitting) with provenance.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct InputSeq {
+    /// Owning document id.
+    pub did: u64,
+    /// Publication year of the owning document.
+    pub year: u16,
+    /// Global token offset of `terms[0]` within the document. Bases leave
+    /// a gap of at least one position between fragments so positional
+    /// joins (APRIORI-INDEX) can never bridge a barrier.
+    pub base: u32,
+    /// The term ids.
+    pub terms: Vec<u32>,
+}
+
+/// Per-term collection frequencies of a collection (unigram statistics).
+pub fn unigram_counts(coll: &Collection) -> FxHashMap<u32, u64> {
+    let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
+    for d in &coll.docs {
+        for s in &d.sentences {
+            for &t in s {
+                *counts.entry(t).or_insert(0) += 1;
+            }
+        }
+    }
+    counts
+}
+
+/// Flatten a collection into map-input records.
+///
+/// Sentence boundaries always act as barriers (§VII-B). When `split_at_tau`
+/// is set, sequences are additionally split at every term with collection
+/// frequency below τ, and the infrequent terms themselves are dropped —
+/// they cannot participate in any frequent n-gram. Fragments keep gapped
+/// position bases so all methods see consistent coordinates.
+pub fn prepare_input(coll: &Collection, tau: u64, split_at_tau: bool) -> Vec<(u64, InputSeq)> {
+    let unigrams = if split_at_tau {
+        Some(unigram_counts(coll))
+    } else {
+        None
+    };
+    let mut out = Vec::new();
+    for d in &coll.docs {
+        let mut base = 0u32;
+        for s in &d.sentences {
+            match &unigrams {
+                None => {
+                    if !s.is_empty() {
+                        out.push((
+                            d.id,
+                            InputSeq {
+                                did: d.id,
+                                year: d.year,
+                                base,
+                                terms: s.clone(),
+                            },
+                        ));
+                    }
+                    base += s.len() as u32 + 1;
+                }
+                Some(counts) => {
+                    // Split at infrequent terms; emit surviving fragments.
+                    let mut frag_start = 0usize;
+                    for (i, &t) in s.iter().enumerate() {
+                        if counts.get(&t).copied().unwrap_or(0) < tau {
+                            if i > frag_start {
+                                out.push((
+                                    d.id,
+                                    InputSeq {
+                                        did: d.id,
+                                        year: d.year,
+                                        base: base + frag_start as u32,
+                                        terms: s[frag_start..i].to_vec(),
+                                    },
+                                ));
+                            }
+                            frag_start = i + 1;
+                        }
+                    }
+                    if s.len() > frag_start {
+                        out.push((
+                            d.id,
+                            InputSeq {
+                                did: d.id,
+                                year: d.year,
+                                base: base + frag_start as u32,
+                                terms: s[frag_start..].to_vec(),
+                            },
+                        ));
+                    }
+                    base += s.len() as u32 + 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Total number of term occurrences across prepared input records.
+pub fn input_tokens(input: &[(u64, InputSeq)]) -> u64 {
+    input.iter().map(|(_, s)| s.terms.len() as u64).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use corpus::{Collection, Dictionary, Document};
+
+    fn collection(sentences: Vec<Vec<Vec<u32>>>) -> Collection {
+        Collection {
+            name: "t".into(),
+            docs: sentences
+                .into_iter()
+                .enumerate()
+                .map(|(i, s)| Document {
+                    id: i as u64,
+                    year: 2000,
+                    sentences: s,
+                })
+                .collect(),
+            dictionary: Dictionary::default(),
+        }
+    }
+
+    #[test]
+    fn without_splitting_each_sentence_is_one_record() {
+        let coll = collection(vec![vec![vec![1, 2, 3], vec![4]], vec![vec![5, 5]]]);
+        let input = prepare_input(&coll, 1, false);
+        assert_eq!(input.len(), 3);
+        assert_eq!(input[0].1.terms, vec![1, 2, 3]);
+        assert_eq!(input[0].1.base, 0);
+        assert_eq!(input[1].1.base, 4, "gap after 3-token sentence");
+        assert_eq!(input[2].1.did, 1);
+    }
+
+    #[test]
+    fn splits_drop_infrequent_terms_and_fragment() {
+        // Term 9 appears once (< τ=2); term 1 appears 4 times.
+        let coll = collection(vec![vec![vec![1, 1, 9, 1, 1]]]);
+        let input = prepare_input(&coll, 2, true);
+        assert_eq!(input.len(), 2);
+        assert_eq!(input[0].1.terms, vec![1, 1]);
+        assert_eq!(input[0].1.base, 0);
+        assert_eq!(input[1].1.terms, vec![1, 1]);
+        assert_eq!(input[1].1.base, 3, "fragment base skips the dropped term");
+    }
+
+    #[test]
+    fn fragment_positions_do_not_abut() {
+        // Bases must differ by ≥ 2 across a split so p and p+1 can never
+        // span fragments.
+        let coll = collection(vec![vec![vec![1, 9, 1], vec![1]]]);
+        let input = prepare_input(&coll, 2, true);
+        let first_end = input[0].1.base + input[0].1.terms.len() as u32;
+        assert!(input[1].1.base > first_end);
+    }
+
+    #[test]
+    fn all_infrequent_sentence_disappears() {
+        let coll = collection(vec![vec![vec![7], vec![8, 9]]]);
+        let input = prepare_input(&coll, 5, true);
+        assert!(input.is_empty());
+    }
+
+    #[test]
+    fn empty_sentences_are_skipped() {
+        let coll = collection(vec![vec![vec![], vec![1, 2]]]);
+        let input = prepare_input(&coll, 1, false);
+        assert_eq!(input.len(), 1);
+        assert_eq!(input_tokens(&input), 2);
+    }
+
+    #[test]
+    fn unigram_counts_are_exact() {
+        let coll = collection(vec![vec![vec![1, 2, 1]], vec![vec![2, 3]]]);
+        let c = unigram_counts(&coll);
+        assert_eq!(c[&1], 2);
+        assert_eq!(c[&2], 2);
+        assert_eq!(c[&3], 1);
+    }
+}

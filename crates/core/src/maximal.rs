@@ -1,0 +1,161 @@
+//! Maximality / closedness post-filtering (§VI-A).
+//!
+//! SUFFIX-σ's first pass (with [`EmitFilter::PrefixMaximal`] /
+//! [`EmitFilter::PrefixClosed`]) leaves exactly the prefix-maximal or
+//! prefix-closed n-grams. This additional MapReduce job reverses each
+//! n-gram, partitions by (reversed) first term, sorts in reverse
+//! lexicographic order, applies the same prefix filter — which on reversed
+//! n-grams is *suffix*-maximality/closedness — and restores the original
+//! orientation. Maximal = suffix-maximal among prefix-maximal; the
+//! one-term-extension argument (cf is antitone under supersequence) makes
+//! the two-pass composition exact.
+
+use crate::gram::{FirstTermPartitioner, Gram, ReverseLexComparator};
+use crate::suffix_sigma::EmitFilter;
+use mapreduce::{
+    Cluster, Job, JobConfig, JobResult, MapContext, Mapper, ReduceContext, Reducer, Result,
+    ValueIter,
+};
+
+/// Mapper: reverse the n-gram, keep the statistic.
+pub struct ReverseMapper;
+
+impl Mapper for ReverseMapper {
+    type InKey = Gram;
+    type InValue = u64;
+    type OutKey = Gram;
+    type OutValue = u64;
+
+    fn map(&mut self, gram: &Gram, stat: &u64, ctx: &mut MapContext<'_, Gram, u64>) {
+        ctx.emit(&gram.reversed(), stat);
+    }
+}
+
+/// Reducer: prefix-filter over reversed n-grams, then un-reverse.
+pub struct SuffixFilterReducer {
+    filter: EmitFilter,
+    last_emitted: Option<(Vec<u32>, u64)>,
+}
+
+impl SuffixFilterReducer {
+    /// Create a reducer applying `filter` (must not be `All`).
+    pub fn new(filter: EmitFilter) -> Self {
+        SuffixFilterReducer {
+            filter,
+            last_emitted: None,
+        }
+    }
+}
+
+impl Reducer for SuffixFilterReducer {
+    type Key = Gram;
+    type ValueIn = u64;
+    type KeyOut = Gram;
+    type ValueOut = u64;
+
+    fn reduce(
+        &mut self,
+        key: Gram,
+        values: &mut ValueIter<'_, u64>,
+        ctx: &mut ReduceContext<'_, Gram, u64>,
+    ) {
+        // Keys are unique (output of a reducer), so exactly one value.
+        let stat = values.next().expect("every gram carries its statistic");
+        let keep = match (&self.filter, &self.last_emitted) {
+            (EmitFilter::All, _) | (_, None) => true,
+            (EmitFilter::PrefixMaximal, Some((prev, _))) => {
+                !(key.len() < prev.len() && prev[..key.len()] == key.0[..])
+            }
+            (EmitFilter::PrefixClosed, Some((prev, prev_stat))) => {
+                !(key.len() < prev.len()
+                    && prev[..key.len()] == key.0[..]
+                    && stat == *prev_stat)
+            }
+        };
+        if keep {
+            self.last_emitted = Some((key.0.clone(), stat));
+            ctx.emit(key.reversed(), stat);
+        }
+    }
+}
+
+/// Run the post-filter job over pass-1 output (reversal trick, §VI-A).
+pub fn filter_suffix_side(
+    cluster: &Cluster,
+    grams: Vec<(Gram, u64)>,
+    filter: EmitFilter,
+    mut cfg: JobConfig,
+) -> Result<JobResult<Gram, u64>> {
+    cfg.name = format!(
+        "{}-postfilter",
+        if cfg.name.is_empty() { "suffix-sigma" } else { &cfg.name }
+    );
+    let job = Job::<ReverseMapper, SuffixFilterReducer>::new(
+        cfg,
+        || ReverseMapper,
+        move || SuffixFilterReducer::new(filter),
+    )
+    .partitioner(FirstTermPartitioner)
+    .sort_comparator(ReverseLexComparator);
+    job.run(cluster, grams)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn g(terms: &[u32]) -> Gram {
+        Gram::new(terms)
+    }
+
+    /// The §VI-A worked example: pass 1 (prefix-maximal) leaves
+    /// ⟨a x b⟩:3, ⟨x b⟩:4, ⟨b⟩:5; the post-filter's reducer responsible
+    /// for (reversed grams starting with) b receives ⟨b x a⟩:3, ⟨b x⟩:4,
+    /// ⟨b⟩:5 and, for maximality, emits only ⟨a x b⟩.
+    #[test]
+    fn paper_example_maximality() {
+        let (a, b, x) = (2u32, 1u32, 0u32);
+        let pass1 = vec![(g(&[a, x, b]), 3), (g(&[x, b]), 4), (g(&[b]), 5)];
+        let cluster = Cluster::new(2);
+        let result = filter_suffix_side(
+            &cluster,
+            pass1,
+            EmitFilter::PrefixMaximal,
+            JobConfig::default(),
+        )
+        .unwrap();
+        let got = result.into_records();
+        assert_eq!(got, vec![(g(&[a, x, b]), 3)]);
+    }
+
+    #[test]
+    fn closedness_keeps_frequency_distinct_suffixes() {
+        let (b, x) = (1u32, 0u32);
+        // ⟨x⟩:4 is a suffix of ⟨b x⟩:4 with equal cf → dropped for closed;
+        // ⟨b⟩:9 is not a suffix of anything → kept.
+        let pass1 = vec![(g(&[b, x]), 4), (g(&[x]), 4), (g(&[b]), 9)];
+        let cluster = Cluster::new(1);
+        let result = filter_suffix_side(
+            &cluster,
+            pass1.clone(),
+            EmitFilter::PrefixClosed,
+            JobConfig::default(),
+        )
+        .unwrap();
+        let mut got = result.into_records();
+        got.sort();
+        assert_eq!(got, vec![(g(&[b]), 9), (g(&[b, x]), 4)]);
+
+        // For maximality, ⟨x⟩ also goes (suffix regardless of count).
+        let result = filter_suffix_side(
+            &cluster,
+            pass1,
+            EmitFilter::PrefixMaximal,
+            JobConfig::default(),
+        )
+        .unwrap();
+        let mut got = result.into_records();
+        got.sort();
+        assert_eq!(got, vec![(g(&[b]), 9), (g(&[b, x]), 4)]);
+    }
+}

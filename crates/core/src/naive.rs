@@ -1,0 +1,171 @@
+//! NAÏVE (Algorithm 1): word counting extended to variable-length n-grams.
+//!
+//! The mapper emits *every* n-gram of length ≤ σ at every position — a
+//! total of Σ_{|s|≤σ} cf(s) records — and the reducer counts and filters
+//! by τ. Apart from minor optimizations this is the method Brants et al.
+//! used at Google for 5-gram language models; its weakness is the sheer
+//! shuffle volume, which the optional combiner (local pre-aggregation,
+//! §III-A) only partly mitigates.
+
+use crate::aggregate::PrefixAggregator;
+use crate::gram::Gram;
+use crate::input::InputSeq;
+use mapreduce::{MapContext, Mapper, ReduceContext, Reducer, ValueIter};
+
+/// Mapper: emits `(d[b..e], value)` for all `b ≤ e < b + σ` (Algorithm 1,
+/// lines 2–4), with values chosen by the aggregation mode.
+pub struct NaiveMapper<A: PrefixAggregator> {
+    /// Maximum n-gram length σ.
+    pub sigma: usize,
+    /// Aggregation strategy (supplies per-occurrence values).
+    pub agg: A,
+}
+
+impl<A: PrefixAggregator> Mapper for NaiveMapper<A> {
+    type InKey = u64;
+    type InValue = InputSeq;
+    type OutKey = Gram;
+    type OutValue = A::In;
+
+    fn map(&mut self, _did: &u64, seq: &InputSeq, ctx: &mut MapContext<'_, Gram, A::In>) {
+        let terms = &seq.terms;
+        let n = terms.len();
+        for b in 0..n {
+            let max_e = b.saturating_add(self.sigma).min(n);
+            let value = self.agg.map_value(seq.did, seq.year, seq.base + b as u32);
+            for e in (b + 1)..=max_e {
+                let gram = Gram::new(&terms[b..e]);
+                ctx.emit(&gram, &value);
+            }
+        }
+    }
+}
+
+/// Reducer: folds all values of an n-gram and emits its statistic when it
+/// clears τ (Algorithm 1, reducer).
+pub struct NaiveReducer<A: PrefixAggregator> {
+    /// Aggregation strategy (owns τ).
+    pub agg: A,
+}
+
+impl<A: PrefixAggregator> Reducer for NaiveReducer<A> {
+    type Key = Gram;
+    type ValueIn = A::In;
+    type KeyOut = Gram;
+    type ValueOut = A::Stat;
+
+    fn reduce(
+        &mut self,
+        key: Gram,
+        values: &mut ValueIter<'_, A::In>,
+        ctx: &mut ReduceContext<'_, Gram, A::Stat>,
+    ) {
+        let mut acc = self.agg.new_acc();
+        for v in values {
+            self.agg.absorb(&mut acc, v);
+        }
+        if let Some(stat) = self.agg.finalize(&acc) {
+            ctx.emit(key, stat);
+        }
+    }
+}
+
+/// Combiner for the counting mode: sums partial counts per n-gram within a
+/// spill ("local pre-aggregation in the map-phase", §III-A). Emits
+/// unconditionally — τ filtering must wait for the global reducer.
+pub struct SumCombiner;
+
+impl Reducer for SumCombiner {
+    type Key = Gram;
+    type ValueIn = u64;
+    type KeyOut = Gram;
+    type ValueOut = u64;
+
+    fn reduce(
+        &mut self,
+        key: Gram,
+        values: &mut ValueIter<'_, u64>,
+        ctx: &mut ReduceContext<'_, Gram, u64>,
+    ) {
+        let total: u64 = values.sum();
+        ctx.emit(key, total);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::CountAgg;
+    use mapreduce::{Cluster, Job, JobConfig};
+
+    fn seq(did: u64, terms: &[u32]) -> (u64, InputSeq) {
+        (
+            did,
+            InputSeq {
+                did,
+                year: 2000,
+                base: 0,
+                terms: terms.to_vec(),
+            },
+        )
+    }
+
+    /// The paper's running example: τ=3, σ=3 over d1,d2,d3 must yield
+    /// exactly the six n-grams listed in §III.
+    #[test]
+    fn running_example_matches_paper() {
+        // a=2, b=1, x=0 (any distinct ids work).
+        let (a, b, x) = (2u32, 1u32, 0u32);
+        let input = vec![
+            seq(1, &[a, x, b, x, x]),
+            seq(2, &[b, a, x, b, x]),
+            seq(3, &[x, b, a, x, b]),
+        ];
+        let cluster = Cluster::new(2);
+        let job = Job::<NaiveMapper<CountAgg>, NaiveReducer<CountAgg>>::new(
+            JobConfig::named("naive"),
+            move || NaiveMapper {
+                sigma: 3,
+                agg: CountAgg { tau: 3 },
+            },
+            move || NaiveReducer {
+                agg: CountAgg { tau: 3 },
+            },
+        );
+        let mut got = job.run(&cluster, input).unwrap().into_records();
+        got.sort();
+        let mut expected = vec![
+            (Gram::new(&[a]), 3),
+            (Gram::new(&[b]), 5),
+            (Gram::new(&[x]), 7),
+            (Gram::new(&[a, x]), 3),
+            (Gram::new(&[x, b]), 4),
+            (Gram::new(&[a, x, b]), 3),
+        ];
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    /// NAÏVE's map-output record count is Σ_{|s|≤σ} cf(s) (§III-A): for a
+    /// single sequence of length n with σ ≥ n that is n(n+1)/2.
+    #[test]
+    fn record_count_matches_analysis() {
+        let input = vec![seq(0, &[1, 2, 3, 4, 5])];
+        let cluster = Cluster::new(1);
+        let job = Job::<NaiveMapper<CountAgg>, NaiveReducer<CountAgg>>::new(
+            JobConfig::named("naive"),
+            || NaiveMapper {
+                sigma: usize::MAX,
+                agg: CountAgg { tau: 1 },
+            },
+            || NaiveReducer {
+                agg: CountAgg { tau: 1 },
+            },
+        );
+        let result = job.run(&cluster, input).unwrap();
+        assert_eq!(
+            result.counters.get(mapreduce::Counter::MapOutputRecords),
+            5 * 6 / 2
+        );
+    }
+}

@@ -1,0 +1,217 @@
+//! Positional posting lists for APRIORI-INDEX: gap-compressed inverted
+//! index entries supporting the positional join that extends (k−1)-grams
+//! to k-grams (Algorithm 3, `join(lm, ln)`).
+
+use mapreduce::{write_vu64, ByteReader, Result, Writable};
+
+/// Occurrences of one n-gram inside one document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Posting {
+    /// Document identifier.
+    pub did: u64,
+    /// Sorted start positions (document-global token offsets).
+    pub positions: Vec<u32>,
+}
+
+/// A sorted-by-document list of postings.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct PostingList {
+    /// Postings, strictly ascending by `did`.
+    pub postings: Vec<Posting>,
+}
+
+impl PostingList {
+    /// An empty list.
+    pub fn new() -> Self {
+        PostingList::default()
+    }
+
+    /// Collection frequency represented by the list (`cf(l)` in the
+    /// paper's pseudo code): total number of positions.
+    pub fn cf(&self) -> u64 {
+        self.postings.iter().map(|p| p.positions.len() as u64).sum()
+    }
+
+    /// Document frequency: number of documents.
+    pub fn df(&self) -> u64 {
+        self.postings.len() as u64
+    }
+
+    /// True when no postings exist.
+    pub fn is_empty(&self) -> bool {
+        self.postings.is_empty()
+    }
+
+    /// Merge several partial lists (per-fragment postings arriving in
+    /// arbitrary order) into one normalized list: ascending dids, merged
+    /// and sorted position sets.
+    pub fn merge_parts(parts: impl IntoIterator<Item = PostingList>) -> PostingList {
+        let mut all: Vec<Posting> = parts.into_iter().flat_map(|l| l.postings).collect();
+        all.sort_by_key(|p| p.did);
+        let mut out: Vec<Posting> = Vec::with_capacity(all.len());
+        for p in all {
+            match out.last_mut() {
+                Some(last) if last.did == p.did => last.positions.extend(p.positions),
+                _ => out.push(p),
+            }
+        }
+        for p in &mut out {
+            p.positions.sort_unstable();
+            p.positions.dedup();
+        }
+        PostingList { postings: out }
+    }
+
+    /// Positional join: occurrences of `self` at position `p` that are
+    /// immediately followed by an occurrence of `other` at `p + 1`
+    /// (Algorithm 3, Reducer #2). The result keeps position `p`, i.e. the
+    /// start of the joined k-gram.
+    pub fn join(&self, other: &PostingList) -> PostingList {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0usize, 0usize);
+        while i < self.postings.len() && j < other.postings.len() {
+            let (a, b) = (&self.postings[i], &other.postings[j]);
+            match a.did.cmp(&b.did) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    let mut positions = Vec::new();
+                    let (mut x, mut y) = (0usize, 0usize);
+                    while x < a.positions.len() && y < b.positions.len() {
+                        let target = a.positions[x] + 1;
+                        match target.cmp(&b.positions[y]) {
+                            std::cmp::Ordering::Less => x += 1,
+                            std::cmp::Ordering::Greater => y += 1,
+                            std::cmp::Ordering::Equal => {
+                                positions.push(a.positions[x]);
+                                x += 1;
+                                y += 1;
+                            }
+                        }
+                    }
+                    if !positions.is_empty() {
+                        out.push(Posting {
+                            did: a.did,
+                            positions,
+                        });
+                    }
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        PostingList { postings: out }
+    }
+}
+
+/// Gap-compressed varbyte serialization: `[#postings]` then per posting
+/// `[did-gap][#positions][pos-gaps…]` — the classic inverted-index layout
+/// from Managing Gigabytes, which the paper cites for its encoding.
+impl Writable for PostingList {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        write_vu64(out, self.postings.len() as u64);
+        let mut prev_did = 0u64;
+        for p in &self.postings {
+            write_vu64(out, p.did - prev_did);
+            prev_did = p.did;
+            write_vu64(out, p.positions.len() as u64);
+            let mut prev_pos = 0u32;
+            for &pos in &p.positions {
+                write_vu64(out, u64::from(pos - prev_pos));
+                prev_pos = pos;
+            }
+        }
+    }
+
+    fn read_from(r: &mut ByteReader<'_>) -> Result<Self> {
+        let n = r.read_vu64()? as usize;
+        let mut postings = Vec::with_capacity(n.min(r.remaining() + 1));
+        let mut did = 0u64;
+        for _ in 0..n {
+            did += r.read_vu64()?;
+            let m = r.read_vu64()? as usize;
+            let mut positions = Vec::with_capacity(m.min(r.remaining() + 1));
+            let mut pos = 0u32;
+            for _ in 0..m {
+                pos += r.read_vu64()? as u32;
+                positions.push(pos);
+            }
+            postings.push(Posting { did, positions });
+        }
+        Ok(PostingList { postings })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::{from_bytes, to_bytes};
+
+    fn pl(entries: &[(u64, &[u32])]) -> PostingList {
+        PostingList {
+            postings: entries
+                .iter()
+                .map(|&(did, positions)| Posting {
+                    did,
+                    positions: positions.to_vec(),
+                })
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn cf_and_df() {
+        let l = pl(&[(1, &[0, 5]), (3, &[2])]);
+        assert_eq!(l.cf(), 3);
+        assert_eq!(l.df(), 2);
+        assert!(!l.is_empty());
+        assert!(PostingList::new().is_empty());
+    }
+
+    #[test]
+    fn writable_round_trip_with_gaps() {
+        let l = pl(&[(1, &[0, 5, 1000]), (100, &[7]), (101, &[0])]);
+        let back: PostingList = from_bytes(&to_bytes(&l)).unwrap();
+        assert_eq!(back, l);
+        // Gap coding keeps adjacent dids/positions at one byte each.
+        let dense = pl(&[(1, &[1, 2, 3, 4, 5])]);
+        assert!(to_bytes(&dense).len() <= 8);
+    }
+
+    /// The paper's worked example: joining ⟨a x⟩ and ⟨x b⟩ posting lists
+    /// yields ⟨a x b⟩ = ⟨d1:[0], d2:[1], d3:[2]⟩.
+    #[test]
+    fn join_matches_paper_example() {
+        let ax = pl(&[(1, &[0]), (2, &[1]), (3, &[2])]);
+        let xb = pl(&[(1, &[1]), (2, &[2]), (3, &[0, 3])]);
+        let axb = ax.join(&xb);
+        assert_eq!(axb, pl(&[(1, &[0]), (2, &[1]), (3, &[2])]));
+        assert_eq!(axb.cf(), 3);
+    }
+
+    #[test]
+    fn join_requires_adjacent_positions_in_same_doc() {
+        let a = pl(&[(1, &[0, 10]), (2, &[5])]);
+        let b = pl(&[(1, &[2, 11]), (3, &[6])]);
+        // Only d1 overlaps, and only position 10→11 is adjacent.
+        assert_eq!(a.join(&b), pl(&[(1, &[10])]));
+    }
+
+    #[test]
+    fn join_with_empty_is_empty() {
+        let a = pl(&[(1, &[0])]);
+        assert!(a.join(&PostingList::new()).is_empty());
+        assert!(PostingList::new().join(&a).is_empty());
+    }
+
+    #[test]
+    fn merge_parts_normalizes() {
+        let merged = PostingList::merge_parts(vec![
+            pl(&[(3, &[7])]),
+            pl(&[(1, &[4, 2])]),
+            pl(&[(3, &[1])]),
+            pl(&[(1, &[2])]),
+        ]);
+        assert_eq!(merged, pl(&[(1, &[2, 4]), (3, &[1, 7])]));
+    }
+}

@@ -1,0 +1,201 @@
+//! Brute-force, single-threaded reference implementations used as test
+//! oracles: enumerate every n-gram with a hash map and filter. Correct by
+//! construction, hopeless at scale — exactly what an oracle should be.
+
+use crate::input::InputSeq;
+use crate::timeseries::TimeSeries;
+use std::collections::BTreeMap;
+
+/// Exact collection frequencies of all n-grams with `cf ≥ tau`,
+/// `len ≤ sigma`.
+pub fn reference_cf(
+    input: &[(u64, InputSeq)],
+    tau: u64,
+    sigma: usize,
+) -> BTreeMap<Vec<u32>, u64> {
+    let mut counts: BTreeMap<Vec<u32>, u64> = BTreeMap::new();
+    for (_, seq) in input {
+        let n = seq.terms.len();
+        for b in 0..n {
+            for e in (b + 1)..=b.saturating_add(sigma).min(n) {
+                *counts.entry(seq.terms[b..e].to_vec()).or_insert(0) += 1;
+            }
+        }
+    }
+    counts.retain(|_, &mut c| c >= tau);
+    counts
+}
+
+/// Exact document frequencies (distinct documents) with `df ≥ tau`.
+pub fn reference_df(
+    input: &[(u64, InputSeq)],
+    tau: u64,
+    sigma: usize,
+) -> BTreeMap<Vec<u32>, u64> {
+    let mut docs: BTreeMap<Vec<u32>, std::collections::BTreeSet<u64>> = BTreeMap::new();
+    for (_, seq) in input {
+        let n = seq.terms.len();
+        for b in 0..n {
+            for e in (b + 1)..=b.saturating_add(sigma).min(n) {
+                docs.entry(seq.terms[b..e].to_vec())
+                    .or_default()
+                    .insert(seq.did);
+            }
+        }
+    }
+    docs.into_iter()
+        .map(|(g, set)| (g, set.len() as u64))
+        .filter(|&(_, df)| df >= tau)
+        .collect()
+}
+
+/// Exact per-year time series for n-grams whose total clears `tau`.
+pub fn reference_ts(
+    input: &[(u64, InputSeq)],
+    tau: u64,
+    sigma: usize,
+) -> BTreeMap<Vec<u32>, TimeSeries> {
+    let mut series: BTreeMap<Vec<u32>, TimeSeries> = BTreeMap::new();
+    for (_, seq) in input {
+        let n = seq.terms.len();
+        for b in 0..n {
+            for e in (b + 1)..=b.saturating_add(sigma).min(n) {
+                series
+                    .entry(seq.terms[b..e].to_vec())
+                    .or_default()
+                    .add(seq.year, 1);
+            }
+        }
+    }
+    series.retain(|_, ts| ts.total() >= tau);
+    series
+}
+
+/// Is `r` a (contiguous) subsequence of `s` (`r ⊑ s`)?
+pub fn is_subsequence(r: &[u32], s: &[u32]) -> bool {
+    r.is_empty() || s.windows(r.len()).any(|w| w == r)
+}
+
+/// Maximal n-grams: frequent n-grams with no frequent *strict*
+/// supersequence (§VI-A). Because cf is antitone under supersequence, it
+/// suffices to check one-term extensions, but the oracle checks all pairs
+/// to stay assumption-free.
+pub fn reference_maximal(frequent: &BTreeMap<Vec<u32>, u64>) -> BTreeMap<Vec<u32>, u64> {
+    frequent
+        .iter()
+        .filter(|(r, _)| {
+            !frequent
+                .keys()
+                .any(|s| s.len() > r.len() && is_subsequence(r, s))
+        })
+        .map(|(g, &c)| (g.clone(), c))
+        .collect()
+}
+
+/// Closed n-grams: frequent n-grams with no strict supersequence of equal
+/// frequency (§VI-A).
+pub fn reference_closed(frequent: &BTreeMap<Vec<u32>, u64>) -> BTreeMap<Vec<u32>, u64> {
+    frequent
+        .iter()
+        .filter(|(r, &c)| {
+            !frequent
+                .iter()
+                .any(|(s, &cs)| s.len() > r.len() && cs == c && is_subsequence(r, s))
+        })
+        .map(|(g, &c)| (g.clone(), c))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seq(did: u64, year: u16, terms: &[u32]) -> (u64, InputSeq) {
+        (
+            did,
+            InputSeq {
+                did,
+                year,
+                base: 0,
+                terms: terms.to_vec(),
+            },
+        )
+    }
+
+    fn running_example() -> Vec<(u64, InputSeq)> {
+        let (a, b, x) = (2u32, 1u32, 0u32);
+        vec![
+            seq(1, 2000, &[a, x, b, x, x]),
+            seq(2, 2001, &[b, a, x, b, x]),
+            seq(3, 2002, &[x, b, a, x, b]),
+        ]
+    }
+
+    #[test]
+    fn cf_matches_paper_example() {
+        let (a, b, x) = (2u32, 1u32, 0u32);
+        let cf = reference_cf(&running_example(), 3, 3);
+        assert_eq!(cf.len(), 6);
+        assert_eq!(cf[&vec![a]], 3);
+        assert_eq!(cf[&vec![b]], 5);
+        assert_eq!(cf[&vec![x]], 7);
+        assert_eq!(cf[&vec![a, x]], 3);
+        assert_eq!(cf[&vec![x, b]], 4);
+        assert_eq!(cf[&vec![a, x, b]], 3);
+    }
+
+    #[test]
+    fn df_counts_documents_not_occurrences() {
+        let (_, b, x) = (2u32, 1u32, 0u32);
+        let df = reference_df(&running_example(), 3, 3);
+        // x occurs 7 times but in 3 documents.
+        assert_eq!(df[&vec![x]], 3);
+        assert_eq!(df[&vec![b]], 3);
+        assert_eq!(df[&vec![x, b]], 3); // d1, d2, d3 all contain ⟨x b⟩
+    }
+
+    #[test]
+    fn ts_totals_equal_cf() {
+        let cf = reference_cf(&running_example(), 3, 3);
+        let ts = reference_ts(&running_example(), 3, 3);
+        assert_eq!(cf.len(), ts.len());
+        for (g, c) in &cf {
+            assert_eq!(ts[g].total(), *c);
+        }
+        let x = vec![0u32];
+        // x occurs 3 times in d1 (2000), 2 in d2 (2001), 2 in d3 (2002).
+        assert_eq!(ts[&x].get(2000), 3);
+        assert_eq!(ts[&x].get(2001), 2);
+        assert_eq!(ts[&x].get(2002), 2);
+    }
+
+    #[test]
+    fn maximal_and_closed_on_paper_example() {
+        let (a, b, x) = (2u32, 1u32, 0u32);
+        let cf = reference_cf(&running_example(), 3, 3);
+        let maximal = reference_maximal(&cf);
+        // ⟨a x b⟩ subsumes ⟨a⟩, ⟨a x⟩, ⟨x b⟩, ⟨b⟩, ⟨x⟩? No: ⟨x⟩ ⊑ ⟨a x b⟩
+        // and ⟨b⟩ ⊑ ⟨a x b⟩ — all six except ⟨a x b⟩ are subsequences.
+        assert_eq!(maximal.len(), 1);
+        assert!(maximal.contains_key(&vec![a, x, b]));
+
+        let closed = reference_closed(&cf);
+        // cf-distinct supersequences: ⟨x⟩:7 and ⟨b⟩:5 and ⟨x b⟩:4 are closed
+        // (no equal-cf supersequence); ⟨a⟩:3, ⟨a x⟩:3 are subsumed by
+        // ⟨a x b⟩:3.
+        let mut keys: Vec<_> = closed.keys().cloned().collect();
+        keys.sort();
+        let mut expected = vec![vec![x], vec![b], vec![x, b], vec![a, x, b]];
+        expected.sort();
+        assert_eq!(keys, expected);
+    }
+
+    #[test]
+    fn subsequence_relation() {
+        assert!(is_subsequence(&[2, 3], &[1, 2, 3, 4]));
+        assert!(!is_subsequence(&[2, 4], &[1, 2, 3, 4]));
+        assert!(is_subsequence(&[], &[1]));
+        assert!(is_subsequence(&[1], &[1]));
+        assert!(!is_subsequence(&[1, 1], &[1]));
+    }
+}

@@ -1,0 +1,348 @@
+//! SUFFIX-σ (Algorithm 4): the paper's contribution.
+//!
+//! The mapper emits **one record per position** — the suffix starting
+//! there, truncated to σ terms — so map output is linear in the corpus
+//! instead of quadratic. Suffixes are partitioned by their *first term
+//! only* and sorted in *reverse lexicographic* order; the reducer then
+//! recovers the statistics of every n-gram (each n-gram is a prefix of
+//! the suffixes that represent it) with two synchronized stacks, `terms`
+//! and `counts`, popping and emitting as soon as an n-gram can no longer
+//! be extended by unseen input. Bookkeeping is therefore bounded by the
+//! deepest stack (≤ σ), not by the number of distinct n-grams.
+
+use crate::aggregate::PrefixAggregator;
+use crate::gram::{lcp, Gram};
+use crate::input::InputSeq;
+use mapreduce::{MapContext, Mapper, ReduceContext, Reducer, ValueIter};
+
+/// Which n-grams the stack reducer emits (§VI-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum EmitFilter {
+    /// Every n-gram clearing τ.
+    #[default]
+    All,
+    /// Only prefix-maximal n-grams: skip `s` when it is a proper prefix of
+    /// the previously emitted n-gram.
+    PrefixMaximal,
+    /// Only prefix-closed n-grams: skip `s` when it is a proper prefix of
+    /// the previously emitted n-gram *and* has the same frequency.
+    PrefixClosed,
+}
+
+/// Mapper: one σ-truncated suffix per position (Algorithm 4, mapper).
+pub struct SuffixMapper<A: PrefixAggregator> {
+    /// Maximum n-gram length σ (`usize::MAX` for unbounded).
+    pub sigma: usize,
+    /// Aggregation strategy (supplies per-occurrence values).
+    pub agg: A,
+}
+
+impl<A: PrefixAggregator> Mapper for SuffixMapper<A> {
+    type InKey = u64;
+    type InValue = InputSeq;
+    type OutKey = Gram;
+    type OutValue = A::In;
+
+    fn map(&mut self, _did: &u64, seq: &InputSeq, ctx: &mut MapContext<'_, Gram, A::In>) {
+        let terms = &seq.terms;
+        let n = terms.len();
+        for b in 0..n {
+            let end = b.saturating_add(self.sigma).min(n);
+            let gram = Gram::new(&terms[b..end]);
+            ctx.emit(
+                &gram,
+                &self.agg.map_value(seq.did, seq.year, seq.base + b as u32),
+            );
+        }
+    }
+}
+
+/// Reducer: the two-stack lazy aggregator (Algorithm 4, reducer +
+/// `cleanup()`), generalized over the aggregation strategy so the same
+/// machinery computes cf, df, and time series (§VI-B).
+pub struct StackReducer<A: PrefixAggregator> {
+    agg: A,
+    filter: EmitFilter,
+    /// Stack of terms constituting the current suffix prefix.
+    terms: Vec<u32>,
+    /// One accumulator per stack entry; `accs[i]` aggregates exactly the
+    /// n-gram `terms[0..=i]` over everything seen so far.
+    accs: Vec<A::Acc>,
+    /// Most recently emitted n-gram and its magnitude (for the
+    /// prefix-maximal / prefix-closed filters).
+    last_emitted: Option<(Vec<u32>, u64)>,
+}
+
+impl<A: PrefixAggregator> StackReducer<A> {
+    /// Create a reducer with the given aggregation and emission filter.
+    pub fn new(agg: A, filter: EmitFilter) -> Self {
+        StackReducer {
+            agg,
+            filter,
+            terms: Vec::new(),
+            accs: Vec::new(),
+            last_emitted: None,
+        }
+    }
+
+    /// Emit (subject to τ and the filter) and pop the deepest stack entry,
+    /// merging its accumulator into its parent — the body of the paper's
+    /// `while` loop.
+    fn pop_and_emit(&mut self, ctx: &mut ReduceContext<'_, Gram, A::Stat>) {
+        debug_assert_eq!(self.terms.len(), self.accs.len());
+        let acc = self.accs.pop().expect("stacks are never empty here");
+        if let Some(stat) = self.agg.finalize(&acc) {
+            let magnitude = A::magnitude(&stat);
+            if self.should_emit(magnitude) {
+                self.last_emitted = Some((self.terms.clone(), magnitude));
+                ctx.emit(Gram(self.terms.clone()), stat);
+            }
+        }
+        self.terms.pop();
+        if let Some(parent) = self.accs.last_mut() {
+            self.agg.merge(parent, &acc);
+        }
+    }
+
+    /// The §VI-A emission filters. Thanks to reverse lexicographic order,
+    /// the only candidate supersequence that can disqualify the n-gram on
+    /// the stack is the n-gram emitted immediately before it.
+    fn should_emit(&self, magnitude: u64) -> bool {
+        match self.filter {
+            EmitFilter::All => true,
+            EmitFilter::PrefixMaximal => match &self.last_emitted {
+                Some((prev, _)) => !is_proper_prefix(&self.terms, prev),
+                None => true,
+            },
+            EmitFilter::PrefixClosed => match &self.last_emitted {
+                Some((prev, prev_mag)) => {
+                    !(is_proper_prefix(&self.terms, prev) && magnitude == *prev_mag)
+                }
+                None => true,
+            },
+        }
+    }
+}
+
+fn is_proper_prefix(shorter: &[u32], longer: &[u32]) -> bool {
+    shorter.len() < longer.len() && longer[..shorter.len()] == *shorter
+}
+
+impl<A: PrefixAggregator> Reducer for StackReducer<A> {
+    type Key = Gram;
+    type ValueIn = A::In;
+    type KeyOut = Gram;
+    type ValueOut = A::Stat;
+
+    fn reduce(
+        &mut self,
+        key: Gram,
+        values: &mut ValueIter<'_, A::In>,
+        ctx: &mut ReduceContext<'_, Gram, A::Stat>,
+    ) {
+        let common = lcp(&key.0, &self.terms);
+        // Pop (and emit) everything that is not a prefix of the incoming
+        // suffix: no yet-unseen suffix can represent those n-grams.
+        while self.terms.len() > common {
+            self.pop_and_emit(ctx);
+        }
+        // Push the new suffix tail with empty accumulators.
+        for &t in &key.0[common..] {
+            self.terms.push(t);
+            self.accs.push(self.agg.new_acc());
+        }
+        // Fold this suffix's values into the accumulator of the deepest
+        // entry (the suffix itself); prefixes receive it on pop-merge.
+        if let Some(top) = self.accs.last_mut() {
+            for v in values {
+                self.agg.absorb(top, v);
+            }
+        }
+    }
+
+    /// `cleanup()`: drain the stacks as if an empty suffix arrived
+    /// (the paper implements this as `reduce(∅, ∅)`).
+    fn cleanup(&mut self, ctx: &mut ReduceContext<'_, Gram, A::Stat>) {
+        while !self.terms.is_empty() {
+            self.pop_and_emit(ctx);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::aggregate::CountAgg;
+    use crate::gram::{FirstTermPartitioner, ReverseLexComparator};
+    use mapreduce::{Cluster, Counter, Job, JobConfig};
+
+    fn seq(did: u64, terms: &[u32]) -> (u64, InputSeq) {
+        (
+            did,
+            InputSeq {
+                did,
+                year: 2000,
+                base: 0,
+                terms: terms.to_vec(),
+            },
+        )
+    }
+
+    fn run_suffix_sigma(
+        input: Vec<(u64, InputSeq)>,
+        tau: u64,
+        sigma: usize,
+        filter: EmitFilter,
+    ) -> (Vec<(Gram, u64)>, mapreduce::CounterSnapshot) {
+        let cluster = Cluster::new(2);
+        let job = Job::<SuffixMapper<CountAgg>, StackReducer<CountAgg>>::new(
+            JobConfig::named("suffix-sigma"),
+            move || SuffixMapper {
+                sigma,
+                agg: CountAgg { tau },
+            },
+            move || StackReducer::new(CountAgg { tau }, filter),
+        )
+        .partitioner(FirstTermPartitioner)
+        .sort_comparator(ReverseLexComparator);
+        let result = job.run(&cluster, input).unwrap();
+        let counters = result.counters.clone();
+        let mut grams = result.into_records();
+        grams.sort();
+        (grams, counters)
+    }
+
+    /// The paper's running example (§III): τ=3, σ=3.
+    #[test]
+    fn running_example_matches_paper() {
+        let (a, b, x) = (2u32, 1u32, 0u32);
+        let input = vec![
+            seq(1, &[a, x, b, x, x]),
+            seq(2, &[b, a, x, b, x]),
+            seq(3, &[x, b, a, x, b]),
+        ];
+        let (got, counters) = run_suffix_sigma(input, 3, 3, EmitFilter::All);
+        let mut expected = vec![
+            (Gram::new(&[a]), 3),
+            (Gram::new(&[b]), 5),
+            (Gram::new(&[x]), 7),
+            (Gram::new(&[a, x]), 3),
+            (Gram::new(&[x, b]), 4),
+            (Gram::new(&[a, x, b]), 3),
+        ];
+        expected.sort();
+        assert_eq!(got, expected);
+        // SUFFIX-σ emits exactly one record per term occurrence (§IV).
+        assert_eq!(counters.get(Counter::MapOutputRecords), 15);
+    }
+
+    /// The worked bookkeeping example of §IV: the reducer for first term b
+    /// receives ⟨b x x⟩:1, ⟨b x⟩:1, ⟨b a x⟩:2, ⟨b⟩:1 and must produce
+    /// cf(⟨b x⟩)=2 (wait — f counts per input list) … verified against the
+    /// brute-force expectation computed inline.
+    #[test]
+    fn bookkeeping_is_exact_for_single_reducer_input() {
+        // Reproduce the exact reducer input of Fig. 1: suffixes of the
+        // running example starting with b (did values irrelevant).
+        let (a, b, x) = (2u32, 1u32, 0u32);
+        let input = vec![
+            seq(1, &[b, x, x]),
+            seq(2, &[b, x]),
+            seq(2, &[b, a, x]),
+            seq(3, &[b, a, x]),
+            seq(3, &[b]),
+        ];
+        // All n-grams of these five sequences, counted exactly, τ=1.
+        let (got, _) = run_suffix_sigma(input, 1, 3, EmitFilter::All);
+        let expect = |terms: &[u32]| -> u64 {
+            let seqs: Vec<Vec<u32>> = vec![
+                vec![b, x, x],
+                vec![b, x],
+                vec![b, a, x],
+                vec![b, a, x],
+                vec![b],
+            ];
+            seqs.iter()
+                .map(|s| {
+                    (0..s.len())
+                        .filter(|&j| s[j..].starts_with(terms))
+                        .count() as u64
+                })
+                .sum()
+        };
+        for (gram, count) in &got {
+            assert_eq!(*count, expect(&gram.0), "wrong count for {gram:?}");
+        }
+        // ⟨b⟩ occurs 5 times, ⟨x⟩ 5 times, ⟨b x⟩ 2 times, ⟨a x⟩ 2 times.
+        assert!(got.contains(&(Gram::new(&[b]), 5)));
+        assert!(got.contains(&(Gram::new(&[x]), 5)));
+        assert!(got.contains(&(Gram::new(&[b, x]), 2)));
+        assert!(got.contains(&(Gram::new(&[a, x]), 2)));
+    }
+
+    #[test]
+    fn sigma_truncates_suffixes_and_output() {
+        let input = vec![seq(0, &[1, 2, 3, 4])];
+        let (got, counters) = run_suffix_sigma(input, 1, 2, EmitFilter::All);
+        // No n-gram longer than 2 may appear.
+        assert!(got.iter().all(|(g, _)| g.len() <= 2));
+        // Still one record per position.
+        assert_eq!(counters.get(Counter::MapOutputRecords), 4);
+        // Bigrams: (1,2), (2,3), (3,4) each once; unigrams each once.
+        assert_eq!(got.len(), 7);
+    }
+
+    #[test]
+    fn prefix_maximal_filter_keeps_only_unextendable_prefixes() {
+        let (a, b, x) = (2u32, 1u32, 0u32);
+        let input = vec![
+            seq(1, &[a, x, b, x, x]),
+            seq(2, &[b, a, x, b, x]),
+            seq(3, &[x, b, a, x, b]),
+        ];
+        let (got, _) = run_suffix_sigma(input, 3, 3, EmitFilter::PrefixMaximal);
+        // §VI-A: the reducer for a emits only ⟨a x b⟩ (not ⟨a⟩, ⟨a x⟩);
+        // "we still emit ⟨x b⟩ and ⟨b⟩ on the reducers responsible for
+        // terms x and b" — ⟨x⟩ is a prefix of ⟨x b⟩ and is suppressed.
+        let mut expected = vec![
+            (Gram::new(&[a, x, b]), 3),
+            (Gram::new(&[x, b]), 4),
+            (Gram::new(&[b]), 5),
+        ];
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn prefix_closed_filter_keeps_frequency_distinct_prefixes() {
+        let (a, b, x) = (2u32, 1u32, 0u32);
+        let input = vec![
+            seq(1, &[a, x, b, x, x]),
+            seq(2, &[b, a, x, b, x]),
+            seq(3, &[x, b, a, x, b]),
+        ];
+        let (got, _) = run_suffix_sigma(input, 3, 3, EmitFilter::PrefixClosed);
+        // ⟨a⟩:3 and ⟨a x⟩:3 are prefixes of ⟨a x b⟩:3 with equal cf → only
+        // ⟨a x b⟩ survives from that reducer. ⟨x⟩:7 ≠ ⟨x b⟩:4 → both stay.
+        let mut expected = vec![
+            (Gram::new(&[a, x, b]), 3),
+            (Gram::new(&[x, b]), 4),
+            (Gram::new(&[x]), 7),
+            (Gram::new(&[b]), 5),
+        ];
+        expected.sort();
+        assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn empty_input_emits_nothing() {
+        let (got, _) = run_suffix_sigma(vec![], 1, 5, EmitFilter::All);
+        assert!(got.is_empty());
+    }
+
+    #[test]
+    fn single_token_corpus() {
+        let (got, _) = run_suffix_sigma(vec![seq(0, &[9])], 1, 5, EmitFilter::All);
+        assert_eq!(got, vec![(Gram::new(&[9]), 1)]);
+    }
+}

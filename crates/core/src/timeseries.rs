@@ -1,0 +1,164 @@
+//! n-gram time series: the "beyond occurrence counting" aggregation of
+//! §VI-B, popularized by Michel et al.'s culturomics work — for every
+//! n-gram, how often it occurs in documents published in each year.
+
+use mapreduce::{ByteReader, Result, Writable};
+
+/// Yearly occurrence counts over a contiguous year range.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct TimeSeries {
+    /// First year of the range.
+    pub base_year: u16,
+    /// Counts for `base_year`, `base_year + 1`, ….
+    pub counts: Vec<u64>,
+}
+
+impl TimeSeries {
+    /// An empty series anchored at `base_year`.
+    pub fn new(base_year: u16) -> Self {
+        TimeSeries {
+            base_year,
+            counts: Vec::new(),
+        }
+    }
+
+    /// A series with a single observation.
+    pub fn point(year: u16, count: u64) -> Self {
+        let mut ts = TimeSeries::new(year);
+        ts.add(year, count);
+        ts
+    }
+
+    /// Add `n` occurrences in `year`, growing the range as needed.
+    pub fn add(&mut self, year: u16, n: u64) {
+        if self.counts.is_empty() {
+            self.base_year = year;
+            self.counts.push(n);
+            return;
+        }
+        if year < self.base_year {
+            let shift = (self.base_year - year) as usize;
+            let mut counts = vec![0u64; shift + self.counts.len()];
+            counts[shift..].copy_from_slice(&self.counts);
+            self.counts = counts;
+            self.base_year = year;
+        }
+        let idx = (year - self.base_year) as usize;
+        if idx >= self.counts.len() {
+            self.counts.resize(idx + 1, 0);
+        }
+        self.counts[idx] += n;
+    }
+
+    /// Observations in `year` (zero outside the stored range).
+    pub fn get(&self, year: u16) -> u64 {
+        if year < self.base_year {
+            return 0;
+        }
+        self.counts
+            .get((year - self.base_year) as usize)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Total occurrences across all years (equals the collection
+    /// frequency of the n-gram).
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Merge another series into this one.
+    pub fn merge(&mut self, other: &TimeSeries) {
+        for (i, &n) in other.counts.iter().enumerate() {
+            if n > 0 {
+                self.add(other.base_year + i as u16, n);
+            }
+        }
+    }
+
+    /// Iterate `(year, count)` pairs with non-zero counts.
+    pub fn iter(&self) -> impl Iterator<Item = (u16, u64)> + '_ {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (self.base_year + i as u16, n))
+    }
+}
+
+impl Writable for TimeSeries {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        mapreduce::write_vu64(out, u64::from(self.base_year));
+        mapreduce::write_vu64(out, self.counts.len() as u64);
+        for &c in &self.counts {
+            mapreduce::write_vu64(out, c);
+        }
+    }
+
+    fn read_from(r: &mut ByteReader<'_>) -> Result<Self> {
+        let base_year = r.read_vu64()? as u16;
+        let n = r.read_vu64()? as usize;
+        let mut counts = Vec::with_capacity(n.min(r.remaining() + 1));
+        for _ in 0..n {
+            counts.push(r.read_vu64()?);
+        }
+        Ok(TimeSeries { base_year, counts })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mapreduce::{from_bytes, to_bytes};
+
+    #[test]
+    fn add_get_total() {
+        let mut ts = TimeSeries::new(2000);
+        ts.add(2001, 3);
+        ts.add(2003, 1);
+        ts.add(2001, 2);
+        assert_eq!(ts.get(2001), 5);
+        assert_eq!(ts.get(2002), 0);
+        assert_eq!(ts.get(2003), 1);
+        assert_eq!(ts.get(1990), 0);
+        assert_eq!(ts.total(), 6);
+    }
+
+    #[test]
+    fn add_before_base_year_shifts() {
+        let mut ts = TimeSeries::point(2005, 2);
+        ts.add(2002, 7);
+        assert_eq!(ts.base_year, 2002);
+        assert_eq!(ts.get(2002), 7);
+        assert_eq!(ts.get(2005), 2);
+        assert_eq!(ts.total(), 9);
+    }
+
+    #[test]
+    fn merge_sums_pointwise() {
+        let mut a = TimeSeries::point(1999, 1);
+        a.add(2001, 4);
+        let mut b = TimeSeries::point(2000, 2);
+        b.add(2001, 1);
+        a.merge(&b);
+        assert_eq!(a.get(1999), 1);
+        assert_eq!(a.get(2000), 2);
+        assert_eq!(a.get(2001), 5);
+    }
+
+    #[test]
+    fn writable_round_trip() {
+        let mut ts = TimeSeries::point(1987, 10);
+        ts.add(2007, 3);
+        let back: TimeSeries = from_bytes(&to_bytes(&ts)).unwrap();
+        assert_eq!(back, ts);
+    }
+
+    #[test]
+    fn iter_skips_zeros() {
+        let mut ts = TimeSeries::point(2000, 1);
+        ts.add(2004, 2);
+        let points: Vec<(u16, u64)> = ts.iter().collect();
+        assert_eq!(points, vec![(2000, 1), (2004, 2)]);
+    }
+}

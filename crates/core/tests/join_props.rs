@@ -1,0 +1,100 @@
+//! Property tests for the posting-list machinery and the single-machine
+//! suffix-sorting baseline.
+
+use ngrams::{suffix_sort_counts, Gram, InputSeq, Posting, PostingList};
+use proptest::prelude::*;
+
+/// Arbitrary normalized posting list: ascending dids, sorted distinct
+/// positions.
+fn posting_list_strategy() -> impl Strategy<Value = PostingList> {
+    prop::collection::btree_map(
+        0u64..20,
+        prop::collection::btree_set(0u32..30, 1..6),
+        0..8,
+    )
+    .prop_map(|m| PostingList {
+        postings: m
+            .into_iter()
+            .map(|(did, positions)| Posting {
+                did,
+                positions: positions.into_iter().collect(),
+            })
+            .collect(),
+    })
+}
+
+/// Brute-force positional join.
+fn join_oracle(a: &PostingList, b: &PostingList) -> Vec<(u64, Vec<u32>)> {
+    let mut out = Vec::new();
+    for pa in &a.postings {
+        for pb in &b.postings {
+            if pa.did != pb.did {
+                continue;
+            }
+            let positions: Vec<u32> = pa
+                .positions
+                .iter()
+                .copied()
+                .filter(|&p| pb.positions.contains(&(p + 1)))
+                .collect();
+            if !positions.is_empty() {
+                out.push((pa.did, positions));
+            }
+        }
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(200))]
+
+    #[test]
+    fn join_matches_oracle(a in posting_list_strategy(), b in posting_list_strategy()) {
+        let joined = a.join(&b);
+        let got: Vec<(u64, Vec<u32>)> = joined
+            .postings
+            .iter()
+            .map(|p| (p.did, p.positions.clone()))
+            .collect();
+        prop_assert_eq!(got, join_oracle(&a, &b));
+    }
+
+    #[test]
+    fn posting_list_serialization_round_trips(a in posting_list_strategy()) {
+        let bytes = mapreduce::to_bytes(&a);
+        let back: PostingList = mapreduce::from_bytes(&bytes).unwrap();
+        prop_assert_eq!(back, a);
+    }
+
+    #[test]
+    fn join_is_never_larger_than_either_side(
+        a in posting_list_strategy(),
+        b in posting_list_strategy(),
+    ) {
+        let joined = a.join(&b);
+        prop_assert!(joined.cf() <= a.cf());
+        prop_assert!(joined.df() <= a.df().min(b.df()));
+    }
+
+    #[test]
+    fn single_machine_baseline_matches_reference(
+        docs in prop::collection::vec(
+            prop::collection::vec(0u32..6, 0..14), 1..8),
+        tau in 1u64..5,
+        sigma in 1usize..7,
+    ) {
+        let input: Vec<(u64, InputSeq)> = docs
+            .into_iter()
+            .enumerate()
+            .map(|(i, terms)| {
+                (i as u64, InputSeq { did: i as u64, year: 2000, base: 0, terms })
+            })
+            .collect();
+        let got = suffix_sort_counts(&input, tau, sigma);
+        let expected: Vec<(Gram, u64)> = ngrams::reference_cf(&input, tau, sigma)
+            .into_iter()
+            .map(|(g, c)| (Gram(g), c))
+            .collect();
+        prop_assert_eq!(got, expected);
+    }
+}

@@ -1,0 +1,125 @@
+//! The term dictionary: string terms ↔ integer ids, with ids assigned in
+//! **descending collection-frequency order** (paper §V, "Sequence
+//! Encoding") so that frequent terms compress to one varbyte and integer
+//! comparisons replace string comparisons everywhere downstream.
+
+use mapreduce::FxHashMap;
+
+/// Bidirectional term mapping plus per-term collection frequencies.
+#[derive(Clone, Debug, Default)]
+pub struct Dictionary {
+    terms: Vec<String>,
+    cf: Vec<u64>,
+    by_term: FxHashMap<String, u32>,
+}
+
+impl Dictionary {
+    /// Build from `(term, collection frequency)` pairs; ids are assigned by
+    /// descending frequency (ties broken by term for determinism).
+    pub fn from_counts(counts: impl IntoIterator<Item = (String, u64)>) -> Self {
+        let mut pairs: Vec<(String, u64)> = counts.into_iter().collect();
+        pairs.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+        let mut dict = Dictionary {
+            terms: Vec::with_capacity(pairs.len()),
+            cf: Vec::with_capacity(pairs.len()),
+            by_term: FxHashMap::default(),
+        };
+        for (id, (term, f)) in pairs.into_iter().enumerate() {
+            dict.by_term.insert(term.clone(), id as u32);
+            dict.terms.push(term);
+            dict.cf.push(f);
+        }
+        dict
+    }
+
+    /// Number of distinct terms.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// True when the dictionary has no terms.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Term id for `term`, if present.
+    pub fn id(&self, term: &str) -> Option<u32> {
+        self.by_term.get(term).copied()
+    }
+
+    /// Term string for `id`.
+    pub fn term(&self, id: u32) -> Option<&str> {
+        self.terms.get(id as usize).map(String::as_str)
+    }
+
+    /// Collection frequency of term `id` (zero for unknown ids).
+    pub fn cf(&self, id: u32) -> u64 {
+        self.cf.get(id as usize).copied().unwrap_or(0)
+    }
+
+    /// Render a term-id sequence back into text (unknown ids become `⟨?⟩`).
+    pub fn decode(&self, seq: &[u32]) -> String {
+        let mut out = String::new();
+        for (i, &id) in seq.iter().enumerate() {
+            if i > 0 {
+                out.push(' ');
+            }
+            out.push_str(self.term(id).unwrap_or("⟨?⟩"));
+        }
+        out
+    }
+
+    /// Iterate `(id, term, cf)` in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, &str, u64)> {
+        self.terms
+            .iter()
+            .zip(&self.cf)
+            .enumerate()
+            .map(|(id, (t, &f))| (id as u32, t.as_str(), f))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Dictionary {
+        Dictionary::from_counts(vec![
+            ("rare".to_string(), 2),
+            ("the".to_string(), 100),
+            ("of".to_string(), 60),
+            ("zebra".to_string(), 2),
+        ])
+    }
+
+    #[test]
+    fn ids_are_frequency_ranks() {
+        let d = sample();
+        assert_eq!(d.id("the"), Some(0));
+        assert_eq!(d.id("of"), Some(1));
+        // Tie between "rare" and "zebra" broken lexicographically.
+        assert_eq!(d.id("rare"), Some(2));
+        assert_eq!(d.id("zebra"), Some(3));
+        assert_eq!(d.cf(0), 100);
+        assert_eq!(d.cf(3), 2);
+    }
+
+    #[test]
+    fn round_trip_and_decode() {
+        let d = sample();
+        assert_eq!(d.term(1), Some("of"));
+        assert_eq!(d.id("missing"), None);
+        assert_eq!(d.term(99), None);
+        assert_eq!(d.decode(&[0, 1, 2]), "the of rare");
+        assert_eq!(d.decode(&[77]), "⟨?⟩");
+    }
+
+    #[test]
+    fn iter_is_in_id_order() {
+        let d = sample();
+        let ids: Vec<u32> = d.iter().map(|(id, _, _)| id).collect();
+        assert_eq!(ids, vec![0, 1, 2, 3]);
+        let cfs: Vec<u64> = d.iter().map(|(_, _, f)| f).collect();
+        assert!(cfs.windows(2).all(|w| w[0] >= w[1]));
+    }
+}

@@ -1,0 +1,107 @@
+//! Core data types: documents as sentences of frequency-ranked term ids,
+//! and the collection that bundles them with their dictionary.
+
+use crate::dictionary::Dictionary;
+
+/// One document: an identifier, a publication year (for the time-series
+//  extension), and sentences of term ids.
+///
+/// Sentence boundaries act as barriers — the paper's experiments "do not
+/// consider n-grams that span across sentences" (§VII-B) — so the unit of
+/// n-gram extraction is the sentence, not the document.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Document {
+    /// Document identifier (dense, unique within a collection).
+    pub id: u64,
+    /// Publication year, e.g. 1987–2007 for the NYT-like corpus.
+    pub year: u16,
+    /// Sentences as sequences of term ids (ids are frequency ranks).
+    pub sentences: Vec<Vec<u32>>,
+}
+
+impl Document {
+    /// Total number of term occurrences in the document.
+    pub fn len(&self) -> usize {
+        self.sentences.iter().map(Vec::len).sum()
+    }
+
+    /// True when the document has no tokens.
+    pub fn is_empty(&self) -> bool {
+        self.sentences.iter().all(Vec::is_empty)
+    }
+}
+
+/// A document collection with its term dictionary.
+#[derive(Clone, Debug)]
+pub struct Collection {
+    /// Human-readable name ("nyt-like", "cw-like", …).
+    pub name: String,
+    /// The documents.
+    pub docs: Vec<Document>,
+    /// Term dictionary (ids ranked by descending collection frequency).
+    pub dictionary: Dictionary,
+}
+
+impl Collection {
+    /// Total number of term occurrences.
+    pub fn term_occurrences(&self) -> u64 {
+        self.docs.iter().map(|d| d.len() as u64).sum()
+    }
+
+    /// Total number of sentences.
+    pub fn num_sentences(&self) -> u64 {
+        self.docs.iter().map(|d| d.sentences.len() as u64).sum()
+    }
+
+    /// Year range `(min, max)` over all documents; `None` when empty.
+    pub fn year_range(&self) -> Option<(u16, u16)> {
+        let mut it = self.docs.iter().map(|d| d.year);
+        let first = it.next()?;
+        Some(it.fold((first, first), |(lo, hi), y| (lo.min(y), hi.max(y))))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn document_len_counts_all_sentences() {
+        let d = Document {
+            id: 1,
+            year: 1999,
+            sentences: vec![vec![1, 2, 3], vec![], vec![4]],
+        };
+        assert_eq!(d.len(), 4);
+        assert!(!d.is_empty());
+        let empty = Document {
+            id: 2,
+            year: 1999,
+            sentences: vec![vec![]],
+        };
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn collection_aggregates() {
+        let c = Collection {
+            name: "t".into(),
+            docs: vec![
+                Document {
+                    id: 0,
+                    year: 1990,
+                    sentences: vec![vec![1, 1], vec![2]],
+                },
+                Document {
+                    id: 1,
+                    year: 2005,
+                    sentences: vec![vec![3]],
+                },
+            ],
+            dictionary: Dictionary::default(),
+        };
+        assert_eq!(c.term_occurrences(), 4);
+        assert_eq!(c.num_sentences(), 3);
+        assert_eq!(c.year_range(), Some((1990, 2005)));
+    }
+}

@@ -1,0 +1,269 @@
+//! The synthetic corpus generator.
+//!
+//! Produces collections with the statistical structure the paper's
+//! evaluation depends on (§VII-B/C):
+//!
+//! * Zipfian unigram distribution → the output histogram of Fig. 2 is
+//!   "biased toward short and less frequent n-grams";
+//! * a phrase library reused with Zipfian skew → *long* frequent n-grams
+//!   exist (quotations, ingredient lists, chess openings in NYT; spam
+//!   chains and stack traces in ClueWeb), which is exactly what makes the
+//!   APRIORI methods struggle at large σ;
+//! * lognormal sentence lengths matched to Table I's mean/stddev;
+//! * optional near-duplication of documents (web mirrors/boilerplate).
+//!
+//! Generation is deterministic in `(profile, seed)`.
+
+use crate::dictionary::Dictionary;
+use crate::document::{Collection, Document};
+use crate::lexicon::Lexicon;
+use crate::profile::CorpusProfile;
+use crate::zipf::Zipf;
+use mapreduce::FxHashMap;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Standard normal via Box–Muller.
+fn normal(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.random::<f64>().max(1e-12);
+    let u2: f64 = rng.random::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Lognormal sample with the given mean and standard deviation.
+fn lognormal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
+    let variance_ratio = (std * std) / (mean * mean);
+    let sigma2 = (1.0 + variance_ratio).ln();
+    let mu = mean.ln() - sigma2 / 2.0;
+    (mu + sigma2.sqrt() * normal(rng)).exp()
+}
+
+/// Generate a collection from `profile`, deterministically in `seed`.
+pub fn generate(profile: &CorpusProfile, seed: u64) -> Collection {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x6e67_7261_6d73); // "ngrams"
+    let unigram = Zipf::new(profile.vocab_size, profile.zipf_exponent);
+
+    // ---- Phrase library. ----
+    let mut phrases: Vec<Vec<u32>> = Vec::with_capacity(profile.phrase_vocab);
+    for _ in 0..profile.phrase_vocab {
+        let long = rng.random::<f64>() < profile.long_phrase_fraction;
+        let (lo, hi) = if long {
+            profile.long_phrase_len
+        } else {
+            profile.short_phrase_len
+        };
+        let len = rng.random_range(lo..=hi.max(lo + 1));
+        phrases.push((0..len).map(|_| unigram.sample(&mut rng)).collect());
+    }
+    let phrase_picker = if profile.phrase_vocab > 0 {
+        Some(Zipf::new(profile.phrase_vocab, profile.phrase_zipf_exponent))
+    } else {
+        None
+    };
+
+    // ---- Documents (tokens are raw word indices at this stage). ----
+    let mut raw_docs: Vec<Vec<Vec<u32>>> = Vec::with_capacity(profile.num_docs);
+    for doc_idx in 0..profile.num_docs {
+        // Web-style near-duplication: splice a chunk of an earlier document.
+        if doc_idx > 16 && rng.random::<f64>() < profile.duplicate_doc_rate {
+            let src_idx = rng.random_range(0..doc_idx);
+            let src: &Vec<Vec<u32>> = &raw_docs[src_idx];
+            if !src.is_empty() {
+                let start = rng.random_range(0..src.len());
+                let take = rng.random_range(1..=src.len() - start);
+                let mut dup: Vec<Vec<u32>> = src[start..start + take].to_vec();
+                // A couple of fresh sentences so duplicates are "near", not exact.
+                for _ in 0..rng.random_range(0..3usize) {
+                    dup.push(fresh_sentence(profile, &unigram, &mut rng));
+                }
+                raw_docs.push(dup);
+                continue;
+            }
+        }
+
+        let n_sent = (profile.sentences_per_doc + normal(&mut rng) * profile.sentences_per_doc / 3.0)
+            .round()
+            .max(1.0) as usize;
+        let mut sentences = Vec::with_capacity(n_sent);
+        for _ in 0..n_sent {
+            let use_phrase = phrase_picker.is_some() && rng.random::<f64>() < profile.phrase_rate;
+            if use_phrase {
+                let p = phrase_picker.as_ref().unwrap().sample(&mut rng) as usize;
+                let mut s = phrases[p].clone();
+                // Occasionally extend a quoted phrase with attribution noise.
+                if rng.random::<f64>() < 0.3 {
+                    for _ in 0..rng.random_range(1..4usize) {
+                        s.push(unigram.sample(&mut rng));
+                    }
+                }
+                sentences.push(s);
+            } else {
+                sentences.push(fresh_sentence(profile, &unigram, &mut rng));
+            }
+        }
+        raw_docs.push(sentences);
+    }
+
+    // ---- Frequency-ranked dictionary and token remap (paper §V). ----
+    let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
+    for doc in &raw_docs {
+        for sent in doc {
+            for &w in sent {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+    }
+    let lexicon = Lexicon::new(profile.vocab_size);
+    let dictionary = Dictionary::from_counts(
+        counts
+            .iter()
+            .map(|(&w, &f)| (lexicon.get(w).to_string(), f)),
+    );
+    let remap: FxHashMap<u32, u32> = counts
+        .keys()
+        .map(|&w| (w, dictionary.id(lexicon.get(w)).expect("term just inserted")))
+        .collect();
+
+    let (y_lo, y_hi) = profile.years;
+    let docs: Vec<Document> = raw_docs
+        .into_iter()
+        .enumerate()
+        .map(|(i, sentences)| {
+            let year = if profile.num_docs <= 1 || y_hi == y_lo {
+                y_lo
+            } else {
+                // Chronological assignment across the year range.
+                y_lo + ((i as u64 * u64::from(y_hi - y_lo)) / (profile.num_docs as u64 - 1).max(1))
+                    as u16
+            };
+            Document {
+                id: i as u64,
+                year,
+                sentences: sentences
+                    .into_iter()
+                    .map(|s| s.into_iter().map(|w| remap[&w]).collect())
+                    .collect(),
+            }
+        })
+        .collect();
+
+    Collection {
+        name: profile.name.clone(),
+        docs,
+        dictionary,
+    }
+}
+
+fn fresh_sentence(profile: &CorpusProfile, unigram: &Zipf, rng: &mut StdRng) -> Vec<u32> {
+    let len = lognormal(rng, profile.sentence_len_mean, profile.sentence_len_std)
+        .round()
+        .clamp(1.0, 400.0) as usize;
+    (0..len).map(|_| unigram.sample(rng)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::CollectionStats;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = CorpusProfile::tiny("t", 20);
+        let a = generate(&p, 7);
+        let b = generate(&p, 7);
+        assert_eq!(a.docs, b.docs);
+        let c = generate(&p, 8);
+        assert_ne!(a.docs, c.docs, "different seeds should differ");
+    }
+
+    #[test]
+    fn ids_are_frequency_ranked() {
+        let p = CorpusProfile::tiny("t", 50);
+        let coll = generate(&p, 1);
+        // Term id 0 must be the most frequent term in the actual corpus.
+        let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
+        for d in &coll.docs {
+            for s in &d.sentences {
+                for &t in s {
+                    *counts.entry(t).or_insert(0) += 1;
+                }
+            }
+        }
+        let max_count = counts.values().copied().max().unwrap();
+        assert_eq!(counts[&0], max_count);
+        // Dictionary cf matches actual counts.
+        for (&id, &f) in &counts {
+            assert_eq!(coll.dictionary.cf(id), f, "cf mismatch for id {id}");
+        }
+    }
+
+    #[test]
+    fn sentence_length_targets_are_respected() {
+        let mut p = CorpusProfile::nyt_like(0.05);
+        p.phrase_rate = 0.0; // isolate the base sentence model
+        let coll = generate(&p, 3);
+        let stats = CollectionStats::compute(&coll);
+        assert!(
+            (stats.sentence_len_mean - 19.0).abs() < 2.0,
+            "mean {}",
+            stats.sentence_len_mean
+        );
+        assert!(
+            (stats.sentence_len_std - 14.0).abs() < 4.0,
+            "std {}",
+            stats.sentence_len_std
+        );
+    }
+
+    #[test]
+    fn phrases_create_repeated_long_sentences() {
+        let mut p = CorpusProfile::tiny("t", 200);
+        p.phrase_rate = 0.5;
+        let coll = generate(&p, 11);
+        // Some sentence of length >= 3 must repeat verbatim.
+        let mut seen: FxHashMap<Vec<u32>, u32> = FxHashMap::default();
+        for d in &coll.docs {
+            for s in &d.sentences {
+                if s.len() >= 3 {
+                    *seen.entry(s.clone()).or_insert(0) += 1;
+                }
+            }
+        }
+        assert!(
+            seen.values().any(|&c| c >= 5),
+            "phrase library should cause verbatim repetition"
+        );
+    }
+
+    #[test]
+    fn years_are_chronological_within_range() {
+        let p = CorpusProfile::nyt_like(0.01);
+        let coll = generate(&p, 9);
+        let years: Vec<u16> = coll.docs.iter().map(|d| d.year).collect();
+        assert!(years.windows(2).all(|w| w[0] <= w[1]));
+        assert_eq!(*years.first().unwrap(), 1987);
+        assert_eq!(*years.last().unwrap(), 2007);
+    }
+
+    #[test]
+    fn duplication_copies_whole_sentences() {
+        let mut p = CorpusProfile::tiny("t", 300);
+        p.duplicate_doc_rate = 0.5;
+        p.phrase_rate = 0.0;
+        let coll = generate(&p, 13);
+        let mut seen: FxHashMap<&[u32], u32> = FxHashMap::default();
+        let mut dupes = 0;
+        for d in &coll.docs {
+            for s in &d.sentences {
+                if s.len() >= 4 {
+                    let c = seen.entry(s.as_slice()).or_insert(0);
+                    *c += 1;
+                    if *c == 2 {
+                        dupes += 1;
+                    }
+                }
+            }
+        }
+        assert!(dupes > 10, "duplication should repeat sentences, got {dupes}");
+    }
+}

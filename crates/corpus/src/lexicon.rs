@@ -1,0 +1,92 @@
+//! Deterministic synthetic lexicon: pronounceable, pairwise-distinct word
+//! strings for any vocabulary size, so generated corpora can be rendered to
+//! text and pushed through the real tokenizer/sentence-splitter pipeline.
+
+const ONSETS: [&str; 16] = [
+    "b", "d", "f", "g", "h", "k", "l", "m", "n", "p", "r", "s", "t", "v", "w", "z",
+];
+const VOWELS: [&str; 5] = ["a", "e", "i", "o", "u"];
+
+const SYLLABLES: usize = ONSETS.len() * VOWELS.len(); // 80
+
+/// Number-to-word mapping: word `i` is unique for every `i`.
+///
+/// Words are base-80 digit strings where every digit is a fixed two-letter
+/// consonant-vowel syllable; fixed syllable width makes the mapping
+/// injective (different digit sequences can never concatenate to the same
+/// string).
+pub fn word(i: u32) -> String {
+    let mut n = i as usize;
+    let mut out = String::new();
+    loop {
+        let syl = n % SYLLABLES;
+        n /= SYLLABLES;
+        out.push_str(ONSETS[syl / VOWELS.len()]);
+        out.push_str(VOWELS[syl % VOWELS.len()]);
+        if n == 0 {
+            break;
+        }
+    }
+    out
+}
+
+/// A fixed-size lexicon caching the first `n` words.
+pub struct Lexicon {
+    words: Vec<String>,
+}
+
+impl Lexicon {
+    /// Materialize words `0..n`.
+    pub fn new(n: usize) -> Self {
+        Lexicon {
+            words: (0..n as u32).map(word).collect(),
+        }
+    }
+
+    /// Word string for index `i`.
+    pub fn get(&self, i: u32) -> &str {
+        &self.words[i as usize]
+    }
+
+    /// Lexicon size.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True when empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn words_are_distinct() {
+        let lex = Lexicon::new(50_000);
+        let set: HashSet<&str> = (0..50_000u32).map(|i| lex.get(i)).collect();
+        assert_eq!(set.len(), 50_000);
+    }
+
+    #[test]
+    fn words_are_lowercase_alphabetic() {
+        let lex = Lexicon::new(10_000);
+        for i in 0..10_000u32 {
+            let w = lex.get(i);
+            assert!(w.len() >= 2 && w.len() % 2 == 0);
+            assert!(
+                w.chars().all(|c| c.is_ascii_lowercase()),
+                "word {i} = {w:?} not lowercase-alphabetic"
+            );
+        }
+    }
+
+    #[test]
+    fn word_function_is_deterministic() {
+        assert_eq!(word(12345), word(12345));
+        assert_ne!(word(1), word(2));
+    }
+}

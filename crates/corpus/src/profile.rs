@@ -1,0 +1,141 @@
+//! Corpus profiles: the knobs that make a synthetic collection behave like
+//! the paper's NYT (clean, curated, longitudinal) or ClueWeb09-B ("World
+//! Wild Web": heterogeneous, duplication-heavy) — see §VII-B and Table I.
+
+/// Parameters of a synthetic corpus.
+#[derive(Clone, Debug)]
+pub struct CorpusProfile {
+    /// Collection name.
+    pub name: String,
+    /// Number of documents.
+    pub num_docs: usize,
+    /// Vocabulary size (distinct candidate terms).
+    pub vocab_size: usize,
+    /// Zipf exponent of the unigram distribution.
+    pub zipf_exponent: f64,
+    /// Mean sentences per document.
+    pub sentences_per_doc: f64,
+    /// Target mean sentence length in tokens (Table I: 18.96 / 17.02).
+    pub sentence_len_mean: f64,
+    /// Target sentence-length standard deviation (Table I: 14.05 / 17.56).
+    pub sentence_len_std: f64,
+    /// Number of distinct library phrases (quotations, recipes, spam, …).
+    pub phrase_vocab: usize,
+    /// Probability that a sentence is drawn from the phrase library.
+    pub phrase_rate: f64,
+    /// Zipf exponent of phrase reuse (popular quotes recur often).
+    pub phrase_zipf_exponent: f64,
+    /// Fraction of library phrases that are long (recipes, stack traces).
+    pub long_phrase_fraction: f64,
+    /// Length range of short phrases (idioms, quotations).
+    pub short_phrase_len: (usize, usize),
+    /// Length range of long phrases (ingredient lists, web spam chains).
+    pub long_phrase_len: (usize, usize),
+    /// Probability that a document partially duplicates an earlier one
+    /// (mirrors, boilerplate reuse; essentially zero for curated news).
+    pub duplicate_doc_rate: f64,
+    /// Publication year range, assigned chronologically by document id.
+    pub years: (u16, u16),
+}
+
+impl CorpusProfile {
+    /// NYT-like profile: clean longitudinal news corpus (1987–2007).
+    ///
+    /// `scale = 1.0` yields roughly 2 M term occurrences — the same *role*
+    /// the 1.05 G-token NYT corpus plays in the paper, shrunk to laptop
+    /// size. Scale multiplies the document count only.
+    pub fn nyt_like(scale: f64) -> Self {
+        CorpusProfile {
+            name: "nyt-like".into(),
+            num_docs: ((6000.0 * scale).round() as usize).max(1),
+            vocab_size: 50_000,
+            zipf_exponent: 1.05,
+            sentences_per_doc: 18.0,
+            sentence_len_mean: 19.0,
+            sentence_len_std: 14.0,
+            phrase_vocab: 600,
+            phrase_rate: 0.03,
+            phrase_zipf_exponent: 1.0,
+            long_phrase_fraction: 0.2,
+            short_phrase_len: (5, 24),
+            long_phrase_len: (40, 160),
+            duplicate_doc_rate: 0.0,
+            years: (1987, 2007),
+        }
+    }
+
+    /// ClueWeb09-B-like profile: heterogeneous web corpus crawled in 2009.
+    ///
+    /// `scale = 1.0` yields roughly 9–10 M term occurrences (≈5× the
+    /// NYT-like profile, mirroring the paper's 20× ratio in spirit), with
+    /// heavy phrase reuse (spam chains, error messages) and document
+    /// duplication.
+    pub fn web_like(scale: f64) -> Self {
+        CorpusProfile {
+            name: "cw-like".into(),
+            num_docs: ((33_000.0 * scale).round() as usize).max(1),
+            vocab_size: 150_000,
+            zipf_exponent: 1.1,
+            sentences_per_doc: 16.0,
+            sentence_len_mean: 17.0,
+            sentence_len_std: 17.5,
+            phrase_vocab: 2500,
+            phrase_rate: 0.05,
+            phrase_zipf_exponent: 1.0,
+            long_phrase_fraction: 0.2,
+            short_phrase_len: (5, 30),
+            long_phrase_len: (50, 220),
+            duplicate_doc_rate: 0.08,
+            years: (2009, 2009),
+        }
+    }
+
+    /// A tiny profile for unit and property tests (hundreds of tokens).
+    pub fn tiny(name: &str, num_docs: usize) -> Self {
+        CorpusProfile {
+            name: name.into(),
+            num_docs,
+            vocab_size: 60,
+            zipf_exponent: 1.0,
+            sentences_per_doc: 3.0,
+            sentence_len_mean: 6.0,
+            sentence_len_std: 3.0,
+            phrase_vocab: 8,
+            phrase_rate: 0.25,
+            phrase_zipf_exponent: 1.0,
+            long_phrase_fraction: 0.25,
+            short_phrase_len: (3, 6),
+            long_phrase_len: (8, 14),
+            duplicate_doc_rate: 0.0,
+            years: (2000, 2004),
+        }
+    }
+
+    /// Expected token count (rough), used for sizing reports.
+    pub fn approx_tokens(&self) -> u64 {
+        (self.num_docs as f64 * self.sentences_per_doc * self.sentence_len_mean) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scales_document_count() {
+        let full = CorpusProfile::nyt_like(1.0);
+        let half = CorpusProfile::nyt_like(0.5);
+        assert_eq!(half.num_docs * 2, full.num_docs);
+        assert!(full.approx_tokens() > 1_500_000);
+    }
+
+    #[test]
+    fn web_profile_is_larger_and_messier() {
+        let nyt = CorpusProfile::nyt_like(1.0);
+        let web = CorpusProfile::web_like(1.0);
+        assert!(web.approx_tokens() > 3 * nyt.approx_tokens());
+        assert!(web.duplicate_doc_rate > 0.0);
+        assert_eq!(nyt.duplicate_doc_rate, 0.0);
+        assert!(web.sentence_len_std > nyt.sentence_len_std);
+    }
+}

@@ -1,0 +1,71 @@
+//! Random document subsets, for the dataset-scaling experiment (Fig. 6):
+//! "we extract smaller datasets that contain a random 25%, 50%, or 75%
+//! subset of the documents."
+
+use crate::document::Collection;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Return a collection containing a random `fraction` of the documents.
+///
+/// Deterministic in `seed`. The dictionary is shared unchanged so term ids
+/// stay comparable across sample sizes (term *frequencies* in the sample
+/// are recomputed by the algorithms themselves where needed).
+pub fn sample_fraction(coll: &Collection, fraction: f64, seed: u64) -> Collection {
+    assert!(
+        (0.0..=1.0).contains(&fraction),
+        "fraction must be within [0, 1]"
+    );
+    let n = coll.docs.len();
+    let take = ((n as f64) * fraction).round() as usize;
+    // Partial Fisher-Yates: deterministically choose `take` indices.
+    let mut indices: Vec<usize> = (0..n).collect();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x73616d70); // "samp"
+    for i in 0..take.min(n) {
+        let j = rng.random_range(i..n);
+        indices.swap(i, j);
+    }
+    let mut chosen: Vec<usize> = indices[..take.min(n)].to_vec();
+    chosen.sort_unstable();
+    Collection {
+        name: format!("{}-{}pct", coll.name, (fraction * 100.0).round() as u32),
+        docs: chosen.into_iter().map(|i| coll.docs[i].clone()).collect(),
+        dictionary: coll.dictionary.clone(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::generate;
+    use crate::profile::CorpusProfile;
+
+    #[test]
+    fn sample_sizes_are_proportional() {
+        let coll = generate(&CorpusProfile::tiny("t", 200), 5);
+        for (frac, expect) in [(0.25, 50), (0.5, 100), (0.75, 150), (1.0, 200)] {
+            let s = sample_fraction(&coll, frac, 9);
+            assert_eq!(s.docs.len(), expect);
+        }
+    }
+
+    #[test]
+    fn samples_are_deterministic_and_nested_ids_unique() {
+        let coll = generate(&CorpusProfile::tiny("t", 100), 5);
+        let a = sample_fraction(&coll, 0.5, 42);
+        let b = sample_fraction(&coll, 0.5, 42);
+        assert_eq!(
+            a.docs.iter().map(|d| d.id).collect::<Vec<_>>(),
+            b.docs.iter().map(|d| d.id).collect::<Vec<_>>()
+        );
+        let mut ids: Vec<u64> = a.docs.iter().map(|d| d.id).collect();
+        ids.dedup();
+        assert_eq!(ids.len(), a.docs.len(), "no document chosen twice");
+    }
+
+    #[test]
+    fn zero_fraction_is_empty() {
+        let coll = generate(&CorpusProfile::tiny("t", 50), 5);
+        assert!(sample_fraction(&coll, 0.0, 1).docs.is_empty());
+    }
+}

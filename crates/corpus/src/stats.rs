@@ -1,0 +1,134 @@
+//! Collection statistics — the rows of the paper's Table I.
+
+use crate::document::Collection;
+use std::fmt;
+
+/// Dataset characteristics as reported in Table I.
+#[derive(Clone, Debug, PartialEq)]
+pub struct CollectionStats {
+    /// Number of documents.
+    pub num_docs: u64,
+    /// Total term occurrences.
+    pub term_occurrences: u64,
+    /// Distinct terms.
+    pub distinct_terms: u64,
+    /// Number of sentences.
+    pub num_sentences: u64,
+    /// Mean sentence length (tokens).
+    pub sentence_len_mean: f64,
+    /// Standard deviation of sentence length.
+    pub sentence_len_std: f64,
+}
+
+impl CollectionStats {
+    /// Compute the statistics of `coll`.
+    pub fn compute(coll: &Collection) -> Self {
+        let mut n_sent = 0u64;
+        let mut n_tok = 0u64;
+        let mut sum_sq = 0f64;
+        let mut distinct = vec![false; coll.dictionary.len()];
+        let mut n_distinct = 0u64;
+        for d in &coll.docs {
+            for s in &d.sentences {
+                n_sent += 1;
+                n_tok += s.len() as u64;
+                sum_sq += (s.len() as f64) * (s.len() as f64);
+                for &t in s {
+                    let slot = &mut distinct[t as usize];
+                    if !*slot {
+                        *slot = true;
+                        n_distinct += 1;
+                    }
+                }
+            }
+        }
+        let mean = if n_sent > 0 {
+            n_tok as f64 / n_sent as f64
+        } else {
+            0.0
+        };
+        let var = if n_sent > 0 {
+            (sum_sq / n_sent as f64 - mean * mean).max(0.0)
+        } else {
+            0.0
+        };
+        CollectionStats {
+            num_docs: coll.docs.len() as u64,
+            term_occurrences: n_tok,
+            distinct_terms: n_distinct,
+            num_sentences: n_sent,
+            sentence_len_mean: mean,
+            sentence_len_std: var.sqrt(),
+        }
+    }
+}
+
+impl fmt::Display for CollectionStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "{:<28}{:>14}", "# documents", self.num_docs)?;
+        writeln!(f, "{:<28}{:>14}", "# term occurrences", self.term_occurrences)?;
+        writeln!(f, "{:<28}{:>14}", "# distinct terms", self.distinct_terms)?;
+        writeln!(f, "{:<28}{:>14}", "# sentences", self.num_sentences)?;
+        writeln!(
+            f,
+            "{:<28}{:>14.2}",
+            "sentence length (mean)", self.sentence_len_mean
+        )?;
+        write!(
+            f,
+            "{:<28}{:>14.2}",
+            "sentence length (stddev)", self.sentence_len_std
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dictionary::Dictionary;
+    use crate::document::Document;
+
+    #[test]
+    fn stats_on_a_known_collection() {
+        let dictionary = Dictionary::from_counts(vec![
+            ("a".to_string(), 4),
+            ("b".to_string(), 2),
+        ]);
+        let coll = Collection {
+            name: "known".into(),
+            docs: vec![
+                Document {
+                    id: 0,
+                    year: 2000,
+                    sentences: vec![vec![0, 0, 1], vec![0]],
+                },
+                Document {
+                    id: 1,
+                    year: 2001,
+                    sentences: vec![vec![1, 0]],
+                },
+            ],
+            dictionary,
+        };
+        let s = CollectionStats::compute(&coll);
+        assert_eq!(s.num_docs, 2);
+        assert_eq!(s.term_occurrences, 6);
+        assert_eq!(s.distinct_terms, 2);
+        assert_eq!(s.num_sentences, 3);
+        assert!((s.sentence_len_mean - 2.0).abs() < 1e-9);
+        // lengths 3,1,2 → variance 2/3
+        assert!((s.sentence_len_std - (2.0f64 / 3.0).sqrt()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_collection_is_all_zero() {
+        let coll = Collection {
+            name: "empty".into(),
+            docs: vec![],
+            dictionary: Dictionary::default(),
+        };
+        let s = CollectionStats::compute(&coll);
+        assert_eq!(s.num_docs, 0);
+        assert_eq!(s.sentence_len_mean, 0.0);
+    }
+}

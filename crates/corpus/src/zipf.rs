@@ -1,0 +1,178 @@
+//! Discrete sampling: Zipf-distributed term ranks via Walker's alias
+//! method (O(1) per sample after O(n) setup).
+//!
+//! Web-scale term distributions are famously Zipfian; the synthetic corpora
+//! sample term *ranks* from Zipf(s) so that the frequency-ranked dictionary
+//! and the varbyte encoding behave as they would on the paper's corpora
+//! (frequent terms get small ids and one-byte codes).
+
+use rand::Rng;
+
+/// Walker alias table over an arbitrary discrete distribution.
+pub struct AliasTable {
+    prob: Vec<f64>,
+    alias: Vec<u32>,
+}
+
+impl AliasTable {
+    /// Build from non-negative weights (need not be normalized).
+    ///
+    /// # Panics
+    /// Panics when `weights` is empty or sums to zero.
+    pub fn new(weights: &[f64]) -> Self {
+        assert!(!weights.is_empty(), "alias table needs at least one weight");
+        let n = weights.len();
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must sum to a positive value");
+        let scale = n as f64 / total;
+        let mut prob: Vec<f64> = weights.iter().map(|w| w * scale).collect();
+        let mut alias = vec![0u32; n];
+        let mut small: Vec<u32> = Vec::new();
+        let mut large: Vec<u32> = Vec::new();
+        for (i, &p) in prob.iter().enumerate() {
+            if p < 1.0 {
+                small.push(i as u32);
+            } else {
+                large.push(i as u32);
+            }
+        }
+        while let (Some(s), Some(l)) = (small.pop(), large.pop()) {
+            alias[s as usize] = l;
+            prob[l as usize] = (prob[l as usize] + prob[s as usize]) - 1.0;
+            if prob[l as usize] < 1.0 {
+                small.push(l);
+            } else {
+                large.push(l);
+            }
+        }
+        // Numerical leftovers are probability-1 columns.
+        for i in small.into_iter().chain(large) {
+            prob[i as usize] = 1.0;
+        }
+        AliasTable { prob, alias }
+    }
+
+    /// Draw one index.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        let n = self.prob.len();
+        let i = rng.random_range(0..n);
+        if rng.random::<f64>() < self.prob[i] {
+            i as u32
+        } else {
+            self.alias[i]
+        }
+    }
+
+    /// Number of outcomes.
+    pub fn len(&self) -> usize {
+        self.prob.len()
+    }
+
+    /// True for an empty table (cannot be constructed; kept for API shape).
+    pub fn is_empty(&self) -> bool {
+        self.prob.is_empty()
+    }
+}
+
+/// Zipf sampler over ranks `0..n` with exponent `s`:
+/// `P(rank = r) ∝ 1 / (r + 1)^s`.
+pub struct Zipf {
+    table: AliasTable,
+}
+
+impl Zipf {
+    /// Build a Zipf(s) distribution over `n` ranks.
+    pub fn new(n: usize, s: f64) -> Self {
+        let weights: Vec<f64> = (0..n).map(|r| 1.0 / ((r + 1) as f64).powf(s)).collect();
+        Zipf {
+            table: AliasTable::new(&weights),
+        }
+    }
+
+    /// Draw one rank in `0..n`.
+    #[inline]
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> u32 {
+        self.table.sample(rng)
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn alias_table_matches_weights() {
+        let weights = [1.0, 2.0, 4.0, 1.0];
+        let table = AliasTable::new(&weights);
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0u32; 4];
+        let draws = 200_000;
+        for _ in 0..draws {
+            counts[table.sample(&mut rng) as usize] += 1;
+        }
+        let total: f64 = weights.iter().sum();
+        for (i, &w) in weights.iter().enumerate() {
+            let expected = w / total;
+            let got = f64::from(counts[i]) / draws as f64;
+            assert!(
+                (got - expected).abs() < 0.01,
+                "outcome {i}: expected {expected:.3}, got {got:.3}"
+            );
+        }
+    }
+
+    #[test]
+    fn zipf_rank_zero_dominates() {
+        let z = Zipf::new(1000, 1.0);
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut head = 0u32;
+        let draws = 100_000;
+        let mut counts = vec![0u32; 1000];
+        for _ in 0..draws {
+            let r = z.sample(&mut rng);
+            counts[r as usize] += 1;
+            if r < 10 {
+                head += 1;
+            }
+        }
+        // With s=1 and n=1000, the top-10 ranks carry ~39% of the mass.
+        let frac = f64::from(head) / draws as f64;
+        assert!((0.3..0.5).contains(&frac), "head mass {frac:.3}");
+        // Monotone-ish decay between well-separated ranks.
+        assert!(counts[0] > counts[9]);
+        assert!(counts[9] > counts[99]);
+    }
+
+    #[test]
+    fn single_outcome_always_sampled() {
+        let table = AliasTable::new(&[3.5]);
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            assert_eq!(table.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one weight")]
+    fn empty_weights_panic() {
+        let _ = AliasTable::new(&[]);
+    }
+
+    #[test]
+    fn zero_weight_outcomes_never_sampled() {
+        let table = AliasTable::new(&[0.0, 1.0, 0.0, 1.0]);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10_000 {
+            let s = table.sample(&mut rng);
+            assert!(s == 1 || s == 3, "sampled zero-weight outcome {s}");
+        }
+    }
+}

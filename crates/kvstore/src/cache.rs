@@ -1,0 +1,246 @@
+//! A byte-budgeted LRU cache for log values.
+//!
+//! The paper's implementation keeps "most main memory ... for caching,
+//! which helps APRIORI-SCAN in particular, since lookups of frequent
+//! (k−1)-grams typically hit the cache" (§V). This is that cache: an
+//! intrusive doubly-linked list over a slab, indexed by a hash map, evicting
+//! least-recently-used entries once the byte budget is exceeded.
+
+use std::collections::HashMap;
+
+const NIL: usize = usize::MAX;
+
+struct Node {
+    key: Box<[u8]>,
+    value: Box<[u8]>,
+    prev: usize,
+    next: usize,
+}
+
+/// LRU cache from byte keys to byte values with a total byte budget.
+pub struct LruCache {
+    map: HashMap<Box<[u8]>, usize>,
+    slab: Vec<Node>,
+    free: Vec<usize>,
+    head: usize, // most recently used
+    tail: usize, // least recently used
+    budget_bytes: usize,
+    used_bytes: usize,
+    hits: u64,
+    misses: u64,
+}
+
+impl LruCache {
+    /// Cache bounded by `budget_bytes` of key+value payload.
+    pub fn new(budget_bytes: usize) -> Self {
+        LruCache {
+            map: HashMap::new(),
+            slab: Vec::new(),
+            free: Vec::new(),
+            head: NIL,
+            tail: NIL,
+            budget_bytes,
+            used_bytes: 0,
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    fn unlink(&mut self, idx: usize) {
+        let (prev, next) = (self.slab[idx].prev, self.slab[idx].next);
+        if prev != NIL {
+            self.slab[prev].next = next;
+        } else {
+            self.head = next;
+        }
+        if next != NIL {
+            self.slab[next].prev = prev;
+        } else {
+            self.tail = prev;
+        }
+    }
+
+    fn push_front(&mut self, idx: usize) {
+        self.slab[idx].prev = NIL;
+        self.slab[idx].next = self.head;
+        if self.head != NIL {
+            self.slab[self.head].prev = idx;
+        }
+        self.head = idx;
+        if self.tail == NIL {
+            self.tail = idx;
+        }
+    }
+
+    /// Look up `key`, marking it most recently used.
+    pub fn get(&mut self, key: &[u8]) -> Option<&[u8]> {
+        match self.map.get(key).copied() {
+            Some(idx) => {
+                self.hits += 1;
+                if self.head != idx {
+                    self.unlink(idx);
+                    self.push_front(idx);
+                }
+                Some(&self.slab[idx].value)
+            }
+            None => {
+                self.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Insert or replace `key`, evicting LRU entries to stay within budget.
+    ///
+    /// Values larger than the whole budget are not cached at all.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        let entry_bytes = key.len() + value.len();
+        if entry_bytes > self.budget_bytes {
+            self.remove(key);
+            return;
+        }
+        if let Some(&idx) = self.map.get(key) {
+            self.used_bytes -= self.slab[idx].key.len() + self.slab[idx].value.len();
+            self.used_bytes += entry_bytes;
+            self.slab[idx].value = value.into();
+            self.unlink(idx);
+            self.push_front(idx);
+        } else {
+            let node = Node {
+                key: key.into(),
+                value: value.into(),
+                prev: NIL,
+                next: NIL,
+            };
+            let idx = match self.free.pop() {
+                Some(i) => {
+                    self.slab[i] = node;
+                    i
+                }
+                None => {
+                    self.slab.push(node);
+                    self.slab.len() - 1
+                }
+            };
+            self.map.insert(key.into(), idx);
+            self.push_front(idx);
+            self.used_bytes += entry_bytes;
+        }
+        while self.used_bytes > self.budget_bytes {
+            let victim = self.tail;
+            debug_assert_ne!(victim, NIL);
+            self.evict(victim);
+        }
+    }
+
+    fn evict(&mut self, idx: usize) {
+        self.unlink(idx);
+        let key = std::mem::take(&mut self.slab[idx].key);
+        let val = std::mem::take(&mut self.slab[idx].value);
+        self.used_bytes -= key.len() + val.len();
+        self.map.remove(&key);
+        self.free.push(idx);
+    }
+
+    /// Drop `key` from the cache if present.
+    pub fn remove(&mut self, key: &[u8]) {
+        if let Some(&idx) = self.map.get(key) {
+            self.evict(idx);
+        }
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// True when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Payload bytes currently cached.
+    pub fn used_bytes(&self) -> usize {
+        self.used_bytes
+    }
+
+    /// (hits, misses) since creation.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_put_and_update() {
+        let mut c = LruCache::new(1024);
+        assert!(c.get(b"a").is_none());
+        c.put(b"a", b"1");
+        c.put(b"b", b"2");
+        assert_eq!(c.get(b"a"), Some(&b"1"[..]));
+        c.put(b"a", b"99");
+        assert_eq!(c.get(b"a"), Some(&b"99"[..]));
+        assert_eq!(c.len(), 2);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        // Each entry is 2 bytes; budget of 6 holds three entries.
+        let mut c = LruCache::new(6);
+        c.put(b"a", b"1");
+        c.put(b"b", b"2");
+        c.put(b"c", b"3");
+        assert_eq!(c.len(), 3);
+        let _ = c.get(b"a"); // touch a → b is now LRU
+        c.put(b"d", b"4");
+        assert!(c.get(b"b").is_none(), "b should have been evicted");
+        assert!(c.get(b"a").is_some());
+        assert!(c.get(b"c").is_some());
+        assert!(c.get(b"d").is_some());
+    }
+
+    #[test]
+    fn oversized_values_are_not_cached() {
+        let mut c = LruCache::new(4);
+        c.put(b"k", b"way-too-large");
+        assert!(c.get(b"k").is_none());
+        assert_eq!(c.used_bytes(), 0);
+    }
+
+    #[test]
+    fn update_shrinks_budget_accounting() {
+        let mut c = LruCache::new(10);
+        c.put(b"k", b"12345678");
+        assert_eq!(c.used_bytes(), 9);
+        c.put(b"k", b"1");
+        assert_eq!(c.used_bytes(), 2);
+    }
+
+    #[test]
+    fn remove_frees_space() {
+        let mut c = LruCache::new(100);
+        c.put(b"x", b"abc");
+        c.remove(b"x");
+        assert!(c.is_empty());
+        assert_eq!(c.used_bytes(), 0);
+        // Slab slot is reused.
+        c.put(b"y", b"def");
+        assert_eq!(c.get(b"y"), Some(&b"def"[..]));
+    }
+
+    #[test]
+    fn heavy_churn_keeps_invariants() {
+        let mut c = LruCache::new(256);
+        for i in 0..10_000u32 {
+            let key = i.to_le_bytes();
+            c.put(&key, &key);
+            assert!(c.used_bytes() <= 256);
+        }
+        let (h, m) = c.stats();
+        assert_eq!(h + m, 0); // no gets issued
+        assert!(c.len() <= 32);
+    }
+}

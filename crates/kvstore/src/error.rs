@@ -1,0 +1,42 @@
+//! Error type for the store.
+
+use std::fmt;
+
+/// Errors surfaced by store operations.
+#[derive(Debug)]
+pub enum KvError {
+    /// Underlying file-system error.
+    Io(std::io::Error),
+    /// A record failed its CRC check.
+    ChecksumMismatch,
+    /// Structurally invalid data encountered.
+    Corrupt(&'static str),
+}
+
+impl fmt::Display for KvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KvError::Io(e) => write!(f, "i/o error: {e}"),
+            KvError::ChecksumMismatch => write!(f, "record checksum mismatch"),
+            KvError::Corrupt(what) => write!(f, "corrupt store: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for KvError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            KvError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for KvError {
+    fn from(e: std::io::Error) -> Self {
+        KvError::Io(e)
+    }
+}
+
+/// Result alias for store operations.
+pub type Result<T> = std::result::Result<T, KvError>;

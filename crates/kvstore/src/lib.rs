@@ -1,0 +1,33 @@
+//! A small disk-resident key-value store: the stand-in for Berkeley DB
+//! Java Edition in the paper's implementation section (§V, "Key-Value
+//! Store").
+//!
+//! The APRIORI methods buffer large state in reducers — the dictionary of
+//! frequent (k−1)-grams for APRIORI-SCAN, posting lists awaiting joins for
+//! APRIORI-INDEX. When that state exceeds its memory budget it migrates
+//! here: an append-only, CRC-checked value log with an in-memory hash index
+//! and a byte-budgeted LRU read cache ("most main memory is then used for
+//! caching, which helps APRIORI-SCAN in particular").
+//!
+//! ```
+//! use kvstore::{KvStore, Options};
+//! let dir = std::env::temp_dir().join(format!("kv-doc-{}", std::process::id()));
+//! let store = KvStore::open(&dir, Options::default()).unwrap();
+//! store.put(b"the quick", b"42").unwrap();
+//! assert_eq!(store.get(b"the quick").unwrap().unwrap(), b"42");
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cache;
+mod crc;
+mod error;
+mod log;
+mod store;
+
+pub use cache::LruCache;
+pub use crc::{crc32, Crc32};
+pub use error::{KvError, Result};
+pub use log::{RecordPtr, ValueLog};
+pub use store::{KvStore, Options};

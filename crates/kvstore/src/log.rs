@@ -1,0 +1,273 @@
+//! Append-only value log with CRC-guarded records.
+//!
+//! Record layout: `[crc32 u32-le][klen varint][vlen varint][key][value]`,
+//! where the CRC covers everything after itself. Writes go through an
+//! internal buffer; `flush` makes them durable. Reads are positional
+//! (`read_at`), so lookups never disturb the append position.
+
+use crate::crc::crc32;
+use crate::error::{KvError, Result};
+use std::fs::{File, OpenOptions};
+use std::io::{Read, Seek, SeekFrom, Write};
+use std::path::Path;
+
+fn write_varint(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn read_varint(buf: &[u8], pos: &mut usize) -> Result<u64> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    loop {
+        let byte = *buf.get(*pos).ok_or(KvError::Corrupt("truncated varint"))?;
+        *pos += 1;
+        if shift >= 64 {
+            return Err(KvError::Corrupt("varint overflow"));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+/// Location of one record inside the log.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct RecordPtr {
+    /// Byte offset of the record header.
+    pub offset: u64,
+    /// Total record length in bytes (header + payload).
+    pub len: u32,
+}
+
+/// The append-only log file.
+pub struct ValueLog {
+    file: File,
+    write_buf: Vec<u8>,
+    /// Log length including unflushed buffered bytes.
+    tail: u64,
+    /// Bytes already persisted to the file.
+    flushed: u64,
+}
+
+impl ValueLog {
+    /// Open (or create) the log at `path`, appending after existing data.
+    pub fn open(path: &Path) -> Result<Self> {
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(false)
+            .open(path)?;
+        let tail = file.seek(SeekFrom::End(0))?;
+        Ok(ValueLog {
+            file,
+            write_buf: Vec::with_capacity(256 * 1024),
+            tail,
+            flushed: tail,
+        })
+    }
+
+    /// Append one record, returning its location. Buffered until `flush`.
+    pub fn append(&mut self, key: &[u8], value: &[u8]) -> Result<RecordPtr> {
+        let offset = self.tail;
+        let start = self.write_buf.len();
+        self.write_buf.extend_from_slice(&[0u8; 4]); // crc placeholder
+        write_varint(&mut self.write_buf, key.len() as u64);
+        write_varint(&mut self.write_buf, value.len() as u64);
+        self.write_buf.extend_from_slice(key);
+        self.write_buf.extend_from_slice(value);
+        let crc = crc32(&self.write_buf[start + 4..]);
+        self.write_buf[start..start + 4].copy_from_slice(&crc.to_le_bytes());
+        let len = (self.write_buf.len() - start) as u32;
+        self.tail += u64::from(len);
+        if self.write_buf.len() >= 256 * 1024 {
+            self.flush()?;
+        }
+        Ok(RecordPtr { offset, len })
+    }
+
+    /// Persist all buffered appends.
+    pub fn flush(&mut self) -> Result<()> {
+        if self.write_buf.is_empty() {
+            return Ok(());
+        }
+        self.file.seek(SeekFrom::Start(self.flushed))?;
+        self.file.write_all(&self.write_buf)?;
+        self.flushed += self.write_buf.len() as u64;
+        self.write_buf.clear();
+        Ok(())
+    }
+
+    /// Read the record at `ptr`, verifying its checksum.
+    ///
+    /// Returns `(key, value)`.
+    pub fn read_at(&mut self, ptr: RecordPtr) -> Result<(Vec<u8>, Vec<u8>)> {
+        // Serve from the write buffer if the record is not yet flushed.
+        let mut raw = vec![0u8; ptr.len as usize];
+        if ptr.offset >= self.flushed {
+            let start = (ptr.offset - self.flushed) as usize;
+            let end = start + ptr.len as usize;
+            if end > self.write_buf.len() {
+                return Err(KvError::Corrupt("record pointer past tail"));
+            }
+            raw.copy_from_slice(&self.write_buf[start..end]);
+        } else {
+            self.file.seek(SeekFrom::Start(ptr.offset))?;
+            self.file.read_exact(&mut raw)?;
+        }
+        Self::decode(&raw)
+    }
+
+    fn decode(raw: &[u8]) -> Result<(Vec<u8>, Vec<u8>)> {
+        if raw.len() < 6 {
+            return Err(KvError::Corrupt("record too short"));
+        }
+        let stored_crc = u32::from_le_bytes(raw[0..4].try_into().unwrap());
+        let body = &raw[4..];
+        if crc32(body) != stored_crc {
+            return Err(KvError::ChecksumMismatch);
+        }
+        let mut pos = 0usize;
+        let klen = read_varint(body, &mut pos)? as usize;
+        let vlen = read_varint(body, &mut pos)? as usize;
+        if pos + klen + vlen != body.len() {
+            return Err(KvError::Corrupt("record length mismatch"));
+        }
+        let key = body[pos..pos + klen].to_vec();
+        let value = body[pos + klen..].to_vec();
+        Ok((key, value))
+    }
+
+    /// Current end-of-log offset (including buffered bytes).
+    pub fn tail(&self) -> u64 {
+        self.tail
+    }
+
+    /// Scan the whole log from the start, yielding `(ptr, key, value)` for
+    /// every valid record. Used to rebuild the index when reopening.
+    pub fn scan(&mut self) -> Result<Vec<(RecordPtr, Vec<u8>, Vec<u8>)>> {
+        self.flush()?;
+        self.file.seek(SeekFrom::Start(0))?;
+        let mut data = Vec::new();
+        self.file.read_to_end(&mut data)?;
+        let mut out = Vec::new();
+        let mut pos = 0usize;
+        while pos + 6 <= data.len() {
+            let body_start = pos + 4;
+            let mut p = body_start;
+            let klen = read_varint(&data, &mut p)? as usize;
+            let vlen = read_varint(&data, &mut p)? as usize;
+            let end = p + klen + vlen;
+            if end > data.len() {
+                return Err(KvError::Corrupt("truncated tail record"));
+            }
+            let (key, value) = Self::decode(&data[pos..end])?;
+            out.push((
+                RecordPtr {
+                    offset: pos as u64,
+                    len: (end - pos) as u32,
+                },
+                key,
+                value,
+            ));
+            pos = end;
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "kvlog-test-{}-{}",
+            std::process::id(),
+            name
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join("log")
+    }
+
+    #[test]
+    fn append_read_round_trip() {
+        let path = temp_path("rt");
+        let mut log = ValueLog::open(&path).unwrap();
+        let p1 = log.append(b"key-1", b"value-1").unwrap();
+        let p2 = log.append(b"key-2", b"").unwrap();
+        // Unflushed reads come from the buffer.
+        assert_eq!(log.read_at(p1).unwrap(), (b"key-1".to_vec(), b"value-1".to_vec()));
+        log.flush().unwrap();
+        assert_eq!(log.read_at(p2).unwrap(), (b"key-2".to_vec(), b"".to_vec()));
+    }
+
+    #[test]
+    fn scan_recovers_all_records() {
+        let path = temp_path("scan");
+        let mut ptrs = Vec::new();
+        {
+            let mut log = ValueLog::open(&path).unwrap();
+            for i in 0..100u32 {
+                let k = i.to_le_bytes();
+                ptrs.push(log.append(&k, &vec![i as u8; i as usize]).unwrap());
+            }
+            log.flush().unwrap();
+        }
+        let mut log = ValueLog::open(&path).unwrap();
+        let recs = log.scan().unwrap();
+        assert_eq!(recs.len(), 100);
+        for (i, (ptr, key, value)) in recs.iter().enumerate() {
+            assert_eq!(*ptr, ptrs[i]);
+            assert_eq!(key, &(i as u32).to_le_bytes());
+            assert_eq!(value.len(), i);
+        }
+    }
+
+    #[test]
+    fn corruption_is_detected() {
+        let path = temp_path("corrupt");
+        let ptr = {
+            let mut log = ValueLog::open(&path).unwrap();
+            let p = log.append(b"k", b"vvvvvvvv").unwrap();
+            log.flush().unwrap();
+            p
+        };
+        // Flip one payload byte on disk.
+        let mut bytes = std::fs::read(&path).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xff;
+        std::fs::write(&path, &bytes).unwrap();
+        let mut log = ValueLog::open(&path).unwrap();
+        match log.read_at(ptr) {
+            Err(KvError::ChecksumMismatch) => {}
+            other => panic!("expected checksum mismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn reopen_appends_after_existing_data() {
+        let path = temp_path("reopen");
+        {
+            let mut log = ValueLog::open(&path).unwrap();
+            log.append(b"a", b"1").unwrap();
+            log.flush().unwrap();
+        }
+        let mut log = ValueLog::open(&path).unwrap();
+        let p = log.append(b"b", b"2").unwrap();
+        assert!(p.offset > 0);
+        log.flush().unwrap();
+        assert_eq!(log.scan().unwrap().len(), 2);
+    }
+}

@@ -1,0 +1,335 @@
+//! The store: in-memory hash index over an append-only value log, with a
+//! byte-budgeted LRU read cache in front — the role Berkeley DB Java
+//! Edition plays in the paper's implementation (§V): a disk-resident
+//! key-value store into which reducers migrate data that no longer fits in
+//! main memory, with most memory spent on caching.
+
+use crate::cache::LruCache;
+use crate::error::Result;
+use crate::log::{RecordPtr, ValueLog};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::path::{Path, PathBuf};
+
+/// Store configuration.
+#[derive(Clone, Debug)]
+pub struct Options {
+    /// Byte budget of the read cache (key+value payload).
+    pub cache_bytes: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            cache_bytes: 8 * 1024 * 1024,
+        }
+    }
+}
+
+struct Inner {
+    index: HashMap<Box<[u8]>, RecordPtr>,
+    log: ValueLog,
+    cache: LruCache,
+    stale_records: u64,
+}
+
+/// A disk-resident key-value store (thread-safe).
+pub struct KvStore {
+    inner: Mutex<Inner>,
+    path: PathBuf,
+}
+
+impl KvStore {
+    /// Open (or create) a store rooted at directory `dir`.
+    ///
+    /// Reopening rebuilds the index by scanning the log; later records win
+    /// for duplicate keys (last-write semantics).
+    pub fn open(dir: &Path, opts: Options) -> Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let log_path = dir.join("store.log");
+        let mut log = ValueLog::open(&log_path)?;
+        let mut index: HashMap<Box<[u8]>, RecordPtr> = HashMap::new();
+        let mut stale = 0u64;
+        if log.tail() > 0 {
+            for (ptr, key, _value) in log.scan()? {
+                if index.insert(key.into_boxed_slice(), ptr).is_some() {
+                    stale += 1;
+                }
+            }
+        }
+        Ok(KvStore {
+            inner: Mutex::new(Inner {
+                index,
+                log,
+                cache: LruCache::new(opts.cache_bytes),
+                stale_records: stale,
+            }),
+            path: dir.to_path_buf(),
+        })
+    }
+
+    /// Insert or overwrite `key`.
+    pub fn put(&self, key: &[u8], value: &[u8]) -> Result<()> {
+        let mut g = self.inner.lock();
+        let ptr = g.log.append(key, value)?;
+        if g.index.insert(key.into(), ptr).is_some() {
+            g.stale_records += 1;
+        }
+        g.cache.put(key, value);
+        Ok(())
+    }
+
+    /// Fetch the value stored under `key`.
+    pub fn get(&self, key: &[u8]) -> Result<Option<Vec<u8>>> {
+        let mut g = self.inner.lock();
+        if let Some(v) = g.cache.get(key) {
+            return Ok(Some(v.to_vec()));
+        }
+        let Some(ptr) = g.index.get(key).copied() else {
+            return Ok(None);
+        };
+        let (_k, v) = g.log.read_at(ptr)?;
+        g.cache.put(key, &v);
+        Ok(Some(v))
+    }
+
+    /// True when the store holds `key`.
+    pub fn contains(&self, key: &[u8]) -> bool {
+        self.inner.lock().index.contains_key(key)
+    }
+
+    /// Remove `key` from the index (the log record becomes stale).
+    pub fn delete(&self, key: &[u8]) {
+        let mut g = self.inner.lock();
+        if g.index.remove(key).is_some() {
+            g.stale_records += 1;
+        }
+        g.cache.remove(key);
+    }
+
+    /// Number of live keys.
+    pub fn len(&self) -> usize {
+        self.inner.lock().index.len()
+    }
+
+    /// True when no live keys exist.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Persist buffered appends.
+    pub fn flush(&self) -> Result<()> {
+        self.inner.lock().log.flush()
+    }
+
+    /// Visit every live `(key, value)` pair. Order is unspecified.
+    pub fn for_each(&self, mut f: impl FnMut(&[u8], &[u8])) -> Result<()> {
+        let mut g = self.inner.lock();
+        let keys: Vec<(Box<[u8]>, RecordPtr)> =
+            g.index.iter().map(|(k, p)| (k.clone(), *p)).collect();
+        for (key, ptr) in keys {
+            let (_k, v) = g.log.read_at(ptr)?;
+            f(&key, &v);
+        }
+        Ok(())
+    }
+
+    /// Cache hit/miss statistics.
+    pub fn cache_stats(&self) -> (u64, u64) {
+        self.inner.lock().cache.stats()
+    }
+
+    /// Records superseded by overwrites or deletes (compaction candidates).
+    pub fn stale_records(&self) -> u64 {
+        self.inner.lock().stale_records
+    }
+
+    /// Rewrite the log keeping only live records, reclaiming the space of
+    /// overwritten and deleted entries. Blocks other operations while it
+    /// runs; crash-safe on POSIX (the new log is built aside and renamed
+    /// into place).
+    pub fn compact(&self) -> Result<()> {
+        let mut g = self.inner.lock();
+        let live_path = self.path.join("store.log");
+        let tmp_path = self.path.join("store.log.compacting");
+        let _ = std::fs::remove_file(&tmp_path);
+        let mut new_log = ValueLog::open(&tmp_path)?;
+        let mut new_index: HashMap<Box<[u8]>, RecordPtr> =
+            HashMap::with_capacity(g.index.len());
+        let entries: Vec<(Box<[u8]>, RecordPtr)> =
+            g.index.iter().map(|(k, p)| (k.clone(), *p)).collect();
+        for (key, ptr) in entries {
+            let (_k, value) = g.log.read_at(ptr)?;
+            let new_ptr = new_log.append(&key, &value)?;
+            new_index.insert(key, new_ptr);
+        }
+        new_log.flush()?;
+        drop(new_log);
+        std::fs::rename(&tmp_path, &live_path)?;
+        g.log = ValueLog::open(&live_path)?;
+        g.index = new_index;
+        g.stale_records = 0;
+        Ok(())
+    }
+
+    /// Directory holding the store's files.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "kvstore-test-{}-{}",
+            std::process::id(),
+            name
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn put_get_delete() {
+        let dir = temp_dir("pgd");
+        let store = KvStore::open(&dir, Options::default()).unwrap();
+        assert!(store.get(b"missing").unwrap().is_none());
+        store.put(b"alpha", b"1").unwrap();
+        store.put(b"beta", b"2").unwrap();
+        assert_eq!(store.get(b"alpha").unwrap().unwrap(), b"1");
+        assert_eq!(store.len(), 2);
+        store.delete(b"alpha");
+        assert!(store.get(b"alpha").unwrap().is_none());
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn overwrite_returns_latest() {
+        let dir = temp_dir("ow");
+        let store = KvStore::open(&dir, Options::default()).unwrap();
+        store.put(b"k", b"old").unwrap();
+        store.put(b"k", b"new").unwrap();
+        assert_eq!(store.get(b"k").unwrap().unwrap(), b"new");
+        assert_eq!(store.stale_records(), 1);
+    }
+
+    #[test]
+    fn survives_reopen() {
+        let dir = temp_dir("reopen");
+        {
+            let store = KvStore::open(&dir, Options::default()).unwrap();
+            for i in 0..500u32 {
+                store.put(&i.to_le_bytes(), &(i * 2).to_le_bytes()).unwrap();
+            }
+            store.put(&7u32.to_le_bytes(), b"overwritten").unwrap();
+            store.flush().unwrap();
+        }
+        let store = KvStore::open(&dir, Options::default()).unwrap();
+        assert_eq!(store.len(), 500);
+        assert_eq!(store.get(&7u32.to_le_bytes()).unwrap().unwrap(), b"overwritten");
+        assert_eq!(
+            store.get(&99u32.to_le_bytes()).unwrap().unwrap(),
+            (198u32).to_le_bytes()
+        );
+    }
+
+    #[test]
+    fn tiny_cache_still_serves_reads_from_disk() {
+        let dir = temp_dir("tiny-cache");
+        let store = KvStore::open(
+            &dir,
+            Options {
+                cache_bytes: 16, // essentially everything misses
+            },
+        )
+        .unwrap();
+        for i in 0..200u32 {
+            store.put(&i.to_le_bytes(), &vec![i as u8; 64]).unwrap();
+        }
+        store.flush().unwrap();
+        for i in (0..200u32).rev() {
+            assert_eq!(store.get(&i.to_le_bytes()).unwrap().unwrap(), vec![i as u8; 64]);
+        }
+        let (hits, misses) = store.cache_stats();
+        assert!(misses > hits, "tiny cache should mostly miss");
+    }
+
+    #[test]
+    fn for_each_visits_live_entries_only() {
+        let dir = temp_dir("foreach");
+        let store = KvStore::open(&dir, Options::default()).unwrap();
+        store.put(b"a", b"1").unwrap();
+        store.put(b"b", b"2").unwrap();
+        store.delete(b"a");
+        let mut seen = Vec::new();
+        store
+            .for_each(|k, v| seen.push((k.to_vec(), v.to_vec())))
+            .unwrap();
+        assert_eq!(seen, vec![(b"b".to_vec(), b"2".to_vec())]);
+    }
+
+    #[test]
+    fn compaction_reclaims_space_and_preserves_data() {
+        let dir = temp_dir("compact");
+        let store = KvStore::open(&dir, Options::default()).unwrap();
+        for round in 0..5u32 {
+            for i in 0..100u32 {
+                store
+                    .put(&i.to_le_bytes(), &[round as u8; 64])
+                    .unwrap();
+            }
+        }
+        for i in 0..50u32 {
+            store.delete(&i.to_le_bytes());
+        }
+        store.flush().unwrap();
+        let before = std::fs::metadata(dir.join("store.log")).unwrap().len();
+        assert_eq!(store.stale_records(), 450);
+
+        store.compact().unwrap();
+        let after = std::fs::metadata(dir.join("store.log")).unwrap().len();
+        assert!(after < before / 5, "log should shrink ~10x: {before} -> {after}");
+        assert_eq!(store.stale_records(), 0);
+        assert_eq!(store.len(), 50);
+        for i in 50..100u32 {
+            assert_eq!(store.get(&i.to_le_bytes()).unwrap().unwrap(), vec![4u8; 64]);
+        }
+        // Store keeps working after compaction (including reopen).
+        store.put(b"post", b"compaction").unwrap();
+        store.flush().unwrap();
+        drop(store);
+        let store = KvStore::open(&dir, Options::default()).unwrap();
+        assert_eq!(store.len(), 51);
+        assert_eq!(store.get(b"post").unwrap().unwrap(), b"compaction");
+    }
+
+    #[test]
+    fn compaction_of_empty_store_is_a_noop() {
+        let dir = temp_dir("compact-empty");
+        let store = KvStore::open(&dir, Options::default()).unwrap();
+        store.compact().unwrap();
+        assert!(store.is_empty());
+    }
+
+    #[test]
+    fn concurrent_readers_and_writers() {
+        let dir = temp_dir("concurrent");
+        let store = std::sync::Arc::new(KvStore::open(&dir, Options::default()).unwrap());
+        std::thread::scope(|s| {
+            for t in 0..4u32 {
+                let store = store.clone();
+                s.spawn(move || {
+                    for i in 0..250u32 {
+                        let key = (t * 1000 + i).to_le_bytes();
+                        store.put(&key, &key).unwrap();
+                        assert_eq!(store.get(&key).unwrap().unwrap(), key);
+                    }
+                });
+            }
+        });
+        assert_eq!(store.len(), 1000);
+    }
+}

@@ -1,0 +1,259 @@
+//! The map-side sort buffer: a record arena per partition, spilled as sorted
+//! runs when the configured budget is exceeded.
+//!
+//! This mirrors Hadoop's `MapOutputBuffer`: records are serialized once at
+//! `emit`, sorted *as bytes* through a [`RawComparator`] over an offset
+//! array (no deserialization, no per-record allocation), optionally fed
+//! through a combiner at each spill, and written out as runs.
+
+use crate::comparator::RawComparator;
+use crate::counters::{Counter, Counters};
+use crate::error::Result;
+use crate::io::Writable;
+use crate::run::{Run, RunWriter, TempDir};
+use crate::task::{BoxedCombiner, RecordSink, Reducer, ReduceContext};
+use crate::values::ValueIter;
+use std::sync::Arc;
+
+/// Offsets of one record inside a [`RecordArena`].
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct RecMeta {
+    pub key_start: u32,
+    pub key_end: u32,
+    pub val_end: u32,
+}
+
+/// Contiguous byte arena holding serialized records plus an offset array.
+#[derive(Default)]
+pub(crate) struct RecordArena {
+    pub data: Vec<u8>,
+    pub meta: Vec<RecMeta>,
+}
+
+impl RecordArena {
+    /// Serialize one record into the arena; returns (key_len, val_len).
+    fn append<K: Writable, V: Writable>(&mut self, k: &K, v: &V) -> (usize, usize) {
+        let key_start = self.data.len();
+        k.write_to(&mut self.data);
+        let key_end = self.data.len();
+        v.write_to(&mut self.data);
+        let val_end = self.data.len();
+        debug_assert!(val_end <= u32::MAX as usize, "arena exceeds 4 GiB");
+        self.meta.push(RecMeta {
+            key_start: key_start as u32,
+            key_end: key_end as u32,
+            val_end: val_end as u32,
+        });
+        (key_end - key_start, val_end - key_end)
+    }
+
+    #[inline]
+    pub(crate) fn key(&self, m: &RecMeta) -> &[u8] {
+        &self.data[m.key_start as usize..m.key_end as usize]
+    }
+
+    #[inline]
+    pub(crate) fn val(&self, m: &RecMeta) -> &[u8] {
+        &self.data[m.key_end as usize..m.val_end as usize]
+    }
+
+    fn sort(&mut self, cmp: &dyn RawComparator) {
+        let data = &self.data;
+        self.meta.sort_unstable_by(|a, b| {
+            cmp.compare(
+                &data[a.key_start as usize..a.key_end as usize],
+                &data[b.key_start as usize..b.key_end as usize],
+            )
+        });
+    }
+
+    fn clear(&mut self) {
+        self.data.clear();
+        self.meta.clear();
+    }
+
+    fn is_empty(&self) -> bool {
+        self.meta.is_empty()
+    }
+
+    fn bytes(&self) -> usize {
+        self.data.len() + self.meta.len() * std::mem::size_of::<RecMeta>()
+    }
+}
+
+/// Factory producing a fresh combiner instance for each spill.
+pub type CombinerFactory<K, V> = Arc<dyn Fn() -> BoxedCombiner<K, V> + Send + Sync>;
+
+/// Per-map-task output collector.
+pub(crate) struct MapOutputCollector<K: Writable + Send, V: Writable + Send> {
+    arenas: Vec<RecordArena>,
+    runs: Vec<Vec<Run>>,
+    sort_buffer_bytes: usize,
+    spill_to_disk: bool,
+    temp: Option<Arc<TempDir>>,
+    cmp: Arc<dyn RawComparator>,
+    combiner_f: Option<CombinerFactory<K, V>>,
+    counters: Arc<Counters>,
+}
+
+impl<K: Writable + Send, V: Writable + Send> MapOutputCollector<K, V> {
+    pub(crate) fn new(
+        num_partitions: usize,
+        sort_buffer_bytes: usize,
+        spill_to_disk: bool,
+        temp: Option<Arc<TempDir>>,
+        cmp: Arc<dyn RawComparator>,
+        combiner_f: Option<CombinerFactory<K, V>>,
+        counters: Arc<Counters>,
+    ) -> Self {
+        MapOutputCollector {
+            arenas: (0..num_partitions).map(|_| RecordArena::default()).collect(),
+            runs: (0..num_partitions).map(|_| Vec::new()).collect(),
+            sort_buffer_bytes,
+            spill_to_disk,
+            temp,
+            cmp,
+            combiner_f,
+            counters,
+        }
+    }
+
+    /// Serialize and collect one record for `partition`.
+    pub(crate) fn emit(&mut self, partition: usize, k: &K, v: &V) -> Result<()> {
+        let (klen, vlen) = self.arenas[partition].append(k, v);
+        self.counters.inc(Counter::MapOutputRecords);
+        self.counters
+            .add(Counter::MapOutputBytes, (klen + vlen) as u64);
+        if self.buffered_bytes() > self.sort_buffer_bytes {
+            self.spill()?;
+        }
+        Ok(())
+    }
+
+    fn buffered_bytes(&self) -> usize {
+        self.arenas.iter().map(RecordArena::bytes).sum()
+    }
+
+    /// Sort, combine and write out every non-empty arena as one run each.
+    fn spill(&mut self) -> Result<()> {
+        self.counters.inc(Counter::Spills);
+        for p in 0..self.arenas.len() {
+            if self.arenas[p].is_empty() {
+                continue;
+            }
+            let mut arena = std::mem::take(&mut self.arenas[p]);
+            arena.sort(self.cmp.as_ref());
+            let mut writer = self.new_writer()?;
+            match &self.combiner_f {
+                Some(f) => {
+                    let mut combiner = f();
+                    combine_into(
+                        &arena,
+                        self.cmp.as_ref(),
+                        combiner.as_mut(),
+                        &mut writer,
+                        &self.counters,
+                    )?;
+                }
+                None => {
+                    for m in &arena.meta {
+                        writer.write_record(arena.key(m), arena.val(m))?;
+                    }
+                }
+            }
+            let run = writer.finish()?;
+            self.counters.add(Counter::ShuffleBytes, run.bytes);
+            if !run.is_empty() {
+                self.runs[p].push(run);
+            }
+            arena.clear();
+            self.arenas[p] = arena; // keep the allocation for reuse
+        }
+        Ok(())
+    }
+
+    fn new_writer(&self) -> Result<RunWriter> {
+        if self.spill_to_disk {
+            let temp = self
+                .temp
+                .as_ref()
+                .expect("spill_to_disk requires a temp dir");
+            RunWriter::file(temp)
+        } else {
+            Ok(RunWriter::mem())
+        }
+    }
+
+    /// Final spill; returns the per-partition runs of this map task.
+    pub(crate) fn finish(mut self) -> Result<Vec<Vec<Run>>> {
+        if self.arenas.iter().any(|a| !a.is_empty()) {
+            self.spill()?;
+        }
+        Ok(std::mem::take(&mut self.runs))
+    }
+}
+
+/// Sink that serializes combiner output straight into a run writer.
+struct CombineSink<'a> {
+    writer: &'a mut RunWriter,
+    key_buf: Vec<u8>,
+    val_buf: Vec<u8>,
+    error: Option<crate::error::MrError>,
+}
+
+impl<K: Writable, V: Writable> RecordSink<K, V> for CombineSink<'_> {
+    fn push(&mut self, k: K, v: V) {
+        self.key_buf.clear();
+        self.val_buf.clear();
+        k.write_to(&mut self.key_buf);
+        v.write_to(&mut self.val_buf);
+        if let Err(e) = self.writer.write_record(&self.key_buf, &self.val_buf) {
+            if self.error.is_none() {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+/// Run `combiner` over the sorted groups of `arena`, writing its output.
+///
+/// Combiners must emit keys equal (under the job's sort order) to the group
+/// key they received — the same contract Hadoop imposes — so that runs stay
+/// sorted; this is checked in debug builds.
+fn combine_into<K: Writable + Send, V: Writable + Send>(
+    arena: &RecordArena,
+    cmp: &dyn RawComparator,
+    combiner: &mut (dyn Reducer<Key = K, ValueIn = V, KeyOut = K, ValueOut = V> + Send),
+    writer: &mut RunWriter,
+    counters: &Counters,
+) -> Result<()> {
+    let metas = &arena.meta;
+    let mut sink = CombineSink {
+        writer,
+        key_buf: Vec::new(),
+        val_buf: Vec::new(),
+        error: None,
+    };
+    let mut i = 0;
+    while i < metas.len() {
+        let group_key = arena.key(&metas[i]);
+        let mut j = i + 1;
+        while j < metas.len() && cmp.compare(arena.key(&metas[j]), group_key).is_eq() {
+            j += 1;
+        }
+        let key = K::read_from(&mut crate::io::ByteReader::new(group_key))?;
+        {
+            let mut values = ValueIter::<V>::arena(&arena.data, &metas[i..j]);
+            let mut ctx =
+                ReduceContext::new(&mut sink, counters, Counter::CombineOutputRecords);
+            combiner.reduce(key, &mut values, &mut ctx);
+            values.finish()?;
+        }
+        counters.add(Counter::CombineInputRecords, (j - i) as u64);
+        i = j;
+    }
+    if let Some(e) = sink.error {
+        return Err(e);
+    }
+    Ok(())
+}

@@ -1,0 +1,173 @@
+//! The simulated cluster: a slot budget shared by consecutive jobs, plus a
+//! job log that accumulates per-job wallclock and counters — the paper's
+//! experiments aggregate "over all Hadoop jobs launched" for the APRIORI
+//! methods, which is exactly what [`Cluster::session`] supports.
+
+use crate::counters::CounterSnapshot;
+use parking_lot::Mutex;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One entry of the cluster's job log.
+#[derive(Clone, Debug)]
+pub struct JobLogEntry {
+    /// Job name (from `JobConfig::name`).
+    pub name: String,
+    /// Wallclock time of the job.
+    pub elapsed: Duration,
+    /// Counter snapshot of the job.
+    pub counters: CounterSnapshot,
+    /// Per-map-task times (for slot-scaling simulation).
+    pub map_task_times: Vec<Duration>,
+    /// Per-reduce-task times.
+    pub reduce_task_times: Vec<Duration>,
+}
+
+impl JobLogEntry {
+    /// Predicted wallclock of this job under `slots` parallel slots
+    /// (see [`crate::simulated_makespan`]).
+    pub fn simulated_wall(&self, slots: usize) -> Duration {
+        crate::job::simulated_makespan(&self.map_task_times, slots)
+            + crate::job::simulated_makespan(&self.reduce_task_times, slots)
+    }
+}
+
+/// A fixed pool of map/reduce slots plus bookkeeping across jobs.
+pub struct Cluster {
+    slots: usize,
+    log: Mutex<Vec<JobLogEntry>>,
+}
+
+impl Cluster {
+    /// A cluster with `slots` parallel map/reduce slots.
+    ///
+    /// Matching the paper's setup (§VII-A), "n slots" means up to n map
+    /// tasks and n reduce tasks execute in parallel (per phase).
+    pub fn new(slots: usize) -> Self {
+        Cluster {
+            slots: slots.max(1),
+            log: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A cluster using all available hardware parallelism.
+    pub fn with_available_parallelism() -> Self {
+        let n = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(4);
+        Cluster::new(n)
+    }
+
+    /// Number of slots.
+    pub fn slots(&self) -> usize {
+        self.slots
+    }
+
+    pub(crate) fn record_job(
+        &self,
+        name: &str,
+        elapsed: Duration,
+        counters: &CounterSnapshot,
+        map_task_times: &[Duration],
+        reduce_task_times: &[Duration],
+    ) {
+        self.log.lock().push(JobLogEntry {
+            name: name.to_string(),
+            elapsed,
+            counters: counters.clone(),
+            map_task_times: map_task_times.to_vec(),
+            reduce_task_times: reduce_task_times.to_vec(),
+        });
+    }
+
+    /// Snapshot of the job log.
+    pub fn job_log(&self) -> Vec<JobLogEntry> {
+        self.log.lock().clone()
+    }
+
+    /// Clear the job log (e.g. between benchmark measurements).
+    pub fn clear_log(&self) {
+        self.log.lock().clear();
+    }
+
+    /// Aggregate wallclock and counters over all jobs logged since the last
+    /// [`Cluster::clear_log`].
+    pub fn session_totals(&self) -> (Duration, CounterSnapshot) {
+        let log = self.log.lock();
+        let mut total = Duration::ZERO;
+        let mut counters = CounterSnapshot::default();
+        for entry in log.iter() {
+            total += entry.elapsed;
+            counters.merge(&entry.counters);
+        }
+        (total, counters)
+    }
+}
+
+/// Read-only data shared with every task of a job, standing in for
+/// Hadoop's distributed cache (used by APRIORI-SCAN's k-gram dictionary).
+///
+/// The wrapper exists to account for the bytes a real cluster would
+/// replicate to every node; `replicated_bytes` feeds the benches' cost
+/// model.
+pub struct DistCache<T: ?Sized> {
+    data: Arc<T>,
+    size_bytes: u64,
+}
+
+impl<T> DistCache<T> {
+    /// Wrap a value with an estimate of its serialized size.
+    pub fn new(data: T, size_bytes: u64) -> Self {
+        DistCache {
+            data: Arc::new(data),
+            size_bytes,
+        }
+    }
+
+    /// Access the cached value.
+    pub fn get(&self) -> &T {
+        &self.data
+    }
+
+    /// Cheap handle for moving into task factories.
+    pub fn handle(&self) -> Arc<T> {
+        Arc::clone(&self.data)
+    }
+
+    /// Bytes a real cluster would replicate to each node for this cache.
+    pub fn size_bytes(&self) -> u64 {
+        self.size_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_slots_are_positive() {
+        assert_eq!(Cluster::new(0).slots(), 1);
+        assert_eq!(Cluster::new(8).slots(), 8);
+    }
+
+    #[test]
+    fn session_totals_aggregate() {
+        let c = Cluster::new(2);
+        let snap = CounterSnapshot::default();
+        c.record_job("a", Duration::from_millis(5), &snap, &[], &[]);
+        c.record_job("b", Duration::from_millis(7), &snap, &[], &[]);
+        let (total, _) = c.session_totals();
+        assert_eq!(total, Duration::from_millis(12));
+        assert_eq!(c.job_log().len(), 2);
+        c.clear_log();
+        assert!(c.job_log().is_empty());
+    }
+
+    #[test]
+    fn dist_cache_shares_data() {
+        let cache = DistCache::new(vec![1, 2, 3], 24);
+        let h = cache.handle();
+        assert_eq!(h.len(), 3);
+        assert_eq!(cache.size_bytes(), 24);
+    }
+}

@@ -1,0 +1,198 @@
+//! Hadoop-style job counters.
+//!
+//! The paper's evaluation reports three measures; two of them come straight
+//! from counters (`MAP_OUTPUT_BYTES` for "bytes transferred" and
+//! `MAP_OUTPUT_RECORDS` for "# records", §VII-A). We reproduce Hadoop's
+//! semantics: both are incremented at `emit` time in the map task, *before*
+//! any combiner runs, exactly like Hadoop's collect path.
+
+use parking_lot::Mutex;
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Built-in counters maintained by the framework itself.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Counter {
+    /// Input records consumed by mappers.
+    MapInputRecords,
+    /// Key-value pairs emitted by mappers (pre-combine, Hadoop semantics).
+    MapOutputRecords,
+    /// Serialized key+value bytes emitted by mappers (pre-combine).
+    MapOutputBytes,
+    /// Records fed into combiners during spills.
+    CombineInputRecords,
+    /// Records produced by combiners.
+    CombineOutputRecords,
+    /// Number of spill events across all map tasks.
+    Spills,
+    /// Bytes actually shipped to reducers (post-combine run bytes).
+    ShuffleBytes,
+    /// Distinct keys seen by reducers.
+    ReduceInputGroups,
+    /// Records consumed by reducers.
+    ReduceInputRecords,
+    /// Records emitted by reducers.
+    ReduceOutputRecords,
+}
+
+const NUM_COUNTERS: usize = 10;
+
+const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
+    "MAP_INPUT_RECORDS",
+    "MAP_OUTPUT_RECORDS",
+    "MAP_OUTPUT_BYTES",
+    "COMBINE_INPUT_RECORDS",
+    "COMBINE_OUTPUT_RECORDS",
+    "SPILLS",
+    "SHUFFLE_BYTES",
+    "REDUCE_INPUT_GROUPS",
+    "REDUCE_INPUT_RECORDS",
+    "REDUCE_OUTPUT_RECORDS",
+];
+
+/// Live counter bank shared by all tasks of one job.
+///
+/// Built-ins are lock-free atomics; user counters (string-named, as in
+/// Hadoop) take a short lock and are meant for low-frequency events.
+#[derive(Default)]
+pub struct Counters {
+    builtin: [AtomicU64; NUM_COUNTERS],
+    user: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl Counters {
+    /// A fresh, all-zero counter bank.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Add `n` to a built-in counter.
+    #[inline]
+    pub fn add(&self, c: Counter, n: u64) {
+        self.builtin[c as usize].fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Increment a built-in counter by one.
+    #[inline]
+    pub fn inc(&self, c: Counter) {
+        self.add(c, 1);
+    }
+
+    /// Read the current value of a built-in counter.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.builtin[c as usize].load(Ordering::Relaxed)
+    }
+
+    /// Add `n` to a named user counter.
+    pub fn add_user(&self, name: &'static str, n: u64) {
+        *self.user.lock().entry(name).or_insert(0) += n;
+    }
+
+    /// Capture an immutable snapshot of all counters.
+    pub fn snapshot(&self) -> CounterSnapshot {
+        let mut builtin = [0u64; NUM_COUNTERS];
+        for (i, slot) in self.builtin.iter().enumerate() {
+            builtin[i] = slot.load(Ordering::Relaxed);
+        }
+        CounterSnapshot {
+            builtin,
+            user: self.user.lock().clone(),
+        }
+    }
+}
+
+/// Immutable counter values captured after a job (or summed over a chain of
+/// jobs, as the paper does for the APRIORI methods: "measures (b) and (c)
+/// are aggregates over all Hadoop jobs launched").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterSnapshot {
+    builtin: [u64; NUM_COUNTERS],
+    user: BTreeMap<&'static str, u64>,
+}
+
+impl CounterSnapshot {
+    /// Value of a built-in counter.
+    #[inline]
+    pub fn get(&self, c: Counter) -> u64 {
+        self.builtin[c as usize]
+    }
+
+    /// Value of a named user counter (zero when never incremented).
+    pub fn get_user(&self, name: &str) -> u64 {
+        self.user.get(name).copied().unwrap_or(0)
+    }
+
+    /// Accumulate another snapshot into this one (multi-job aggregation).
+    pub fn merge(&mut self, other: &CounterSnapshot) {
+        for i in 0..NUM_COUNTERS {
+            self.builtin[i] += other.builtin[i];
+        }
+        for (k, v) in &other.user {
+            *self.user.entry(k).or_insert(0) += v;
+        }
+    }
+}
+
+impl fmt::Display for CounterSnapshot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (i, name) in COUNTER_NAMES.iter().enumerate() {
+            writeln!(f, "{name:>24} = {}", self.builtin[i])?;
+        }
+        for (k, v) in &self.user {
+            writeln!(f, "{k:>24} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_snapshot() {
+        let c = Counters::new();
+        c.add(Counter::MapOutputRecords, 5);
+        c.inc(Counter::MapOutputRecords);
+        c.add_user("FROBS", 2);
+        let s = c.snapshot();
+        assert_eq!(s.get(Counter::MapOutputRecords), 6);
+        assert_eq!(s.get_user("FROBS"), 2);
+        assert_eq!(s.get_user("MISSING"), 0);
+    }
+
+    #[test]
+    fn merge_sums_everything() {
+        let c1 = Counters::new();
+        c1.add(Counter::MapOutputBytes, 10);
+        c1.add_user("X", 1);
+        let c2 = Counters::new();
+        c2.add(Counter::MapOutputBytes, 32);
+        c2.add_user("X", 2);
+        c2.add_user("Y", 7);
+        let mut s = c1.snapshot();
+        s.merge(&c2.snapshot());
+        assert_eq!(s.get(Counter::MapOutputBytes), 42);
+        assert_eq!(s.get_user("X"), 3);
+        assert_eq!(s.get_user("Y"), 7);
+    }
+
+    #[test]
+    fn counters_are_thread_safe() {
+        let c = std::sync::Arc::new(Counters::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let c = c.clone();
+                s.spawn(move || {
+                    for _ in 0..1000 {
+                        c.inc(Counter::Spills);
+                    }
+                });
+            }
+        });
+        assert_eq!(c.get(Counter::Spills), 8000);
+    }
+}

@@ -1,0 +1,45 @@
+//! Error type shared by the runtime.
+
+use std::fmt;
+
+/// Errors surfaced by job execution or record (de)serialization.
+#[derive(Debug)]
+pub enum MrError {
+    /// An I/O error from spill files or temporary directories.
+    Io(std::io::Error),
+    /// A record could not be decoded (truncated or corrupt frame).
+    Corrupt(&'static str),
+    /// A job was configured inconsistently (e.g. zero reduce tasks).
+    Config(String),
+    /// A worker thread panicked while running a task.
+    TaskPanic(String),
+}
+
+impl fmt::Display for MrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MrError::Io(e) => write!(f, "i/o error: {e}"),
+            MrError::Corrupt(what) => write!(f, "corrupt record: {what}"),
+            MrError::Config(msg) => write!(f, "invalid job configuration: {msg}"),
+            MrError::TaskPanic(msg) => write!(f, "task panicked: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MrError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MrError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for MrError {
+    fn from(e: std::io::Error) -> Self {
+        MrError::Io(e)
+    }
+}
+
+/// Convenient alias used throughout the crate.
+pub type Result<T> = std::result::Result<T, MrError>;

@@ -1,0 +1,112 @@
+//! A fast, non-cryptographic hasher (FxHash-style multiply-rotate) used by
+//! the default partitioner and the dictionary structures.
+//!
+//! HashDoS resistance is irrelevant here — keys are term-identifier
+//! sequences from a trusted pipeline — so we trade SipHash's quality for
+//! speed, as recommended for integer-heavy keys.
+
+use std::hash::{BuildHasherDefault, Hash, Hasher};
+
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// FxHash-style hasher: one multiply and rotate per word of input.
+#[derive(Default, Clone)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            self.add(u64::from_le_bytes(c.try_into().unwrap()));
+        }
+        let rem = chunks.remainder();
+        if !rem.is_empty() {
+            let mut last = [0u8; 8];
+            last[..rem.len()].copy_from_slice(rem);
+            self.add(u64::from_le_bytes(last));
+            self.add(rem.len() as u64);
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, v: u8) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u32(&mut self, v: u32) {
+        self.add(u64::from(v));
+    }
+    #[inline]
+    fn write_u64(&mut self, v: u64) {
+        self.add(v);
+    }
+    #[inline]
+    fn write_usize(&mut self, v: usize) {
+        self.add(v as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`].
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<K> = std::collections::HashSet<K, FxBuildHasher>;
+
+/// Hash a single value with [`FxHasher`].
+#[inline]
+pub fn fx_hash<T: Hash>(v: &T) -> u64 {
+    let mut h = FxHasher::default();
+    v.hash(&mut h);
+    h.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_values_hash_equal() {
+        let a = vec![1u32, 2, 3];
+        let b = vec![1u32, 2, 3];
+        assert_eq!(fx_hash(&a), fx_hash(&b));
+    }
+
+    #[test]
+    fn hash_spreads_small_integers() {
+        // All 256 single-byte inputs should land in many distinct buckets of
+        // a 64-wide table; a catastrophic hasher would collapse them.
+        let mut buckets = std::collections::HashSet::new();
+        for i in 0u32..256 {
+            buckets.insert(fx_hash(&i) % 64);
+        }
+        assert!(buckets.len() > 32, "only {} buckets hit", buckets.len());
+    }
+
+    #[test]
+    fn byte_slices_with_different_lengths_differ() {
+        // Tail padding must not make `[1]` and `[1, 0]` collide.
+        let mut h1 = FxHasher::default();
+        h1.write(&[1]);
+        let mut h2 = FxHasher::default();
+        h2.write(&[1, 0]);
+        assert_ne!(h1.finish(), h2.finish());
+    }
+}

@@ -1,0 +1,434 @@
+//! Job configuration and the execution driver: split → map → shuffle →
+//! sort → (combine) → merge → reduce, scheduled over a bounded slot pool.
+
+use crate::buffer::{CombinerFactory, MapOutputCollector};
+use crate::cluster::Cluster;
+use crate::comparator::{RawComparator, TypedComparator};
+use crate::counters::{Counter, CounterSnapshot, Counters};
+use crate::error::{MrError, Result};
+use crate::io::{ByteReader, Writable};
+use crate::merge::MergeStream;
+use crate::partition::{HashPartition, Partitioner};
+use crate::run::{Run, TempDir};
+use crate::task::{BoxedCombiner, MapContext, Mapper, ReduceContext, Reducer, VecSink};
+use crate::values::ValueIter;
+use parking_lot::Mutex;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Default map-side sort buffer (Hadoop's `io.sort.mb` analogue).
+pub const DEFAULT_SORT_BUFFER_BYTES: usize = 64 * 1024 * 1024;
+
+/// Tunable knobs of a single job.
+#[derive(Clone, Debug)]
+pub struct JobConfig {
+    /// Job name, shown in the cluster log.
+    pub name: String,
+    /// Number of map tasks; `0` chooses automatically from the input size
+    /// and slot count.
+    pub num_map_tasks: usize,
+    /// Number of reduce tasks (`R` in the paper); `0` uses the slot count.
+    pub num_reduce_tasks: usize,
+    /// Parallel worker threads ("map/reduce slots", §VII-A); `0` inherits
+    /// the cluster's slot count.
+    pub slots: usize,
+    /// Map-side sort buffer budget in bytes; exceeding it triggers a spill.
+    pub sort_buffer_bytes: usize,
+    /// Write spill runs to temporary files instead of keeping them in
+    /// memory (models Hadoop's disk spills; required for inputs whose map
+    /// output exceeds RAM).
+    pub spill_to_disk: bool,
+    /// Directory for spill files; `None` uses the system temp directory.
+    pub tmp_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for JobConfig {
+    fn default() -> Self {
+        JobConfig {
+            name: "job".to_string(),
+            num_map_tasks: 0,
+            num_reduce_tasks: 0,
+            slots: 0,
+            sort_buffer_bytes: DEFAULT_SORT_BUFFER_BYTES,
+            spill_to_disk: false,
+            tmp_dir: None,
+        }
+    }
+}
+
+impl JobConfig {
+    /// Named config with defaults.
+    pub fn named(name: impl Into<String>) -> Self {
+        JobConfig {
+            name: name.into(),
+            ..Default::default()
+        }
+    }
+}
+
+/// Timing and counter results of one finished job.
+pub struct JobResult<K, V> {
+    /// Reduce outputs, one vector per reduce task, in partition order.
+    pub outputs: Vec<Vec<(K, V)>>,
+    /// All counters, aggregated over the job's tasks.
+    pub counters: CounterSnapshot,
+    /// End-to-end wallclock time of the job.
+    pub elapsed: Duration,
+    /// Wallclock time of the map phase (including shuffle writes).
+    pub map_time: Duration,
+    /// Wallclock time of the reduce phase (merge + reduce).
+    pub reduce_time: Duration,
+    /// Per-map-task execution times (for slot-scaling simulation).
+    pub map_task_times: Vec<Duration>,
+    /// Per-reduce-task execution times.
+    pub reduce_task_times: Vec<Duration>,
+}
+
+impl<K, V> JobResult<K, V> {
+    /// Flatten the per-reducer outputs into one vector (for job chaining).
+    pub fn into_records(self) -> Vec<(K, V)> {
+        self.outputs.into_iter().flatten().collect()
+    }
+
+    /// Total number of output records.
+    pub fn num_records(&self) -> usize {
+        self.outputs.iter().map(Vec::len).sum()
+    }
+
+    /// Predicted wallclock of this job on a cluster with `slots` parallel
+    /// slots per phase: list-scheduling makespan of the recorded map task
+    /// times followed by the reduce task times. Lets a single-core host
+    /// reproduce the slot-scaling experiment (paper Fig. 7) from one
+    /// measured run.
+    pub fn simulated_wall(&self, slots: usize) -> Duration {
+        simulated_makespan(&self.map_task_times, slots)
+            + simulated_makespan(&self.reduce_task_times, slots)
+    }
+}
+
+/// Makespan of greedy list scheduling of `tasks` onto `slots` machines
+/// (tasks assigned in order to the least-loaded slot, as a task-tracker
+/// pulling work from a queue behaves).
+pub fn simulated_makespan(tasks: &[Duration], slots: usize) -> Duration {
+    let slots = slots.max(1);
+    let mut loads = vec![Duration::ZERO; slots];
+    for &t in tasks {
+        let min = loads
+            .iter_mut()
+            .min_by_key(|d| **d)
+            .expect("slots is non-zero");
+        *min += t;
+    }
+    loads.into_iter().max().unwrap_or(Duration::ZERO)
+}
+
+/// A configured MapReduce job, ready to run on a [`Cluster`].
+///
+/// Built from mapper and reducer *factories* (one instance per task), an
+/// optional combiner factory, a partitioner, and a raw sort comparator.
+pub struct Job<M, R>
+where
+    M: Mapper,
+    R: Reducer<Key = M::OutKey, ValueIn = M::OutValue>,
+{
+    mapper_f: Arc<dyn Fn() -> M + Send + Sync>,
+    reducer_f: Arc<dyn Fn() -> R + Send + Sync>,
+    combiner_f: Option<CombinerFactory<M::OutKey, M::OutValue>>,
+    partitioner: Arc<dyn Partitioner<M::OutKey>>,
+    comparator: Arc<dyn RawComparator>,
+    config: JobConfig,
+}
+
+impl<M, R> Job<M, R>
+where
+    M: Mapper + 'static,
+    R: Reducer<Key = M::OutKey, ValueIn = M::OutValue> + 'static,
+    M::OutKey: Ord + Hash + 'static,
+    M::OutValue: 'static,
+    R::KeyOut: Send,
+    R::ValueOut: Send,
+{
+    /// Create a job with the default hash partitioner and a deserializing
+    /// comparator over `OutKey: Ord` (Hadoop's defaults).
+    pub fn new(
+        config: JobConfig,
+        mapper_f: impl Fn() -> M + Send + Sync + 'static,
+        reducer_f: impl Fn() -> R + Send + Sync + 'static,
+    ) -> Self {
+        Job {
+            mapper_f: Arc::new(mapper_f),
+            reducer_f: Arc::new(reducer_f),
+            combiner_f: None,
+            partitioner: Arc::new(HashPartition),
+            comparator: Arc::new(TypedComparator::<M::OutKey>::new()),
+            config,
+        }
+    }
+
+    /// Install a combiner factory (runs at every map-side spill).
+    pub fn combiner(
+        mut self,
+        f: impl Fn() -> BoxedCombiner<M::OutKey, M::OutValue> + Send + Sync + 'static,
+    ) -> Self {
+        self.combiner_f = Some(Arc::new(f));
+        self
+    }
+
+    /// Replace the partitioner (e.g. SUFFIX-σ's first-term partitioner).
+    pub fn partitioner(mut self, p: impl Partitioner<M::OutKey> + 'static) -> Self {
+        self.partitioner = Arc::new(p);
+        self
+    }
+
+    /// Replace the sort comparator (e.g. reverse lexicographic order).
+    pub fn sort_comparator(mut self, c: impl RawComparator + 'static) -> Self {
+        self.comparator = Arc::new(c);
+        self
+    }
+
+    /// Execute the job on `cluster` over `input`, blocking until done.
+    pub fn run(
+        &self,
+        cluster: &Cluster,
+        input: Vec<(M::InKey, M::InValue)>,
+    ) -> Result<JobResult<R::KeyOut, R::ValueOut>> {
+        let started = Instant::now();
+        let slots = if self.config.slots == 0 {
+            cluster.slots()
+        } else {
+            self.config.slots
+        };
+        if slots == 0 {
+            return Err(MrError::Config("slot count must be positive".into()));
+        }
+        let num_reduce = if self.config.num_reduce_tasks == 0 {
+            slots
+        } else {
+            self.config.num_reduce_tasks
+        };
+        let num_map = effective_map_tasks(self.config.num_map_tasks, input.len(), slots);
+        let counters = Arc::new(Counters::new());
+        counters.add(Counter::MapInputRecords, input.len() as u64);
+
+        let temp = if self.config.spill_to_disk {
+            Some(Arc::new(TempDir::create(self.config.tmp_dir.as_deref())?))
+        } else {
+            None
+        };
+
+        // ---- Split phase: round-robin so long documents spread evenly. ----
+        let mut splits: Vec<Vec<(M::InKey, M::InValue)>> =
+            (0..num_map).map(|_| Vec::new()).collect();
+        for (i, kv) in input.into_iter().enumerate() {
+            splits[i % num_map].push(kv);
+        }
+
+        // ---- Map phase. ----
+        let map_started = Instant::now();
+        let partition_runs: Vec<Mutex<Vec<Run>>> =
+            (0..num_reduce).map(|_| Mutex::new(Vec::new())).collect();
+        let map_task_times: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(num_map));
+        {
+            let splits: Vec<Mutex<Option<Vec<(M::InKey, M::InValue)>>>> =
+                splits.into_iter().map(|s| Mutex::new(Some(s))).collect();
+            let next = AtomicUsize::new(0);
+            let first_error: Mutex<Option<MrError>> = Mutex::new(None);
+            let workers = slots.min(num_map).max(1);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= splits.len() {
+                            return;
+                        }
+                        let split = splits[i].lock().take().unwrap_or_default();
+                        let task_started = Instant::now();
+                        match self.run_map_task(split, num_reduce, &counters, temp.clone()) {
+                            Ok(runs) => {
+                                map_task_times.lock().push(task_started.elapsed());
+                                for (p, rs) in runs.into_iter().enumerate() {
+                                    if !rs.is_empty() {
+                                        partition_runs[p].lock().extend(rs);
+                                    }
+                                }
+                            }
+                            Err(e) => {
+                                let mut slot = first_error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            if let Some(e) = first_error.into_inner() {
+                return Err(e);
+            }
+        }
+        let map_time = map_started.elapsed();
+
+        // ---- Reduce phase. ----
+        let reduce_started = Instant::now();
+        let outputs: Vec<Mutex<Option<Vec<(R::KeyOut, R::ValueOut)>>>> =
+            (0..num_reduce).map(|_| Mutex::new(None)).collect();
+        let reduce_task_times: Mutex<Vec<Duration>> =
+            Mutex::new(Vec::with_capacity(num_reduce));
+        {
+            let next = AtomicUsize::new(0);
+            let first_error: Mutex<Option<MrError>> = Mutex::new(None);
+            let workers = slots.min(num_reduce).max(1);
+            std::thread::scope(|scope| {
+                for _ in 0..workers {
+                    scope.spawn(|| loop {
+                        let p = next.fetch_add(1, Ordering::Relaxed);
+                        if p >= num_reduce {
+                            return;
+                        }
+                        let runs = std::mem::take(&mut *partition_runs[p].lock());
+                        let task_started = Instant::now();
+                        match self.run_reduce_task(&runs, &counters) {
+                            Ok(out) => {
+                                reduce_task_times.lock().push(task_started.elapsed());
+                                *outputs[p].lock() = Some(out)
+                            }
+                            Err(e) => {
+                                let mut slot = first_error.lock();
+                                if slot.is_none() {
+                                    *slot = Some(e);
+                                }
+                            }
+                        }
+                    });
+                }
+            });
+            if let Some(e) = first_error.into_inner() {
+                return Err(e);
+            }
+        }
+        let reduce_time = reduce_started.elapsed();
+
+        let outputs = outputs
+            .into_iter()
+            .map(|m| m.into_inner().unwrap_or_default())
+            .collect();
+        let result = JobResult {
+            outputs,
+            counters: counters.snapshot(),
+            elapsed: started.elapsed(),
+            map_time,
+            reduce_time,
+            map_task_times: map_task_times.into_inner(),
+            reduce_task_times: reduce_task_times.into_inner(),
+        };
+        cluster.record_job(
+            &self.config.name,
+            result.elapsed,
+            &result.counters,
+            &result.map_task_times,
+            &result.reduce_task_times,
+        );
+        Ok(result)
+    }
+
+    fn run_map_task(
+        &self,
+        split: Vec<(M::InKey, M::InValue)>,
+        num_reduce: usize,
+        counters: &Arc<Counters>,
+        temp: Option<Arc<TempDir>>,
+    ) -> Result<Vec<Vec<Run>>> {
+        let mut collector = MapOutputCollector::new(
+            num_reduce,
+            self.config.sort_buffer_bytes,
+            self.config.spill_to_disk,
+            temp,
+            Arc::clone(&self.comparator),
+            self.combiner_f.clone(),
+            Arc::clone(counters),
+        );
+        let mut mapper = (self.mapper_f)();
+        {
+            let mut ctx = MapContext {
+                collector: &mut collector,
+                partitioner: self.partitioner.as_ref(),
+                num_partitions: num_reduce,
+                counters,
+                error: None,
+            };
+            for (k, v) in &split {
+                mapper.map(k, v, &mut ctx);
+            }
+            mapper.cleanup(&mut ctx);
+            ctx.take_error()?;
+        }
+        collector.finish()
+    }
+
+    fn run_reduce_task(
+        &self,
+        runs: &[Run],
+        counters: &Arc<Counters>,
+    ) -> Result<Vec<(R::KeyOut, R::ValueOut)>> {
+        let mut stream = MergeStream::new(runs, Arc::clone(&self.comparator))?;
+        let mut reducer = (self.reducer_f)();
+        let mut sink = VecSink { out: Vec::new() };
+        let mut key_buf: Vec<u8> = Vec::new();
+        let mut val_buf: Vec<u8> = Vec::new();
+        loop {
+            if !stream.next_record(&mut key_buf, &mut val_buf)? {
+                break;
+            }
+            counters.inc(Counter::ReduceInputGroups);
+            let key = M::OutKey::read_from(&mut ByteReader::new(&key_buf))?;
+            let first_val = std::mem::take(&mut val_buf);
+            let consumed = {
+                let mut values = ValueIter::<M::OutValue>::stream(&mut stream, &key_buf, first_val);
+                let mut ctx =
+                    ReduceContext::new(&mut sink, counters, Counter::ReduceOutputRecords);
+                reducer.reduce(key, &mut values, &mut ctx);
+                values.finish()?
+            };
+            counters.add(Counter::ReduceInputRecords, consumed);
+        }
+        let mut ctx = ReduceContext::new(&mut sink, counters, Counter::ReduceOutputRecords);
+        reducer.cleanup(&mut ctx);
+        Ok(sink.out)
+    }
+}
+
+fn effective_map_tasks(configured: usize, input_len: usize, slots: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    // Default: enough tasks for decent balance, without administrative
+    // overhead dominating tiny inputs.
+    (slots * 4).clamp(1, input_len.max(1))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn map_task_count_heuristic() {
+        assert_eq!(effective_map_tasks(7, 100, 4), 7);
+        assert_eq!(effective_map_tasks(0, 100, 4), 16);
+        assert_eq!(effective_map_tasks(0, 3, 4), 3);
+        assert_eq!(effective_map_tasks(0, 0, 4), 1);
+    }
+
+    #[test]
+    fn makespan_list_scheduling() {
+        let ms = Duration::from_millis;
+        let tasks = [ms(4), ms(3), ms(2), ms(1)];
+        assert_eq!(simulated_makespan(&tasks, 1), ms(10));
+        // Greedy in arrival order on 2 slots: {4,1} and {3,2} → 5.
+        assert_eq!(simulated_makespan(&tasks, 2), ms(5));
+        assert_eq!(simulated_makespan(&tasks, 4), ms(4));
+        assert_eq!(simulated_makespan(&tasks, 100), ms(4));
+        assert_eq!(simulated_makespan(&[], 3), Duration::ZERO);
+    }
+}

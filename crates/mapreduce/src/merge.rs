@@ -1,0 +1,187 @@
+//! K-way merge of sorted runs, used on the reduce side.
+//!
+//! A hand-rolled binary heap of run indices keyed through the job's
+//! [`RawComparator`]; `std::collections::BinaryHeap` cannot take an external
+//! comparator, and a loser tree would be overkill for the fan-ins here.
+
+use crate::comparator::RawComparator;
+use crate::error::Result;
+use crate::run::{Run, RunReader};
+use std::cmp::Ordering;
+use std::sync::Arc;
+
+struct Head {
+    key: Vec<u8>,
+    val: Vec<u8>,
+}
+
+/// Streaming merge over any number of sorted runs.
+pub struct MergeStream {
+    sources: Vec<RunReader>,
+    heads: Vec<Head>,
+    /// Heap of indices into `sources`, min-ordered by `heads[i].key`.
+    heap: Vec<usize>,
+    cmp: Arc<dyn RawComparator>,
+}
+
+impl MergeStream {
+    /// Open all runs and prime the heap with their first records.
+    pub fn new(runs: &[Run], cmp: Arc<dyn RawComparator>) -> Result<Self> {
+        let mut sources = Vec::with_capacity(runs.len());
+        let mut heads = Vec::with_capacity(runs.len());
+        let mut heap = Vec::with_capacity(runs.len());
+        for run in runs {
+            let mut reader = run.reader()?;
+            let mut head = Head {
+                key: Vec::new(),
+                val: Vec::new(),
+            };
+            if reader.next_into(&mut head.key, &mut head.val)? {
+                let idx = sources.len();
+                sources.push(reader);
+                heads.push(head);
+                heap.push(idx);
+            }
+        }
+        let mut s = MergeStream {
+            sources,
+            heads,
+            heap,
+            cmp,
+        };
+        // Heapify.
+        if !s.heap.is_empty() {
+            for i in (0..s.heap.len() / 2).rev() {
+                s.sift_down(i);
+            }
+        }
+        Ok(s)
+    }
+
+    #[inline]
+    fn less(&self, a: usize, b: usize) -> bool {
+        self.cmp
+            .compare(&self.heads[a].key, &self.heads[b].key)
+            .is_lt()
+    }
+
+    fn sift_down(&mut self, mut i: usize) {
+        loop {
+            let l = 2 * i + 1;
+            let r = 2 * i + 2;
+            let mut smallest = i;
+            if l < self.heap.len() && self.less(self.heap[l], self.heap[smallest]) {
+                smallest = l;
+            }
+            if r < self.heap.len() && self.less(self.heap[r], self.heap[smallest]) {
+                smallest = r;
+            }
+            if smallest == i {
+                return;
+            }
+            self.heap.swap(i, smallest);
+            i = smallest;
+        }
+    }
+
+    /// Key bytes of the next record without consuming it.
+    #[inline]
+    pub fn peek_key(&self) -> Option<&[u8]> {
+        self.heap.first().map(|&i| self.heads[i].key.as_slice())
+    }
+
+    /// Move the next record into `key_out`/`val_out` (buffers are swapped,
+    /// not copied). Returns `false` when all runs are exhausted.
+    pub fn next_record(&mut self, key_out: &mut Vec<u8>, val_out: &mut Vec<u8>) -> Result<bool> {
+        let Some(&top) = self.heap.first() else {
+            return Ok(false);
+        };
+        std::mem::swap(key_out, &mut self.heads[top].key);
+        std::mem::swap(val_out, &mut self.heads[top].val);
+        // Advance the source that supplied the record.
+        let head = &mut self.heads[top];
+        if self.sources[top].next_into(&mut head.key, &mut head.val)? {
+            self.sift_down(0);
+        } else {
+            let last = self.heap.len() - 1;
+            self.heap.swap(0, last);
+            self.heap.pop();
+            self.sift_down(0);
+        }
+        Ok(true)
+    }
+
+    /// Compare two serialized keys under the merge order.
+    #[inline]
+    pub fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+        self.cmp.compare(a, b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::comparator::BytewiseComparator;
+    use crate::run::RunWriter;
+
+    fn make_run(keys: &[&str]) -> Run {
+        let mut w = RunWriter::mem();
+        for k in keys {
+            w.write_record(k.as_bytes(), b"v").unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    fn drain(stream: &mut MergeStream) -> Vec<String> {
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        let mut out = Vec::new();
+        while stream.next_record(&mut k, &mut v).unwrap() {
+            out.push(String::from_utf8(k.clone()).unwrap());
+        }
+        out
+    }
+
+    #[test]
+    fn merges_three_runs_in_order() {
+        let runs = vec![
+            make_run(&["apple", "melon", "zebra"]),
+            make_run(&["banana", "melon"]),
+            make_run(&["aardvark", "yak"]),
+        ];
+        let mut s = MergeStream::new(&runs, Arc::new(BytewiseComparator)).unwrap();
+        assert_eq!(s.peek_key().unwrap(), b"aardvark");
+        assert_eq!(
+            drain(&mut s),
+            vec!["aardvark", "apple", "banana", "melon", "melon", "yak", "zebra"]
+        );
+    }
+
+    #[test]
+    fn empty_and_single_runs() {
+        let runs: Vec<Run> = vec![];
+        let mut s = MergeStream::new(&runs, Arc::new(BytewiseComparator)).unwrap();
+        assert!(s.peek_key().is_none());
+        assert!(drain(&mut s).is_empty());
+
+        let runs = vec![make_run(&[]), make_run(&["only"])];
+        let mut s = MergeStream::new(&runs, Arc::new(BytewiseComparator)).unwrap();
+        assert_eq!(drain(&mut s), vec!["only"]);
+    }
+
+    #[test]
+    fn merge_handles_many_runs() {
+        // 50 runs of 20 sorted keys each; result must be globally sorted.
+        let mut runs = Vec::new();
+        for r in 0..50u32 {
+            let keys: Vec<String> = (0..20u32).map(|i| format!("k{:06}", i * 50 + r)).collect();
+            let refs: Vec<&str> = keys.iter().map(String::as_str).collect();
+            runs.push(make_run(&refs));
+        }
+        let mut s = MergeStream::new(&runs, Arc::new(BytewiseComparator)).unwrap();
+        let all = drain(&mut s);
+        assert_eq!(all.len(), 1000);
+        let mut sorted = all.clone();
+        sorted.sort();
+        assert_eq!(all, sorted);
+    }
+}

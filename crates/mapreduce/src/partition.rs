@@ -1,0 +1,79 @@
+//! Partitioners: assign each map-output key to one of `R` reduce tasks.
+//!
+//! SUFFIX-σ's correctness hinges on a custom partitioner that routes a
+//! suffix by its *first term only* (paper §IV) so that one reducer sees all
+//! suffixes sharing a first term; that partitioner lives in the `ngrams`
+//! crate and implements this trait.
+
+use crate::hash::fx_hash;
+use std::hash::Hash;
+
+/// Maps a typed key to a reduce partition in `0..num_partitions`.
+pub trait Partitioner<K>: Send + Sync {
+    /// Partition index for `key`; must be `< num_partitions` and must be a
+    /// pure function of the key so re-runs are deterministic.
+    fn partition(&self, key: &K, num_partitions: usize) -> usize;
+}
+
+/// Default partitioner: hash of the whole key, Hadoop's `HashPartitioner`.
+pub struct HashPartition;
+
+impl<K: Hash> Partitioner<K> for HashPartition {
+    #[inline]
+    fn partition(&self, key: &K, num_partitions: usize) -> usize {
+        (fx_hash(key) % num_partitions as u64) as usize
+    }
+}
+
+/// Partitioner from a plain function (useful for tests and small jobs).
+pub struct FnPartitioner<K> {
+    f: Box<dyn Fn(&K, usize) -> usize + Send + Sync>,
+}
+
+impl<K> FnPartitioner<K> {
+    /// Wrap a closure as a partitioner.
+    pub fn new(f: impl Fn(&K, usize) -> usize + Send + Sync + 'static) -> Self {
+        FnPartitioner { f: Box::new(f) }
+    }
+}
+
+impl<K> Partitioner<K> for FnPartitioner<K> {
+    #[inline]
+    fn partition(&self, key: &K, num_partitions: usize) -> usize {
+        (self.f)(key, num_partitions)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_partition_is_stable_and_in_range() {
+        let p = HashPartition;
+        for key in 0u64..1000 {
+            let a = p.partition(&key, 7);
+            let b = p.partition(&key, 7);
+            assert_eq!(a, b);
+            assert!(a < 7);
+        }
+    }
+
+    #[test]
+    fn hash_partition_spreads_keys() {
+        let p = HashPartition;
+        let mut counts = [0usize; 8];
+        for key in 0u64..8000 {
+            counts[p.partition(&key, 8)] += 1;
+        }
+        for &c in &counts {
+            assert!(c > 500, "partition skew: {counts:?}");
+        }
+    }
+
+    #[test]
+    fn fn_partitioner_delegates() {
+        let p = FnPartitioner::new(|k: &u64, n| (*k as usize) % n);
+        assert_eq!(p.partition(&10, 4), 2);
+    }
+}

@@ -1,0 +1,368 @@
+//! Sorted spill runs: the unit of data flowing from map tasks to reducers.
+//!
+//! A run is a sequence of `[varint klen][key][varint vlen][val]` frames in
+//! sort order. Runs live in memory by default; with `spill_to_disk` enabled
+//! they are written to a per-job temporary directory, modelling Hadoop's
+//! spill files and keeping map-task memory bounded by the sort buffer.
+
+use crate::error::{MrError, Result};
+use crate::io::{read_vu64_at, write_vu64};
+use std::fs::File;
+use std::io::{BufReader, BufWriter, ErrorKind, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// A per-job temporary directory, removed on drop.
+pub struct TempDir {
+    path: PathBuf,
+    next_file: AtomicU64,
+}
+
+impl TempDir {
+    /// Create a uniquely named directory under `base` (or the system temp
+    /// directory when `base` is `None`).
+    pub fn create(base: Option<&Path>) -> Result<Self> {
+        let base = base
+            .map(Path::to_path_buf)
+            .unwrap_or_else(std::env::temp_dir);
+        let unique = format!(
+            "mapreduce-{}-{}",
+            std::process::id(),
+            TEMP_SEQ.fetch_add(1, Ordering::Relaxed)
+        );
+        let path = base.join(unique);
+        std::fs::create_dir_all(&path)?;
+        Ok(TempDir {
+            path,
+            next_file: AtomicU64::new(0),
+        })
+    }
+
+    /// Allocate a fresh file path inside the directory.
+    pub fn next_path(&self) -> PathBuf {
+        let n = self.next_file.fetch_add(1, Ordering::Relaxed);
+        self.path.join(format!("spill-{n}.run"))
+    }
+
+    /// Directory location (for diagnostics).
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+impl Drop for TempDir {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.path);
+    }
+}
+
+enum RunSource {
+    Mem(Arc<Vec<u8>>),
+    File(PathBuf),
+}
+
+/// One sorted run of serialized records.
+pub struct Run {
+    source: RunSource,
+    /// Number of records in the run.
+    pub records: u64,
+    /// Total frame bytes (including length prefixes).
+    pub bytes: u64,
+}
+
+impl Run {
+    /// Open a sequential reader over the run.
+    pub fn reader(&self) -> Result<RunReader> {
+        match &self.source {
+            RunSource::Mem(data) => Ok(RunReader::Mem {
+                data: Arc::clone(data),
+                pos: 0,
+            }),
+            RunSource::File(path) => {
+                let f = File::open(path)?;
+                Ok(RunReader::File {
+                    rd: BufReader::with_capacity(128 * 1024, f),
+                })
+            }
+        }
+    }
+
+    /// True when the run holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.records == 0
+    }
+}
+
+/// Sequential writer producing a [`Run`].
+pub enum RunWriter {
+    /// In-memory run buffer.
+    Mem {
+        /// Accumulated frame bytes.
+        buf: Vec<u8>,
+        /// Records written so far.
+        records: u64,
+    },
+    /// File-backed run (spill-to-disk mode).
+    File {
+        /// Buffered writer over the spill file.
+        w: BufWriter<File>,
+        /// Location of the spill file.
+        path: PathBuf,
+        /// Records written so far.
+        records: u64,
+        /// Frame bytes written so far.
+        bytes: u64,
+    },
+}
+
+impl RunWriter {
+    /// Start an in-memory run.
+    pub fn mem() -> Self {
+        RunWriter::Mem {
+            buf: Vec::new(),
+            records: 0,
+        }
+    }
+
+    /// Start a file-backed run inside `dir`.
+    pub fn file(dir: &TempDir) -> Result<Self> {
+        let path = dir.next_path();
+        let f = File::create(&path)?;
+        Ok(RunWriter::File {
+            w: BufWriter::with_capacity(128 * 1024, f),
+            path,
+            records: 0,
+            bytes: 0,
+        })
+    }
+
+    /// Append one framed record.
+    pub fn write_record(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+        match self {
+            RunWriter::Mem { buf, records } => {
+                write_vu64(buf, key.len() as u64);
+                buf.extend_from_slice(key);
+                write_vu64(buf, val.len() as u64);
+                buf.extend_from_slice(val);
+                *records += 1;
+            }
+            RunWriter::File {
+                w, records, bytes, ..
+            } => {
+                let mut frame = [0u8; 10];
+                let n = varint_into(&mut frame, key.len() as u64);
+                w.write_all(&frame[..n])?;
+                w.write_all(key)?;
+                let m = varint_into(&mut frame, val.len() as u64);
+                w.write_all(&frame[..m])?;
+                w.write_all(val)?;
+                *records += 1;
+                *bytes += (n + key.len() + m + val.len()) as u64;
+            }
+        }
+        Ok(())
+    }
+
+    /// Number of records written so far.
+    pub fn records(&self) -> u64 {
+        match self {
+            RunWriter::Mem { records, .. } => *records,
+            RunWriter::File { records, .. } => *records,
+        }
+    }
+
+    /// Finish and seal the run.
+    pub fn finish(self) -> Result<Run> {
+        match self {
+            RunWriter::Mem { buf, records } => {
+                let bytes = buf.len() as u64;
+                Ok(Run {
+                    source: RunSource::Mem(Arc::new(buf)),
+                    records,
+                    bytes,
+                })
+            }
+            RunWriter::File {
+                mut w,
+                path,
+                records,
+                bytes,
+            } => {
+                w.flush()?;
+                Ok(Run {
+                    source: RunSource::File(path),
+                    records,
+                    bytes,
+                })
+            }
+        }
+    }
+}
+
+fn varint_into(buf: &mut [u8; 10], mut v: u64) -> usize {
+    let mut i = 0;
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            buf[i] = byte;
+            return i + 1;
+        }
+        buf[i] = byte | 0x80;
+        i += 1;
+    }
+}
+
+/// Sequential reader over one run.
+pub enum RunReader {
+    /// Reader over an in-memory run.
+    Mem {
+        /// Shared run bytes.
+        data: Arc<Vec<u8>>,
+        /// Read position.
+        pos: usize,
+    },
+    /// Reader over a file-backed run.
+    File {
+        /// Buffered reader over the spill file.
+        rd: BufReader<File>,
+    },
+}
+
+impl RunReader {
+    /// Read the next record into the supplied buffers (cleared first).
+    /// Returns `false` at the end of the run.
+    pub fn next_into(&mut self, key: &mut Vec<u8>, val: &mut Vec<u8>) -> Result<bool> {
+        key.clear();
+        val.clear();
+        match self {
+            RunReader::Mem { data, pos } => {
+                if *pos >= data.len() {
+                    return Ok(false);
+                }
+                let klen = read_vu64_at(data, pos)? as usize;
+                copy_slice(data, pos, klen, key)?;
+                let vlen = read_vu64_at(data, pos)? as usize;
+                copy_slice(data, pos, vlen, val)?;
+                Ok(true)
+            }
+            RunReader::File { rd } => {
+                let klen = match read_file_varint(rd)? {
+                    Some(n) => n as usize,
+                    None => return Ok(false),
+                };
+                read_exact_into(rd, klen, key)?;
+                let vlen = read_file_varint(rd)?
+                    .ok_or(MrError::Corrupt("truncated run frame"))?
+                    as usize;
+                read_exact_into(rd, vlen, val)?;
+                Ok(true)
+            }
+        }
+    }
+}
+
+fn copy_slice(data: &[u8], pos: &mut usize, len: usize, out: &mut Vec<u8>) -> Result<()> {
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= data.len())
+        .ok_or(MrError::Corrupt("run frame out of bounds"))?;
+    out.extend_from_slice(&data[*pos..end]);
+    *pos = end;
+    Ok(())
+}
+
+/// Read a varint from a file; `None` on clean EOF at a frame boundary.
+fn read_file_varint(rd: &mut impl Read) -> Result<Option<u64>> {
+    let mut v = 0u64;
+    let mut shift = 0u32;
+    let mut first = true;
+    loop {
+        let mut byte = [0u8; 1];
+        match rd.read_exact(&mut byte) {
+            Ok(()) => {}
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof && first => return Ok(None),
+            Err(e) if e.kind() == ErrorKind::UnexpectedEof => {
+                return Err(MrError::Corrupt("truncated varint in run file"))
+            }
+            Err(e) => return Err(e.into()),
+        }
+        first = false;
+        if shift >= 64 {
+            return Err(MrError::Corrupt("varint overflow in run file"));
+        }
+        v |= u64::from(byte[0] & 0x7f) << shift;
+        if byte[0] & 0x80 == 0 {
+            return Ok(Some(v));
+        }
+        shift += 7;
+    }
+}
+
+fn read_exact_into(rd: &mut impl Read, len: usize, out: &mut Vec<u8>) -> Result<()> {
+    out.resize(len, 0);
+    rd.read_exact(out)
+        .map_err(|_| MrError::Corrupt("truncated run payload"))?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(mut w: RunWriter) -> Run {
+        w.write_record(b"alpha", b"1").unwrap();
+        w.write_record(b"beta", b"").unwrap();
+        w.write_record(b"", b"value-only").unwrap();
+        w.finish().unwrap()
+    }
+
+    fn read_all(run: &Run) -> Vec<(Vec<u8>, Vec<u8>)> {
+        let mut rd = run.reader().unwrap();
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        let mut out = Vec::new();
+        while rd.next_into(&mut k, &mut v).unwrap() {
+            out.push((k.clone(), v.clone()));
+        }
+        out
+    }
+
+    #[test]
+    fn mem_run_round_trips() {
+        let run = round_trip(RunWriter::mem());
+        assert_eq!(run.records, 3);
+        let recs = read_all(&run);
+        assert_eq!(recs[0], (b"alpha".to_vec(), b"1".to_vec()));
+        assert_eq!(recs[1], (b"beta".to_vec(), b"".to_vec()));
+        assert_eq!(recs[2], (b"".to_vec(), b"value-only".to_vec()));
+    }
+
+    #[test]
+    fn file_run_round_trips_and_dir_cleans_up() {
+        let dir = TempDir::create(None).unwrap();
+        let path = dir.path().to_path_buf();
+        let run = round_trip(RunWriter::file(&dir).unwrap());
+        assert_eq!(run.records, 3);
+        assert_eq!(read_all(&run), read_all(&round_trip(RunWriter::mem())));
+        assert!(path.exists());
+        drop(dir);
+        assert!(!path.exists(), "temp dir should be removed on drop");
+    }
+
+    #[test]
+    fn empty_run_reads_nothing() {
+        let run = RunWriter::mem().finish().unwrap();
+        assert!(run.is_empty());
+        assert!(read_all(&run).is_empty());
+    }
+
+    #[test]
+    fn mem_run_can_be_read_twice() {
+        let run = round_trip(RunWriter::mem());
+        assert_eq!(read_all(&run).len(), 3);
+        assert_eq!(read_all(&run).len(), 3);
+    }
+}

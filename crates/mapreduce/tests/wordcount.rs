@@ -1,0 +1,288 @@
+//! End-to-end jobs exercising the full shuffle path: combiners, disk
+//! spills, custom partitioners/comparators, counters, and determinism
+//! across parallelism settings.
+
+use mapreduce::*;
+use std::cmp::Ordering;
+
+/// Emits (term, 1) per token; input documents are Vec<u32> term sequences.
+struct CountMapper;
+
+impl Mapper for CountMapper {
+    type InKey = u64;
+    type InValue = Vec<u32>;
+    type OutKey = u32;
+    type OutValue = u64;
+
+    fn map(&mut self, _did: &u64, doc: &Vec<u32>, ctx: &mut MapContext<'_, u32, u64>) {
+        for &t in doc {
+            ctx.emit(&t, &1);
+        }
+    }
+}
+
+struct SumReducer;
+
+impl Reducer for SumReducer {
+    type Key = u32;
+    type ValueIn = u64;
+    type KeyOut = u32;
+    type ValueOut = u64;
+
+    fn reduce(
+        &mut self,
+        key: u32,
+        values: &mut ValueIter<'_, u64>,
+        ctx: &mut ReduceContext<'_, u32, u64>,
+    ) {
+        ctx.emit(key, values.sum());
+    }
+}
+
+fn corpus(num_docs: usize, doc_len: usize, vocab: u32) -> Vec<(u64, Vec<u32>)> {
+    // Deterministic pseudo-random corpus without pulling in `rand`.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    (0..num_docs as u64)
+        .map(|did| {
+            let doc = (0..doc_len).map(|_| (next() % vocab as u64) as u32).collect();
+            (did, doc)
+        })
+        .collect()
+}
+
+fn expected_counts(input: &[(u64, Vec<u32>)]) -> Vec<(u32, u64)> {
+    let mut m = std::collections::BTreeMap::new();
+    for (_, doc) in input {
+        for &t in doc {
+            *m.entry(t).or_insert(0u64) += 1;
+        }
+    }
+    m.into_iter().collect()
+}
+
+fn run_wordcount(config: JobConfig, with_combiner: bool, input: Vec<(u64, Vec<u32>)>) -> JobResult<u32, u64> {
+    let cluster = Cluster::new(4);
+    let mut job = Job::<CountMapper, SumReducer>::new(config, || CountMapper, || SumReducer);
+    if with_combiner {
+        job = job.combiner(|| Box::new(SumReducer));
+    }
+    job.run(&cluster, input).unwrap()
+}
+
+#[test]
+fn wordcount_matches_reference() {
+    let input = corpus(50, 200, 100);
+    let expected = expected_counts(&input);
+    let result = run_wordcount(JobConfig::default(), false, input);
+    let mut got = result.into_records();
+    got.sort();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn combiner_does_not_change_the_result_but_shrinks_shuffle() {
+    let input = corpus(50, 400, 50);
+    let expected = expected_counts(&input);
+
+    let plain = run_wordcount(JobConfig::default(), false, input.clone());
+    let combined = run_wordcount(JobConfig::default(), true, input);
+
+    let mut got_plain: Vec<_> = plain.outputs.iter().flatten().copied().collect();
+    got_plain.sort();
+    let mut got_combined: Vec<_> = combined.outputs.iter().flatten().copied().collect();
+    got_combined.sort();
+    assert_eq!(got_plain, expected);
+    assert_eq!(got_combined, expected);
+
+    // Map output counters are pre-combine and identical...
+    assert_eq!(
+        plain.counters.get(Counter::MapOutputRecords),
+        combined.counters.get(Counter::MapOutputRecords)
+    );
+    // ...but the combined job ships far fewer records to reducers.
+    assert!(
+        combined.counters.get(Counter::ReduceInputRecords)
+            < plain.counters.get(Counter::ReduceInputRecords) / 2,
+        "combiner should collapse duplicate keys"
+    );
+}
+
+#[test]
+fn disk_spill_with_tiny_buffer_matches_memory_run() {
+    let input = corpus(40, 300, 80);
+    let expected = expected_counts(&input);
+
+    let mut config = JobConfig::named("spilly");
+    config.sort_buffer_bytes = 512; // force many spills
+    config.spill_to_disk = true;
+    let result = run_wordcount(config, true, input);
+    assert!(
+        result.counters.get(Counter::Spills) > 4,
+        "tiny buffer must spill repeatedly, got {}",
+        result.counters.get(Counter::Spills)
+    );
+    let mut got = result.into_records();
+    got.sort();
+    assert_eq!(got, expected);
+}
+
+#[test]
+fn result_is_identical_across_task_and_slot_configurations() {
+    let input = corpus(30, 150, 60);
+    let expected = expected_counts(&input);
+    for (maps, reduces, slots) in [(1, 1, 1), (3, 2, 2), (16, 7, 4), (64, 3, 8)] {
+        let mut config = JobConfig::default();
+        config.num_map_tasks = maps;
+        config.num_reduce_tasks = reduces;
+        config.slots = slots;
+        let result = run_wordcount(config, maps % 2 == 0, input.clone());
+        assert_eq!(result.outputs.len(), reduces);
+        let mut got = result.into_records();
+        got.sort();
+        assert_eq!(got, expected, "maps={maps} reduces={reduces} slots={slots}");
+    }
+}
+
+#[test]
+fn counters_track_records_and_groups() {
+    let input = corpus(10, 100, 40);
+    let expected = expected_counts(&input);
+    let result = run_wordcount(JobConfig::default(), false, input);
+    let c = &result.counters;
+    assert_eq!(c.get(Counter::MapInputRecords), 10);
+    assert_eq!(c.get(Counter::MapOutputRecords), 1000);
+    assert_eq!(c.get(Counter::ReduceInputRecords), 1000);
+    assert_eq!(c.get(Counter::ReduceInputGroups), expected.len() as u64);
+    assert_eq!(c.get(Counter::ReduceOutputRecords), expected.len() as u64);
+    assert!(c.get(Counter::MapOutputBytes) >= 2000); // >= 2 bytes per record
+}
+
+/// Routes every key to partition (key % n) and sorts keys descending: both
+/// customizations SUFFIX-σ relies on, tested here in isolation.
+#[test]
+fn custom_partitioner_and_comparator_are_honored() {
+    struct Desc;
+    impl RawComparator for Desc {
+        fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
+            let ka: u32 = from_bytes(a).unwrap();
+            let kb: u32 = from_bytes(b).unwrap();
+            kb.cmp(&ka)
+        }
+    }
+
+    struct EmitOrderReducer;
+    impl Reducer for EmitOrderReducer {
+        type Key = u32;
+        type ValueIn = u64;
+        type KeyOut = u32;
+        type ValueOut = u64;
+        fn reduce(
+            &mut self,
+            key: u32,
+            values: &mut ValueIter<'_, u64>,
+            ctx: &mut ReduceContext<'_, u32, u64>,
+        ) {
+            ctx.emit(key, values.sum());
+        }
+    }
+
+    let input = corpus(20, 100, 30);
+    let mut config = JobConfig::default();
+    config.num_reduce_tasks = 4;
+    let cluster = Cluster::new(4);
+    let job = Job::<CountMapper, EmitOrderReducer>::new(config, || CountMapper, || EmitOrderReducer)
+        .partitioner(FnPartitioner::new(|k: &u32, n| (*k as usize) % n))
+        .sort_comparator(Desc);
+    let result = job.run(&cluster, input.clone()).unwrap();
+
+    // Each partition holds exactly the keys assigned to it, in descending
+    // order (reducers see groups in sort order).
+    for (p, part) in result.outputs.iter().enumerate() {
+        for window in part.windows(2) {
+            assert!(window[0].0 > window[1].0, "descending order violated");
+        }
+        for (k, _) in part {
+            assert_eq!(*k as usize % 4, p, "partitioner violated");
+        }
+    }
+    let mut got = result.into_records();
+    got.sort();
+    assert_eq!(got, expected_counts(&input));
+}
+
+/// A reducer that stops consuming values early must not corrupt grouping.
+#[test]
+fn partially_consumed_value_groups_are_drained() {
+    struct TakeOne;
+    impl Reducer for TakeOne {
+        type Key = u32;
+        type ValueIn = u64;
+        type KeyOut = u32;
+        type ValueOut = u64;
+        fn reduce(
+            &mut self,
+            key: u32,
+            values: &mut ValueIter<'_, u64>,
+            ctx: &mut ReduceContext<'_, u32, u64>,
+        ) {
+            let first = values.next().unwrap_or(0);
+            ctx.emit(key, first);
+        }
+    }
+
+    let input = corpus(10, 200, 5); // few keys, many duplicates
+    let cluster = Cluster::new(2);
+    let job = Job::<CountMapper, TakeOne>::new(JobConfig::default(), || CountMapper, || TakeOne);
+    let result = job.run(&cluster, input).unwrap();
+    let mut got = result.into_records();
+    got.sort();
+    // One output per distinct key, each value 1 (the first of the group).
+    assert_eq!(got.len(), 5);
+    assert!(got.iter().all(|&(_, v)| v == 1));
+}
+
+/// Chaining: feed one job's output into a second job (APRIORI pattern).
+#[test]
+fn job_chaining_works() {
+    struct Identity;
+    impl Mapper for Identity {
+        type InKey = u32;
+        type InValue = u64;
+        type OutKey = u32;
+        type OutValue = u64;
+        fn map(&mut self, k: &u32, v: &u64, ctx: &mut MapContext<'_, u32, u64>) {
+            ctx.emit(k, v);
+        }
+    }
+
+    let input = corpus(20, 100, 30);
+    let cluster = Cluster::new(2);
+    let job1 = Job::<CountMapper, SumReducer>::new(JobConfig::named("count"), || CountMapper, || SumReducer);
+    let out1 = job1.run(&cluster, input.clone()).unwrap().into_records();
+    let job2 = Job::<Identity, SumReducer>::new(JobConfig::named("pass"), || Identity, || SumReducer);
+    let mut out2 = job2
+        .run(&cluster, out1.into_iter().map(|(k, v)| (k, v)).collect())
+        .unwrap()
+        .into_records();
+    out2.sort();
+    assert_eq!(out2, expected_counts(&input));
+
+    // Session totals cover both jobs.
+    let log = cluster.job_log();
+    assert_eq!(log.len(), 2);
+    assert_eq!(log[0].name, "count");
+    assert_eq!(log[1].name, "pass");
+}
+
+#[test]
+fn empty_input_produces_empty_output() {
+    let result = run_wordcount(JobConfig::default(), true, Vec::new());
+    assert_eq!(result.num_records(), 0);
+    assert_eq!(result.counters.get(Counter::MapOutputRecords), 0);
+}

@@ -1,0 +1,52 @@
+//! Quickstart: generate a small corpus, compute n-gram statistics with
+//! SUFFIX-σ, and inspect the result.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use ngram_mr::prelude::*;
+
+fn main() {
+    // A miniature NYT-like collection (deterministic in the seed).
+    let profile = CorpusProfile::nyt_like(0.02); // ~120 documents
+    let coll = generate(&profile, 42);
+    let stats = CollectionStats::compute(&coll);
+    println!("Corpus `{}`:\n{stats}\n", coll.name);
+
+    // A simulated cluster with as many slots as the host has cores.
+    let cluster = Cluster::with_available_parallelism();
+
+    // All n-grams of at most 5 terms occurring at least 10 times.
+    let params = NGramParams::new(/*tau*/ 10, /*sigma*/ 5);
+    let result = compute(&cluster, &coll, Method::SuffixSigma, &params)
+        .expect("suffix-sigma run failed");
+
+    println!(
+        "SUFFIX-σ found {} frequent n-grams in {:?} using {} MapReduce job(s)",
+        result.grams.len(),
+        result.elapsed,
+        result.jobs
+    );
+    println!(
+        "shuffle: {} records, {} bytes\n",
+        result.counters.get(Counter::MapOutputRecords),
+        result.counters.get(Counter::MapOutputBytes),
+    );
+
+    // Top ten by collection frequency, decoded back to words.
+    let mut by_cf = result.grams.clone();
+    by_cf.sort_by(|a, b| b.1.cmp(&a.1).then_with(|| a.0.cmp(&b.0)));
+    println!("{:>8}  n-gram", "cf");
+    for (gram, cf) in by_cf.iter().take(10) {
+        println!("{cf:>8}  {}", coll.dictionary.decode(gram.terms()));
+    }
+
+    // The longest frequent n-gram — phrase-library reuse shows up here.
+    if let Some((gram, cf)) = result.grams.iter().max_by_key(|(g, _)| g.len()) {
+        println!(
+            "\nlongest frequent n-gram ({} terms, cf {}):\n  {}",
+            gram.len(),
+            cf,
+            coll.dictionary.decode(gram.terms())
+        );
+    }
+}

@@ -1,0 +1,71 @@
+//! The paper's second use case (§VII-D): "text analytics" — find long
+//! recurring fragments of text (quotations, idioms, boilerplate) using a
+//! high maximum length (σ = 100), then shrink the answer with the
+//! maximality/closedness extensions (§VI-A).
+//!
+//! Run with: `cargo run --release --example text_analytics`
+
+use ngram_mr::prelude::*;
+
+fn main() {
+    // Web-like corpus: heavy phrase reuse creates long frequent n-grams
+    // (spam chains, error messages — §VII-C's observations).
+    let profile = CorpusProfile::web_like(0.01); // ~330 docs
+    let coll = generate(&profile, 99);
+    let cluster = Cluster::with_available_parallelism();
+
+    let params = NGramParams::new(/*tau*/ 8, /*sigma*/ 100);
+    let t0 = std::time::Instant::now();
+    let all = compute(&cluster, &coll, Method::SuffixSigma, &params).expect("run failed");
+    println!(
+        "{} frequent n-grams (τ={}, σ={}) in {:?}",
+        all.grams.len(),
+        params.tau,
+        params.sigma,
+        t0.elapsed()
+    );
+
+    // Length distribution: how long do recurring fragments get?
+    let max_len = all.grams.iter().map(|(g, _)| g.len()).max().unwrap_or(0);
+    println!("longest recurring fragment: {max_len} terms");
+    let mut by_len = all.grams.clone();
+    by_len.sort_by(|a, b| b.0.len().cmp(&a.0.len()).then_with(|| b.1.cmp(&a.1)));
+    println!("\nthree longest recurring fragments:");
+    for (gram, cf) in by_len.iter().take(3) {
+        let text = coll.dictionary.decode(gram.terms());
+        let preview: String = text.chars().take(100).collect();
+        println!("  [{} terms, cf {}] {}…", gram.len(), cf, preview);
+    }
+
+    // Maximality/closedness drastically shrink the output (§VI-A).
+    let maximal = compute(
+        &cluster,
+        &coll,
+        Method::SuffixSigma,
+        &NGramParams {
+            output: OutputMode::Maximal,
+            ..params.clone()
+        },
+    )
+    .expect("maximal run failed");
+    let closed = compute(
+        &cluster,
+        &coll,
+        Method::SuffixSigma,
+        &NGramParams {
+            output: OutputMode::Closed,
+            ..params.clone()
+        },
+    )
+    .expect("closed run failed");
+    println!(
+        "\noutput reduction: all = {}, closed = {} ({:.1}%), maximal = {} ({:.1}%)",
+        all.grams.len(),
+        closed.grams.len(),
+        100.0 * closed.grams.len() as f64 / all.grams.len() as f64,
+        maximal.grams.len(),
+        100.0 * maximal.grams.len() as f64 / all.grams.len() as f64,
+    );
+    assert!(maximal.grams.len() <= closed.grams.len());
+    assert!(closed.grams.len() <= all.grams.len());
+}

@@ -1,0 +1,256 @@
+//! `ngram-mr` — command-line interface to the library.
+//!
+//! ```text
+//! ngram-mr generate  --profile nyt|web|tiny --scale 0.1 --seed 42 --out corpus.bin
+//! ngram-mr stats     --input corpus.bin
+//! ngram-mr compute   --input corpus.bin --method suffix-sigma --tau 5 --sigma 5
+//!                    [--mode cf|df] [--output all|closed|maximal] [--slots N]
+//!                    [--decode] [--out results.tsv]
+//! ngram-mr timeseries --input corpus.bin --tau 5 --sigma 3 [--out series.tsv]
+//! ```
+
+use ngram_mr::prelude::*;
+use std::collections::HashMap;
+use std::io::Write;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  ngram-mr generate   --profile nyt|web|tiny --scale F --seed N --out FILE\n  \
+         ngram-mr stats      --input FILE\n  \
+         ngram-mr compute    --input FILE --method naive|apriori-scan|apriori-index|suffix-sigma\n                      \
+         --tau N --sigma N [--mode cf|df] [--output all|closed|maximal]\n                      \
+         [--slots N] [--decode] [--out FILE]\n  \
+         ngram-mr timeseries --input FILE --tau N --sigma N [--decode] [--out FILE]"
+    );
+    std::process::exit(2)
+}
+
+struct Args {
+    flags: HashMap<String, String>,
+}
+
+impl Args {
+    fn parse(raw: &[String]) -> Self {
+        let mut flags = HashMap::new();
+        let mut i = 0;
+        while i < raw.len() {
+            let arg = &raw[i];
+            if let Some(name) = arg.strip_prefix("--") {
+                // Boolean flags have no value; value flags consume one.
+                if i + 1 < raw.len() && !raw[i + 1].starts_with("--") {
+                    flags.insert(name.to_string(), raw[i + 1].clone());
+                    i += 2;
+                } else {
+                    flags.insert(name.to_string(), "true".to_string());
+                    i += 1;
+                }
+            } else {
+                eprintln!("unexpected argument: {arg}");
+                usage();
+            }
+        }
+        Args { flags }
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.flags.get(name).map(String::as_str)
+    }
+
+    fn require(&self, name: &str) -> &str {
+        self.get(name).unwrap_or_else(|| {
+            eprintln!("missing required flag --{name}");
+            usage()
+        })
+    }
+
+    fn parse_num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(v) => v.parse().unwrap_or_else(|_| {
+                eprintln!("invalid value for --{name}: {v}");
+                usage()
+            }),
+        }
+    }
+
+    fn has(&self, name: &str) -> bool {
+        self.flags.contains_key(name)
+    }
+}
+
+fn load_corpus(args: &Args) -> Collection {
+    let path = PathBuf::from(args.require("input"));
+    match corpus::load(&path) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("cannot load corpus {}: {e}", path.display());
+            std::process::exit(1)
+        }
+    }
+}
+
+fn cluster(args: &Args) -> Cluster {
+    match args.get("slots") {
+        Some(s) => Cluster::new(s.parse().unwrap_or(1)),
+        None => Cluster::with_available_parallelism(),
+    }
+}
+
+fn out_writer(args: &Args) -> Box<dyn Write> {
+    match args.get("out") {
+        Some(path) => Box::new(std::io::BufWriter::new(
+            std::fs::File::create(path).expect("cannot create output file"),
+        )),
+        None => Box::new(std::io::BufWriter::new(std::io::stdout())),
+    }
+}
+
+fn cmd_generate(args: &Args) -> ExitCode {
+    let scale: f64 = args.parse_num("scale", 0.1);
+    let seed: u64 = args.parse_num("seed", 42);
+    let profile = match args.require("profile") {
+        "nyt" => CorpusProfile::nyt_like(scale),
+        "web" => CorpusProfile::web_like(scale),
+        "tiny" => CorpusProfile::tiny("tiny", (100.0 * scale).max(1.0) as usize),
+        other => {
+            eprintln!("unknown profile {other}");
+            usage()
+        }
+    };
+    let out = PathBuf::from(args.require("out"));
+    let t0 = std::time::Instant::now();
+    let coll = generate(&profile, seed);
+    corpus::save(&coll, &out).expect("cannot write corpus");
+    println!(
+        "wrote {} ({} docs, {} tokens) in {:?}",
+        out.display(),
+        coll.docs.len(),
+        coll.term_occurrences(),
+        t0.elapsed()
+    );
+    ExitCode::SUCCESS
+}
+
+fn cmd_stats(args: &Args) -> ExitCode {
+    let coll = load_corpus(args);
+    println!("corpus `{}`:", coll.name);
+    println!("{}", CollectionStats::compute(&coll));
+    ExitCode::SUCCESS
+}
+
+fn cmd_compute(args: &Args) -> ExitCode {
+    let coll = load_corpus(args);
+    let method = match args.require("method") {
+        "naive" => Method::Naive,
+        "apriori-scan" => Method::AprioriScan,
+        "apriori-index" => Method::AprioriIndex,
+        "suffix-sigma" => Method::SuffixSigma,
+        other => {
+            eprintln!("unknown method {other}");
+            usage()
+        }
+    };
+    let params = NGramParams {
+        mode: match args.get("mode").unwrap_or("cf") {
+            "cf" => CountMode::Cf,
+            "df" => CountMode::Df,
+            other => {
+                eprintln!("unknown mode {other}");
+                usage()
+            }
+        },
+        output: match args.get("output").unwrap_or("all") {
+            "all" => OutputMode::All,
+            "closed" => OutputMode::Closed,
+            "maximal" => OutputMode::Maximal,
+            other => {
+                eprintln!("unknown output mode {other}");
+                usage()
+            }
+        },
+        ..NGramParams::new(
+            args.parse_num("tau", 2u64),
+            args.parse_num("sigma", 5usize),
+        )
+    };
+    let cluster = cluster(args);
+    let result = match compute(&cluster, &coll, method, &params) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("computation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "{}: {} n-grams, {} job(s), {:?}, {} records, {} bytes",
+        method.name(),
+        result.grams.len(),
+        result.jobs,
+        result.elapsed,
+        result.counters.get(Counter::MapOutputRecords),
+        result.counters.get(Counter::MapOutputBytes),
+    );
+    let decode = args.has("decode");
+    let mut w = out_writer(args);
+    for (gram, count) in &result.grams {
+        if decode {
+            writeln!(w, "{}\t{}", count, coll.dictionary.decode(gram.terms())).unwrap();
+        } else {
+            let ids: Vec<String> = gram.terms().iter().map(u32::to_string).collect();
+            writeln!(w, "{}\t{}", count, ids.join(" ")).unwrap();
+        }
+    }
+    w.flush().unwrap();
+    ExitCode::SUCCESS
+}
+
+fn cmd_timeseries(args: &Args) -> ExitCode {
+    let coll = load_corpus(args);
+    let params = NGramParams::new(
+        args.parse_num("tau", 2u64),
+        args.parse_num("sigma", 3usize),
+    );
+    let cluster = cluster(args);
+    let series = match compute_time_series(&cluster, &coll, Method::SuffixSigma, &params) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("computation failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!("{} series", series.len());
+    let decode = args.has("decode");
+    let mut w = out_writer(args);
+    for (gram, ts) in &series {
+        let key = if decode {
+            coll.dictionary.decode(gram.terms())
+        } else {
+            gram.terms()
+                .iter()
+                .map(u32::to_string)
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        let points: Vec<String> = ts.iter().map(|(y, c)| format!("{y}:{c}")).collect();
+        writeln!(w, "{}\t{}\t{}", ts.total(), key, points.join(",")).unwrap();
+    }
+    w.flush().unwrap();
+    ExitCode::SUCCESS
+}
+
+fn main() -> ExitCode {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let Some((cmd, rest)) = argv.split_first() else {
+        usage()
+    };
+    let args = Args::parse(rest);
+    match cmd.as_str() {
+        "generate" => cmd_generate(&args),
+        "stats" => cmd_stats(&args),
+        "compute" => cmd_compute(&args),
+        "timeseries" => cmd_timeseries(&args),
+        _ => usage(),
+    }
+}

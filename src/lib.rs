@@ -1,0 +1,51 @@
+//! # ngram-mr — Computing n-Gram Statistics in MapReduce
+//!
+//! A complete Rust reproduction of Berberich & Bedathur, *"Computing
+//! n-Gram Statistics in MapReduce"* (EDBT 2013), including every substrate
+//! the paper runs on:
+//!
+//! | crate | role |
+//! |-------|------|
+//! | [`mapreduce`] | Hadoop-faithful single-machine MapReduce runtime (serialized shuffle, raw comparators, combiners, counters, spill-to-disk) |
+//! | [`corpus`] | synthetic NYT-like / ClueWeb-like corpora plus the text preprocessing pipeline |
+//! | [`kvstore`] | disk-resident key-value store (the Berkeley DB role) |
+//! | [`ngrams`] | the four methods — NAÏVE, APRIORI-SCAN, APRIORI-INDEX, SUFFIX-σ — and the §VI extensions |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use ngram_mr::prelude::*;
+//!
+//! // A small synthetic collection (deterministic in the seed).
+//! let coll = generate(&CorpusProfile::tiny("quick", 40), 42);
+//! // A simulated cluster with 4 map/reduce slots.
+//! let cluster = Cluster::new(4);
+//! // All n-grams of up to 5 terms occurring at least 3 times:
+//! let result = compute(&cluster, &coll, Method::SuffixSigma, &NGramParams::new(3, 5)).unwrap();
+//! assert!(!result.grams.is_empty());
+//! for (gram, cf) in result.grams.iter().take(5) {
+//!     println!("{:>6}  {}", cf, coll.dictionary.decode(gram.terms()));
+//! }
+//! ```
+//!
+//! See the `examples/` directory for runnable scenarios (language
+//! modelling, long-phrase analytics, n-gram time series) and `crates/bench`
+//! for the harness that regenerates every table and figure of the paper.
+
+pub use corpus;
+pub use kvstore;
+pub use mapreduce;
+pub use ngrams;
+
+/// One-stop imports for examples and downstream users.
+pub mod prelude {
+    pub use corpus::{
+        build_collection_from_text, generate, load, render_document, sample_fraction, save,
+        Collection, CollectionStats, CorpusProfile, Dictionary, Document,
+    };
+    pub use mapreduce::{Cluster, Counter, CounterSnapshot, JobConfig};
+    pub use ngrams::{
+        compute, compute_time_series, CountMode, Gram, Method, NGramParams, NGramResult,
+        OutputMode, TimeSeries,
+    };
+}

@@ -1,0 +1,153 @@
+//! The §VI extensions against brute-force oracles: maximality,
+//! closedness, and time-series aggregation.
+
+use corpus::{Collection, Dictionary, Document};
+use mapreduce::Cluster;
+use ngrams::{
+    compute, compute_time_series, prepare_input, reference_cf, reference_closed,
+    reference_maximal, reference_ts, Gram, Method, NGramParams, OutputMode, TimeSeries,
+};
+use proptest::prelude::*;
+
+fn collection(docs: Vec<Vec<Vec<u32>>>) -> Collection {
+    Collection {
+        name: "ext".into(),
+        docs: docs
+            .into_iter()
+            .enumerate()
+            .map(|(i, sentences)| Document {
+                id: i as u64,
+                year: 1990 + (i % 8) as u16,
+                sentences,
+            })
+            .collect(),
+        dictionary: Dictionary::default(),
+    }
+}
+
+fn run(coll: &Collection, tau: u64, sigma: usize, output: OutputMode) -> Vec<(Gram, u64)> {
+    let cluster = Cluster::new(2);
+    compute(
+        &cluster,
+        coll,
+        Method::SuffixSigma,
+        &NGramParams {
+            output,
+            ..NGramParams::new(tau, sigma)
+        },
+    )
+    .unwrap()
+    .grams
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Two-pass maximality (prefix-maximal then suffix-maximal, §VI-A)
+    /// equals brute-force maximality over the frequent set.
+    #[test]
+    fn maximal_output_matches_brute_force(
+        docs in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0u32..5, 0..12), 1..3),
+            1..6),
+        tau in 1u64..4,
+        sigma in 2usize..6,
+    ) {
+        let coll = collection(docs);
+        let input = prepare_input(&coll, tau, true);
+        let frequent = reference_cf(&input, tau, sigma);
+        let expected: Vec<(Gram, u64)> = reference_maximal(&frequent)
+            .into_iter().map(|(g, c)| (Gram(g), c)).collect();
+        let got = run(&coll, tau, sigma, OutputMode::Maximal);
+        prop_assert_eq!(got, expected);
+    }
+
+    /// Two-pass closedness equals brute-force closedness, and omitted
+    /// n-grams are reconstructible with exact frequencies (the paper's
+    /// "for closedness even with their accurate collection frequency").
+    #[test]
+    fn closed_output_matches_brute_force_and_reconstructs(
+        docs in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0u32..5, 0..12), 1..3),
+            1..6),
+        tau in 1u64..4,
+        sigma in 2usize..6,
+    ) {
+        let coll = collection(docs);
+        let input = prepare_input(&coll, tau, true);
+        let frequent = reference_cf(&input, tau, sigma);
+        let expected: Vec<(Gram, u64)> = reference_closed(&frequent)
+            .into_iter().map(|(g, c)| (Gram(g), c)).collect();
+        let got = run(&coll, tau, sigma, OutputMode::Closed);
+        prop_assert_eq!(got.clone(), expected);
+
+        // Reconstruction: cf(r) = max over closed supersequences of r.
+        for (gram, cf) in &frequent {
+            let reconstructed = got.iter()
+                .filter(|(c, _)| ngrams::is_subsequence(gram, c.terms()))
+                .map(|&(_, count)| count)
+                .max();
+            prop_assert_eq!(reconstructed, Some(*cf),
+                "closed set cannot reconstruct cf of {:?}", gram);
+        }
+    }
+
+    /// SUFFIX-σ time series equal the brute-force oracle, and their
+    /// totals equal collection frequencies.
+    #[test]
+    fn time_series_match_oracle(
+        docs in prop::collection::vec(
+            prop::collection::vec(prop::collection::vec(0u32..5, 0..10), 1..3),
+            1..6),
+        tau in 1u64..4,
+        sigma in 1usize..5,
+    ) {
+        let coll = collection(docs);
+        let cluster = Cluster::new(2);
+        let params = NGramParams::new(tau, sigma);
+        let got = compute_time_series(&cluster, &coll, Method::SuffixSigma, &params).unwrap();
+        let input = prepare_input(&coll, tau, params.split_docs);
+        let expected: Vec<(Gram, TimeSeries)> = reference_ts(&input, tau, sigma)
+            .into_iter().map(|(g, ts)| (Gram(g), ts)).collect();
+        prop_assert_eq!(got.clone(), expected);
+
+        let cf = reference_cf(&input, tau, sigma);
+        for (gram, ts) in &got {
+            prop_assert_eq!(ts.total(), cf[gram.terms()]);
+        }
+    }
+}
+
+#[test]
+fn naive_and_suffix_sigma_time_series_agree() {
+    let coll = corpus::generate(&corpus::CorpusProfile::tiny("ts", 40), 5);
+    let cluster = Cluster::new(2);
+    let params = NGramParams::new(3, 4);
+    let suffix = compute_time_series(&cluster, &coll, Method::SuffixSigma, &params).unwrap();
+    let naive = compute_time_series(&cluster, &coll, Method::Naive, &params).unwrap();
+    assert_eq!(suffix, naive);
+    assert!(!suffix.is_empty());
+}
+
+#[test]
+fn time_series_rejected_for_apriori_methods() {
+    let coll = corpus::generate(&corpus::CorpusProfile::tiny("ts-rej", 5), 5);
+    let cluster = Cluster::new(1);
+    let params = NGramParams::new(2, 3);
+    assert!(compute_time_series(&cluster, &coll, Method::AprioriScan, &params).is_err());
+    assert!(compute_time_series(&cluster, &coll, Method::AprioriIndex, &params).is_err());
+}
+
+#[test]
+fn maximal_is_subset_of_closed_is_subset_of_all() {
+    let coll = corpus::generate(&corpus::CorpusProfile::tiny("subset", 60), 9);
+    let all = run(&coll, 3, 5, OutputMode::All);
+    let closed = run(&coll, 3, 5, OutputMode::Closed);
+    let maximal = run(&coll, 3, 5, OutputMode::Maximal);
+    assert!(maximal.len() <= closed.len());
+    assert!(closed.len() <= all.len());
+    let all_set: std::collections::HashSet<_> = all.iter().collect();
+    assert!(closed.iter().all(|p| all_set.contains(p)));
+    let closed_set: std::collections::HashSet<_> = closed.iter().collect();
+    assert!(maximal.iter().all(|p| closed_set.contains(p)));
+}

@@ -1,0 +1,200 @@
+//! The paper's cost analysis, checked as counter identities:
+//!
+//! * NAÏVE emits Σ_{|s|≤σ} cf(s) records (§III-A);
+//! * SUFFIX-σ emits exactly one record per term occurrence (§IV);
+//! * APRIORI-SCAN never emits more than NAÏVE (S_NP ⊆ S, §III-B);
+//! * at low τ, SUFFIX-σ transfers the fewest records (§VII-E).
+
+use mapreduce::{Cluster, Counter};
+use ngrams::{
+    compute, input_tokens, prepare_input, reference_cf, Method, NGramParams,
+};
+
+fn tiny_corpus(seed: u64) -> corpus::Collection {
+    corpus::generate(&corpus::CorpusProfile::tiny("inv", 50), seed)
+}
+
+#[test]
+fn naive_record_count_is_sum_of_cf() {
+    let coll = tiny_corpus(31);
+    let cluster = Cluster::new(2);
+    let params = NGramParams {
+        split_docs: false,
+        ..NGramParams::new(1, 4)
+    };
+    let result = compute(&cluster, &coll, Method::Naive, &params).unwrap();
+    let input = prepare_input(&coll, 1, false);
+    let expected: u64 = reference_cf(&input, 1, 4).values().sum();
+    assert_eq!(result.counters.get(Counter::MapOutputRecords), expected);
+}
+
+#[test]
+fn suffix_sigma_record_count_is_token_count() {
+    let coll = tiny_corpus(32);
+    let cluster = Cluster::new(2);
+    for split in [false, true] {
+        let params = NGramParams {
+            split_docs: split,
+            ..NGramParams::new(2, 5)
+        };
+        let result = compute(&cluster, &coll, Method::SuffixSigma, &params).unwrap();
+        let tokens = input_tokens(&prepare_input(&coll, 2, split));
+        assert_eq!(
+            result.counters.get(Counter::MapOutputRecords),
+            tokens,
+            "one suffix per position (split_docs={split})"
+        );
+    }
+}
+
+#[test]
+fn suffix_sigma_record_count_is_independent_of_sigma() {
+    // §VII-F: "the number of records transferred is constant, since it
+    // depends only on the minimum collection frequency τ".
+    let coll = tiny_corpus(33);
+    let cluster = Cluster::new(2);
+    let mut counts = Vec::new();
+    for sigma in [2usize, 5, 20, 100] {
+        let result = compute(
+            &cluster,
+            &coll,
+            Method::SuffixSigma,
+            &NGramParams::new(2, sigma),
+        )
+        .unwrap();
+        counts.push(result.counters.get(Counter::MapOutputRecords));
+    }
+    assert!(
+        counts.windows(2).all(|w| w[0] == w[1]),
+        "record counts varied with sigma: {counts:?}"
+    );
+}
+
+#[test]
+fn apriori_scan_never_emits_more_than_naive() {
+    let coll = tiny_corpus(34);
+    let cluster = Cluster::new(2);
+    for tau in [2u64, 4] {
+        let params = NGramParams::new(tau, 5);
+        let naive = compute(&cluster, &coll, Method::Naive, &params).unwrap();
+        let scan = compute(&cluster, &coll, Method::AprioriScan, &params).unwrap();
+        assert!(
+            scan.counters.get(Counter::MapOutputRecords)
+                <= naive.counters.get(Counter::MapOutputRecords),
+            "S_NP ⊆ S violated at tau={tau}"
+        );
+    }
+}
+
+#[test]
+fn suffix_sigma_transfers_fewest_records_at_low_tau() {
+    let coll = tiny_corpus(35);
+    let cluster = Cluster::new(2);
+    let params = NGramParams::new(2, 5);
+    let records = |m: Method| {
+        compute(&cluster, &coll, m, &params)
+            .unwrap()
+            .counters
+            .get(Counter::MapOutputRecords)
+    };
+    let suffix = records(Method::SuffixSigma);
+    for method in [Method::Naive, Method::AprioriScan, Method::AprioriIndex] {
+        assert!(
+            suffix <= records(method),
+            "SUFFIX-SIGMA should transfer fewest records, but {} was smaller",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn document_splits_reduce_work_for_all_methods() {
+    // §V: splitting at infrequent terms reduces emitted records (never
+    // increases them) while preserving results (tested elsewhere).
+    let coll = tiny_corpus(36);
+    let cluster = Cluster::new(2);
+    for method in Method::ALL {
+        let tau = 4;
+        let with = compute(
+            &cluster,
+            &coll,
+            method,
+            &NGramParams {
+                split_docs: true,
+                ..NGramParams::new(tau, 5)
+            },
+        )
+        .unwrap();
+        let without = compute(
+            &cluster,
+            &coll,
+            method,
+            &NGramParams {
+                split_docs: false,
+                ..NGramParams::new(tau, 5)
+            },
+        )
+        .unwrap();
+        assert_eq!(with.grams, without.grams);
+        assert!(
+            with.counters.get(Counter::MapOutputRecords)
+                <= without.counters.get(Counter::MapOutputRecords),
+            "{}: splits increased record count",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn combiner_reduces_shuffled_records_not_map_output() {
+    let coll = tiny_corpus(37);
+    let cluster = Cluster::new(2);
+    let base = NGramParams::new(2, 4);
+    let with = compute(
+        &cluster,
+        &coll,
+        Method::Naive,
+        &NGramParams {
+            combiner: true,
+            ..base.clone()
+        },
+    )
+    .unwrap();
+    let without = compute(
+        &cluster,
+        &coll,
+        Method::Naive,
+        &NGramParams {
+            combiner: false,
+            ..base
+        },
+    )
+    .unwrap();
+    assert_eq!(with.grams, without.grams);
+    // Hadoop semantics: MAP_OUTPUT_RECORDS is pre-combine.
+    assert_eq!(
+        with.counters.get(Counter::MapOutputRecords),
+        without.counters.get(Counter::MapOutputRecords)
+    );
+    assert!(
+        with.counters.get(Counter::ReduceInputRecords)
+            < without.counters.get(Counter::ReduceInputRecords),
+        "combiner must shrink what reducers consume"
+    );
+}
+
+#[test]
+fn multi_job_methods_aggregate_counters_across_jobs() {
+    let coll = tiny_corpus(38);
+    let cluster = Cluster::new(2);
+    let params = NGramParams::new(2, 4);
+    let scan = compute(&cluster, &coll, Method::AprioriScan, &params).unwrap();
+    assert!(scan.jobs > 1);
+    // Each job scans all input records: MAP_INPUT_RECORDS must be a
+    // multiple of the input size summed over jobs.
+    let input_len = prepare_input(&coll, 2, true).len() as u64;
+    assert_eq!(
+        scan.counters.get(Counter::MapInputRecords),
+        input_len * scan.jobs as u64
+    );
+}

@@ -1,0 +1,179 @@
+//! Cross-method agreement: the paper's four algorithms are different
+//! physical plans for the same logical query, so on any corpus and any
+//! (τ, σ) they must produce identical results — and match a brute-force
+//! oracle. Verified with hand-picked corpora and property-based testing.
+
+use corpus::{Collection, Dictionary, Document};
+use mapreduce::{Cluster, JobConfig};
+use ngrams::{
+    compute, prepare_input, reference_cf, CountMode, Gram, Method, NGramParams,
+};
+use proptest::prelude::*;
+
+/// Build a collection straight from nested term-id vectors.
+fn collection(docs: Vec<Vec<Vec<u32>>>) -> Collection {
+    Collection {
+        name: "prop".into(),
+        docs: docs
+            .into_iter()
+            .enumerate()
+            .map(|(i, sentences)| Document {
+                id: i as u64,
+                year: 2000 + (i % 5) as u16,
+                sentences,
+            })
+            .collect(),
+        dictionary: Dictionary::default(),
+    }
+}
+
+fn oracle(coll: &Collection, tau: u64, sigma: usize, split: bool) -> Vec<(Gram, u64)> {
+    let input = prepare_input(coll, tau, split);
+    reference_cf(&input, tau, sigma)
+        .into_iter()
+        .map(|(g, c)| (Gram(g), c))
+        .collect()
+}
+
+fn check_all_methods(coll: &Collection, tau: u64, sigma: usize) {
+    let cluster = Cluster::new(2);
+    let params = NGramParams {
+        apriori_k: 2, // exercise the posting-list join phase
+        ..NGramParams::new(tau, sigma)
+    };
+    let expected = oracle(coll, tau, sigma, params.split_docs);
+    for method in Method::ALL {
+        let got = compute(&cluster, coll, method, &params)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()));
+        assert_eq!(
+            got.grams,
+            expected,
+            "{} disagrees with oracle (tau={tau}, sigma={sigma})",
+            method.name()
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any corpus, any τ/σ: four methods, one answer.
+    #[test]
+    fn methods_agree_with_oracle(
+        docs in prop::collection::vec(
+            prop::collection::vec(
+                prop::collection::vec(0u32..6, 0..10), // sentence
+                1..4),                                  // sentences per doc
+            1..7),                                      // docs
+        tau in 1u64..5,
+        sigma in 1usize..6,
+    ) {
+        check_all_methods(&collection(docs), tau, sigma);
+    }
+
+    /// Document splitting must never change the answer, only the cost.
+    #[test]
+    fn document_splits_preserve_results(
+        docs in prop::collection::vec(
+            prop::collection::vec(
+                prop::collection::vec(0u32..8, 0..12),
+                1..3),
+            1..6),
+        tau in 2u64..5,
+        sigma in 1usize..5,
+    ) {
+        let coll = collection(docs);
+        let cluster = Cluster::new(2);
+        let with = compute(&cluster, &coll, Method::SuffixSigma, &NGramParams {
+            split_docs: true, ..NGramParams::new(tau, sigma)
+        }).unwrap();
+        let without = compute(&cluster, &coll, Method::SuffixSigma, &NGramParams {
+            split_docs: false, ..NGramParams::new(tau, sigma)
+        }).unwrap();
+        prop_assert_eq!(with.grams, without.grams);
+    }
+}
+
+#[test]
+fn unbounded_sigma_and_tau_one() {
+    // σ = ∞, τ = 1: every distinct subsequence is reported.
+    let coll = collection(vec![vec![vec![1, 2, 1, 2]]]);
+    check_all_methods(&coll, 1, usize::MAX);
+}
+
+#[test]
+fn single_term_corpus() {
+    let coll = collection(vec![vec![vec![5], vec![5]], vec![vec![5]]]);
+    check_all_methods(&coll, 2, 3);
+}
+
+#[test]
+fn corpus_of_empty_documents() {
+    let coll = collection(vec![vec![vec![]], vec![]]);
+    check_all_methods(&coll, 1, 3);
+}
+
+#[test]
+fn repetitive_corpus_stresses_stack_merging() {
+    // Long runs of one term make every prefix frequent — the worst case
+    // for SUFFIX-σ's stack bookkeeping.
+    let coll = collection(vec![vec![vec![3; 30]], vec![vec![3; 20]]]);
+    check_all_methods(&coll, 5, 10);
+}
+
+#[test]
+fn results_are_invariant_across_engine_configurations() {
+    let coll = corpus::generate(&corpus::CorpusProfile::tiny("engine", 40), 3);
+    let baseline = {
+        let cluster = Cluster::new(1);
+        compute(&cluster, &coll, Method::SuffixSigma, &NGramParams::new(2, 4))
+            .unwrap()
+            .grams
+    };
+    for (slots, maps, reduces, spill, buffer) in [
+        (1usize, 1usize, 1usize, false, usize::MAX),
+        (4, 16, 5, false, 4096),
+        (2, 7, 3, true, 512),
+        (8, 32, 8, true, 256),
+    ] {
+        let cluster = Cluster::new(slots);
+        let params = NGramParams {
+            job: JobConfig {
+                num_map_tasks: maps,
+                num_reduce_tasks: reduces,
+                spill_to_disk: spill,
+                sort_buffer_bytes: buffer,
+                ..JobConfig::default()
+            },
+            ..NGramParams::new(2, 4)
+        };
+        for method in Method::ALL {
+            let got = compute(&cluster, &coll, method, &params).unwrap();
+            assert_eq!(
+                got.grams, baseline,
+                "{} changed output under slots={slots} maps={maps} reduces={reduces} spill={spill}",
+                method.name()
+            );
+        }
+    }
+}
+
+#[test]
+fn document_frequency_agrees_across_methods() {
+    let coll = corpus::generate(&corpus::CorpusProfile::tiny("df", 30), 11);
+    let cluster = Cluster::new(2);
+    let params = NGramParams {
+        mode: CountMode::Df,
+        apriori_k: 2,
+        ..NGramParams::new(2, 4)
+    };
+    let input = prepare_input(&coll, params.tau, params.split_docs);
+    let expected: Vec<(Gram, u64)> = ngrams::reference_df(&input, params.tau, params.sigma)
+        .into_iter()
+        .map(|(g, c)| (Gram(g), c))
+        .collect();
+    for method in Method::ALL {
+        let got = compute(&cluster, &coll, method, &params).unwrap();
+        assert_eq!(got.grams, expected, "{} df disagrees", method.name());
+    }
+}
