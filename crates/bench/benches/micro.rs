@@ -5,7 +5,7 @@
 
 use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
 use mapreduce::{from_bytes, to_bytes, RawComparator, Writable};
-use ngrams::{reverse_lex, Gram, PostingList, Posting, ReverseLexComparator};
+use ngrams::{reverse_lex, Gram, Posting, PostingList, ReverseLexComparator};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::hint::black_box;
@@ -107,11 +107,15 @@ fn bench_posting_join(c: &mut Criterion) {
     let make_list = |docs: usize, positions: usize, rng: &mut StdRng| PostingList {
         postings: (0..docs as u64)
             .map(|did| {
-                let mut pos: Vec<u32> =
-                    (0..positions).map(|_| rng.random_range(0..10_000)).collect();
+                let mut pos: Vec<u32> = (0..positions)
+                    .map(|_| rng.random_range(0..10_000))
+                    .collect();
                 pos.sort_unstable();
                 pos.dedup();
-                Posting { did: did * 2, positions: pos }
+                Posting {
+                    did: did * 2,
+                    positions: pos,
+                }
             })
             .collect(),
     };
@@ -167,7 +171,9 @@ fn bench_kvstore(c: &mut Criterion) {
         b.iter(|| {
             for _ in 0..1_000 {
                 counter += 1;
-                store.put(&counter.to_le_bytes(), &counter.to_le_bytes()).unwrap();
+                store
+                    .put(&counter.to_le_bytes(), &counter.to_le_bytes())
+                    .unwrap();
             }
         });
     });

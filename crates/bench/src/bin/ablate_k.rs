@@ -35,10 +35,7 @@ fn main() {
             ]);
         }
         bench::print_table(
-            &format!(
-                "APRIORI-INDEX K calibration ({}, τ={tau}, σ=8)",
-                coll.name
-            ),
+            &format!("APRIORI-INDEX K calibration ({}, τ={tau}, σ=8)", coll.name),
             &["K", "wallclock", "jobs", "records", "bytes"],
             &rows,
         );

@@ -25,8 +25,8 @@ fn main() {
                 output,
                 ..NGramParams::new(tau, 50)
             };
-            let result = compute(&cluster, coll, Method::SuffixSigma, &params)
-                .expect("suffix-sigma failed");
+            let result =
+                compute(&cluster, coll, Method::SuffixSigma, &params).expect("suffix-sigma failed");
             if output == OutputMode::All {
                 all_count = result.grams.len();
             }
@@ -44,7 +44,14 @@ fn main() {
         }
         bench::print_table(
             &format!("§VI-A ({}): output reduction (τ={tau}, σ=50)", coll.name),
-            &["output", "n-grams", "of all", "jobs", "wallclock", "records"],
+            &[
+                "output",
+                "n-grams",
+                "of all",
+                "jobs",
+                "wallclock",
+                "records",
+            ],
             &rows,
         );
     }

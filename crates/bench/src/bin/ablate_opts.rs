@@ -8,8 +8,8 @@
 
 use mapreduce::{Cluster, Counter, Job, JobConfig, RawComparator};
 use ngrams::{
-    compute, prepare_input, reverse_lex, CountAgg, EmitFilter, FirstTermPartitioner, Gram,
-    Method, NGramParams, ReverseLexComparator, StackReducer, SuffixMapper,
+    compute, prepare_input, reverse_lex, CountAgg, EmitFilter, FirstTermPartitioner, Gram, Method,
+    NGramParams, ReverseLexComparator, StackReducer, SuffixMapper,
 };
 
 /// Deserializing twin of [`ReverseLexComparator`] — what SUFFIX-σ's sort
@@ -41,7 +41,8 @@ fn suffix_job_wall(
     )
     .partitioner(FirstTermPartitioner);
     let result = if raw {
-        job.sort_comparator(ReverseLexComparator).run(cluster, input)
+        job.sort_comparator(ReverseLexComparator)
+            .run(cluster, input)
     } else {
         job.sort_comparator(DecodedReverseLex).run(cluster, input)
     }
@@ -96,7 +97,14 @@ fn main() {
     }
     bench::print_table(
         "§V document splits (τ=10, σ=50): off vs on",
-        &["method", "wall off", "wall on", "records off", "records on", "record ratio"],
+        &[
+            "method",
+            "wall off",
+            "wall on",
+            "records off",
+            "records on",
+            "record ratio",
+        ],
         &rows,
     );
 
@@ -114,7 +122,12 @@ fn main() {
         )
         .unwrap();
         rows.push(vec![
-            if combiner { "with combiner" } else { "no combiner" }.to_string(),
+            if combiner {
+                "with combiner"
+            } else {
+                "no combiner"
+            }
+            .to_string(),
             bench::fmt_duration(result.elapsed),
             bench::fmt_count(result.counters.get(Counter::MapOutputRecords)),
             bench::fmt_count(result.counters.get(Counter::ReduceInputRecords)),
@@ -123,7 +136,13 @@ fn main() {
     }
     bench::print_table(
         "§III-A NAIVE combiner (τ=5, σ=5)",
-        &["config", "wall", "map records", "reduce records", "shuffled"],
+        &[
+            "config",
+            "wall",
+            "map records",
+            "reduce records",
+            "shuffled",
+        ],
         &rows,
     );
 

@@ -15,8 +15,8 @@ fn main() {
     for coll in [&nyt, &cw] {
         let params = NGramParams::new(/*tau*/ 5, /*sigma*/ usize::MAX);
         let t0 = std::time::Instant::now();
-        let result = compute(&cluster, coll, Method::SuffixSigma, &params)
-            .expect("suffix-sigma failed");
+        let result =
+            compute(&cluster, coll, Method::SuffixSigma, &params).expect("suffix-sigma failed");
         let wall = t0.elapsed();
 
         // Bucket (i, j) = (⌊log10 |s|⌋, ⌊log10 cf(s)⌋).

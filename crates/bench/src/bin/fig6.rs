@@ -35,7 +35,10 @@ fn sweep(cluster: &mapreduce::Cluster, coll: &corpus::Collection, tau: u64) {
         rows.push(row);
     }
     bench::print_table(
-        &format!("Figure 6 ({}): wallclock vs dataset fraction (τ={tau}, σ=5)", coll.name),
+        &format!(
+            "Figure 6 ({}): wallclock vs dataset fraction (τ={tau}, σ=5)",
+            coll.name
+        ),
         &["method", "25%", "50%", "75%", "100%", "100%/25%"],
         &rows,
     );

@@ -51,7 +51,10 @@ fn sweep(coll: &corpus::Collection, tau: u64) {
             walls.push(total.as_secs_f64());
             row.push(fmt_duration(total));
         }
-        row.push(format!("{:.1}x", walls[0] / walls[SLOTS.len() - 1].max(1e-9)));
+        row.push(format!(
+            "{:.1}x",
+            walls[0] / walls[SLOTS.len() - 1].max(1e-9)
+        ));
         rows.push(row);
     }
     let headers: Vec<String> = std::iter::once("method".to_string())
@@ -74,7 +77,9 @@ fn main() {
     let (nyt, cw) = bench::corpora(scale);
     println!(
         "host parallelism: {} (slot ladders are projected from per-task times — see module docs)",
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1)
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
     );
 
     sweep(&nyt, 10);

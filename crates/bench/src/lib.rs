@@ -179,8 +179,7 @@ pub fn measure(
     method: Method,
     params: &NGramParams,
 ) -> Outcome {
-    if method == Method::Naive
-        && estimate_naive_records(coll, params.sigma) > naive_record_limit()
+    if method == Method::Naive && estimate_naive_records(coll, params.sigma) > naive_record_limit()
     {
         return Outcome::Dnf("record cap (paper: did not complete in reasonable time)");
     }

@@ -1,0 +1,473 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to a crates registry, so this
+//! workspace ships a minimal property-testing engine with a
+//! `proptest`-compatible surface: the [`proptest!`] macro,
+//! `prop::collection` strategies, ranges and tuples as strategies,
+//! [`Just`], [`prop_oneof!`], `any::<T>()`, `prop_map`, and the
+//! `prop_assert*` macros.
+//!
+//! Differences from real proptest: no shrinking (a failing case reports
+//! its case number and the fixed per-test seed, which reproduces it
+//! deterministically), and no persistence files.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Runner configuration, mirroring `proptest::test_runner::Config`.
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` generated inputs per property.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// A generator of values of type `Value`.
+///
+/// Object-safe: `generate` is callable through `dyn Strategy`, which
+/// [`prop_oneof!`] relies on.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Produce one value from the generator state.
+    fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Map generated values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for Box<S> {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, F, O> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+    fn generate(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Strategy that always yields a clone of one value.
+#[derive(Clone, Debug)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut StdRng) -> $t {
+                rng.random_range(self.clone())
+            }
+        }
+    )*};
+}
+impl_range_strategy!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident/$idx:tt),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.generate(rng),)+)
+            }
+        }
+    )*};
+}
+impl_tuple_strategy! {
+    (A/0)
+    (A/0, B/1)
+    (A/0, B/1, C/2)
+    (A/0, B/1, C/2, D/3)
+    (A/0, B/1, C/2, D/3, E/4)
+    (A/0, B/1, C/2, D/3, E/4, F/5)
+}
+
+/// Types with a canonical strategy, for `any::<T>()`.
+pub trait Arbitrary: Sized {
+    /// The canonical strategy for this type.
+    type Strategy: Strategy<Value = Self>;
+    /// Build the canonical strategy.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// Canonical strategy for `bool`.
+#[derive(Clone, Debug, Default)]
+pub struct BoolStrategy;
+
+impl Strategy for BoolStrategy {
+    type Value = bool;
+    fn generate(&self, rng: &mut StdRng) -> bool {
+        rng.random()
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = BoolStrategy;
+    fn arbitrary() -> BoolStrategy {
+        BoolStrategy
+    }
+}
+
+/// The canonical strategy for `T` (uniform over the type's value space).
+pub fn any<T: Arbitrary>() -> T::Strategy {
+    T::arbitrary()
+}
+
+/// Uniform choice among boxed alternatives; built by [`prop_oneof!`].
+pub struct Union<T> {
+    options: Vec<Box<dyn Strategy<Value = T>>>,
+}
+
+impl<T> Union<T> {
+    /// Build a union over `options`; panics if empty.
+    pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one option");
+        Union { options }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut StdRng) -> T {
+        let i = rng.random_range(0..self.options.len());
+        self.options[i].generate(rng)
+    }
+}
+
+/// Box a strategy for [`Union`]; used by [`prop_oneof!`] so that integer
+/// literals in different arms unify to one `Value` type.
+pub fn boxed_strategy<S>(s: S) -> Box<dyn Strategy<Value = S::Value>>
+where
+    S: Strategy + 'static,
+{
+    Box::new(s)
+}
+
+/// `prop::collection` and friends, mirroring proptest's `prop` module.
+pub mod prop {
+    /// Strategies for standard collections.
+    pub mod collection {
+        use super::super::Strategy;
+        use rand::rngs::StdRng;
+        use rand::Rng;
+        use std::collections::{BTreeMap, BTreeSet};
+        use std::ops::Range;
+
+        fn sample_len(range: &Range<usize>, rng: &mut StdRng) -> usize {
+            if range.start >= range.end {
+                range.start
+            } else {
+                rng.random_range(range.clone())
+            }
+        }
+
+        /// Strategy for `Vec<S::Value>` with a length drawn from `len`.
+        pub struct VecStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S: Strategy> Strategy for VecStrategy<S> {
+            type Value = Vec<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let n = sample_len(&self.len, rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Vector of `element` values with length in `len`.
+        pub fn vec<S: Strategy>(element: S, len: Range<usize>) -> VecStrategy<S> {
+            VecStrategy { element, len }
+        }
+
+        /// Strategy for `BTreeMap` with up to `len` entries.
+        pub struct BTreeMapStrategy<K, V> {
+            key: K,
+            value: V,
+            len: Range<usize>,
+        }
+
+        impl<K, V> Strategy for BTreeMapStrategy<K, V>
+        where
+            K: Strategy,
+            V: Strategy,
+            K::Value: Ord,
+        {
+            type Value = BTreeMap<K::Value, V::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let n = sample_len(&self.len, rng);
+                (0..n)
+                    .map(|_| (self.key.generate(rng), self.value.generate(rng)))
+                    .collect()
+            }
+        }
+
+        /// Map of `key → value` with entry count in `len` (before key dedup).
+        pub fn btree_map<K: Strategy, V: Strategy>(
+            key: K,
+            value: V,
+            len: Range<usize>,
+        ) -> BTreeMapStrategy<K, V> {
+            BTreeMapStrategy { key, value, len }
+        }
+
+        /// Strategy for `BTreeSet` with up to `len` elements.
+        pub struct BTreeSetStrategy<S> {
+            element: S,
+            len: Range<usize>,
+        }
+
+        impl<S> Strategy for BTreeSetStrategy<S>
+        where
+            S: Strategy,
+            S::Value: Ord,
+        {
+            type Value = BTreeSet<S::Value>;
+            fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                let n = sample_len(&self.len, rng);
+                (0..n).map(|_| self.element.generate(rng)).collect()
+            }
+        }
+
+        /// Set of `element` values with element count in `len` (before dedup).
+        pub fn btree_set<S: Strategy>(element: S, len: Range<usize>) -> BTreeSetStrategy<S> {
+            BTreeSetStrategy { element, len }
+        }
+    }
+}
+
+/// Everything a property test module needs, mirroring proptest's prelude.
+pub mod prelude {
+    pub use crate::{
+        any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest, Arbitrary,
+        Just, ProptestConfig, Strategy,
+    };
+}
+
+/// Runner internals used by the [`proptest!`] expansion. Not public API.
+pub mod runner {
+    pub use rand::rngs::StdRng;
+    pub use rand::SeedableRng;
+
+    /// Stable per-test seed: FNV-1a over the test's module path and name,
+    /// so each property gets a distinct but reproducible stream.
+    pub fn seed_for(name: &str) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for b in name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        h
+    }
+}
+
+/// Assert a condition inside a [`proptest!`] body, failing the case
+/// (with case/seed context) instead of panicking.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::core::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)+));
+        }
+    };
+}
+
+/// Assert equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                ::core::stringify!($left), ::core::stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if !(*l == *r) {
+            return ::core::result::Result::Err(::std::format!(
+                "{}\n  left: {:?}\n right: {:?}",
+                ::std::format!($($fmt)+), l, r
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if *l == *r {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n  both: {:?}",
+                ::core::stringify!($left),
+                ::core::stringify!($right),
+                l
+            ));
+        }
+    }};
+}
+
+/// Uniform choice among the listed strategies (all yielding one type).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strategy:expr),+ $(,)?) => {
+        $crate::Union::new(::std::vec![$($crate::boxed_strategy($strategy)),+])
+    };
+}
+
+/// Define property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` running `cases` generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::ProptestConfig = $config;
+                let __seed = $crate::runner::seed_for(::core::concat!(
+                    ::core::module_path!(), "::", ::core::stringify!($name)
+                ));
+                let mut __rng = <$crate::runner::StdRng as $crate::runner::SeedableRng>::seed_from_u64(__seed);
+                for __case in 0..__config.cases {
+                    $(let $arg = $crate::Strategy::generate(&($strategy), &mut __rng);)+
+                    let __outcome: ::core::result::Result<(), ::std::string::String> = (|| {
+                        $body;
+                        ::core::result::Result::Ok(())
+                    })();
+                    if let ::core::result::Result::Err(__msg) = __outcome {
+                        ::core::panic!(
+                            "proptest case {}/{} failed (seed {:#x}):\n{}",
+                            __case + 1, __config.cases, __seed, __msg
+                        );
+                    }
+                }
+            }
+        )*
+    };
+    ($($rest:tt)*) => {
+        $crate::proptest! {
+            #![proptest_config($crate::ProptestConfig::default())]
+            $($rest)*
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    #[test]
+    fn union_picks_all_options() {
+        use crate::runner::{seed_for, SeedableRng, StdRng};
+        let s = prop_oneof![Just(1u32), Just(2), Just(3)];
+        let mut rng = StdRng::seed_from_u64(seed_for("union"));
+        let mut seen = std::collections::BTreeSet::new();
+        for _ in 0..200 {
+            seen.insert(s.generate(&mut rng));
+        }
+        assert_eq!(seen.into_iter().collect::<Vec<_>>(), vec![1, 2, 3]);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn generated_vecs_respect_bounds(
+            v in prop::collection::vec(0u32..10, 2..5),
+            flag in any::<bool>(),
+            choice in prop_oneof![Just(7usize), Just(9)],
+        ) {
+            prop_assert!((2..5).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 10));
+            prop_assert!(choice == 7 || choice == 9);
+            let _ = flag;
+        }
+
+        #[test]
+        fn mapped_strategies_apply_function(
+            n in (1u32..5).prop_map(|x| x * 100),
+        ) {
+            prop_assert!((100..500).contains(&n));
+            prop_assert_eq!(n % 100, 0);
+        }
+
+        #[test]
+        fn btree_collections_generate(
+            m in prop::collection::btree_map(0u64..6, prop::collection::btree_set(0u32..9, 1..4), 0..5),
+        ) {
+            prop_assert!(m.len() < 5);
+            for set in m.values() {
+                prop_assert!(!set.is_empty());
+            }
+        }
+    }
+}

@@ -460,8 +460,7 @@ mod tests {
     fn join_produces_paper_posting_list() {
         let input = running_example();
         let cluster = Cluster::new(1);
-        let with_postings =
-            apriori_index_postings(&cluster, &input, &params(3, 3, 2)).unwrap();
+        let with_postings = apriori_index_postings(&cluster, &input, &params(3, 3, 2)).unwrap();
         let (a, b, x) = (2u32, 1u32, 0u32);
         let axb = with_postings
             .iter()

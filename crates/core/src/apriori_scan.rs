@@ -27,8 +27,9 @@ pub enum GramDict {
     Mem(FxHashSet<Box<[u32]>>),
     /// Disk-resident store in a temporary directory.
     Disk {
-        /// The backing store; keys are serialized grams.
-        store: KvStore,
+        /// The backing store; keys are serialized grams. Boxed to keep
+        /// the enum as small as its common in-memory variant.
+        store: Box<KvStore>,
         /// Keeps the temporary directory alive (removed on drop).
         _dir: TempDir,
     },
@@ -67,7 +68,10 @@ impl GramDict {
                 store.put(&to_bytes(g), &[]).map_err(kv_err)?;
             }
             store.flush().map_err(kv_err)?;
-            Ok(GramDict::Disk { store, _dir: dir })
+            Ok(GramDict::Disk {
+                store: Box::new(store),
+                _dir: dir,
+            })
         }
     }
 

@@ -3,13 +3,13 @@
 //! collection on a simulated cluster.
 
 use crate::aggregate::{CountAgg, CountMode, DfAgg, IndexAgg, PrefixAggregator, TsAgg};
-use crate::postings::PostingList;
 use crate::apriori_index::{apriori_index, IndexParams};
 use crate::apriori_scan::{apriori_scan, ScanParams};
 use crate::gram::{FirstTermPartitioner, Gram, ReverseLexComparator};
 use crate::input::prepare_input;
 use crate::maximal::filter_suffix_side;
 use crate::naive::{NaiveMapper, NaiveReducer, SumCombiner};
+use crate::postings::PostingList;
 use crate::suffix_sigma::{EmitFilter, StackReducer, SuffixMapper};
 use crate::timeseries::TimeSeries;
 use corpus::Collection;
@@ -189,13 +189,8 @@ pub fn compute(
                 OutputMode::Maximal => EmitFilter::PrefixMaximal,
                 OutputMode::Closed => EmitFilter::PrefixClosed,
             };
-            let pass1 = run_suffix_sigma(
-                cluster,
-                input,
-                CountAgg { tau: params.tau },
-                params,
-                filter,
-            )?;
+            let pass1 =
+                run_suffix_sigma(cluster, input, CountAgg { tau: params.tau }, params, filter)?;
             match params.output {
                 OutputMode::All => pass1,
                 _ => filter_suffix_side(cluster, pass1, filter, named(params, "suffix-sigma"))?
@@ -321,7 +316,7 @@ fn named(params: &NGramParams, name: &str) -> JobConfig {
     cfg
 }
 
-fn run_naive<A: PrefixAggregator>(
+fn run_naive<A>(
     cluster: &Cluster,
     input: Vec<(u64, crate::input::InputSeq)>,
     agg: A,
@@ -389,7 +384,10 @@ mod tests {
         let baseline = compute(&cluster, &coll, Method::SuffixSigma, &params)
             .unwrap()
             .grams;
-        assert!(!baseline.is_empty(), "tiny corpus must have frequent n-grams");
+        assert!(
+            !baseline.is_empty(),
+            "tiny corpus must have frequent n-grams"
+        );
         for method in [Method::Naive, Method::AprioriScan, Method::AprioriIndex] {
             let got = compute(&cluster, &coll, method, &params).unwrap().grams;
             assert_eq!(got, baseline, "{} disagrees", method.name());

@@ -2,9 +2,7 @@
 //! first-term partitioner and the reverse lexicographic raw comparator
 //! (paper §IV).
 
-use mapreduce::{
-    write_vu32, ByteReader, Partitioner, RawComparator, Result, Writable,
-};
+use mapreduce::{write_vu32, ByteReader, Partitioner, RawComparator, Result, Writable};
 use std::cmp::Ordering;
 
 /// A sequence of term identifiers — an n-gram (or a truncated suffix).

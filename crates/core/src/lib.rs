@@ -65,8 +65,7 @@ pub use maximal::{filter_suffix_side, ReverseMapper, SuffixFilterReducer};
 pub use naive::{NaiveMapper, NaiveReducer, SumCombiner};
 pub use postings::{Posting, PostingList};
 pub use reference::{
-    is_subsequence, reference_cf, reference_closed, reference_df, reference_maximal,
-    reference_ts,
+    is_subsequence, reference_cf, reference_closed, reference_df, reference_maximal, reference_ts,
 };
 pub use single_machine::suffix_sort_counts;
 pub use suffix_sigma::{EmitFilter, StackReducer, SuffixMapper};

@@ -67,9 +67,7 @@ impl Reducer for SuffixFilterReducer {
                 !(key.len() < prev.len() && prev[..key.len()] == key.0[..])
             }
             (EmitFilter::PrefixClosed, Some((prev, prev_stat))) => {
-                !(key.len() < prev.len()
-                    && prev[..key.len()] == key.0[..]
-                    && stat == *prev_stat)
+                !(key.len() < prev.len() && prev[..key.len()] == key.0[..] && stat == *prev_stat)
             }
         };
         if keep {
@@ -88,7 +86,11 @@ pub fn filter_suffix_side(
 ) -> Result<JobResult<Gram, u64>> {
     cfg.name = format!(
         "{}-postfilter",
-        if cfg.name.is_empty() { "suffix-sigma" } else { &cfg.name }
+        if cfg.name.is_empty() {
+            "suffix-sigma"
+        } else {
+            &cfg.name
+        }
     );
     let job = Job::<ReverseMapper, SuffixFilterReducer>::new(
         cfg,

@@ -8,11 +8,7 @@ use std::collections::BTreeMap;
 
 /// Exact collection frequencies of all n-grams with `cf ≥ tau`,
 /// `len ≤ sigma`.
-pub fn reference_cf(
-    input: &[(u64, InputSeq)],
-    tau: u64,
-    sigma: usize,
-) -> BTreeMap<Vec<u32>, u64> {
+pub fn reference_cf(input: &[(u64, InputSeq)], tau: u64, sigma: usize) -> BTreeMap<Vec<u32>, u64> {
     let mut counts: BTreeMap<Vec<u32>, u64> = BTreeMap::new();
     for (_, seq) in input {
         let n = seq.terms.len();
@@ -27,11 +23,7 @@ pub fn reference_cf(
 }
 
 /// Exact document frequencies (distinct documents) with `df ≥ tau`.
-pub fn reference_df(
-    input: &[(u64, InputSeq)],
-    tau: u64,
-    sigma: usize,
-) -> BTreeMap<Vec<u32>, u64> {
+pub fn reference_df(input: &[(u64, InputSeq)], tau: u64, sigma: usize) -> BTreeMap<Vec<u32>, u64> {
     let mut docs: BTreeMap<Vec<u32>, std::collections::BTreeSet<u64>> = BTreeMap::new();
     for (_, seq) in input {
         let n = seq.terms.len();

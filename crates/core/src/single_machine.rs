@@ -77,11 +77,7 @@ fn multikey_quicksort(suffixes: &mut [&[u32]], depth: usize) {
 /// Functionally identical to [`crate::compute`] with
 /// [`crate::Method::SuffixSigma`]; exists as the in-memory baseline
 /// (no shuffle, no serialization) and scales to corpora that fit in RAM.
-pub fn suffix_sort_counts(
-    input: &[(u64, InputSeq)],
-    tau: u64,
-    sigma: usize,
-) -> Vec<(Gram, u64)> {
+pub fn suffix_sort_counts(input: &[(u64, InputSeq)], tau: u64, sigma: usize) -> Vec<(Gram, u64)> {
     // One pointer per position: the σ-truncated, sentence-bounded suffix.
     let mut suffixes: Vec<&[u32]> = Vec::new();
     for (_, seq) in input {
@@ -100,9 +96,9 @@ pub fn suffix_sort_counts(
     let mut stack_terms: Vec<u32> = Vec::new();
     let mut stack_counts: Vec<u64> = Vec::new();
     let emit_pops = |stack_terms: &mut Vec<u32>,
-                         stack_counts: &mut Vec<u64>,
-                         keep: usize,
-                         out: &mut Vec<(Gram, u64)>| {
+                     stack_counts: &mut Vec<u64>,
+                     keep: usize,
+                     out: &mut Vec<(Gram, u64)>| {
         while stack_terms.len() > keep {
             let count = stack_counts.pop().expect("stacks in sync");
             if count >= tau {
@@ -201,10 +197,7 @@ mod tests {
     fn empty_and_trivial_inputs() {
         assert!(suffix_sort_counts(&[], 1, 5).is_empty());
         let input = vec![seq(0, &[9])];
-        assert_eq!(
-            suffix_sort_counts(&input, 1, 5),
-            vec![(Gram::new(&[9]), 1)]
-        );
+        assert_eq!(suffix_sort_counts(&input, 1, 5), vec![(Gram::new(&[9]), 1)]);
         assert!(suffix_sort_counts(&input, 2, 5).is_empty());
     }
 }

@@ -263,11 +263,7 @@ mod tests {
                 vec![b],
             ];
             seqs.iter()
-                .map(|s| {
-                    (0..s.len())
-                        .filter(|&j| s[j..].starts_with(terms))
-                        .count() as u64
-                })
+                .map(|s| (0..s.len()).filter(|&j| s[j..].starts_with(terms)).count() as u64)
                 .sum()
         };
         for (gram, count) in &got {

@@ -7,20 +7,16 @@ use proptest::prelude::*;
 /// Arbitrary normalized posting list: ascending dids, sorted distinct
 /// positions.
 fn posting_list_strategy() -> impl Strategy<Value = PostingList> {
-    prop::collection::btree_map(
-        0u64..20,
-        prop::collection::btree_set(0u32..30, 1..6),
-        0..8,
-    )
-    .prop_map(|m| PostingList {
-        postings: m
-            .into_iter()
-            .map(|(did, positions)| Posting {
-                did,
-                positions: positions.into_iter().collect(),
-            })
-            .collect(),
-    })
+    prop::collection::btree_map(0u64..20, prop::collection::btree_set(0u32..30, 1..6), 0..8)
+        .prop_map(|m| PostingList {
+            postings: m
+                .into_iter()
+                .map(|(did, positions)| Posting {
+                    did,
+                    positions: positions.into_iter().collect(),
+                })
+                .collect(),
+        })
 }
 
 /// Brute-force positional join.

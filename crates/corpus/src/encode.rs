@@ -237,11 +237,7 @@ mod tests {
     use crate::profile::CorpusProfile;
 
     fn temp_file(name: &str) -> std::path::PathBuf {
-        std::env::temp_dir().join(format!(
-            "corpus-encode-{}-{}.bin",
-            std::process::id(),
-            name
-        ))
+        std::env::temp_dir().join(format!("corpus-encode-{}-{}.bin", std::process::id(), name))
     }
 
     #[test]
@@ -263,11 +259,8 @@ mod tests {
     #[test]
     fn sharded_round_trip_restores_documents_in_order() {
         let coll = generate(&CorpusProfile::tiny("sharded", 40), 8);
-        let dir = std::env::temp_dir().join(format!(
-            "corpus-shards-{}-{}",
-            std::process::id(),
-            line!()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("corpus-shards-{}-{}", std::process::id(), line!()));
         let _ = std::fs::remove_dir_all(&dir);
         save_sharded(&coll, &dir, 7).unwrap();
         // Exactly 7 shard files plus dictionary and meta.
@@ -291,10 +284,7 @@ mod tests {
 
     #[test]
     fn sharded_load_rejects_missing_meta() {
-        let dir = std::env::temp_dir().join(format!(
-            "corpus-shards-bad-{}",
-            std::process::id()
-        ));
+        let dir = std::env::temp_dir().join(format!("corpus-shards-bad-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         assert!(load_sharded(&dir).is_err());

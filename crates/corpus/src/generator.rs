@@ -56,7 +56,10 @@ pub fn generate(profile: &CorpusProfile, seed: u64) -> Collection {
         phrases.push((0..len).map(|_| unigram.sample(&mut rng)).collect());
     }
     let phrase_picker = if profile.phrase_vocab > 0 {
-        Some(Zipf::new(profile.phrase_vocab, profile.phrase_zipf_exponent))
+        Some(Zipf::new(
+            profile.phrase_vocab,
+            profile.phrase_zipf_exponent,
+        ))
     } else {
         None
     };
@@ -81,7 +84,8 @@ pub fn generate(profile: &CorpusProfile, seed: u64) -> Collection {
             }
         }
 
-        let n_sent = (profile.sentences_per_doc + normal(&mut rng) * profile.sentences_per_doc / 3.0)
+        let n_sent = (profile.sentences_per_doc
+            + normal(&mut rng) * profile.sentences_per_doc / 3.0)
             .round()
             .max(1.0) as usize;
         let mut sentences = Vec::with_capacity(n_sent);
@@ -121,7 +125,12 @@ pub fn generate(profile: &CorpusProfile, seed: u64) -> Collection {
     );
     let remap: FxHashMap<u32, u32> = counts
         .keys()
-        .map(|&w| (w, dictionary.id(lexicon.get(w)).expect("term just inserted")))
+        .map(|&w| {
+            (
+                w,
+                dictionary.id(lexicon.get(w)).expect("term just inserted"),
+            )
+        })
         .collect();
 
     let (y_lo, y_hi) = profile.years;
@@ -264,6 +273,9 @@ mod tests {
                 }
             }
         }
-        assert!(dupes > 10, "duplication should repeat sentences, got {dupes}");
+        assert!(
+            dupes > 10,
+            "duplication should repeat sentences, got {dupes}"
+        );
     }
 }

@@ -76,7 +76,7 @@ mod tests {
         let lex = Lexicon::new(10_000);
         for i in 0..10_000u32 {
             let w = lex.get(i);
-            assert!(w.len() >= 2 && w.len() % 2 == 0);
+            assert!(w.len() >= 2 && w.len().is_multiple_of(2));
             assert!(
                 w.chars().all(|c| c.is_ascii_lowercase()),
                 "word {i} = {w:?} not lowercase-alphabetic"

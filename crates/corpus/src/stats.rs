@@ -66,7 +66,11 @@ impl CollectionStats {
 impl fmt::Display for CollectionStats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         writeln!(f, "{:<28}{:>14}", "# documents", self.num_docs)?;
-        writeln!(f, "{:<28}{:>14}", "# term occurrences", self.term_occurrences)?;
+        writeln!(
+            f,
+            "{:<28}{:>14}",
+            "# term occurrences", self.term_occurrences
+        )?;
         writeln!(f, "{:<28}{:>14}", "# distinct terms", self.distinct_terms)?;
         writeln!(f, "{:<28}{:>14}", "# sentences", self.num_sentences)?;
         writeln!(
@@ -90,10 +94,7 @@ mod tests {
 
     #[test]
     fn stats_on_a_known_collection() {
-        let dictionary = Dictionary::from_counts(vec![
-            ("a".to_string(), 4),
-            ("b".to_string(), 2),
-        ]);
+        let dictionary = Dictionary::from_counts(vec![("a".to_string(), 4), ("b".to_string(), 2)]);
         let coll = Collection {
             name: "known".into(),
             docs: vec![

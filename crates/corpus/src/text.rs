@@ -210,7 +210,10 @@ mod tests {
             tokenize("The Quick, brown FOX!"),
             vec!["the", "quick", "brown", "fox"]
         );
-        assert_eq!(tokenize("don't stop-gap 3.14"), vec!["don't", "stop-gap", "3", "14"]);
+        assert_eq!(
+            tokenize("don't stop-gap 3.14"),
+            vec!["don't", "stop-gap", "3", "14"]
+        );
         assert_eq!(tokenize("  "), Vec::<String>::new());
         // A hyphen not followed by a letter is a separator, not a joiner.
         assert_eq!(tokenize("a--b"), vec!["a", "b"]);

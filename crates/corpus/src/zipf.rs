@@ -100,6 +100,12 @@ impl Zipf {
     pub fn len(&self) -> usize {
         self.table.len()
     }
+
+    /// True for an empty distribution (cannot be constructed; kept for
+    /// API shape).
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
 }
 
 #[cfg(test)]

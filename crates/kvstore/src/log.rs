@@ -49,6 +49,10 @@ pub struct RecordPtr {
     pub len: u32,
 }
 
+/// One record recovered by [`ValueLog::scan`]: its location plus the
+/// decoded key and value bytes.
+pub type ScannedRecord = (RecordPtr, Vec<u8>, Vec<u8>);
+
 /// The append-only log file.
 pub struct ValueLog {
     file: File,
@@ -155,7 +159,7 @@ impl ValueLog {
 
     /// Scan the whole log from the start, yielding `(ptr, key, value)` for
     /// every valid record. Used to rebuild the index when reopening.
-    pub fn scan(&mut self) -> Result<Vec<(RecordPtr, Vec<u8>, Vec<u8>)>> {
+    pub fn scan(&mut self) -> Result<Vec<ScannedRecord>> {
         self.flush()?;
         self.file.seek(SeekFrom::Start(0))?;
         let mut data = Vec::new();
@@ -191,11 +195,7 @@ mod tests {
     use super::*;
 
     fn temp_path(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "kvlog-test-{}-{}",
-            std::process::id(),
-            name
-        ));
+        let dir = std::env::temp_dir().join(format!("kvlog-test-{}-{}", std::process::id(), name));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir.join("log")
@@ -208,7 +208,10 @@ mod tests {
         let p1 = log.append(b"key-1", b"value-1").unwrap();
         let p2 = log.append(b"key-2", b"").unwrap();
         // Unflushed reads come from the buffer.
-        assert_eq!(log.read_at(p1).unwrap(), (b"key-1".to_vec(), b"value-1".to_vec()));
+        assert_eq!(
+            log.read_at(p1).unwrap(),
+            (b"key-1".to_vec(), b"value-1".to_vec())
+        );
         log.flush().unwrap();
         assert_eq!(log.read_at(p2).unwrap(), (b"key-2".to_vec(), b"".to_vec()));
     }

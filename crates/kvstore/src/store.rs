@@ -154,8 +154,7 @@ impl KvStore {
         let tmp_path = self.path.join("store.log.compacting");
         let _ = std::fs::remove_file(&tmp_path);
         let mut new_log = ValueLog::open(&tmp_path)?;
-        let mut new_index: HashMap<Box<[u8]>, RecordPtr> =
-            HashMap::with_capacity(g.index.len());
+        let mut new_index: HashMap<Box<[u8]>, RecordPtr> = HashMap::with_capacity(g.index.len());
         let entries: Vec<(Box<[u8]>, RecordPtr)> =
             g.index.iter().map(|(k, p)| (k.clone(), *p)).collect();
         for (key, ptr) in entries {
@@ -183,11 +182,8 @@ mod tests {
     use super::*;
 
     fn temp_dir(name: &str) -> PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "kvstore-test-{}-{}",
-            std::process::id(),
-            name
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("kvstore-test-{}-{}", std::process::id(), name));
         let _ = std::fs::remove_dir_all(&dir);
         dir
     }
@@ -229,7 +225,10 @@ mod tests {
         }
         let store = KvStore::open(&dir, Options::default()).unwrap();
         assert_eq!(store.len(), 500);
-        assert_eq!(store.get(&7u32.to_le_bytes()).unwrap().unwrap(), b"overwritten");
+        assert_eq!(
+            store.get(&7u32.to_le_bytes()).unwrap().unwrap(),
+            b"overwritten"
+        );
         assert_eq!(
             store.get(&99u32.to_le_bytes()).unwrap().unwrap(),
             (198u32).to_le_bytes()
@@ -247,11 +246,14 @@ mod tests {
         )
         .unwrap();
         for i in 0..200u32 {
-            store.put(&i.to_le_bytes(), &vec![i as u8; 64]).unwrap();
+            store.put(&i.to_le_bytes(), &[i as u8; 64]).unwrap();
         }
         store.flush().unwrap();
         for i in (0..200u32).rev() {
-            assert_eq!(store.get(&i.to_le_bytes()).unwrap().unwrap(), vec![i as u8; 64]);
+            assert_eq!(
+                store.get(&i.to_le_bytes()).unwrap().unwrap(),
+                vec![i as u8; 64]
+            );
         }
         let (hits, misses) = store.cache_stats();
         assert!(misses > hits, "tiny cache should mostly miss");
@@ -277,9 +279,7 @@ mod tests {
         let store = KvStore::open(&dir, Options::default()).unwrap();
         for round in 0..5u32 {
             for i in 0..100u32 {
-                store
-                    .put(&i.to_le_bytes(), &[round as u8; 64])
-                    .unwrap();
+                store.put(&i.to_le_bytes(), &[round as u8; 64]).unwrap();
             }
         }
         for i in 0..50u32 {
@@ -291,7 +291,10 @@ mod tests {
 
         store.compact().unwrap();
         let after = std::fs::metadata(dir.join("store.log")).unwrap().len();
-        assert!(after < before / 5, "log should shrink ~10x: {before} -> {after}");
+        assert!(
+            after < before / 5,
+            "log should shrink ~10x: {before} -> {after}"
+        );
         assert_eq!(store.stale_records(), 0);
         assert_eq!(store.len(), 50);
         for i in 50..100u32 {

@@ -11,7 +11,7 @@ use crate::counters::{Counter, Counters};
 use crate::error::Result;
 use crate::io::Writable;
 use crate::run::{Run, RunWriter, TempDir};
-use crate::task::{BoxedCombiner, RecordSink, Reducer, ReduceContext};
+use crate::task::{BoxedCombiner, RecordSink, ReduceContext, Reducer};
 use crate::values::ValueIter;
 use std::sync::Arc;
 
@@ -107,7 +107,9 @@ impl<K: Writable + Send, V: Writable + Send> MapOutputCollector<K, V> {
         counters: Arc<Counters>,
     ) -> Self {
         MapOutputCollector {
-            arenas: (0..num_partitions).map(|_| RecordArena::default()).collect(),
+            arenas: (0..num_partitions)
+                .map(|_| RecordArena::default())
+                .collect(),
             runs: (0..num_partitions).map(|_| Vec::new()).collect(),
             sort_buffer_bytes,
             spill_to_disk,
@@ -244,8 +246,7 @@ fn combine_into<K: Writable + Send, V: Writable + Send>(
         let key = K::read_from(&mut crate::io::ByteReader::new(group_key))?;
         {
             let mut values = ValueIter::<V>::arena(&arena.data, &metas[i..j]);
-            let mut ctx =
-                ReduceContext::new(&mut sink, counters, Counter::CombineOutputRecords);
+            let mut ctx = ReduceContext::new(&mut sink, counters, Counter::CombineOutputRecords);
             combiner.reduce(key, &mut values, &mut ctx);
             values.finish()?;
         }

@@ -40,9 +40,7 @@ pub fn read_vu64_at(buf: &[u8], pos: &mut usize) -> Result<u64> {
     let mut v: u64 = 0;
     let mut shift = 0u32;
     loop {
-        let byte = *buf
-            .get(*pos)
-            .ok_or(MrError::Corrupt("truncated varint"))?;
+        let byte = *buf.get(*pos).ok_or(MrError::Corrupt("truncated varint"))?;
         *pos += 1;
         if shift >= 64 {
             return Err(MrError::Corrupt("varint overflow"));

@@ -21,6 +21,9 @@ use std::time::{Duration, Instant};
 /// Default map-side sort buffer (Hadoop's `io.sort.mb` analogue).
 pub const DEFAULT_SORT_BUFFER_BYTES: usize = 64 * 1024 * 1024;
 
+/// One worker's claimable slot of key/value records (`None` once taken).
+type RecordSlot<K, V> = Mutex<Option<Vec<(K, V)>>>;
+
 /// Tunable knobs of a single job.
 #[derive(Clone, Debug)]
 pub struct JobConfig {
@@ -231,7 +234,7 @@ where
             (0..num_reduce).map(|_| Mutex::new(Vec::new())).collect();
         let map_task_times: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(num_map));
         {
-            let splits: Vec<Mutex<Option<Vec<(M::InKey, M::InValue)>>>> =
+            let splits: Vec<RecordSlot<M::InKey, M::InValue>> =
                 splits.into_iter().map(|s| Mutex::new(Some(s))).collect();
             let next = AtomicUsize::new(0);
             let first_error: Mutex<Option<MrError>> = Mutex::new(None);
@@ -272,10 +275,9 @@ where
 
         // ---- Reduce phase. ----
         let reduce_started = Instant::now();
-        let outputs: Vec<Mutex<Option<Vec<(R::KeyOut, R::ValueOut)>>>> =
+        let outputs: Vec<RecordSlot<R::KeyOut, R::ValueOut>> =
             (0..num_reduce).map(|_| Mutex::new(None)).collect();
-        let reduce_task_times: Mutex<Vec<Duration>> =
-            Mutex::new(Vec::with_capacity(num_reduce));
+        let reduce_task_times: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(num_reduce));
         {
             let next = AtomicUsize::new(0);
             let first_error: Mutex<Option<MrError>> = Mutex::new(None);
@@ -386,8 +388,7 @@ where
             let first_val = std::mem::take(&mut val_buf);
             let consumed = {
                 let mut values = ValueIter::<M::OutValue>::stream(&mut stream, &key_buf, first_val);
-                let mut ctx =
-                    ReduceContext::new(&mut sink, counters, Counter::ReduceOutputRecords);
+                let mut ctx = ReduceContext::new(&mut sink, counters, Counter::ReduceOutputRecords);
                 reducer.reduce(key, &mut values, &mut ctx);
                 values.finish()?
             };

@@ -83,13 +83,9 @@ pub use comparator::{BytewiseComparator, RawComparator, TypedComparator, VarintS
 pub use counters::{Counter, CounterSnapshot, Counters};
 pub use error::{MrError, Result};
 pub use hash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use io::{
-    from_bytes, read_vu64_at, to_bytes, write_vu32, write_vu64, ByteReader, Writable,
-};
+pub use io::{from_bytes, read_vu64_at, to_bytes, write_vu32, write_vu64, ByteReader, Writable};
 pub use job::{simulated_makespan, Job, JobConfig, JobResult, DEFAULT_SORT_BUFFER_BYTES};
 pub use partition::{FnPartitioner, HashPartition, Partitioner};
 pub use run::{Run, RunReader, RunWriter, TempDir};
-pub use task::{
-    BoxedCombiner, MapContext, Mapper, RecordSink, ReduceContext, Reducer, VecSink,
-};
+pub use task::{BoxedCombiner, MapContext, Mapper, RecordSink, ReduceContext, Reducer, VecSink};
 pub use values::ValueIter;

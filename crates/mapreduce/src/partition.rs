@@ -25,9 +25,12 @@ impl<K: Hash> Partitioner<K> for HashPartition {
     }
 }
 
+/// Boxed partition function: `(key, num_partitions) → partition index`.
+type PartitionFn<K> = Box<dyn Fn(&K, usize) -> usize + Send + Sync>;
+
 /// Partitioner from a plain function (useful for tests and small jobs).
 pub struct FnPartitioner<K> {
-    f: Box<dyn Fn(&K, usize) -> usize + Send + Sync>,
+    f: PartitionFn<K>,
 }
 
 impl<K> FnPartitioner<K> {

@@ -255,9 +255,8 @@ impl RunReader {
                     None => return Ok(false),
                 };
                 read_exact_into(rd, klen, key)?;
-                let vlen = read_file_varint(rd)?
-                    .ok_or(MrError::Corrupt("truncated run frame"))?
-                    as usize;
+                let vlen =
+                    read_file_varint(rd)?.ok_or(MrError::Corrupt("truncated run frame"))? as usize;
                 read_exact_into(rd, vlen, val)?;
                 Ok(true)
             }

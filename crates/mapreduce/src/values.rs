@@ -37,11 +37,7 @@ pub struct ValueIter<'a, V: Writable> {
     _marker: PhantomData<fn() -> V>,
 }
 
-fn decode<V: Writable>(
-    bytes: &[u8],
-    consumed: &mut u64,
-    error: &mut Option<MrError>,
-) -> Option<V> {
+fn decode<V: Writable>(bytes: &[u8], consumed: &mut u64, error: &mut Option<MrError>) -> Option<V> {
     match crate::io::from_bytes::<V>(bytes) {
         Ok(v) => {
             *consumed += 1;

@@ -50,7 +50,9 @@ fn corpus(num_docs: usize, doc_len: usize, vocab: u32) -> Vec<(u64, Vec<u32>)> {
     };
     (0..num_docs as u64)
         .map(|did| {
-            let doc = (0..doc_len).map(|_| (next() % vocab as u64) as u32).collect();
+            let doc = (0..doc_len)
+                .map(|_| (next() % vocab as u64) as u32)
+                .collect();
             (did, doc)
         })
         .collect()
@@ -66,7 +68,11 @@ fn expected_counts(input: &[(u64, Vec<u32>)]) -> Vec<(u32, u64)> {
     m.into_iter().collect()
 }
 
-fn run_wordcount(config: JobConfig, with_combiner: bool, input: Vec<(u64, Vec<u32>)>) -> JobResult<u32, u64> {
+fn run_wordcount(
+    config: JobConfig,
+    with_combiner: bool,
+    input: Vec<(u64, Vec<u32>)>,
+) -> JobResult<u32, u64> {
     let cluster = Cluster::new(4);
     let mut job = Job::<CountMapper, SumReducer>::new(config, || CountMapper, || SumReducer);
     if with_combiner {
@@ -137,10 +143,12 @@ fn result_is_identical_across_task_and_slot_configurations() {
     let input = corpus(30, 150, 60);
     let expected = expected_counts(&input);
     for (maps, reduces, slots) in [(1, 1, 1), (3, 2, 2), (16, 7, 4), (64, 3, 8)] {
-        let mut config = JobConfig::default();
-        config.num_map_tasks = maps;
-        config.num_reduce_tasks = reduces;
-        config.slots = slots;
+        let config = JobConfig {
+            num_map_tasks: maps,
+            num_reduce_tasks: reduces,
+            slots,
+            ..JobConfig::default()
+        };
         let result = run_wordcount(config, maps % 2 == 0, input.clone());
         assert_eq!(result.outputs.len(), reduces);
         let mut got = result.into_records();
@@ -193,12 +201,15 @@ fn custom_partitioner_and_comparator_are_honored() {
     }
 
     let input = corpus(20, 100, 30);
-    let mut config = JobConfig::default();
-    config.num_reduce_tasks = 4;
+    let config = JobConfig {
+        num_reduce_tasks: 4,
+        ..JobConfig::default()
+    };
     let cluster = Cluster::new(4);
-    let job = Job::<CountMapper, EmitOrderReducer>::new(config, || CountMapper, || EmitOrderReducer)
-        .partitioner(FnPartitioner::new(|k: &u32, n| (*k as usize) % n))
-        .sort_comparator(Desc);
+    let job =
+        Job::<CountMapper, EmitOrderReducer>::new(config, || CountMapper, || EmitOrderReducer)
+            .partitioner(FnPartitioner::new(|k: &u32, n| (*k as usize) % n))
+            .sort_comparator(Desc);
     let result = job.run(&cluster, input.clone()).unwrap();
 
     // Each partition holds exactly the keys assigned to it, in descending
@@ -263,13 +274,15 @@ fn job_chaining_works() {
 
     let input = corpus(20, 100, 30);
     let cluster = Cluster::new(2);
-    let job1 = Job::<CountMapper, SumReducer>::new(JobConfig::named("count"), || CountMapper, || SumReducer);
+    let job1 = Job::<CountMapper, SumReducer>::new(
+        JobConfig::named("count"),
+        || CountMapper,
+        || SumReducer,
+    );
     let out1 = job1.run(&cluster, input.clone()).unwrap().into_records();
-    let job2 = Job::<Identity, SumReducer>::new(JobConfig::named("pass"), || Identity, || SumReducer);
-    let mut out2 = job2
-        .run(&cluster, out1.into_iter().map(|(k, v)| (k, v)).collect())
-        .unwrap()
-        .into_records();
+    let job2 =
+        Job::<Identity, SumReducer>::new(JobConfig::named("pass"), || Identity, || SumReducer);
+    let mut out2 = job2.run(&cluster, out1).unwrap().into_records();
     out2.sort();
     assert_eq!(out2, expected_counts(&input));
 

@@ -56,7 +56,10 @@ fn main() {
         "\n{} candidate co-derivative pairs (shared fragment ≥ {MIN_LEN} terms):",
         pairs.len()
     );
-    println!("{:<16} {:>14} {:>16}", "pair", "longest shared", "shared fragments");
+    println!(
+        "{:<16} {:>14} {:>16}",
+        "pair", "longest shared", "shared fragments"
+    );
     for ((d1, d2), (longest, shared)) in pairs.iter().take(10) {
         println!("{d1:>6} ~ {d2:<6} {longest:>14} {shared:>16}");
     }

@@ -11,14 +11,12 @@ fn sparkline(ts: &TimeSeries, years: (u16, u16)) -> String {
     const BARS: [char; 8] = ['▁', '▂', '▃', '▄', '▅', '▆', '▇', '█'];
     let max = (years.0..=years.1).map(|y| ts.get(y)).max().unwrap_or(0);
     (years.0..=years.1)
-        .map(|y| {
-            if max == 0 {
-                ' '
-            } else {
-                let idx = (ts.get(y) * (BARS.len() as u64 - 1) + max / 2) / max;
-                BARS[idx as usize]
-            }
-        })
+        .map(
+            |y| match (ts.get(y) * (BARS.len() as u64 - 1) + max / 2).checked_div(max) {
+                Some(idx) => BARS[idx as usize],
+                None => ' ',
+            },
+        )
         .collect()
 }
 
@@ -53,7 +51,12 @@ fn main() {
     multi.sort_by_key(|(_, ts)| std::cmp::Reverse(ts.total()));
     println!("{:<40} {:>6}  {}–{}", "n-gram", "total", years.0, years.1);
     for (gram, ts) in multi.iter().take(8) {
-        let text: String = coll.dictionary.decode(gram.terms()).chars().take(38).collect();
+        let text: String = coll
+            .dictionary
+            .decode(gram.terms())
+            .chars()
+            .take(38)
+            .collect();
         println!("{:<40} {:>6}  {}", text, ts.total(), sparkline(ts, years));
     }
 }

@@ -32,7 +32,8 @@ fn main() {
         match &reference {
             None => reference = Some(result.grams),
             Some(expected) => assert_eq!(
-                &result.grams, expected,
+                &result.grams,
+                expected,
                 "{} disagrees with the other methods!",
                 method.name()
             ),

@@ -170,10 +170,7 @@ fn cmd_compute(args: &Args) -> ExitCode {
                 usage()
             }
         },
-        ..NGramParams::new(
-            args.parse_num("tau", 2u64),
-            args.parse_num("sigma", 5usize),
-        )
+        ..NGramParams::new(args.parse_num("tau", 2u64), args.parse_num("sigma", 5usize))
     };
     let cluster = cluster(args);
     let result = match compute(&cluster, &coll, method, &params) {
@@ -208,10 +205,7 @@ fn cmd_compute(args: &Args) -> ExitCode {
 
 fn cmd_timeseries(args: &Args) -> ExitCode {
     let coll = load_corpus(args);
-    let params = NGramParams::new(
-        args.parse_num("tau", 2u64),
-        args.parse_num("sigma", 3usize),
-    );
+    let params = NGramParams::new(args.parse_num("tau", 2u64), args.parse_num("sigma", 3usize));
     let cluster = cluster(args);
     let series = match compute_time_series(&cluster, &coll, Method::SuffixSigma, &params) {
         Ok(s) => s,

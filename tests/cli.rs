@@ -44,7 +44,10 @@ fn generate_stats_compute_round_trip() {
     assert!(output.status.success());
     let stats = String::from_utf8_lossy(&output.stdout);
     assert!(stats.contains("# documents"), "stats output: {stats}");
-    assert!(stats.contains("100"), "tiny profile at scale 1.0 has 100 docs");
+    assert!(
+        stats.contains("100"),
+        "tiny profile at scale 1.0 has 100 docs"
+    );
 
     // compute with decode, to a file
     let status = bin()
@@ -102,7 +105,15 @@ fn generate_stats_compute_round_trip() {
 
     // timeseries
     let output = bin()
-        .args(["timeseries", "--tau", "5", "--sigma", "2", "--decode", "--input"])
+        .args([
+            "timeseries",
+            "--tau",
+            "5",
+            "--sigma",
+            "2",
+            "--decode",
+            "--input",
+        ])
         .arg(&corpus_path)
         .output()
         .expect("run timeseries");

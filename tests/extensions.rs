@@ -4,8 +4,8 @@
 use corpus::{Collection, Dictionary, Document};
 use mapreduce::Cluster;
 use ngrams::{
-    compute, compute_time_series, prepare_input, reference_cf, reference_closed,
-    reference_maximal, reference_ts, Gram, Method, NGramParams, OutputMode, TimeSeries,
+    compute, compute_time_series, prepare_input, reference_cf, reference_closed, reference_maximal,
+    reference_ts, Gram, Method, NGramParams, OutputMode, TimeSeries,
 };
 use proptest::prelude::*;
 

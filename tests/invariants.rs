@@ -6,9 +6,7 @@
 //! * at low τ, SUFFIX-σ transfers the fewest records (§VII-E).
 
 use mapreduce::{Cluster, Counter};
-use ngrams::{
-    compute, input_tokens, prepare_input, reference_cf, Method, NGramParams,
-};
+use ngrams::{compute, input_tokens, prepare_input, reference_cf, Method, NGramParams};
 
 fn tiny_corpus(seed: u64) -> corpus::Collection {
     corpus::generate(&corpus::CorpusProfile::tiny("inv", 50), seed)

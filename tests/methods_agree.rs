@@ -5,9 +5,7 @@
 
 use corpus::{Collection, Dictionary, Document};
 use mapreduce::{Cluster, JobConfig};
-use ngrams::{
-    compute, prepare_input, reference_cf, CountMode, Gram, Method, NGramParams,
-};
+use ngrams::{compute, prepare_input, reference_cf, CountMode, Gram, Method, NGramParams};
 use proptest::prelude::*;
 
 /// Build a collection straight from nested term-id vectors.
@@ -126,9 +124,14 @@ fn results_are_invariant_across_engine_configurations() {
     let coll = corpus::generate(&corpus::CorpusProfile::tiny("engine", 40), 3);
     let baseline = {
         let cluster = Cluster::new(1);
-        compute(&cluster, &coll, Method::SuffixSigma, &NGramParams::new(2, 4))
-            .unwrap()
-            .grams
+        compute(
+            &cluster,
+            &coll,
+            Method::SuffixSigma,
+            &NGramParams::new(2, 4),
+        )
+        .unwrap()
+        .grams
     };
     for (slots, maps, reduces, spill, buffer) in [
         (1usize, 1usize, 1usize, false, usize::MAX),
@@ -150,7 +153,8 @@ fn results_are_invariant_across_engine_configurations() {
         for method in Method::ALL {
             let got = compute(&cluster, &coll, method, &params).unwrap();
             assert_eq!(
-                got.grams, baseline,
+                got.grams,
+                baseline,
                 "{} changed output under slots={slots} maps={maps} reduces={reduces} spill={spill}",
                 method.name()
             );

@@ -14,7 +14,13 @@ fn text_to_statistics_end_to_end() {
     assert_eq!(coll.docs[0].sentences.len(), 3, "Dr. must not split");
 
     let cluster = Cluster::new(2);
-    let result = compute(&cluster, &coll, Method::SuffixSigma, &NGramParams::new(3, 3)).unwrap();
+    let result = compute(
+        &cluster,
+        &coll,
+        Method::SuffixSigma,
+        &NGramParams::new(3, 3),
+    )
+    .unwrap();
     // "the committee met" appears three times and must survive τ = 3.
     let the = coll.dictionary.id("the").unwrap();
     let committee = coll.dictionary.id("committee").unwrap();
@@ -38,7 +44,13 @@ fn boilerplate_removal_changes_statistics() {
 
     let coll = build_collection_from_text("web", vec![(0, 2009, cleaned)]);
     let cluster = Cluster::new(1);
-    let result = compute(&cluster, &coll, Method::SuffixSigma, &NGramParams::new(4, 3)).unwrap();
+    let result = compute(
+        &cluster,
+        &coll,
+        Method::SuffixSigma,
+        &NGramParams::new(4, 3),
+    )
+    .unwrap();
     let the = coll.dictionary.id("the").unwrap();
     let annual = coll.dictionary.id("annual").unwrap();
     let report = coll.dictionary.id("report").unwrap();

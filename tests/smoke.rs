@@ -1,0 +1,66 @@
+//! Workspace-level smoke test: one deterministic corpus, all four
+//! methods, one answer. This is the fast, non-property companion to
+//! `methods_agree.rs` — it runs in milliseconds and pins down the exact
+//! result set, so CI failures point at a behavior change rather than a
+//! generator seed.
+
+use ngram_mr::prelude::*;
+use ngrams::{prepare_input, reference_cf};
+
+/// The deterministic tiny corpus every smoke assertion runs against.
+fn tiny_corpus() -> Collection {
+    generate(&CorpusProfile::tiny("smoke", 50), 1234)
+}
+
+#[test]
+fn all_four_methods_agree_on_a_deterministic_tiny_corpus() {
+    let coll = tiny_corpus();
+    let cluster = Cluster::new(2);
+    let params = NGramParams::new(/*tau*/ 2, /*sigma*/ 4);
+
+    let input = prepare_input(&coll, params.tau, params.split_docs);
+    let expected: Vec<(Gram, u64)> = reference_cf(&input, params.tau, params.sigma)
+        .into_iter()
+        .map(|(g, c)| (Gram(g), c))
+        .collect();
+    assert!(
+        !expected.is_empty(),
+        "tiny corpus must contain frequent n-grams"
+    );
+
+    for method in Method::ALL {
+        let got = compute(&cluster, &coll, method, &params)
+            .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()));
+        assert_eq!(
+            got.grams,
+            expected,
+            "{} disagrees with the brute-force oracle",
+            method.name()
+        );
+    }
+}
+
+#[test]
+fn results_are_stable_across_runs_and_slot_counts() {
+    let coll = tiny_corpus();
+    let params = NGramParams::new(2, 4);
+    let baseline = compute(&Cluster::new(1), &coll, Method::SuffixSigma, &params)
+        .unwrap()
+        .grams;
+    for slots in [2, 4, 8] {
+        let again = compute(&Cluster::new(slots), &coll, Method::SuffixSigma, &params)
+            .unwrap()
+            .grams;
+        assert_eq!(again, baseline, "results changed with {slots} slots");
+    }
+}
+
+#[test]
+fn corpus_generation_is_deterministic() {
+    let a = tiny_corpus();
+    let b = tiny_corpus();
+    assert_eq!(a.docs.len(), b.docs.len());
+    for (da, db) in a.docs.iter().zip(&b.docs) {
+        assert_eq!(da.sentences, db.sentences, "doc {} differs", da.id);
+    }
+}
