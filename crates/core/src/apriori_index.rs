@@ -15,9 +15,11 @@ use crate::input::InputSeq;
 use crate::postings::PostingList;
 use kvstore::{KvStore, Options as KvOptions};
 use mapreduce::{
-    from_bytes, to_bytes, ByteReader, Cluster, FxHashMap, Job, JobConfig, MapContext, Mapper,
-    ReduceContext, Reducer, Result, TempDir, ValueIter, Writable,
+    for_each_run_record, from_bytes, to_bytes, ByteReader, Cluster, FxHashMap, Job, JobConfig,
+    MapContext, Mapper, ReduceContext, Reducer, Result, Run, RunRecordSource, RunSinkFactory,
+    SliceSource, TempDir, ValueIter, Writable,
 };
+use std::sync::Arc;
 
 /// Frequency of a posting list under the chosen mode.
 fn list_count(l: &PostingList, mode: CountMode) -> u64 {
@@ -324,8 +326,24 @@ pub fn apriori_index(
     let mut all = Vec::new();
     apriori_index_impl(cluster, input, params, |gram, list| {
         all.push((gram, list_count(&list, params.mode)));
+        Ok(())
     })?;
     Ok(all)
+}
+
+/// Streaming APRIORI-INDEX: `(gram, frequency)` pairs flow to `emit` as
+/// each round's output runs are read back, instead of accumulating in a
+/// result vector.
+pub fn apriori_index_streamed(
+    cluster: &Cluster,
+    input: &[(u64, InputSeq)],
+    params: &IndexParams,
+    emit: &mut dyn FnMut(Gram, u64) -> Result<()>,
+) -> Result<()> {
+    let mode = params.mode;
+    apriori_index_impl(cluster, input, params, |gram, list| {
+        emit(gram, list_count(&list, mode))
+    })
 }
 
 /// Like [`apriori_index`] but keeps full posting lists.
@@ -337,6 +355,7 @@ pub fn apriori_index_postings(
     let mut all = Vec::new();
     apriori_index_impl(cluster, input, params, |gram, list| {
         all.push((gram, list));
+        Ok(())
     })?;
     Ok(all)
 }
@@ -345,10 +364,15 @@ fn apriori_index_impl(
     cluster: &Cluster,
     input: &[(u64, InputSeq)],
     params: &IndexParams,
-    mut sink: impl FnMut(Gram, PostingList),
+    mut sink: impl FnMut(Gram, PostingList) -> Result<()>,
 ) -> Result<()> {
     let kk = params.k_max_indexed.max(1);
-    let mut prev: Vec<(Gram, PostingList)> = Vec::new();
+    // Previous round's reducer-output runs: phase-1 rounds scan the
+    // borrowed input; phase-2 join rounds consume these runs directly as
+    // their map input, so chained rounds never materialize a record
+    // vector. The spill directory (if any) rides along until consumed.
+    let mut prev_runs: Vec<Run> = Vec::new();
+    let mut prev_temp: Option<Arc<TempDir>> = None;
     let mut k = 1usize;
     loop {
         if k > params.sigma {
@@ -357,17 +381,19 @@ fn apriori_index_impl(
         let mut cfg = params.job.clone();
         cfg.name = format!("apriori-index-k{k}");
         let (tau, mode) = (params.tau, params.mode);
-        let out: Vec<(Gram, PostingList)> = if k <= kk {
+        let sinks = RunSinkFactory::<Gram, PostingList>::with_spill(
+            params.job.spill_to_disk,
+            params.job.tmp_dir.as_deref(),
+        )?;
+        let runs: Vec<Run> = if k <= kk {
             let job = Job::<IndexMapper, IndexReducer>::new(
                 cfg,
                 move || IndexMapper { k },
                 move || IndexReducer { tau, mode },
             );
-            job.run(cluster, input.to_vec())?.into_records()
+            job.run_streamed(cluster, SliceSource::new(input), &sinks)?
+                .artifacts
         } else {
-            if prev.is_empty() {
-                break;
-            }
             let budget = params.buffer_budget_bytes;
             let job = Job::<JoinMapper, JoinReducer>::new(
                 cfg,
@@ -378,15 +404,18 @@ fn apriori_index_impl(
                     buffer_budget_bytes: budget,
                 },
             );
-            job.run(cluster, std::mem::take(&mut prev))?.into_records()
+            let source = RunRecordSource::<Gram, PostingList>::new(
+                std::mem::take(&mut prev_runs),
+                prev_temp.take(),
+            );
+            job.run_streamed(cluster, source, &sinks)?.artifacts
         };
-        if out.is_empty() {
+        if runs.iter().map(|r| r.records).sum::<u64>() == 0 {
             break;
         }
-        for (g, l) in &out {
-            sink(g.clone(), l.clone());
-        }
-        prev = out;
+        for_each_run_record::<Gram, PostingList>(&runs, &mut sink)?;
+        prev_runs = runs;
+        prev_temp = sinks.temp();
         k += 1;
     }
     Ok(())

@@ -11,8 +11,8 @@ use crate::gram::Gram;
 use crate::input::InputSeq;
 use kvstore::{KvStore, Options as KvOptions};
 use mapreduce::{
-    to_bytes, Cluster, FxHashSet, Job, JobConfig, MapContext, Mapper, MrError, ReduceContext,
-    Reducer, Result, TempDir, ValueIter,
+    for_each_run_record, Cluster, FxHashSet, Job, JobConfig, MapContext, Mapper, MrError,
+    ReduceContext, Reducer, Result, Run, RunSinkFactory, SliceSource, TempDir, ValueIter,
 };
 use std::sync::Arc;
 
@@ -43,49 +43,30 @@ pub(crate) fn kv_err(e: kvstore::KvError) -> MrError {
 }
 
 impl GramDict {
-    /// Build a dictionary from the previous iteration's output.
+    /// Build a dictionary from a materialized gram list.
     pub fn build(grams: &[(Gram, u64)], budget_bytes: usize) -> Result<Self> {
-        let estimated: usize = grams
-            .iter()
-            .map(|(g, _)| 4 * g.len() + 2 * std::mem::size_of::<usize>())
-            .sum();
-        if estimated <= budget_bytes {
-            let set: FxHashSet<Box<[u32]>> = grams
-                .iter()
-                .map(|(g, _)| g.terms().to_vec().into_boxed_slice())
-                .collect();
-            Ok(GramDict::Mem(set))
-        } else {
-            let dir = TempDir::create(None)?;
-            let store = KvStore::open(
-                &dir.path().join("dict"),
-                KvOptions {
-                    cache_bytes: budget_bytes.max(4096),
-                },
-            )
-            .map_err(kv_err)?;
-            for (g, _) in grams {
-                store.put(&to_bytes(g), &[]).map_err(kv_err)?;
-            }
-            store.flush().map_err(kv_err)?;
-            Ok(GramDict::Disk {
-                store: Box::new(store),
-                _dir: dir,
-            })
+        let mut b = GramDictBuilder::new(budget_bytes);
+        for (g, _) in grams {
+            b.push(g.terms())?;
         }
+        b.finish()
+    }
+
+    /// Build a dictionary by streaming a previous job's reducer-output
+    /// runs, one record at a time — the chained-round path. Memory stays
+    /// bounded by `budget_bytes`: past it, entries migrate to the
+    /// key-value store.
+    pub fn from_runs(runs: &[Run], budget_bytes: usize) -> Result<Self> {
+        let mut b = GramDictBuilder::new(budget_bytes);
+        for_each_run_record::<Gram, u64>(runs, |g, _| b.push(g.terms()))?;
+        b.finish()
     }
 
     /// Membership test over a term slice (allocation-free in memory mode).
     pub fn contains(&self, terms: &[u32]) -> bool {
         match self {
             GramDict::Mem(set) => set.contains(terms),
-            GramDict::Disk { store, .. } => {
-                let mut key = Vec::with_capacity(terms.len() * 2);
-                for &t in terms {
-                    mapreduce::write_vu32(&mut key, t);
-                }
-                store.contains(&key)
-            }
+            GramDict::Disk { store, .. } => store.contains(&GramDictBuilder::encode(terms)),
         }
     }
 
@@ -100,6 +81,77 @@ impl GramDict {
     /// True when the dictionary is empty.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+}
+
+/// Incremental [`GramDict`] construction with a memory budget: grams
+/// accumulate in a hash set and migrate wholesale to the key-value store
+/// the moment the estimate exceeds the budget, so building from a record
+/// stream never holds more than `budget_bytes` of entries in memory.
+struct GramDictBuilder {
+    budget_bytes: usize,
+    mem_bytes: usize,
+    set: FxHashSet<Box<[u32]>>,
+    disk: Option<(Box<KvStore>, TempDir)>,
+}
+
+impl GramDictBuilder {
+    fn new(budget_bytes: usize) -> Self {
+        GramDictBuilder {
+            budget_bytes,
+            mem_bytes: 0,
+            set: FxHashSet::default(),
+            disk: None,
+        }
+    }
+
+    /// The store key of a gram: bare varints per term — the single
+    /// definition shared by [`GramDictBuilder::push`] and
+    /// [`GramDict::contains`] (and byte-identical to `Gram`'s `Writable`
+    /// encoding, so run keys round-trip into store keys unchanged).
+    fn encode(terms: &[u32]) -> Vec<u8> {
+        let mut key = Vec::with_capacity(terms.len() * 2);
+        for &t in terms {
+            mapreduce::write_vu32(&mut key, t);
+        }
+        key
+    }
+
+    fn push(&mut self, terms: &[u32]) -> Result<()> {
+        if let Some((store, _)) = &self.disk {
+            store.put(&Self::encode(terms), &[]).map_err(kv_err)?;
+            return Ok(());
+        }
+        self.mem_bytes += 4 * terms.len() + 2 * std::mem::size_of::<usize>();
+        if self.mem_bytes <= self.budget_bytes {
+            self.set.insert(terms.to_vec().into_boxed_slice());
+            return Ok(());
+        }
+        // Budget exceeded: migrate everything to the disk store.
+        let dir = TempDir::create(None)?;
+        let store = KvStore::open(
+            &dir.path().join("dict"),
+            KvOptions {
+                cache_bytes: self.budget_bytes.max(4096),
+            },
+        )
+        .map_err(kv_err)?;
+        for g in self.set.drain() {
+            store.put(&Self::encode(&g), &[]).map_err(kv_err)?;
+        }
+        store.put(&Self::encode(terms), &[]).map_err(kv_err)?;
+        self.disk = Some((Box::new(store), dir));
+        Ok(())
+    }
+
+    fn finish(self) -> Result<GramDict> {
+        match self.disk {
+            Some((store, dir)) => {
+                store.flush().map_err(kv_err)?;
+                Ok(GramDict::Disk { store, _dir: dir })
+            }
+            None => Ok(GramDict::Mem(self.set)),
+        }
     }
 }
 
@@ -203,7 +255,28 @@ pub fn apriori_scan(
     params: &ScanParams,
 ) -> Result<Vec<(Gram, u64)>> {
     let mut all: Vec<(Gram, u64)> = Vec::new();
-    let mut prev: Vec<(Gram, u64)> = Vec::new();
+    apriori_scan_streamed(cluster, input, params, &mut |g, c| {
+        all.push((g, c));
+        Ok(())
+    })?;
+    Ok(all)
+}
+
+/// Streaming APRIORI-SCAN: every round borrows the input splits in place
+/// (no per-round clone) and writes its frequent k-grams to serialized runs
+/// — on disk when the job spills — which feed both the next round's
+/// dictionary and `emit`, so no round output is ever materialized as a
+/// record vector.
+pub fn apriori_scan_streamed(
+    cluster: &Cluster,
+    input: &[(u64, InputSeq)],
+    params: &ScanParams,
+    emit: &mut dyn FnMut(Gram, u64) -> Result<()>,
+) -> Result<()> {
+    // Runs of the previous round, plus the spill directory keeping any
+    // file-backed runs alive until the round that reads them completes.
+    let mut prev_runs: Vec<Run> = Vec::new();
+    let mut prev_temp: Option<Arc<TempDir>> = None;
     let mut k = 1usize;
     loop {
         if k > params.sigma {
@@ -212,7 +285,10 @@ pub fn apriori_scan(
         let dict = if k == 1 {
             None
         } else {
-            Some(Arc::new(GramDict::build(&prev, params.dict_budget_bytes)?))
+            Some(Arc::new(GramDict::from_runs(
+                &prev_runs,
+                params.dict_budget_bytes,
+            )?))
         };
         let mut cfg = params.job.clone();
         cfg.name = format!("apriori-scan-k{k}");
@@ -226,15 +302,22 @@ pub fn apriori_scan(
             },
             move || CountingReducer { tau, mode },
         );
-        let out = job.run(cluster, input.to_vec())?.into_records();
-        if out.is_empty() {
+        let sinks = RunSinkFactory::<Gram, u64>::with_spill(
+            params.job.spill_to_disk,
+            params.job.tmp_dir.as_deref(),
+        )?;
+        let out = job.run_streamed(cluster, SliceSource::new(input), &sinks)?;
+        let runs = out.artifacts;
+        if runs.iter().map(|r| r.records).sum::<u64>() == 0 {
             break;
         }
-        all.extend(out.iter().cloned());
-        prev = out;
+        for_each_run_record::<Gram, u64>(&runs, &mut *emit)?;
+        prev_runs = runs;
+        prev_temp = sinks.temp();
         k += 1;
     }
-    Ok(all)
+    drop(prev_temp);
+    Ok(())
 }
 
 #[cfg(test)]

@@ -3,17 +3,20 @@
 //! collection on a simulated cluster.
 
 use crate::aggregate::{CountAgg, CountMode, DfAgg, IndexAgg, PrefixAggregator, TsAgg};
-use crate::apriori_index::{apriori_index, IndexParams};
-use crate::apriori_scan::{apriori_scan, ScanParams};
+use crate::apriori_index::{apriori_index_streamed, IndexParams};
+use crate::apriori_scan::{apriori_scan_streamed, ScanParams};
 use crate::gram::{FirstTermPartitioner, Gram, ReverseLexComparator};
 use crate::input::prepare_input;
-use crate::maximal::filter_suffix_side;
+use crate::maximal::filter_suffix_side_streamed;
 use crate::naive::{NaiveMapper, NaiveReducer, SumCombiner};
 use crate::postings::PostingList;
 use crate::suffix_sigma::{EmitFilter, StackReducer, SuffixMapper};
 use crate::timeseries::TimeSeries;
 use corpus::Collection;
-use mapreduce::{Cluster, CounterSnapshot, Job, JobConfig, MrError, Result};
+use mapreduce::{
+    Cluster, CounterSnapshot, Job, JobConfig, MrError, RecordSink, RecordSinkFactory, Result,
+    RunRecordSource, RunSinkFactory, SliceSource, VecSinkFactory,
+};
 use std::time::{Duration, Instant};
 
 /// The four methods of the paper.
@@ -128,16 +131,24 @@ pub struct NGramResult {
     pub elapsed: Duration,
 }
 
-/// Compute n-gram statistics with the chosen method.
+/// Telemetry of a sink-directed computation: what [`compute_to_sink`]
+/// reports besides the records it pushed into the caller's sinks.
+#[derive(Clone, Debug)]
+pub struct NGramRunStats {
+    /// Counters summed over every job of the run.
+    pub counters: CounterSnapshot,
+    /// Number of MapReduce jobs launched.
+    pub jobs: usize,
+    /// End-to-end wallclock (includes driver work between jobs).
+    pub elapsed: Duration,
+}
+
+/// Check that `method` supports the requested parameter combination
+/// (maximal/closed output is a SUFFIX-σ + collection-frequency feature).
 ///
-/// All four methods produce identical output for identical parameters;
-/// they differ in cost, which is the subject of the paper's evaluation.
-pub fn compute(
-    cluster: &Cluster,
-    coll: &Collection,
-    method: Method,
-    params: &NGramParams,
-) -> Result<NGramResult> {
+/// Cheap and side-effect free — callers that acquire output resources
+/// (files, sinks) can validate first so a doomed run never touches them.
+pub fn validate_params(method: Method, params: &NGramParams) -> Result<()> {
     if params.output != OutputMode::All && method != Method::SuffixSigma {
         return Err(MrError::Config(format!(
             "maximal/closed output is implemented for SUFFIX-SIGMA (the paper's §VI-A extension), not {}",
@@ -149,63 +160,164 @@ pub fn compute(
             "maximal/closed output is defined over collection frequency".into(),
         ));
     }
+    Ok(())
+}
+
+/// Compute n-gram statistics with the chosen method.
+///
+/// All four methods produce identical output for identical parameters;
+/// they differ in cost, which is the subject of the paper's evaluation.
+pub fn compute(
+    cluster: &Cluster,
+    coll: &Collection,
+    method: Method,
+    params: &NGramParams,
+) -> Result<NGramResult> {
+    let sinks = VecSinkFactory::default();
+    let (artifacts, stats) = compute_to_sink(cluster, coll, method, params, &sinks)?;
+    let mut grams: Vec<(Gram, u64)> = artifacts.into_iter().flatten().collect();
+    grams.sort();
+    Ok(NGramResult {
+        grams,
+        counters: stats.counters,
+        jobs: stats.jobs,
+        elapsed: stats.elapsed,
+    })
+}
+
+/// Compute n-gram statistics, pushing every result record into sinks
+/// created from `sinks` instead of collecting them — the streaming
+/// sibling of [`compute`].
+///
+/// For the single-job methods the caller's sinks receive records *during*
+/// the final reduce phase; for the multi-job APRIORI methods each round's
+/// output is pumped into one sink as its runs are read back. Pair with a
+/// [`mapreduce::WriterSinkFactory`] to stream TSV to a file, or a
+/// [`mapreduce::CountingSinkFactory`] for a dry run. Returns the sealed
+/// sink artifacts plus run telemetry.
+pub fn compute_to_sink<F>(
+    cluster: &Cluster,
+    coll: &Collection,
+    method: Method,
+    params: &NGramParams,
+    sinks: &F,
+) -> Result<(Vec<F::Artifact>, NGramRunStats)>
+where
+    F: RecordSinkFactory<Gram, u64>,
+{
+    validate_params(method, params)?;
     let started = Instant::now();
     let log_mark = cluster.job_log().len();
     let input = prepare_input(coll, params.tau, params.split_docs);
 
-    let mut grams = match (method, params.mode) {
-        (Method::Naive, CountMode::Cf) => {
-            run_naive(cluster, input, CountAgg { tau: params.tau }, params, true)?
-        }
-        (Method::Naive, CountMode::Df) => {
-            run_naive(cluster, input, DfAgg { tau: params.tau }, params, false)?
-        }
-        (Method::AprioriScan, _) => apriori_scan(
+    let artifacts: Vec<F::Artifact> = match (method, params.mode) {
+        (Method::Naive, CountMode::Cf) => run_naive(
             cluster,
             &input,
-            &ScanParams {
-                tau: params.tau,
-                sigma: params.sigma,
-                mode: params.mode,
-                dict_budget_bytes: params.memory_budget_bytes,
-                job: named(params, "apriori-scan"),
-            },
+            CountAgg { tau: params.tau },
+            params,
+            true,
+            sinks,
         )?,
-        (Method::AprioriIndex, _) => apriori_index(
+        (Method::Naive, CountMode::Df) => run_naive(
             cluster,
             &input,
-            &IndexParams {
-                tau: params.tau,
-                sigma: params.sigma,
-                mode: params.mode,
-                k_max_indexed: params.apriori_k,
-                buffer_budget_bytes: params.memory_budget_bytes,
-                job: named(params, "apriori-index"),
-            },
+            DfAgg { tau: params.tau },
+            params,
+            false,
+            sinks,
         )?,
+        (Method::AprioriScan, _) => {
+            let mut sink = sinks.make(0)?;
+            apriori_scan_streamed(
+                cluster,
+                &input,
+                &ScanParams {
+                    tau: params.tau,
+                    sigma: params.sigma,
+                    mode: params.mode,
+                    dict_budget_bytes: params.memory_budget_bytes,
+                    job: named(params, "apriori-scan"),
+                },
+                &mut |g, c| {
+                    sink.push(g, c);
+                    Ok(())
+                },
+            )?;
+            vec![sinks.seal(0, sink)?]
+        }
+        (Method::AprioriIndex, _) => {
+            let mut sink = sinks.make(0)?;
+            apriori_index_streamed(
+                cluster,
+                &input,
+                &IndexParams {
+                    tau: params.tau,
+                    sigma: params.sigma,
+                    mode: params.mode,
+                    k_max_indexed: params.apriori_k,
+                    buffer_budget_bytes: params.memory_budget_bytes,
+                    job: named(params, "apriori-index"),
+                },
+                &mut |g, c| {
+                    sink.push(g, c);
+                    Ok(())
+                },
+            )?;
+            vec![sinks.seal(0, sink)?]
+        }
         (Method::SuffixSigma, CountMode::Cf) => {
             let filter = match params.output {
                 OutputMode::All => EmitFilter::All,
                 OutputMode::Maximal => EmitFilter::PrefixMaximal,
                 OutputMode::Closed => EmitFilter::PrefixClosed,
             };
-            let pass1 =
-                run_suffix_sigma(cluster, input, CountAgg { tau: params.tau }, params, filter)?;
             match params.output {
-                OutputMode::All => pass1,
-                _ => filter_suffix_side(cluster, pass1, filter, named(params, "suffix-sigma"))?
-                    .into_records(),
+                OutputMode::All => run_suffix_sigma(
+                    cluster,
+                    &input,
+                    CountAgg { tau: params.tau },
+                    params,
+                    filter,
+                    sinks,
+                )?,
+                _ => {
+                    // Pass 1 streams prefix-filtered n-grams into runs;
+                    // the post-filter job consumes them directly, so the
+                    // intermediate n-gram set is never a record vector.
+                    let run_sinks = RunSinkFactory::<Gram, u64>::with_spill(
+                        params.job.spill_to_disk,
+                        params.job.tmp_dir.as_deref(),
+                    )?;
+                    let pass1 = run_suffix_sigma(
+                        cluster,
+                        &input,
+                        CountAgg { tau: params.tau },
+                        params,
+                        filter,
+                        &run_sinks,
+                    )?;
+                    let source = RunRecordSource::new(pass1, run_sinks.temp());
+                    filter_suffix_side_streamed(
+                        cluster,
+                        source,
+                        filter,
+                        named(params, "suffix-sigma"),
+                        sinks,
+                    )?
+                    .artifacts
+                }
             }
         }
         (Method::SuffixSigma, CountMode::Df) => run_suffix_sigma(
             cluster,
-            input,
+            &input,
             DfAgg { tau: params.tau },
             params,
             EmitFilter::All,
+            sinks,
         )?,
     };
-    grams.sort();
 
     // Aggregate telemetry over the jobs this call launched.
     let log = cluster.job_log();
@@ -213,12 +325,14 @@ pub fn compute(
     for entry in &log[log_mark..] {
         counters.merge(&entry.counters);
     }
-    Ok(NGramResult {
-        grams,
-        counters,
-        jobs: log.len() - log_mark,
-        elapsed: started.elapsed(),
-    })
+    Ok((
+        artifacts,
+        NGramRunStats {
+            counters,
+            jobs: log.len() - log_mark,
+            elapsed: started.elapsed(),
+        },
+    ))
 }
 
 /// Compute per-year time series (§VI-B) with NAÏVE or SUFFIX-σ.
@@ -316,15 +430,17 @@ fn named(params: &NGramParams, name: &str) -> JobConfig {
     cfg
 }
 
-fn run_naive<A>(
+fn run_naive<A, F>(
     cluster: &Cluster,
-    input: Vec<(u64, crate::input::InputSeq)>,
+    input: &[(u64, crate::input::InputSeq)],
     agg: A,
     params: &NGramParams,
     combinable: bool,
-) -> Result<Vec<(Gram, u64)>>
+    sinks: &F,
+) -> Result<Vec<F::Artifact>>
 where
     A: PrefixAggregator<Stat = u64, In = u64>,
+    F: RecordSinkFactory<Gram, u64>,
 {
     let cfg = named(params, "naive");
     let sigma = params.sigma;
@@ -341,18 +457,22 @@ where
     if params.combiner && combinable {
         job = job.combiner(|| Box::new(SumCombiner));
     }
-    Ok(job.run(cluster, input)?.into_records())
+    Ok(job
+        .run_streamed(cluster, SliceSource::new(input), sinks)?
+        .artifacts)
 }
 
-fn run_suffix_sigma<A>(
+fn run_suffix_sigma<A, F>(
     cluster: &Cluster,
-    input: Vec<(u64, crate::input::InputSeq)>,
+    input: &[(u64, crate::input::InputSeq)],
     agg: A,
     params: &NGramParams,
     filter: EmitFilter,
-) -> Result<Vec<(Gram, u64)>>
+    sinks: &F,
+) -> Result<Vec<F::Artifact>>
 where
     A: PrefixAggregator<Stat = u64>,
+    F: RecordSinkFactory<Gram, u64>,
 {
     let cfg = named(params, "suffix-sigma");
     let sigma = params.sigma;
@@ -368,7 +488,9 @@ where
     )
     .partitioner(FirstTermPartitioner)
     .sort_comparator(ReverseLexComparator);
-    Ok(job.run(cluster, input)?.into_records())
+    Ok(job
+        .run_streamed(cluster, SliceSource::new(input), sinks)?
+        .artifacts)
 }
 
 #[cfg(test)]

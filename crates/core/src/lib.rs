@@ -51,17 +51,21 @@ mod timeseries;
 
 pub use aggregate::{CountAgg, CountMode, DfAgg, IndexAgg, PrefixAggregator, TsAgg};
 pub use apriori_index::{
-    apriori_index, apriori_index_postings, IndexMapper, IndexParams, IndexReducer, JoinMapper,
-    JoinReducer, SeqList,
+    apriori_index, apriori_index_postings, apriori_index_streamed, IndexMapper, IndexParams,
+    IndexReducer, JoinMapper, JoinReducer, SeqList,
 };
-pub use apriori_scan::{apriori_scan, CountingReducer, GramDict, ScanMapper, ScanParams};
+pub use apriori_scan::{
+    apriori_scan, apriori_scan_streamed, CountingReducer, GramDict, ScanMapper, ScanParams,
+};
 pub use driver::{
-    compute, compute_inverted_index, compute_time_series, Method, NGramParams, NGramResult,
-    OutputMode,
+    compute, compute_inverted_index, compute_time_series, compute_to_sink, validate_params, Method,
+    NGramParams, NGramResult, NGramRunStats, OutputMode,
 };
 pub use gram::{lcp, reverse_lex, FirstTermPartitioner, Gram, ReverseLexComparator};
 pub use input::{input_tokens, prepare_input, unigram_counts, InputSeq};
-pub use maximal::{filter_suffix_side, ReverseMapper, SuffixFilterReducer};
+pub use maximal::{
+    filter_suffix_side, filter_suffix_side_streamed, ReverseMapper, SuffixFilterReducer,
+};
 pub use naive::{NaiveMapper, NaiveReducer, SumCombiner};
 pub use postings::{Posting, PostingList};
 pub use reference::{

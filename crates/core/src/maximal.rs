@@ -13,8 +13,8 @@
 use crate::gram::{FirstTermPartitioner, Gram, ReverseLexComparator};
 use crate::suffix_sigma::EmitFilter;
 use mapreduce::{
-    Cluster, Job, JobConfig, JobResult, MapContext, Mapper, ReduceContext, Reducer, Result,
-    ValueIter,
+    Cluster, Job, JobConfig, JobResult, JobRun, MapContext, Mapper, RecordSinkFactory,
+    RecordSource, ReduceContext, Reducer, Result, ValueIter, VecSinkFactory, VecSource,
 };
 
 /// Mapper: reverse the n-gram, keep the statistic.
@@ -77,13 +77,34 @@ impl Reducer for SuffixFilterReducer {
     }
 }
 
-/// Run the post-filter job over pass-1 output (reversal trick, §VI-A).
+/// Run the post-filter job over pass-1 output (reversal trick, §VI-A),
+/// materialized in and out — a [`VecSource`] / [`VecSinkFactory`] pairing
+/// of [`filter_suffix_side_streamed`].
 pub fn filter_suffix_side(
     cluster: &Cluster,
     grams: Vec<(Gram, u64)>,
     filter: EmitFilter,
-    mut cfg: JobConfig,
+    cfg: JobConfig,
 ) -> Result<JobResult<Gram, u64>> {
+    let sinks = VecSinkFactory::default();
+    Ok(filter_suffix_side_streamed(cluster, VecSource::new(grams), filter, cfg, &sinks)?.into())
+}
+
+/// Run the post-filter job pulling pass-1 output from any record source —
+/// typically the first pass's reducer-output runs — and pushing filtered
+/// n-grams into per-task sinks, so the maximal/closed post-pass chains
+/// run-to-run without materializing the intermediate n-gram set.
+pub fn filter_suffix_side_streamed<S, F>(
+    cluster: &Cluster,
+    source: S,
+    filter: EmitFilter,
+    mut cfg: JobConfig,
+    sinks: &F,
+) -> Result<JobRun<F::Artifact>>
+where
+    S: RecordSource<Gram, u64>,
+    F: RecordSinkFactory<Gram, u64>,
+{
     cfg.name = format!(
         "{}-postfilter",
         if cfg.name.is_empty() {
@@ -99,7 +120,7 @@ pub fn filter_suffix_side(
     )
     .partitioner(FirstTermPartitioner)
     .sort_comparator(ReverseLexComparator);
-    job.run(cluster, grams)
+    job.run_streamed(cluster, source, sinks)
 }
 
 #[cfg(test)]

@@ -21,6 +21,11 @@
 //!   the sort buffer bounds map-task memory; spills optionally go to disk.
 //! * **Multi-job sessions.** The APRIORI methods launch one job per n-gram
 //!   length; [`Cluster`] aggregates wallclock and counters across a chain.
+//! * **Streaming job boundaries.** Input splits are pulled from a
+//!   [`RecordSource`] and reduce output is pushed into per-task sinks from
+//!   a [`RecordSinkFactory`]; chained jobs hand records run-to-run through
+//!   [`RunSinkFactory`] / [`RunRecordSource`] so nothing forces a
+//!   `Vec<(K, V)>` at any job boundary ([`Job::run_streamed`]).
 //!
 //! # Example: word count
 //!
@@ -75,6 +80,8 @@ pub(crate) mod job;
 mod merge;
 mod partition;
 mod run;
+mod sink;
+mod source;
 mod task;
 mod values;
 
@@ -84,8 +91,18 @@ pub use counters::{Counter, CounterSnapshot, Counters};
 pub use error::{MrError, Result};
 pub use hash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use io::{from_bytes, read_vu64_at, to_bytes, write_vu32, write_vu64, ByteReader, Writable};
-pub use job::{simulated_makespan, Job, JobConfig, JobResult, DEFAULT_SORT_BUFFER_BYTES};
+pub use job::{
+    simulated_makespan, Job, JobConfig, JobResult, JobRun, JobStats, DEFAULT_SORT_BUFFER_BYTES,
+};
 pub use partition::{FnPartitioner, HashPartition, Partitioner};
 pub use run::{Run, RunReader, RunWriter, TempDir};
+pub use sink::{
+    CountingSink, CountingSinkFactory, RecordSinkFactory, RunSink, RunSinkFactory, VecSinkFactory,
+    WriterSink, WriterSinkFactory,
+};
+pub use source::{
+    for_each_run_record, RecordSource, RecordStream, RunRecordSource, RunStream, SliceSource,
+    SliceStream, VecSource, VecStream,
+};
 pub use task::{BoxedCombiner, MapContext, Mapper, RecordSink, ReduceContext, Reducer, VecSink};
 pub use values::ValueIter;

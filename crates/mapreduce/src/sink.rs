@@ -1,0 +1,448 @@
+//! Record sinks: where a job's reduce output goes.
+//!
+//! [`Job::run_streamed`](crate::Job::run_streamed) creates one
+//! [`RecordSink`](crate::RecordSink) per reduce task through a
+//! [`RecordSinkFactory`] and seals it into a per-task *artifact* when the
+//! task finishes. The factory choice decides the job's memory profile:
+//!
+//! * [`VecSinkFactory`] — collect typed records per partition (the
+//!   materialized `Job::run` path);
+//! * [`RunSinkFactory`] — serialize records into [`Run`]s (in memory or on
+//!   disk), ready to feed a chained job through
+//!   [`RunRecordSource`](crate::RunRecordSource) without ever forming a
+//!   `Vec<(K, V)>`;
+//! * [`WriterSinkFactory`] — format records as text and stream them to a
+//!   shared writer *during* reduce (the CLI's `--out` path);
+//! * [`CountingSinkFactory`] — discard records, keep a count (tests,
+//!   dry runs).
+//!
+//! Sinks swallow I/O errors at `push` time (the [`RecordSink`] contract is
+//! infallible, because combiners share it) and surface them when sealed.
+
+use crate::error::{MrError, Result};
+use crate::io::Writable;
+use crate::run::{Run, RunWriter, TempDir};
+use crate::task::{RecordSink, VecSink};
+use parking_lot::Mutex;
+use std::io::Write;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Creates one sink per reduce task and seals finished sinks into
+/// per-partition artifacts.
+pub trait RecordSinkFactory<K, V>: Sync {
+    /// The per-task sink type.
+    type Sink: RecordSink<K, V> + Send;
+    /// What a sealed sink leaves behind (records, a run, a count, …).
+    type Artifact: Send;
+
+    /// Create the sink of reduce task `partition`.
+    fn make(&self, partition: usize) -> Result<Self::Sink>;
+
+    /// Seal a finished sink, surfacing any deferred write error.
+    fn seal(&self, partition: usize, sink: Self::Sink) -> Result<Self::Artifact>;
+}
+
+// ---------------------------------------------------------------------------
+// VecSinkFactory
+// ---------------------------------------------------------------------------
+
+/// Factory collecting typed records into one vector per reduce task.
+pub struct VecSinkFactory<K, V> {
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K, V> Default for VecSinkFactory<K, V> {
+    fn default() -> Self {
+        VecSinkFactory {
+            _marker: std::marker::PhantomData,
+        }
+    }
+}
+
+impl<K: Send, V: Send> RecordSinkFactory<K, V> for VecSinkFactory<K, V> {
+    type Sink = VecSink<K, V>;
+    type Artifact = Vec<(K, V)>;
+
+    fn make(&self, _partition: usize) -> Result<VecSink<K, V>> {
+        Ok(VecSink { out: Vec::new() })
+    }
+
+    fn seal(&self, _partition: usize, sink: VecSink<K, V>) -> Result<Vec<(K, V)>> {
+        Ok(sink.out)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RunSinkFactory
+// ---------------------------------------------------------------------------
+
+/// Factory serializing reduce output into one [`Run`] per task — the job
+/// boundary of a chained pipeline. With spilling enabled the records go to
+/// files in a temporary directory, bounding chained-job state by buffers.
+pub struct RunSinkFactory<K, V> {
+    spill_to_disk: bool,
+    temp: Option<Arc<TempDir>>,
+    _marker: std::marker::PhantomData<fn() -> (K, V)>,
+}
+
+impl<K: Writable, V: Writable> RunSinkFactory<K, V> {
+    /// In-memory runs.
+    pub fn mem() -> Self {
+        RunSinkFactory {
+            spill_to_disk: false,
+            temp: None,
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// File-backed runs inside `temp`.
+    pub fn disk(temp: Arc<TempDir>) -> Self {
+        RunSinkFactory {
+            spill_to_disk: true,
+            temp: Some(temp),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Mirror a job's spill configuration: file-backed when
+    /// `spill_to_disk`, in-memory otherwise.
+    pub fn with_spill(spill_to_disk: bool, base: Option<&std::path::Path>) -> Result<Self> {
+        if spill_to_disk {
+            Ok(Self::disk(Arc::new(TempDir::create(base)?)))
+        } else {
+            Ok(Self::mem())
+        }
+    }
+
+    /// The spill directory, if file-backed. Hand this to the
+    /// [`RunRecordSource`](crate::RunRecordSource) consuming the runs so
+    /// the directory outlives the readers.
+    pub fn temp(&self) -> Option<Arc<TempDir>> {
+        self.temp.clone()
+    }
+}
+
+/// Sink serializing records into one run; errors are deferred to `seal`.
+pub struct RunSink<K, V> {
+    writer: Option<RunWriter>,
+    key_buf: Vec<u8>,
+    val_buf: Vec<u8>,
+    error: Option<MrError>,
+    _marker: std::marker::PhantomData<fn(K, V)>,
+}
+
+impl<K: Writable, V: Writable> RecordSink<K, V> for RunSink<K, V> {
+    fn push(&mut self, k: K, v: V) {
+        if self.error.is_some() {
+            return;
+        }
+        self.key_buf.clear();
+        self.val_buf.clear();
+        k.write_to(&mut self.key_buf);
+        v.write_to(&mut self.val_buf);
+        let writer = self.writer.as_mut().expect("sink sealed twice");
+        if let Err(e) = writer.write_record(&self.key_buf, &self.val_buf) {
+            self.error = Some(e);
+        }
+    }
+}
+
+impl<K, V> RecordSinkFactory<K, V> for RunSinkFactory<K, V>
+where
+    K: Writable + Send,
+    V: Writable + Send,
+{
+    type Sink = RunSink<K, V>;
+    type Artifact = Run;
+
+    fn make(&self, _partition: usize) -> Result<RunSink<K, V>> {
+        let writer = if self.spill_to_disk {
+            RunWriter::file(self.temp.as_ref().expect("disk sink requires a temp dir"))?
+        } else {
+            RunWriter::mem()
+        };
+        Ok(RunSink {
+            writer: Some(writer),
+            key_buf: Vec::new(),
+            val_buf: Vec::new(),
+            error: None,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    fn seal(&self, _partition: usize, mut sink: RunSink<K, V>) -> Result<Run> {
+        if let Some(e) = sink.error.take() {
+            return Err(e);
+        }
+        sink.writer.take().expect("sink sealed twice").finish()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// WriterSinkFactory
+// ---------------------------------------------------------------------------
+
+/// How many formatted bytes a writer sink buffers locally before taking
+/// the shared-writer lock.
+const WRITER_SINK_FLUSH_BYTES: usize = 64 * 1024;
+
+struct SharedWriter {
+    writer: Mutex<Box<dyn Write + Send>>,
+    records: AtomicU64,
+}
+
+impl SharedWriter {
+    fn drain(&self, buf: &mut Vec<u8>) -> Result<()> {
+        if !buf.is_empty() {
+            self.writer.lock().write_all(buf)?;
+            buf.clear();
+        }
+        Ok(())
+    }
+}
+
+/// Factory streaming formatted records to one shared writer as reduce
+/// tasks produce them. Each sink buffers locally and appends under a lock,
+/// so the output is complete but interleaved across partitions in task
+/// completion order — callers needing a global order must sort downstream.
+pub struct WriterSinkFactory<K, V, F>
+where
+    F: Fn(&mut Vec<u8>, &K, &V) + Send + Sync,
+{
+    shared: Arc<SharedWriter>,
+    format: Arc<F>,
+    _marker: std::marker::PhantomData<fn(K, V)>,
+}
+
+impl<K, V, F> WriterSinkFactory<K, V, F>
+where
+    F: Fn(&mut Vec<u8>, &K, &V) + Send + Sync,
+{
+    /// Stream records through `format` into `writer`.
+    pub fn new(writer: Box<dyn Write + Send>, format: F) -> Self {
+        WriterSinkFactory {
+            shared: Arc::new(SharedWriter {
+                writer: Mutex::new(writer),
+                records: AtomicU64::new(0),
+            }),
+            format: Arc::new(format),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Total records written across all sealed sinks.
+    pub fn records(&self) -> u64 {
+        self.shared.records.load(Ordering::Relaxed)
+    }
+
+    /// Flush the underlying writer (call after the last job completes).
+    pub fn flush(&self) -> Result<()> {
+        self.shared.writer.lock().flush()?;
+        Ok(())
+    }
+}
+
+/// Per-task sink of a [`WriterSinkFactory`]; holds a local line buffer.
+pub struct WriterSink<K, V, F>
+where
+    F: Fn(&mut Vec<u8>, &K, &V) + Send + Sync,
+{
+    shared: Arc<SharedWriter>,
+    format: Arc<F>,
+    buf: Vec<u8>,
+    records: u64,
+    error: Option<MrError>,
+    _marker: std::marker::PhantomData<fn(K, V)>,
+}
+
+impl<K, V, F> RecordSink<K, V> for WriterSink<K, V, F>
+where
+    F: Fn(&mut Vec<u8>, &K, &V) + Send + Sync,
+{
+    fn push(&mut self, k: K, v: V) {
+        if self.error.is_some() {
+            return;
+        }
+        (self.format)(&mut self.buf, &k, &v);
+        self.records += 1;
+        if self.buf.len() >= WRITER_SINK_FLUSH_BYTES {
+            if let Err(e) = self.shared.drain(&mut self.buf) {
+                self.error = Some(e);
+            }
+        }
+    }
+}
+
+impl<K, V, F> RecordSinkFactory<K, V> for WriterSinkFactory<K, V, F>
+where
+    K: Send,
+    V: Send,
+    F: Fn(&mut Vec<u8>, &K, &V) + Send + Sync,
+{
+    type Sink = WriterSink<K, V, F>;
+    type Artifact = u64;
+
+    fn make(&self, _partition: usize) -> Result<WriterSink<K, V, F>> {
+        Ok(WriterSink {
+            shared: Arc::clone(&self.shared),
+            format: Arc::clone(&self.format),
+            buf: Vec::new(),
+            records: 0,
+            error: None,
+            _marker: std::marker::PhantomData,
+        })
+    }
+
+    fn seal(&self, _partition: usize, mut sink: WriterSink<K, V, F>) -> Result<u64> {
+        if let Some(e) = sink.error.take() {
+            return Err(e);
+        }
+        sink.shared.drain(&mut sink.buf)?;
+        sink.shared
+            .records
+            .fetch_add(sink.records, Ordering::Relaxed);
+        Ok(sink.records)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// CountingSinkFactory
+// ---------------------------------------------------------------------------
+
+/// Factory that discards records and keeps only a total count — proof that
+/// a pipeline can terminate without materializing records anywhere.
+#[derive(Default)]
+pub struct CountingSinkFactory {
+    total: AtomicU64,
+}
+
+impl CountingSinkFactory {
+    /// New factory with a zero count.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records counted across all sealed sinks.
+    pub fn total(&self) -> u64 {
+        self.total.load(Ordering::Relaxed)
+    }
+}
+
+/// Per-task sink of a [`CountingSinkFactory`].
+pub struct CountingSink {
+    records: u64,
+}
+
+impl<K, V> RecordSink<K, V> for CountingSink {
+    fn push(&mut self, _k: K, _v: V) {
+        self.records += 1;
+    }
+}
+
+impl<K: Send, V: Send> RecordSinkFactory<K, V> for CountingSinkFactory {
+    type Sink = CountingSink;
+    type Artifact = u64;
+
+    fn make(&self, _partition: usize) -> Result<CountingSink> {
+        Ok(CountingSink { records: 0 })
+    }
+
+    fn seal(&self, _partition: usize, sink: CountingSink) -> Result<u64> {
+        self.total.fetch_add(sink.records, Ordering::Relaxed);
+        Ok(sink.records)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::source::for_each_run_record;
+
+    #[test]
+    fn run_sink_round_trips_records() {
+        let factory = RunSinkFactory::<u32, u64>::mem();
+        let mut sink = factory.make(0).unwrap();
+        for i in 0..10u32 {
+            sink.push(i, u64::from(i) * 3);
+        }
+        let run = factory.seal(0, sink).unwrap();
+        assert_eq!(run.records, 10);
+        let mut got = Vec::new();
+        for_each_run_record::<u32, u64>(std::slice::from_ref(&run), |k, v| {
+            got.push((k, v));
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(
+            got,
+            (0..10).map(|i| (i, u64::from(i) * 3)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn disk_run_sink_spills_to_temp_dir() {
+        let factory = RunSinkFactory::<u32, u64>::with_spill(true, None).unwrap();
+        let temp = factory.temp().expect("disk factory has a temp dir");
+        let mut sink = factory.make(0).unwrap();
+        sink.push(7, 42);
+        let run = factory.seal(0, sink).unwrap();
+        assert_eq!(run.records, 1);
+        assert!(
+            std::fs::read_dir(temp.path()).unwrap().count() > 0,
+            "run must be a file in the spill dir"
+        );
+    }
+
+    #[test]
+    fn writer_sink_streams_formatted_lines() {
+        let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let factory = WriterSinkFactory::new(
+            Box::new(Shared(Arc::clone(&buf))),
+            |out: &mut Vec<u8>, k: &u32, v: &u64| {
+                out.extend_from_slice(format!("{v}\t{k}\n").as_bytes());
+            },
+        );
+        let mut a = factory.make(0).unwrap();
+        let mut b = factory.make(1).unwrap();
+        a.push(1, 10);
+        b.push(2, 20);
+        assert_eq!(factory.seal(0, a).unwrap(), 1);
+        assert_eq!(factory.seal(1, b).unwrap(), 1);
+        factory.flush().unwrap();
+        assert_eq!(factory.records(), 2);
+        let text = String::from_utf8(buf.lock().clone()).unwrap();
+        let mut lines: Vec<&str> = text.lines().collect();
+        lines.sort_unstable();
+        assert_eq!(lines, vec!["10\t1", "20\t2"]);
+    }
+
+    #[test]
+    fn counting_sink_totals_across_tasks() {
+        let factory = CountingSinkFactory::new();
+        let mut a = RecordSinkFactory::<u32, u64>::make(&factory, 0).unwrap();
+        let mut b = RecordSinkFactory::<u32, u64>::make(&factory, 1).unwrap();
+        RecordSink::<u32, u64>::push(&mut a, 1, 1);
+        RecordSink::<u32, u64>::push(&mut a, 2, 2);
+        RecordSink::<u32, u64>::push(&mut b, 3, 3);
+        assert_eq!(
+            RecordSinkFactory::<u32, u64>::seal(&factory, 0, a).unwrap(),
+            2
+        );
+        assert_eq!(
+            RecordSinkFactory::<u32, u64>::seal(&factory, 1, b).unwrap(),
+            1
+        );
+        assert_eq!(factory.total(), 3);
+    }
+}

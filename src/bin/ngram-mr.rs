@@ -5,9 +5,17 @@
 //! ngram-mr stats     --input corpus.bin
 //! ngram-mr compute   --input corpus.bin --method suffix-sigma --tau 5 --sigma 5
 //!                    [--mode cf|df] [--output all|closed|maximal] [--slots N]
+//!                    [--spill-to-disk] [--tmp-dir DIR]
 //!                    [--decode] [--out results.tsv]
 //! ngram-mr timeseries --input corpus.bin --tau 5 --sigma 3 [--out series.tsv]
 //! ```
+//!
+//! `compute` streams its results: records are written to `--out` (or
+//! stdout) *during* the reduce phase through a
+//! [`mapreduce::WriterSinkFactory`], so the result set is never collected
+//! in memory and lines appear in reduce-task completion order rather than
+//! sorted. `--spill-to-disk` additionally sends shuffle spills and
+//! chained-job runs to `--tmp-dir`, bounding memory by the sort buffers.
 
 use ngram_mr::prelude::*;
 use std::collections::HashMap;
@@ -21,7 +29,7 @@ fn usage() -> ! {
          ngram-mr stats      --input FILE\n  \
          ngram-mr compute    --input FILE --method naive|apriori-scan|apriori-index|suffix-sigma\n                      \
          --tau N --sigma N [--mode cf|df] [--output all|closed|maximal]\n                      \
-         [--slots N] [--decode] [--out FILE]\n  \
+         [--slots N] [--spill-to-disk] [--tmp-dir DIR] [--decode] [--out FILE]\n  \
          ngram-mr timeseries --input FILE --tau N --sigma N [--decode] [--out FILE]"
     );
     std::process::exit(2)
@@ -98,7 +106,7 @@ fn cluster(args: &Args) -> Cluster {
     }
 }
 
-fn out_writer(args: &Args) -> Box<dyn Write> {
+fn out_writer(args: &Args) -> Box<dyn Write + Send> {
     match args.get("out") {
         Some(path) => Box::new(std::io::BufWriter::new(
             std::fs::File::create(path).expect("cannot create output file"),
@@ -170,36 +178,54 @@ fn cmd_compute(args: &Args) -> ExitCode {
                 usage()
             }
         },
+        job: mapreduce::JobConfig {
+            spill_to_disk: args.has("spill-to-disk"),
+            tmp_dir: args.get("tmp-dir").map(PathBuf::from),
+            ..mapreduce::JobConfig::default()
+        },
         ..NGramParams::new(args.parse_num("tau", 2u64), args.parse_num("sigma", 5usize))
     };
+    // Validate before opening --out: a doomed run must not truncate a
+    // pre-existing results file.
+    if let Err(e) = ngrams::validate_params(method, &params) {
+        eprintln!("computation failed: {e}");
+        return ExitCode::FAILURE;
+    }
     let cluster = cluster(args);
-    let result = match compute(&cluster, &coll, method, &params) {
-        Ok(r) => r,
+    let decode = args.has("decode");
+    let dictionary = &coll.dictionary;
+    // Stream results as the reducers produce them instead of collecting
+    // them first; lines land in reduce completion order, unsorted.
+    let sinks = mapreduce::WriterSinkFactory::new(
+        out_writer(args),
+        move |buf: &mut Vec<u8>, gram: &Gram, count: &u64| {
+            if decode {
+                buf.extend_from_slice(
+                    format!("{}\t{}\n", count, dictionary.decode(gram.terms())).as_bytes(),
+                );
+            } else {
+                let ids: Vec<String> = gram.terms().iter().map(u32::to_string).collect();
+                buf.extend_from_slice(format!("{}\t{}\n", count, ids.join(" ")).as_bytes());
+            }
+        },
+    );
+    let stats = match ngrams::compute_to_sink(&cluster, &coll, method, &params, &sinks) {
+        Ok((_, stats)) => stats,
         Err(e) => {
             eprintln!("computation failed: {e}");
             return ExitCode::FAILURE;
         }
     };
+    sinks.flush().expect("cannot flush output");
     eprintln!(
         "{}: {} n-grams, {} job(s), {:?}, {} records, {} bytes",
         method.name(),
-        result.grams.len(),
-        result.jobs,
-        result.elapsed,
-        result.counters.get(Counter::MapOutputRecords),
-        result.counters.get(Counter::MapOutputBytes),
+        sinks.records(),
+        stats.jobs,
+        stats.elapsed,
+        stats.counters.get(Counter::MapOutputRecords),
+        stats.counters.get(Counter::MapOutputBytes),
     );
-    let decode = args.has("decode");
-    let mut w = out_writer(args);
-    for (gram, count) in &result.grams {
-        if decode {
-            writeln!(w, "{}\t{}", count, coll.dictionary.decode(gram.terms())).unwrap();
-        } else {
-            let ids: Vec<String> = gram.terms().iter().map(u32::to_string).collect();
-            writeln!(w, "{}\t{}", count, ids.join(" ")).unwrap();
-        }
-    }
-    w.flush().unwrap();
     ExitCode::SUCCESS
 }
 
