@@ -1,0 +1,154 @@
+//! End-to-end shuffle benchmark: every method × shuffle configuration at
+//! a fixed corpus scale, written to `BENCH_shuffle.json` so each perf PR
+//! measures itself against the recorded trajectory.
+//!
+//! Three configurations isolate the two shuffle fast-path levers:
+//!
+//! * `baseline`  — plain codec, prefix-digest sort *disabled* (the
+//!   pre-optimization engine);
+//! * `prefix`    — plain codec, prefix-accelerated sort (digest compare
+//!   inline, decode comparator only on ties);
+//! * `front`     — prefix sort plus front-coded runs (shuffle
+//!   compression; `encoded_run_bytes / raw_run_bytes` is the ratio).
+//!
+//! Wall clocks are the best of [`REPS`] runs to damp scheduler noise.
+//! Knobs: `NGRAM_BENCH_SCALE` (default [`bench::DEFAULT_SCALE`]),
+//! `NGRAM_BENCH_SLOTS`, `NGRAM_BENCH_SHUFFLE_OUT` (default
+//! `BENCH_shuffle.json` in the working directory).
+
+use bench::{cluster_from_env, corpora, fmt_bytes, fmt_duration, scale_from_env};
+use mapreduce::{Counter, RunCodec};
+use ngrams::{compute, Method, NGramParams};
+use std::time::Duration;
+
+/// Repetitions per configuration; the JSON records the fastest.
+const REPS: usize = 3;
+
+struct Entry {
+    method: &'static str,
+    config: &'static str,
+    codec: RunCodec,
+    prefix_sort: bool,
+    wall: Duration,
+    map_sort: Duration,
+    raw_run_bytes: u64,
+    encoded_run_bytes: u64,
+    shuffle_bytes: u64,
+    spills: u64,
+    records: u64,
+    output: usize,
+}
+
+fn run_one(
+    cluster: &mapreduce::Cluster,
+    coll: &corpus::Collection,
+    method: Method,
+    config: (&'static str, RunCodec, bool),
+) -> Entry {
+    let (name, codec, prefix_sort) = config;
+    let mut best: Option<Entry> = None;
+    for _ in 0..REPS {
+        let mut params = NGramParams::new(5, 5);
+        params.job.run_codec = codec;
+        params.job.prefix_sort = prefix_sort;
+        let result = compute(cluster, coll, method, &params).expect("method run failed");
+        let c = &result.counters;
+        let entry = Entry {
+            method: method.name(),
+            config: name,
+            codec,
+            prefix_sort,
+            wall: result.elapsed,
+            map_sort: Duration::from_nanos(c.get(Counter::MapSortNanos)),
+            raw_run_bytes: c.get(Counter::RawRunBytes),
+            encoded_run_bytes: c.get(Counter::EncodedRunBytes),
+            shuffle_bytes: c.get(Counter::ShuffleBytes),
+            spills: c.get(Counter::Spills),
+            records: c.get(Counter::MapOutputRecords),
+            output: result.grams.len(),
+        };
+        if best.as_ref().is_none_or(|b| entry.wall < b.wall) {
+            best = Some(entry);
+        }
+    }
+    best.expect("REPS > 0")
+}
+
+fn json_line(e: &Entry) -> String {
+    format!(
+        concat!(
+            "{{\"method\": \"{}\", \"config\": \"{}\", \"codec\": \"{}\", ",
+            "\"prefix_sort\": {}, \"wall_ms\": {:.3}, \"map_sort_ms\": {:.3}, ",
+            "\"raw_run_bytes\": {}, \"encoded_run_bytes\": {}, ",
+            "\"shuffle_bytes\": {}, \"spills\": {}, \"map_output_records\": {}, ",
+            "\"output_grams\": {}}}"
+        ),
+        e.method,
+        e.config,
+        e.codec.name(),
+        e.prefix_sort,
+        e.wall.as_secs_f64() * 1e3,
+        e.map_sort.as_secs_f64() * 1e3,
+        e.raw_run_bytes,
+        e.encoded_run_bytes,
+        e.shuffle_bytes,
+        e.spills,
+        e.records,
+        e.output,
+    )
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let cluster = cluster_from_env();
+    let (nyt, _) = corpora(scale);
+    eprintln!(
+        "shuffle_bench: corpus `{}` at scale {scale} ({} docs), {} slots, τ=5 σ=5, {REPS} reps",
+        nyt.name,
+        nyt.docs.len(),
+        cluster.slots()
+    );
+
+    const CONFIGS: [(&str, RunCodec, bool); 3] = [
+        ("baseline", RunCodec::Plain, false),
+        ("prefix", RunCodec::Plain, true),
+        ("front", RunCodec::FrontCoded, true),
+    ];
+
+    let mut entries: Vec<Entry> = Vec::new();
+    for method in Method::ALL {
+        for config in CONFIGS {
+            let e = run_one(&cluster, &nyt, method, config);
+            eprintln!(
+                "{:>14} {:>8}: wall {:>8}  map-sort {:>8}  runs {} raw / {} encoded ({:.2}x)  spills {}",
+                e.method,
+                e.config,
+                fmt_duration(e.wall),
+                fmt_duration(e.map_sort),
+                fmt_bytes(e.raw_run_bytes),
+                fmt_bytes(e.encoded_run_bytes),
+                e.encoded_run_bytes as f64 / e.raw_run_bytes.max(1) as f64,
+                e.spills,
+            );
+            entries.push(e);
+        }
+    }
+
+    let out_path = std::env::var("NGRAM_BENCH_SHUFFLE_OUT")
+        .unwrap_or_else(|_| "BENCH_shuffle.json".to_string());
+    let body: Vec<String> = entries
+        .iter()
+        .map(|e| format!("    {}", json_line(e)))
+        .collect();
+    let json = format!(
+        "{{\n  \"corpus\": \"{}\",\n  \"scale\": {scale},\n  \"docs\": {},\n  \
+         \"slots\": {},\n  \"tau\": 5,\n  \"sigma\": 5,\n  \"reps\": {REPS},\n  \
+         \"entries\": [\n{}\n  ]\n}}\n",
+        nyt.name,
+        nyt.docs.len(),
+        cluster.slots(),
+        body.join(",\n")
+    );
+    std::fs::write(&out_path, json).expect("cannot write bench JSON");
+    eprintln!("wrote {out_path}");
+}

@@ -17,7 +17,7 @@ use kvstore::{KvStore, Options as KvOptions};
 use mapreduce::{
     for_each_run_record, from_bytes, to_bytes, ByteReader, Cluster, FxHashMap, Job, JobConfig,
     MapContext, Mapper, ReduceContext, Reducer, Result, Run, RunRecordSource, RunSinkFactory,
-    SliceSource, TempDir, ValueIter, Writable,
+    SliceSource, TempDir, ValueIter, VarintSeqComparator, Writable,
 };
 use std::sync::Arc;
 
@@ -384,13 +384,17 @@ fn apriori_index_impl(
         let sinks = RunSinkFactory::<Gram, PostingList>::with_spill(
             params.job.spill_to_disk,
             params.job.tmp_dir.as_deref(),
-        )?;
+        )?
+        .codec(params.job.run_codec);
         let runs: Vec<Run> = if k <= kk {
             let job = Job::<IndexMapper, IndexReducer>::new(
                 cfg,
                 move || IndexMapper { k },
                 move || IndexReducer { tau, mode },
-            );
+            )
+            // Raw twin of the default `Gram: Ord` comparator — same
+            // order, no per-comparison deserialization.
+            .sort_comparator(VarintSeqComparator);
             job.run_streamed(cluster, SliceSource::new(input), &sinks)?
                 .artifacts
         } else {
@@ -403,7 +407,8 @@ fn apriori_index_impl(
                     mode,
                     buffer_budget_bytes: budget,
                 },
-            );
+            )
+            .sort_comparator(VarintSeqComparator);
             let source = RunRecordSource::<Gram, PostingList>::new(
                 std::mem::take(&mut prev_runs),
                 prev_temp.take(),

@@ -13,6 +13,7 @@ use kvstore::{KvStore, Options as KvOptions};
 use mapreduce::{
     for_each_run_record, Cluster, FxHashSet, Job, JobConfig, MapContext, Mapper, MrError,
     ReduceContext, Reducer, Result, Run, RunSinkFactory, SliceSource, TempDir, ValueIter,
+    VarintSeqComparator,
 };
 use std::sync::Arc;
 
@@ -301,11 +302,15 @@ pub fn apriori_scan_streamed(
                 mode,
             },
             move || CountingReducer { tau, mode },
-        );
+        )
+        // Raw twin of the default `Gram: Ord` comparator — same order,
+        // no per-comparison deserialization, digest-accelerated.
+        .sort_comparator(VarintSeqComparator);
         let sinks = RunSinkFactory::<Gram, u64>::with_spill(
             params.job.spill_to_disk,
             params.job.tmp_dir.as_deref(),
-        )?;
+        )?
+        .codec(params.job.run_codec);
         let out = job.run_streamed(cluster, SliceSource::new(input), &sinks)?;
         let runs = out.artifacts;
         if runs.iter().map(|r| r.records).sum::<u64>() == 0 {

@@ -15,7 +15,7 @@ use crate::timeseries::TimeSeries;
 use corpus::Collection;
 use mapreduce::{
     Cluster, CounterSnapshot, Job, JobConfig, MrError, RecordSink, RecordSinkFactory, Result,
-    RunRecordSource, RunSinkFactory, SliceSource, VecSinkFactory,
+    RunRecordSource, RunSinkFactory, SliceSource, VarintSeqComparator, VecSinkFactory,
 };
 use std::time::{Duration, Instant};
 
@@ -288,7 +288,8 @@ where
                     let run_sinks = RunSinkFactory::<Gram, u64>::with_spill(
                         params.job.spill_to_disk,
                         params.job.tmp_dir.as_deref(),
-                    )?;
+                    )?
+                    .codec(params.job.run_codec);
                     let pass1 = run_suffix_sigma(
                         cluster,
                         &input,
@@ -319,36 +320,33 @@ where
         )?,
     };
 
-    // Aggregate telemetry over the jobs this call launched.
-    let log = cluster.job_log();
-    let mut counters = CounterSnapshot::default();
-    for entry in &log[log_mark..] {
-        counters.merge(&entry.counters);
-    }
-    Ok((
-        artifacts,
-        NGramRunStats {
-            counters,
-            jobs: log.len() - log_mark,
-            elapsed: started.elapsed(),
-        },
-    ))
+    Ok((artifacts, stats_since(cluster, log_mark, started)))
 }
 
-/// Compute per-year time series (§VI-B) with NAÏVE or SUFFIX-σ.
+/// Compute per-year time series (§VI-B) with NAÏVE or SUFFIX-σ, pushing
+/// every `(gram, series)` record into sinks created from `sinks` *during*
+/// the reduce phase — the streaming sibling of [`compute_time_series`],
+/// mirroring [`compute_to_sink`]. Nothing materializes the result set;
+/// the input is fed to the job as a borrowed slice.
 ///
 /// The APRIORI methods are not extended here, matching the paper, which
 /// presents this aggregation as a SUFFIX-σ capability with NAÏVE as the
 /// only straightforward alternative.
-pub fn compute_time_series(
+pub fn compute_time_series_to_sink<F>(
     cluster: &Cluster,
     coll: &Collection,
     method: Method,
     params: &NGramParams,
-) -> Result<Vec<(Gram, TimeSeries)>> {
+    sinks: &F,
+) -> Result<(Vec<F::Artifact>, NGramRunStats)>
+where
+    F: RecordSinkFactory<Gram, TimeSeries>,
+{
+    let started = Instant::now();
+    let log_mark = cluster.job_log().len();
     let input = prepare_input(coll, params.tau, params.split_docs);
     let agg = TsAgg { tau: params.tau };
-    let mut out = match method {
+    let artifacts = match method {
         Method::Naive => {
             let cfg = named(params, "naive-ts");
             let sigma = params.sigma;
@@ -361,8 +359,10 @@ pub fn compute_time_series(
                     agg: a.clone(),
                 },
                 move || NaiveReducer { agg: a2.clone() },
-            );
-            job.run(cluster, input)?.into_records()
+            )
+            .sort_comparator(VarintSeqComparator);
+            job.run_streamed(cluster, SliceSource::new(&input), sinks)?
+                .artifacts
         }
         Method::SuffixSigma => {
             let cfg = named(params, "suffix-sigma-ts");
@@ -379,7 +379,8 @@ pub fn compute_time_series(
             )
             .partitioner(FirstTermPartitioner)
             .sort_comparator(ReverseLexComparator);
-            job.run(cluster, input)?.into_records()
+            job.run_streamed(cluster, SliceSource::new(&input), sinks)?
+                .artifacts
         }
         other => {
             return Err(MrError::Config(format!(
@@ -388,22 +389,45 @@ pub fn compute_time_series(
             )))
         }
     };
+    Ok((artifacts, stats_since(cluster, log_mark, started)))
+}
+
+/// Compute per-year time series, collected and sorted — a
+/// [`VecSinkFactory`] pairing of [`compute_time_series_to_sink`] for
+/// callers that want the records in memory.
+pub fn compute_time_series(
+    cluster: &Cluster,
+    coll: &Collection,
+    method: Method,
+    params: &NGramParams,
+) -> Result<Vec<(Gram, TimeSeries)>> {
+    let sinks = VecSinkFactory::default();
+    let (artifacts, _) = compute_time_series_to_sink(cluster, coll, method, params, &sinks)?;
+    let mut out: Vec<(Gram, TimeSeries)> = artifacts.into_iter().flatten().collect();
     out.sort_by(|a, b| a.0.cmp(&b.0));
     Ok(out)
 }
 
 /// Build a positional inverted index of all frequent n-grams with a
 /// single SUFFIX-σ job (§VI-B, "build an inverted index that records for
-/// every n-gram how often or where it occurs in individual documents").
+/// every n-gram how often or where it occurs in individual documents"),
+/// pushing every `(gram, postings)` record into the caller's sinks
+/// *during* reduce — the streaming sibling of [`compute_inverted_index`].
 ///
 /// Produces the same index APRIORI-INDEX materializes incrementally
 /// ([`crate::apriori_index_postings`]) at a fraction of the shuffle
 /// volume: one record per term occurrence.
-pub fn compute_inverted_index(
+pub fn compute_inverted_index_to_sink<F>(
     cluster: &Cluster,
     coll: &Collection,
     params: &NGramParams,
-) -> Result<Vec<(Gram, PostingList)>> {
+    sinks: &F,
+) -> Result<(Vec<F::Artifact>, NGramRunStats)>
+where
+    F: RecordSinkFactory<Gram, PostingList>,
+{
+    let started = Instant::now();
+    let log_mark = cluster.job_log().len();
     let input = prepare_input(coll, params.tau, params.split_docs);
     let cfg = named(params, "suffix-sigma-index");
     let sigma = params.sigma;
@@ -419,9 +443,39 @@ pub fn compute_inverted_index(
     )
     .partitioner(FirstTermPartitioner)
     .sort_comparator(ReverseLexComparator);
-    let mut out = job.run(cluster, input)?.into_records();
+    let artifacts = job
+        .run_streamed(cluster, SliceSource::new(&input), sinks)?
+        .artifacts;
+    Ok((artifacts, stats_since(cluster, log_mark, started)))
+}
+
+/// Build the positional inverted index, collected and sorted — a
+/// [`VecSinkFactory`] pairing of [`compute_inverted_index_to_sink`].
+pub fn compute_inverted_index(
+    cluster: &Cluster,
+    coll: &Collection,
+    params: &NGramParams,
+) -> Result<Vec<(Gram, PostingList)>> {
+    let sinks = VecSinkFactory::default();
+    let (artifacts, _) = compute_inverted_index_to_sink(cluster, coll, params, &sinks)?;
+    let mut out: Vec<(Gram, PostingList)> = artifacts.into_iter().flatten().collect();
     out.sort_by(|x, y| x.0.cmp(&y.0));
     Ok(out)
+}
+
+/// Aggregate counters over the jobs launched since `log_mark` into the
+/// telemetry struct every sink-directed driver returns.
+fn stats_since(cluster: &Cluster, log_mark: usize, started: Instant) -> NGramRunStats {
+    let log = cluster.job_log();
+    let mut counters = CounterSnapshot::default();
+    for entry in &log[log_mark..] {
+        counters.merge(&entry.counters);
+    }
+    NGramRunStats {
+        counters,
+        jobs: log.len() - log_mark,
+        elapsed: started.elapsed(),
+    }
 }
 
 fn named(params: &NGramParams, name: &str) -> JobConfig {
@@ -453,7 +507,11 @@ where
             agg: a.clone(),
         },
         move || NaiveReducer { agg: a2.clone() },
-    );
+    )
+    // Same order as the default deserializing `Gram: Ord` comparator
+    // (element-wise numeric, shorter-prefix-first over bare varints), but
+    // raw — no per-comparison Gram allocation — and digest-accelerated.
+    .sort_comparator(VarintSeqComparator);
     if params.combiner && combinable {
         job = job.combiner(|| Box::new(SumCombiner));
     }

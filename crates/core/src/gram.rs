@@ -60,7 +60,10 @@ impl Writable for Gram {
     }
 
     fn read_from(r: &mut ByteReader<'_>) -> Result<Self> {
-        let mut terms = Vec::with_capacity(r.remaining());
+        // Start empty and let pushes grow the vector: `r.remaining()` counts
+        // *bytes*, not terms, so reserving it would over-allocate up to 5×
+        // on every decoded gram in the shuffle hot path.
+        let mut terms = Vec::new();
         while !r.is_empty() {
             terms.push(r.read_vu32()?);
         }
@@ -121,6 +124,46 @@ impl RawComparator for ReverseLexComparator {
                 other => return other,
             }
         }
+    }
+
+    /// Digest of the first two terms, packed `[term1 | term2]` into 32-bit
+    /// halves. Term ids are `u32`, so one term fills a half exactly; two
+    /// encodings make the digest order-consistent with reverse
+    /// lexicographic order:
+    ///
+    /// * a *missing* position is encoded as `u32::MAX` — larger than any
+    ///   present term, because an extension sorts *before* its prefix
+    ///   (`r < s` when `s ⊴ r`), so "ended" must compare greater;
+    /// * a present term is capped at `u32::MAX - 1` so it can never
+    ///   collide with the missing-position sentinel. A cap loses
+    ///   information, so nothing *after* a capped position may
+    ///   discriminate: a key whose first term saturates takes the
+    ///   maximal first-slot digest outright (`[cap | ended]`), which
+    ///   degrades the `u32::MAX` term id to a digest tie, never to an
+    ///   inversion. A capped *second* term is already the last slot, so
+    ///   plain clamping suffices there.
+    ///
+    /// The empty gram (every key's prefix, sorts after everything) maps
+    /// to `u64::MAX`. Keys sharing their first two terms tie and fall
+    /// back to the full decoding comparison.
+    #[inline]
+    fn sort_prefix(&self, key: &[u8]) -> u64 {
+        const ENDED: u64 = u32::MAX as u64;
+        const TERM_CAP: u64 = (u32::MAX - 1) as u64;
+        let mut r = ByteReader::new(key);
+        if r.is_empty() {
+            return u64::MAX;
+        }
+        let t1 = r.read_vu64().unwrap_or(0);
+        if t1 > TERM_CAP {
+            return (TERM_CAP << 32) | ENDED;
+        }
+        let t2 = if r.is_empty() {
+            ENDED
+        } else {
+            r.read_vu64().unwrap_or(0).min(TERM_CAP)
+        };
+        (t1 << 32) | t2
     }
 }
 
@@ -208,6 +251,77 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn sort_prefix_is_order_consistent_with_reverse_lex() {
+        // digest(a) < digest(b) must imply compare(a, b) == Less.
+        let raw = ReverseLexComparator;
+        let samples = [
+            g(&[]),
+            g(&[0]),
+            g(&[0, 0]),
+            g(&[0, 1]),
+            g(&[1]),
+            g(&[1, 2]),
+            g(&[1, 2, 3]),
+            g(&[1, 2, 3, 4]),
+            g(&[1, 3]),
+            g(&[300]),
+            g(&[300, 2]),
+            g(&[u32::MAX - 1]),
+            g(&[u32::MAX]),
+            g(&[u32::MAX, u32::MAX]),
+        ];
+        for x in &samples {
+            for y in &samples {
+                let (bx, by) = (to_bytes(x), to_bytes(y));
+                if raw.sort_prefix(&bx) < raw.sort_prefix(&by) {
+                    assert_eq!(
+                        raw.compare(&bx, &by),
+                        Ordering::Less,
+                        "digest order contradicts compare for {x:?} vs {y:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sort_prefix_ties_resolve_through_full_compare() {
+        // Keys sharing their first two terms collide on the digest; the
+        // (digest, fallback-compare) pair must still reproduce reverse
+        // lexicographic order exactly — this pins the arena sort's
+        // two-stage comparison on digest-colliding keys.
+        let raw = ReverseLexComparator;
+        let colliding = [
+            g(&[7, 9]),
+            g(&[7, 9, 1]),
+            g(&[7, 9, 1, 5]),
+            g(&[7, 9, 2]),
+            g(&[7, 9, u32::MAX]),
+        ];
+        let digests: Vec<u64> = colliding
+            .iter()
+            .map(|x| raw.sort_prefix(&to_bytes(x)))
+            .collect();
+        assert!(
+            digests.windows(2).all(|w| w[0] == w[1]),
+            "first-two-term-equal keys must collide on the digest"
+        );
+        let mut staged = colliding.to_vec();
+        staged.sort_by(|x, y| {
+            let (bx, by) = (to_bytes(x), to_bytes(y));
+            raw.sort_prefix(&bx)
+                .cmp(&raw.sort_prefix(&by))
+                .then_with(|| raw.compare(&bx, &by))
+        });
+        let mut expected = colliding.to_vec();
+        expected.sort_by(reverse_lex);
+        assert_eq!(staged, expected);
+        // And the empty gram digests above every non-empty key.
+        assert_eq!(raw.sort_prefix(&to_bytes(&g(&[]))), u64::MAX);
+        assert!(raw.sort_prefix(&to_bytes(&g(&[u32::MAX, u32::MAX]))) < u64::MAX);
     }
 
     #[test]

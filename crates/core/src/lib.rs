@@ -58,8 +58,9 @@ pub use apriori_scan::{
     apriori_scan, apriori_scan_streamed, CountingReducer, GramDict, ScanMapper, ScanParams,
 };
 pub use driver::{
-    compute, compute_inverted_index, compute_time_series, compute_to_sink, validate_params, Method,
-    NGramParams, NGramResult, NGramRunStats, OutputMode,
+    compute, compute_inverted_index, compute_inverted_index_to_sink, compute_time_series,
+    compute_time_series_to_sink, compute_to_sink, validate_params, Method, NGramParams,
+    NGramResult, NGramRunStats, OutputMode,
 };
 pub use gram::{lcp, reverse_lex, FirstTermPartitioner, Gram, ReverseLexComparator};
 pub use input::{input_tokens, prepare_input, unigram_counts, InputSeq};

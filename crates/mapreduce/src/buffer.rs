@@ -10,17 +10,21 @@ use crate::comparator::RawComparator;
 use crate::counters::{Counter, Counters};
 use crate::error::Result;
 use crate::io::Writable;
-use crate::run::{Run, RunWriter, TempDir};
+use crate::run::{Run, RunCodec, RunWriter, TempDir};
 use crate::task::{BoxedCombiner, RecordSink, ReduceContext, Reducer};
 use crate::values::ValueIter;
 use std::sync::Arc;
 
-/// Offsets of one record inside a [`RecordArena`].
+/// Offsets of one record inside a [`RecordArena`], plus the cached
+/// order-consistent key digest ([`RawComparator::sort_prefix`]) filled in
+/// at sort time.
 #[derive(Clone, Copy, Debug)]
 pub(crate) struct RecMeta {
     pub key_start: u32,
     pub key_end: u32,
     pub val_end: u32,
+    /// `sort_prefix` digest of the key; `0` until [`RecordArena::sort`].
+    pub prefix: u64,
 }
 
 /// Contiguous byte arena holding serialized records plus an offset array.
@@ -43,6 +47,7 @@ impl RecordArena {
             key_start: key_start as u32,
             key_end: key_end as u32,
             val_end: val_end as u32,
+            prefix: 0,
         });
         (key_end - key_start, val_end - key_end)
     }
@@ -57,14 +62,34 @@ impl RecordArena {
         &self.data[m.key_end as usize..m.val_end as usize]
     }
 
-    fn sort(&mut self, cmp: &dyn RawComparator) {
+    /// Sort the offset array by key. With `prefix_sort`, each record's
+    /// [`RawComparator::sort_prefix`] digest is computed once and cached in
+    /// its [`RecMeta`], and comparisons resolve on an inline `u64` compare,
+    /// falling through to the dyn-dispatch decoding comparator only on
+    /// digest ties; without it, every comparison goes through the
+    /// comparator (the pre-digest behavior, kept as the bench baseline).
+    fn sort(&mut self, cmp: &dyn RawComparator, prefix_sort: bool) {
         let data = &self.data;
-        self.meta.sort_unstable_by(|a, b| {
-            cmp.compare(
-                &data[a.key_start as usize..a.key_end as usize],
-                &data[b.key_start as usize..b.key_end as usize],
-            )
-        });
+        if prefix_sort {
+            for m in &mut self.meta {
+                m.prefix = cmp.sort_prefix(&data[m.key_start as usize..m.key_end as usize]);
+            }
+            self.meta.sort_unstable_by(|a, b| {
+                a.prefix.cmp(&b.prefix).then_with(|| {
+                    cmp.compare(
+                        &data[a.key_start as usize..a.key_end as usize],
+                        &data[b.key_start as usize..b.key_end as usize],
+                    )
+                })
+            });
+        } else {
+            self.meta.sort_unstable_by(|a, b| {
+                cmp.compare(
+                    &data[a.key_start as usize..a.key_end as usize],
+                    &data[b.key_start as usize..b.key_end as usize],
+                )
+            });
+        }
     }
 
     fn clear(&mut self) {
@@ -84,12 +109,24 @@ impl RecordArena {
 /// Factory producing a fresh combiner instance for each spill.
 pub type CombinerFactory<K, V> = Arc<dyn Fn() -> BoxedCombiner<K, V> + Send + Sync>;
 
+/// Shuffle-relevant knobs of one map task's collector, extracted from the
+/// job configuration.
+#[derive(Clone, Copy, Debug)]
+pub(crate) struct CollectorConfig {
+    pub sort_buffer_bytes: usize,
+    pub spill_to_disk: bool,
+    /// Codec spill runs are encoded with.
+    pub run_codec: RunCodec,
+    /// Cache `sort_prefix` digests and compare them inline before falling
+    /// back to the raw comparator.
+    pub prefix_sort: bool,
+}
+
 /// Per-map-task output collector.
 pub(crate) struct MapOutputCollector<K: Writable + Send, V: Writable + Send> {
     arenas: Vec<RecordArena>,
     runs: Vec<Vec<Run>>,
-    sort_buffer_bytes: usize,
-    spill_to_disk: bool,
+    config: CollectorConfig,
     temp: Option<Arc<TempDir>>,
     cmp: Arc<dyn RawComparator>,
     combiner_f: Option<CombinerFactory<K, V>>,
@@ -99,8 +136,7 @@ pub(crate) struct MapOutputCollector<K: Writable + Send, V: Writable + Send> {
 impl<K: Writable + Send, V: Writable + Send> MapOutputCollector<K, V> {
     pub(crate) fn new(
         num_partitions: usize,
-        sort_buffer_bytes: usize,
-        spill_to_disk: bool,
+        config: CollectorConfig,
         temp: Option<Arc<TempDir>>,
         cmp: Arc<dyn RawComparator>,
         combiner_f: Option<CombinerFactory<K, V>>,
@@ -111,8 +147,7 @@ impl<K: Writable + Send, V: Writable + Send> MapOutputCollector<K, V> {
                 .map(|_| RecordArena::default())
                 .collect(),
             runs: (0..num_partitions).map(|_| Vec::new()).collect(),
-            sort_buffer_bytes,
-            spill_to_disk,
+            config,
             temp,
             cmp,
             combiner_f,
@@ -126,7 +161,7 @@ impl<K: Writable + Send, V: Writable + Send> MapOutputCollector<K, V> {
         self.counters.inc(Counter::MapOutputRecords);
         self.counters
             .add(Counter::MapOutputBytes, (klen + vlen) as u64);
-        if self.buffered_bytes() > self.sort_buffer_bytes {
+        if self.buffered_bytes() > self.config.sort_buffer_bytes {
             self.spill()?;
         }
         Ok(())
@@ -144,7 +179,12 @@ impl<K: Writable + Send, V: Writable + Send> MapOutputCollector<K, V> {
                 continue;
             }
             let mut arena = std::mem::take(&mut self.arenas[p]);
-            arena.sort(self.cmp.as_ref());
+            let sort_started = std::time::Instant::now();
+            arena.sort(self.cmp.as_ref(), self.config.prefix_sort);
+            self.counters.add(
+                Counter::MapSortNanos,
+                sort_started.elapsed().as_nanos() as u64,
+            );
             let mut writer = self.new_writer()?;
             match &self.combiner_f {
                 Some(f) => {
@@ -165,6 +205,8 @@ impl<K: Writable + Send, V: Writable + Send> MapOutputCollector<K, V> {
             }
             let run = writer.finish()?;
             self.counters.add(Counter::ShuffleBytes, run.bytes);
+            self.counters.add(Counter::RawRunBytes, run.raw_bytes);
+            self.counters.add(Counter::EncodedRunBytes, run.bytes);
             if !run.is_empty() {
                 self.runs[p].push(run);
             }
@@ -175,14 +217,14 @@ impl<K: Writable + Send, V: Writable + Send> MapOutputCollector<K, V> {
     }
 
     fn new_writer(&self) -> Result<RunWriter> {
-        if self.spill_to_disk {
+        if self.config.spill_to_disk {
             let temp = self
                 .temp
                 .as_ref()
                 .expect("spill_to_disk requires a temp dir");
-            RunWriter::file(temp)
+            RunWriter::file_codec(temp, self.config.run_codec)
         } else {
-            Ok(RunWriter::mem())
+            Ok(RunWriter::mem_codec(self.config.run_codec))
         }
     }
 

@@ -16,6 +16,24 @@ use std::marker::PhantomData;
 pub trait RawComparator: Send + Sync {
     /// Compare two serialized keys.
     fn compare(&self, a: &[u8], b: &[u8]) -> Ordering;
+
+    /// An order-consistent fixed-width digest of a serialized key —
+    /// Hadoop's binary-comparator trick adapted to the sort arena.
+    ///
+    /// Contract: `sort_prefix(a) < sort_prefix(b)` implies
+    /// `compare(a, b) == Ordering::Less` (for keys that round-trip through
+    /// their `Writable`). Equal digests say nothing; callers fall back to
+    /// [`RawComparator::compare`] on ties. The sort arena caches one digest
+    /// per record and resolves most comparisons with a single `u64`
+    /// compare, only paying the decoding comparator on digest collisions.
+    ///
+    /// The default maps every key to `0` — all ties, no acceleration —
+    /// which is correct for any order.
+    #[inline]
+    fn sort_prefix(&self, key: &[u8]) -> u64 {
+        let _ = key;
+        0
+    }
 }
 
 /// Plain lexicographic byte order (memcmp).
@@ -25,6 +43,17 @@ impl RawComparator for BytewiseComparator {
     #[inline]
     fn compare(&self, a: &[u8], b: &[u8]) -> Ordering {
         a.cmp(b)
+    }
+
+    /// First eight key bytes, big-endian, zero-padded. Zero padding is
+    /// safe: a short key can only tie with an extension whose next bytes
+    /// are all `0x00`, and ties fall back to the full memcmp.
+    #[inline]
+    fn sort_prefix(&self, key: &[u8]) -> u64 {
+        let mut buf = [0u8; 8];
+        let n = key.len().min(8);
+        buf[..n].copy_from_slice(&key[..n]);
+        u64::from_be_bytes(buf)
     }
 }
 
@@ -93,6 +122,20 @@ impl RawComparator for VarintSeqComparator {
             }
         }
     }
+
+    /// First element plus one (saturating), empty sequence → `0`. The
+    /// order is element-wise numeric with shorter-prefix-first, so an
+    /// empty key sorts below everything and a smaller first element
+    /// implies `Less`; first-element ties (including the saturated
+    /// `u64::MAX` corner) fall back to the full comparison.
+    #[inline]
+    fn sort_prefix(&self, key: &[u8]) -> u64 {
+        let mut r = ByteReader::new(key);
+        if r.is_empty() {
+            return 0;
+        }
+        r.read_vu64().unwrap_or(0).saturating_add(1)
+    }
 }
 
 #[cfg(test)]
@@ -117,6 +160,83 @@ mod tests {
         assert_eq!(c.compare(&a, &b), Ordering::Greater);
         assert_eq!(c.compare(&b, &a), Ordering::Less);
         assert_eq!(c.compare(&a, &a), Ordering::Equal);
+    }
+
+    /// `sort_prefix(a) < sort_prefix(b)` must imply `compare(a,b) == Less`.
+    fn assert_digest_consistent(c: &dyn RawComparator, keys: &[Vec<u8>]) {
+        for a in keys {
+            for b in keys {
+                let (da, db) = (c.sort_prefix(a), c.sort_prefix(b));
+                if da < db {
+                    assert_eq!(
+                        c.compare(a, b),
+                        Ordering::Less,
+                        "digest order contradicts compare for {a:?} vs {b:?}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bytewise_sort_prefix_is_order_consistent() {
+        let keys: Vec<Vec<u8>> = [
+            &b""[..],
+            b"a",
+            b"ab",
+            b"ab\0",
+            b"ab\0c",
+            b"abc",
+            b"abcdefgh",
+            b"abcdefghi",
+            b"abcdefghj",
+            b"\xff\xff\xff\xff\xff\xff\xff\xff\xff",
+        ]
+        .iter()
+        .map(|k| k.to_vec())
+        .collect();
+        assert_digest_consistent(&BytewiseComparator, &keys);
+        // Keys differing within the first 8 bytes resolve on digest alone.
+        let c = BytewiseComparator;
+        assert!(c.sort_prefix(b"abc") < c.sort_prefix(b"abd"));
+    }
+
+    #[test]
+    fn varint_seq_sort_prefix_is_order_consistent() {
+        let seq = |xs: &[u64]| {
+            let mut out = Vec::new();
+            for &x in xs {
+                crate::io::write_vu64(&mut out, x);
+            }
+            out
+        };
+        let keys: Vec<Vec<u8>> = [
+            seq(&[]),
+            seq(&[0]),
+            seq(&[0, 9]),
+            seq(&[1]),
+            seq(&[300]),
+            seq(&[300, 2]),
+            seq(&[u64::MAX - 1]),
+            seq(&[u64::MAX]),
+        ]
+        .to_vec();
+        assert_digest_consistent(&VarintSeqComparator, &keys);
+        let c = VarintSeqComparator;
+        assert_eq!(c.sort_prefix(&seq(&[])), 0);
+        assert!(c.sort_prefix(&seq(&[])) < c.sort_prefix(&seq(&[0])));
+        // The saturated corner collides instead of inverting.
+        assert_eq!(
+            c.sort_prefix(&seq(&[u64::MAX - 1])),
+            c.sort_prefix(&seq(&[u64::MAX]))
+        );
+    }
+
+    #[test]
+    fn default_sort_prefix_never_accelerates() {
+        let c = TypedComparator::<u64>::new();
+        assert_eq!(c.sort_prefix(&to_bytes(&5u64)), 0);
+        assert_eq!(c.sort_prefix(&to_bytes(&300u64)), 0);
     }
 
     #[test]

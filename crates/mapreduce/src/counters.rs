@@ -27,8 +27,23 @@ pub enum Counter {
     CombineOutputRecords,
     /// Number of spill events across all map tasks.
     Spills,
-    /// Bytes actually shipped to reducers (post-combine run bytes).
+    /// Bytes actually shipped to reducers (post-combine, post-codec run
+    /// bytes).
     ShuffleBytes,
+    /// Pre-codec frame bytes of the map-side spill runs (post-combine):
+    /// what the shuffle *would* ship under the plain codec. Covers spill
+    /// runs only — reduce-output runs written through a `RunSinkFactory`
+    /// (job chaining) have no counter hookup.
+    RawRunBytes,
+    /// Post-codec bytes of the map-side spill runs; `EncodedRunBytes /
+    /// RawRunBytes` is the shuffle compression ratio of the job. Equals
+    /// [`Counter::ShuffleBytes`] today (both count sealed spill runs);
+    /// kept separate because ShuffleBytes carries Hadoop's semantics
+    /// while this one is defined as the denominator's encoded twin.
+    EncodedRunBytes,
+    /// Nanoseconds spent sorting map-side record arenas (the in-memory
+    /// sort the raw comparator and its `sort_prefix` digest accelerate).
+    MapSortNanos,
     /// Distinct keys seen by reducers.
     ReduceInputGroups,
     /// Records consumed by reducers.
@@ -37,7 +52,7 @@ pub enum Counter {
     ReduceOutputRecords,
 }
 
-const NUM_COUNTERS: usize = 10;
+const NUM_COUNTERS: usize = 13;
 
 const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "MAP_INPUT_RECORDS",
@@ -47,6 +62,9 @@ const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "COMBINE_OUTPUT_RECORDS",
     "SPILLS",
     "SHUFFLE_BYTES",
+    "RAW_RUN_BYTES",
+    "ENCODED_RUN_BYTES",
+    "MAP_SORT_NANOS",
     "REDUCE_INPUT_GROUPS",
     "REDUCE_INPUT_RECORDS",
     "REDUCE_OUTPUT_RECORDS",

@@ -10,7 +10,7 @@
 //! result set to be materialized. The classic [`Job::run`] entry point is
 //! a thin wrapper pairing a [`VecSource`] with a [`VecSinkFactory`].
 
-use crate::buffer::{CombinerFactory, MapOutputCollector};
+use crate::buffer::{CollectorConfig, CombinerFactory, MapOutputCollector};
 use crate::cluster::Cluster;
 use crate::comparator::{RawComparator, TypedComparator};
 use crate::counters::{Counter, CounterSnapshot, Counters};
@@ -18,7 +18,7 @@ use crate::error::{MrError, Result};
 use crate::io::{ByteReader, Writable};
 use crate::merge::MergeStream;
 use crate::partition::{HashPartition, Partitioner};
-use crate::run::{Run, TempDir};
+use crate::run::{Run, RunCodec, TempDir};
 use crate::sink::{RecordSinkFactory, VecSinkFactory};
 use crate::source::{RecordSource, RecordStream, VecSource};
 use crate::task::{BoxedCombiner, MapContext, Mapper, ReduceContext, Reducer};
@@ -58,6 +58,15 @@ pub struct JobConfig {
     pub spill_to_disk: bool,
     /// Directory for spill files; `None` uses the system temp directory.
     pub tmp_dir: Option<std::path::PathBuf>,
+    /// Block codec for shuffle spill runs ([`RunCodec::Plain`] is
+    /// byte-identical to the historical format; [`RunCodec::FrontCoded`]
+    /// delta-codes sorted keys).
+    pub run_codec: RunCodec,
+    /// Cache an order-consistent `sort_prefix` digest per record and
+    /// resolve map-side sort comparisons on it before falling back to the
+    /// raw comparator. On by default; disable only to measure the
+    /// unaccelerated baseline.
+    pub prefix_sort: bool,
 }
 
 impl Default for JobConfig {
@@ -70,6 +79,8 @@ impl Default for JobConfig {
             sort_buffer_bytes: DEFAULT_SORT_BUFFER_BYTES,
             spill_to_disk: false,
             tmp_dir: None,
+            run_codec: RunCodec::default(),
+            prefix_sort: true,
         }
     }
 }
@@ -446,8 +457,12 @@ where
     {
         let mut collector = MapOutputCollector::new(
             num_reduce,
-            self.config.sort_buffer_bytes,
-            self.config.spill_to_disk,
+            CollectorConfig {
+                sort_buffer_bytes: self.config.sort_buffer_bytes,
+                spill_to_disk: self.config.spill_to_disk,
+                run_codec: self.config.run_codec,
+                prefix_sort: self.config.prefix_sort,
+            },
             temp,
             Arc::clone(&self.comparator),
             self.combiner_f.clone(),
@@ -492,7 +507,11 @@ where
     where
         F: RecordSinkFactory<R::KeyOut, R::ValueOut>,
     {
-        let mut stream = MergeStream::new(runs, Arc::clone(&self.comparator))?;
+        let mut stream = MergeStream::with_prefix_sort(
+            runs,
+            Arc::clone(&self.comparator),
+            self.config.prefix_sort,
+        )?;
         let mut reducer = (self.reducer_f)();
         let mut sink = sinks.make(partition)?;
         let mut key_buf: Vec<u8> = Vec::new();

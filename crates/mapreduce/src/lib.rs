@@ -94,8 +94,12 @@ pub use io::{from_bytes, read_vu64_at, to_bytes, write_vu32, write_vu64, ByteRea
 pub use job::{
     simulated_makespan, Job, JobConfig, JobResult, JobRun, JobStats, DEFAULT_SORT_BUFFER_BYTES,
 };
+pub use merge::MergeStream;
 pub use partition::{FnPartitioner, HashPartition, Partitioner};
-pub use run::{Run, RunReader, RunWriter, TempDir};
+pub use run::{
+    BlockCodec, DecodeState, FrontCodedCodec, PlainCodec, RawBlock, Run, RunCodec, RunInput,
+    RunReader, RunWriter, TempDir, RUN_BLOCK_BYTES,
+};
 pub use sink::{
     CountingSink, CountingSinkFactory, RecordSinkFactory, RunSink, RunSinkFactory, VecSinkFactory,
     WriterSink, WriterSinkFactory,

@@ -13,6 +13,10 @@ use std::sync::Arc;
 struct Head {
     key: Vec<u8>,
     val: Vec<u8>,
+    /// Cached [`RawComparator::sort_prefix`] digest of `key`: heap
+    /// comparisons resolve on a `u64` compare and only fall back to the
+    /// dyn comparator on digest ties.
+    prefix: u64,
 }
 
 /// Streaming merge over any number of sorted runs.
@@ -22,11 +26,27 @@ pub struct MergeStream {
     /// Heap of indices into `sources`, min-ordered by `heads[i].key`.
     heap: Vec<usize>,
     cmp: Arc<dyn RawComparator>,
+    /// Cache `sort_prefix` digests in the heads; when off, every head
+    /// digest is `0` and comparisons always fall through to `cmp` (the
+    /// unaccelerated engine, kept as the bench ablation baseline).
+    prefix_sort: bool,
 }
 
 impl MergeStream {
-    /// Open all runs and prime the heap with their first records.
+    /// Open all runs and prime the heap with their first records, with
+    /// digest acceleration enabled.
     pub fn new(runs: &[Run], cmp: Arc<dyn RawComparator>) -> Result<Self> {
+        Self::with_prefix_sort(runs, cmp, true)
+    }
+
+    /// [`MergeStream::new`] with explicit control over digest caching
+    /// (`JobConfig::prefix_sort` threads through here so the ablation
+    /// disables the fast path on both sides of the shuffle).
+    pub fn with_prefix_sort(
+        runs: &[Run],
+        cmp: Arc<dyn RawComparator>,
+        prefix_sort: bool,
+    ) -> Result<Self> {
         let mut sources = Vec::with_capacity(runs.len());
         let mut heads = Vec::with_capacity(runs.len());
         let mut heap = Vec::with_capacity(runs.len());
@@ -35,8 +55,12 @@ impl MergeStream {
             let mut head = Head {
                 key: Vec::new(),
                 val: Vec::new(),
+                prefix: 0,
             };
             if reader.next_into(&mut head.key, &mut head.val)? {
+                if prefix_sort {
+                    head.prefix = cmp.sort_prefix(&head.key);
+                }
                 let idx = sources.len();
                 sources.push(reader);
                 heads.push(head);
@@ -48,6 +72,7 @@ impl MergeStream {
             heads,
             heap,
             cmp,
+            prefix_sort,
         };
         // Heapify.
         if !s.heap.is_empty() {
@@ -60,8 +85,10 @@ impl MergeStream {
 
     #[inline]
     fn less(&self, a: usize, b: usize) -> bool {
-        self.cmp
-            .compare(&self.heads[a].key, &self.heads[b].key)
+        let (ha, hb) = (&self.heads[a], &self.heads[b]);
+        ha.prefix
+            .cmp(&hb.prefix)
+            .then_with(|| self.cmp.compare(&ha.key, &hb.key))
             .is_lt()
     }
 
@@ -101,6 +128,9 @@ impl MergeStream {
         // Advance the source that supplied the record.
         let head = &mut self.heads[top];
         if self.sources[top].next_into(&mut head.key, &mut head.val)? {
+            if self.prefix_sort {
+                head.prefix = self.cmp.sort_prefix(&head.key);
+            }
             self.sift_down(0);
         } else {
             let last = self.heap.len() - 1;

@@ -1,9 +1,33 @@
 //! Sorted spill runs: the unit of data flowing from map tasks to reducers.
 //!
-//! A run is a sequence of `[varint klen][key][varint vlen][val]` frames in
-//! sort order. Runs live in memory by default; with `spill_to_disk` enabled
-//! they are written to a per-job temporary directory, modelling Hadoop's
-//! spill files and keeping map-task memory bounded by the sort buffer.
+//! A run is a sequence of fixed-budget **blocks**, each holding whole
+//! records encoded through a [`BlockCodec`]:
+//!
+//! ```text
+//! run   := block*
+//! block := record+                  (≈ RUN_BLOCK_BYTES of raw frames each)
+//!
+//! Plain record      := [varint klen][key][varint vlen][val]
+//! FrontCoded record := [varint lcp<<5 | s<<1 | v]
+//!                      ([varint slen-15  only when s = 15])
+//!                      [suffix]
+//!                      ([varint vlen][val]  only when v = 0)
+//!                       key = prev_key[..lcp] ++ suffix
+//!                       val = prev_val        when v = 1
+//!                       slen = s              when s < 15
+//! ```
+//!
+//! The [`RunCodec::Plain`] stream is byte-identical to the historical flat
+//! frame format (blocks add no framing of their own). [`RunCodec::FrontCoded`]
+//! delta-codes each key against its predecessor — the natural fit for
+//! SUFFIX-σ, whose reverse-lexicographically sorted suffixes share long
+//! common prefixes — and restarts the delta chain at every block boundary
+//! (the first record of a block is written with `lcp = 0`), so decoding
+//! never depends on state older than one block.
+//!
+//! Runs live in memory by default; with `spill_to_disk` enabled they are
+//! written to a per-job temporary directory, modelling Hadoop's spill files
+//! and keeping map-task memory bounded by the sort buffer.
 
 use crate::error::{MrError, Result};
 use crate::io::{read_vu64_at, write_vu64};
@@ -14,6 +38,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 static TEMP_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Raw-frame budget per block: once a block's staged frames reach this
+/// size it is encoded and flushed. Small enough to keep encoder scratch
+/// cache-resident, large enough that per-block overhead vanishes.
+pub const RUN_BLOCK_BYTES: usize = 32 * 1024;
 
 /// A per-job temporary directory, removed on drop.
 pub struct TempDir {
@@ -59,6 +88,259 @@ impl Drop for TempDir {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Codecs
+// ---------------------------------------------------------------------------
+
+/// Which [`BlockCodec`] a run is encoded with. Carried on the [`Run`]
+/// itself (not in the byte stream), selected per job through
+/// `JobConfig::run_codec`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, Hash)]
+pub enum RunCodec {
+    /// Flat `[klen][key][vlen][val]` frames — byte-identical to the
+    /// historical run format.
+    #[default]
+    Plain,
+    /// Per-record front coding: each key stores only the length of its
+    /// common prefix with the previous key plus the differing suffix.
+    FrontCoded,
+}
+
+impl RunCodec {
+    /// Stable CLI / config name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            RunCodec::Plain => "plain",
+            RunCodec::FrontCoded => "front",
+        }
+    }
+
+    /// Parse a CLI / config name (`"plain"`, `"front"`, `"front-coded"`).
+    pub fn parse(s: &str) -> Option<RunCodec> {
+        match s {
+            "plain" => Some(RunCodec::Plain),
+            "front" | "front-coded" => Some(RunCodec::FrontCoded),
+            _ => None,
+        }
+    }
+
+    /// The codec implementation.
+    pub fn block_codec(&self) -> &'static dyn BlockCodec {
+        match self {
+            RunCodec::Plain => &PlainCodec,
+            RunCodec::FrontCoded => &FrontCodedCodec,
+        }
+    }
+}
+
+/// Offsets of one staged record inside a [`RawBlock`]'s frame buffer.
+#[derive(Clone, Copy, Debug)]
+struct RawRec {
+    key_start: u32,
+    key_end: u32,
+    val_start: u32,
+    val_end: u32,
+}
+
+/// One writer-side block of records, staged as raw `[klen][key][vlen][val]`
+/// frames plus an offset table — the input to [`BlockCodec::encode_block`].
+pub struct RawBlock<'a> {
+    data: &'a [u8],
+    recs: &'a [RawRec],
+}
+
+impl RawBlock<'_> {
+    /// Number of records in the block.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// True when the block holds no records.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// The `i`-th record's (key, value) byte slices.
+    pub fn record(&self, i: usize) -> (&[u8], &[u8]) {
+        let r = &self.recs[i];
+        (
+            &self.data[r.key_start as usize..r.key_end as usize],
+            &self.data[r.val_start as usize..r.val_end as usize],
+        )
+    }
+
+    /// The raw (plain-framed) bytes of the whole block.
+    fn raw_frames(&self) -> &[u8] {
+        self.data
+    }
+}
+
+/// Decoder state a codec may carry between records of one run: the
+/// previously decoded key and value (the front-coding delta bases).
+#[derive(Default)]
+pub struct DecodeState {
+    prev_key: Vec<u8>,
+    prev_val: Vec<u8>,
+}
+
+/// A run block encoding: turns one block of records into bytes on the way
+/// out and decodes records one at a time on the way back in.
+///
+/// Decoding is sequential and stateful only through the previous record
+/// ([`DecodeState`]), which encoders reset at block boundaries by emitting
+/// a self-contained first record — so readers need no block framing.
+pub trait BlockCodec: Send + Sync {
+    /// Stable name (for diagnostics).
+    fn name(&self) -> &'static str;
+
+    /// Encode every record of `block` into `out`.
+    fn encode_block(&self, block: &RawBlock<'_>, out: &mut Vec<u8>);
+
+    /// Decode the next record from `input` into `key`/`val` (both cleared
+    /// by the caller), updating `state` to the decoded record. Returns
+    /// `false` on clean end-of-run.
+    fn decode_record(
+        &self,
+        input: &mut RunInput,
+        state: &mut DecodeState,
+        key: &mut Vec<u8>,
+        val: &mut Vec<u8>,
+    ) -> Result<bool>;
+}
+
+/// The identity codec: blocks are emitted as their raw frames, so the
+/// stream is byte-identical to the pre-block flat format.
+pub struct PlainCodec;
+
+impl BlockCodec for PlainCodec {
+    fn name(&self) -> &'static str {
+        "plain"
+    }
+
+    fn encode_block(&self, block: &RawBlock<'_>, out: &mut Vec<u8>) {
+        out.extend_from_slice(block.raw_frames());
+    }
+
+    fn decode_record(
+        &self,
+        input: &mut RunInput,
+        _state: &mut DecodeState,
+        key: &mut Vec<u8>,
+        val: &mut Vec<u8>,
+    ) -> Result<bool> {
+        let Some(klen) = input.next_varint()? else {
+            return Ok(false);
+        };
+        input.append_exact(klen as usize, key)?;
+        let vlen = input.read_varint()?;
+        input.append_exact(vlen as usize, val)?;
+        Ok(true)
+    }
+}
+
+/// Inline suffix lengths below this encode inside the header varint; the
+/// sentinel value itself flags an explicit `slen - 15` varint following.
+const SLEN_INLINE_MAX: u64 = 15;
+
+/// Front coding: one varint header packs the key's longest-common-prefix
+/// length with the previous key (computed on the *serialized* keys), the
+/// suffix length (inline below 15 bytes, escaped otherwise), and a
+/// value-repeat flag that elides `[vlen][val]` entirely when the value
+/// equals the previous record's.
+///
+/// The packing is what makes the codec pay on *short* keys: a typical
+/// shuffle record — a few varint-coded terms, a one-byte count equal to
+/// its neighbor's — costs one header byte plus its unshared suffix.
+/// Sorted runs with clustered keys (SUFFIX-σ suffixes, shared-prefix
+/// n-grams) shrink to a fraction of their framed size, and the value flag
+/// collapses the heavy duplication of un-combined map output (millions of
+/// `(suffix, 1)` records). The worst case — nothing shared, long suffix —
+/// costs one extra byte per record over plain framing.
+pub struct FrontCodedCodec;
+
+impl BlockCodec for FrontCodedCodec {
+    fn name(&self) -> &'static str {
+        "front"
+    }
+
+    fn encode_block(&self, block: &RawBlock<'_>, out: &mut Vec<u8>) {
+        // Empty at the first record of the block, which restarts the
+        // delta chain (lcp = 0, explicit value ⇒ self-contained record).
+        let mut prev: Option<(&[u8], &[u8])> = None;
+        for i in 0..block.len() {
+            let (key, val) = block.record(i);
+            let (prev_key, prev_val) = prev.unwrap_or((&[], &[]));
+            let lcp = common_prefix_len(prev_key, key);
+            let same_val = prev.is_some() && val == prev_val;
+            let slen = (key.len() - lcp) as u64;
+            let inline = slen.min(SLEN_INLINE_MAX);
+            write_vu64(out, (lcp as u64) << 5 | inline << 1 | u64::from(same_val));
+            if inline == SLEN_INLINE_MAX {
+                write_vu64(out, slen - SLEN_INLINE_MAX);
+            }
+            out.extend_from_slice(&key[lcp..]);
+            if !same_val {
+                write_vu64(out, val.len() as u64);
+                out.extend_from_slice(val);
+            }
+            prev = Some((key, val));
+        }
+    }
+
+    fn decode_record(
+        &self,
+        input: &mut RunInput,
+        state: &mut DecodeState,
+        key: &mut Vec<u8>,
+        val: &mut Vec<u8>,
+    ) -> Result<bool> {
+        let Some(header) = input.next_varint()? else {
+            return Ok(false);
+        };
+        let same_val = header & 1 == 1;
+        let inline = (header >> 1) & SLEN_INLINE_MAX;
+        let lcp = (header >> 5) as usize;
+        if lcp > state.prev_key.len() {
+            return Err(MrError::Corrupt("front-coded lcp exceeds previous key"));
+        }
+        let suffix_len = if inline == SLEN_INLINE_MAX {
+            // Checked: a corrupt escape varint must surface as an error,
+            // not wrap into a bogus small length.
+            usize::try_from(input.read_varint()?)
+                .ok()
+                .and_then(|extra| extra.checked_add(SLEN_INLINE_MAX as usize))
+                .ok_or(MrError::Corrupt("front-coded suffix length overflow"))?
+        } else {
+            inline as usize
+        };
+        state.prev_key.truncate(lcp);
+        input.append_exact(suffix_len, &mut state.prev_key)?;
+        if same_val {
+            val.extend_from_slice(&state.prev_val);
+        } else {
+            let vlen = input.read_varint()? as usize;
+            input.append_exact(vlen, val)?;
+            state.prev_val.clear();
+            state.prev_val.extend_from_slice(val);
+        }
+        key.extend_from_slice(&state.prev_key);
+        Ok(true)
+    }
+}
+
+fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
+    let n = a.len().min(b.len());
+    let mut i = 0;
+    while i < n && a[i] == b[i] {
+        i += 1;
+    }
+    i
+}
+
+// ---------------------------------------------------------------------------
+// Run + writer + reader
+// ---------------------------------------------------------------------------
+
 enum RunSource {
     Mem(Arc<Vec<u8>>),
     File(PathBuf),
@@ -69,25 +351,35 @@ pub struct Run {
     source: RunSource,
     /// Number of records in the run.
     pub records: u64,
-    /// Total frame bytes (including length prefixes).
+    /// Encoded bytes as stored/shipped (post-codec).
     pub bytes: u64,
+    /// Raw frame bytes before encoding (pre-codec); equals `bytes` under
+    /// [`RunCodec::Plain`].
+    pub raw_bytes: u64,
+    /// The codec the run's bytes are encoded with.
+    pub codec: RunCodec,
 }
 
 impl Run {
     /// Open a sequential reader over the run.
     pub fn reader(&self) -> Result<RunReader> {
-        match &self.source {
-            RunSource::Mem(data) => Ok(RunReader::Mem {
+        let input = match &self.source {
+            RunSource::Mem(data) => RunInput::Mem {
                 data: Arc::clone(data),
                 pos: 0,
-            }),
+            },
             RunSource::File(path) => {
                 let f = File::open(path)?;
-                Ok(RunReader::File {
+                RunInput::File {
                     rd: BufReader::with_capacity(128 * 1024, f),
-                })
+                }
             }
-        }
+        };
+        Ok(RunReader {
+            input,
+            codec: self.codec.block_codec(),
+            state: DecodeState::default(),
+        })
     }
 
     /// True when the run holds no records.
@@ -96,129 +388,180 @@ impl Run {
     }
 }
 
-/// Sequential writer producing a [`Run`].
-pub enum RunWriter {
+enum WriteBackend {
     /// In-memory run buffer.
-    Mem {
-        /// Accumulated frame bytes.
-        buf: Vec<u8>,
-        /// Records written so far.
-        records: u64,
-    },
+    Mem { buf: Vec<u8> },
     /// File-backed run (spill-to-disk mode).
-    File {
-        /// Buffered writer over the spill file.
-        w: BufWriter<File>,
-        /// Location of the spill file.
-        path: PathBuf,
-        /// Records written so far.
-        records: u64,
-        /// Frame bytes written so far.
-        bytes: u64,
-    },
+    File { w: BufWriter<File>, path: PathBuf },
+}
+
+impl WriteBackend {
+    fn write(&mut self, bytes: &[u8]) -> Result<()> {
+        match self {
+            WriteBackend::Mem { buf } => buf.extend_from_slice(bytes),
+            WriteBackend::File { w, .. } => w.write_all(bytes)?,
+        }
+        Ok(())
+    }
+}
+
+/// Sequential writer producing a [`Run`]: records are staged as raw frames
+/// into the current block and pushed through the codec at every
+/// [`RUN_BLOCK_BYTES`] worth of input.
+pub struct RunWriter {
+    backend: WriteBackend,
+    codec: RunCodec,
+    block_budget: usize,
+    /// Raw frames of the block being staged.
+    block: Vec<u8>,
+    /// Offset table of the staged block.
+    recs: Vec<RawRec>,
+    /// Encoded-block scratch, reused across flushes.
+    scratch: Vec<u8>,
+    records: u64,
+    raw_bytes: u64,
+    encoded_bytes: u64,
 }
 
 impl RunWriter {
-    /// Start an in-memory run.
+    /// Start an in-memory run with the [`RunCodec::Plain`] codec.
     pub fn mem() -> Self {
-        RunWriter::Mem {
-            buf: Vec::new(),
-            records: 0,
-        }
+        Self::mem_codec(RunCodec::Plain)
     }
 
-    /// Start a file-backed run inside `dir`.
+    /// Start an in-memory run encoded with `codec`.
+    pub fn mem_codec(codec: RunCodec) -> Self {
+        Self::new(WriteBackend::Mem { buf: Vec::new() }, codec)
+    }
+
+    /// Start a file-backed run inside `dir` with the plain codec.
     pub fn file(dir: &TempDir) -> Result<Self> {
+        Self::file_codec(dir, RunCodec::Plain)
+    }
+
+    /// Start a file-backed run inside `dir` encoded with `codec`.
+    pub fn file_codec(dir: &TempDir, codec: RunCodec) -> Result<Self> {
         let path = dir.next_path();
         let f = File::create(&path)?;
-        Ok(RunWriter::File {
-            w: BufWriter::with_capacity(128 * 1024, f),
-            path,
-            records: 0,
-            bytes: 0,
-        })
+        Ok(Self::new(
+            WriteBackend::File {
+                w: BufWriter::with_capacity(128 * 1024, f),
+                path,
+            },
+            codec,
+        ))
     }
 
-    /// Append one framed record.
-    pub fn write_record(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
-        match self {
-            RunWriter::Mem { buf, records } => {
-                write_vu64(buf, key.len() as u64);
-                buf.extend_from_slice(key);
-                write_vu64(buf, val.len() as u64);
-                buf.extend_from_slice(val);
-                *records += 1;
-            }
-            RunWriter::File {
-                w, records, bytes, ..
-            } => {
-                let mut frame = [0u8; 10];
-                let n = varint_into(&mut frame, key.len() as u64);
-                w.write_all(&frame[..n])?;
-                w.write_all(key)?;
-                let m = varint_into(&mut frame, val.len() as u64);
-                w.write_all(&frame[..m])?;
-                w.write_all(val)?;
-                *records += 1;
-                *bytes += (n + key.len() + m + val.len()) as u64;
-            }
+    fn new(backend: WriteBackend, codec: RunCodec) -> Self {
+        RunWriter {
+            backend,
+            codec,
+            block_budget: RUN_BLOCK_BYTES,
+            block: Vec::new(),
+            recs: Vec::new(),
+            scratch: Vec::new(),
+            records: 0,
+            raw_bytes: 0,
+            encoded_bytes: 0,
         }
+    }
+
+    /// Override the per-block raw-byte budget (tests and benchmarks; the
+    /// default [`RUN_BLOCK_BYTES`] is right for production use).
+    pub fn block_budget(mut self, bytes: usize) -> Self {
+        self.block_budget = bytes.max(1);
+        self
+    }
+
+    /// Append one record.
+    pub fn write_record(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+        let frame_start = self.block.len();
+        write_vu64(&mut self.block, key.len() as u64);
+        let key_start = self.block.len();
+        self.block.extend_from_slice(key);
+        let key_end = self.block.len();
+        write_vu64(&mut self.block, val.len() as u64);
+        let val_start = self.block.len();
+        self.block.extend_from_slice(val);
+        let val_end = self.block.len();
+        // Offsets are u32; a block only ever holds one record past the
+        // budget, so this rejects single records ≥ 4 GiB rather than
+        // wrapping offsets into silent corruption.
+        if u32::try_from(val_end).is_err() {
+            return Err(MrError::Config(
+                "run record exceeds the 4 GiB block offset space".into(),
+            ));
+        }
+        self.recs.push(RawRec {
+            key_start: key_start as u32,
+            key_end: key_end as u32,
+            val_start: val_start as u32,
+            val_end: val_end as u32,
+        });
+        self.records += 1;
+        self.raw_bytes += (val_end - frame_start) as u64;
+        if self.block.len() >= self.block_budget {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        if self.recs.is_empty() {
+            return Ok(());
+        }
+        if self.codec == RunCodec::Plain {
+            // The plain codec is the identity ([`PlainCodec::encode_block`]
+            // copies the raw frames verbatim): write the staged block
+            // directly instead of round-tripping it through scratch.
+            self.encoded_bytes += self.block.len() as u64;
+            self.backend.write(&self.block)?;
+        } else {
+            self.scratch.clear();
+            self.codec.block_codec().encode_block(
+                &RawBlock {
+                    data: &self.block,
+                    recs: &self.recs,
+                },
+                &mut self.scratch,
+            );
+            self.encoded_bytes += self.scratch.len() as u64;
+            self.backend.write(&self.scratch)?;
+        }
+        self.block.clear();
+        self.recs.clear();
         Ok(())
     }
 
     /// Number of records written so far.
     pub fn records(&self) -> u64 {
-        match self {
-            RunWriter::Mem { records, .. } => *records,
-            RunWriter::File { records, .. } => *records,
-        }
+        self.records
     }
 
     /// Finish and seal the run.
-    pub fn finish(self) -> Result<Run> {
-        match self {
-            RunWriter::Mem { buf, records } => {
-                let bytes = buf.len() as u64;
-                Ok(Run {
-                    source: RunSource::Mem(Arc::new(buf)),
-                    records,
-                    bytes,
-                })
-            }
-            RunWriter::File {
-                mut w,
-                path,
-                records,
-                bytes,
-            } => {
+    pub fn finish(mut self) -> Result<Run> {
+        self.flush_block()?;
+        let source = match self.backend {
+            WriteBackend::Mem { buf } => RunSource::Mem(Arc::new(buf)),
+            WriteBackend::File { mut w, path } => {
                 w.flush()?;
-                Ok(Run {
-                    source: RunSource::File(path),
-                    records,
-                    bytes,
-                })
+                RunSource::File(path)
             }
-        }
+        };
+        Ok(Run {
+            source,
+            records: self.records,
+            bytes: self.encoded_bytes,
+            raw_bytes: self.raw_bytes,
+            codec: self.codec,
+        })
     }
 }
 
-fn varint_into(buf: &mut [u8; 10], mut v: u64) -> usize {
-    let mut i = 0;
-    loop {
-        let byte = (v & 0x7f) as u8;
-        v >>= 7;
-        if v == 0 {
-            buf[i] = byte;
-            return i + 1;
-        }
-        buf[i] = byte | 0x80;
-        i += 1;
-    }
-}
-
-/// Sequential reader over one run.
-pub enum RunReader {
-    /// Reader over an in-memory run.
+/// Byte input of one run: an in-memory slice or a buffered spill file.
+/// [`BlockCodec::decode_record`] pulls varints and payload bytes from it.
+pub enum RunInput {
+    /// Cursor over an in-memory run.
     Mem {
         /// Shared run bytes.
         data: Arc<Vec<u8>>,
@@ -232,46 +575,66 @@ pub enum RunReader {
     },
 }
 
+impl RunInput {
+    /// Read a varint; `None` on clean EOF at a record boundary.
+    fn next_varint(&mut self) -> Result<Option<u64>> {
+        match self {
+            RunInput::Mem { data, pos } => {
+                if *pos >= data.len() {
+                    return Ok(None);
+                }
+                Ok(Some(read_vu64_at(data, pos)?))
+            }
+            RunInput::File { rd } => read_file_varint(rd),
+        }
+    }
+
+    /// Read a varint that must be present (mid-record).
+    fn read_varint(&mut self) -> Result<u64> {
+        self.next_varint()?
+            .ok_or(MrError::Corrupt("truncated run frame"))
+    }
+
+    /// Append exactly `len` payload bytes to `out`.
+    fn append_exact(&mut self, len: usize, out: &mut Vec<u8>) -> Result<()> {
+        match self {
+            RunInput::Mem { data, pos } => {
+                let end = pos
+                    .checked_add(len)
+                    .filter(|&e| e <= data.len())
+                    .ok_or(MrError::Corrupt("run frame out of bounds"))?;
+                out.extend_from_slice(&data[*pos..end]);
+                *pos = end;
+                Ok(())
+            }
+            RunInput::File { rd } => {
+                let start = out.len();
+                out.resize(start + len, 0);
+                rd.read_exact(&mut out[start..])
+                    .map_err(|_| MrError::Corrupt("truncated run payload"))?;
+                Ok(())
+            }
+        }
+    }
+}
+
+/// Sequential reader over one run, decoding through the run's codec.
+pub struct RunReader {
+    input: RunInput,
+    codec: &'static dyn BlockCodec,
+    /// Last decoded record — the front-coding delta base.
+    state: DecodeState,
+}
+
 impl RunReader {
     /// Read the next record into the supplied buffers (cleared first).
     /// Returns `false` at the end of the run.
     pub fn next_into(&mut self, key: &mut Vec<u8>, val: &mut Vec<u8>) -> Result<bool> {
         key.clear();
         val.clear();
-        match self {
-            RunReader::Mem { data, pos } => {
-                if *pos >= data.len() {
-                    return Ok(false);
-                }
-                let klen = read_vu64_at(data, pos)? as usize;
-                copy_slice(data, pos, klen, key)?;
-                let vlen = read_vu64_at(data, pos)? as usize;
-                copy_slice(data, pos, vlen, val)?;
-                Ok(true)
-            }
-            RunReader::File { rd } => {
-                let klen = match read_file_varint(rd)? {
-                    Some(n) => n as usize,
-                    None => return Ok(false),
-                };
-                read_exact_into(rd, klen, key)?;
-                let vlen =
-                    read_file_varint(rd)?.ok_or(MrError::Corrupt("truncated run frame"))? as usize;
-                read_exact_into(rd, vlen, val)?;
-                Ok(true)
-            }
-        }
+        self.codec
+            .decode_record(&mut self.input, &mut self.state, key, val)
     }
-}
-
-fn copy_slice(data: &[u8], pos: &mut usize, len: usize, out: &mut Vec<u8>) -> Result<()> {
-    let end = pos
-        .checked_add(len)
-        .filter(|&e| e <= data.len())
-        .ok_or(MrError::Corrupt("run frame out of bounds"))?;
-    out.extend_from_slice(&data[*pos..end]);
-    *pos = end;
-    Ok(())
 }
 
 /// Read a varint from a file; `None` on clean EOF at a frame boundary.
@@ -301,13 +664,6 @@ fn read_file_varint(rd: &mut impl Read) -> Result<Option<u64>> {
     }
 }
 
-fn read_exact_into(rd: &mut impl Read, len: usize, out: &mut Vec<u8>) -> Result<()> {
-    out.resize(len, 0);
-    rd.read_exact(out)
-        .map_err(|_| MrError::Corrupt("truncated run payload"))?;
-    Ok(())
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -333,6 +689,7 @@ mod tests {
     fn mem_run_round_trips() {
         let run = round_trip(RunWriter::mem());
         assert_eq!(run.records, 3);
+        assert_eq!(run.raw_bytes, run.bytes, "plain codec is identity");
         let recs = read_all(&run);
         assert_eq!(recs[0], (b"alpha".to_vec(), b"1".to_vec()));
         assert_eq!(recs[1], (b"beta".to_vec(), b"".to_vec()));
@@ -355,6 +712,7 @@ mod tests {
     fn empty_run_reads_nothing() {
         let run = RunWriter::mem().finish().unwrap();
         assert!(run.is_empty());
+        assert_eq!(run.bytes, 0);
         assert!(read_all(&run).is_empty());
     }
 
@@ -363,5 +721,110 @@ mod tests {
         let run = round_trip(RunWriter::mem());
         assert_eq!(read_all(&run).len(), 3);
         assert_eq!(read_all(&run).len(), 3);
+    }
+
+    #[test]
+    fn front_coded_round_trips_and_compresses_shared_prefixes() {
+        let keys: Vec<Vec<u8>> = (0..200u32)
+            .map(|i| format!("shared/prefix/of/some/length/{i:04}").into_bytes())
+            .collect();
+        let mut plain = RunWriter::mem();
+        let mut front = RunWriter::mem_codec(RunCodec::FrontCoded);
+        for k in &keys {
+            plain.write_record(k, b"v").unwrap();
+            front.write_record(k, b"v").unwrap();
+        }
+        let plain = plain.finish().unwrap();
+        let front = front.finish().unwrap();
+        assert_eq!(read_all(&plain), read_all(&front));
+        assert_eq!(front.raw_bytes, plain.bytes);
+        assert!(
+            front.bytes * 2 < front.raw_bytes,
+            "front coding must at least halve shared-prefix runs ({} vs {})",
+            front.bytes,
+            front.raw_bytes
+        );
+    }
+
+    #[test]
+    fn front_coded_restarts_at_block_boundaries() {
+        // A 1-byte block budget forces one block per record: every record
+        // is written self-contained (lcp = 0) and must still decode.
+        let mut w = RunWriter::mem_codec(RunCodec::FrontCoded).block_budget(1);
+        let keys = [&b"abcde"[..], b"abcdf", b"abx", b""];
+        for k in &keys {
+            w.write_record(k, b"v").unwrap();
+        }
+        let run = w.finish().unwrap();
+        let got: Vec<Vec<u8>> = read_all(&run).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(got, keys.iter().map(|k| k.to_vec()).collect::<Vec<_>>());
+        // No record shares a block, so no key stores a delta; for short
+        // keys the packed header costs exactly the plain klen byte, so
+        // the streams are the same size — front coding never loses on
+        // isolated short records.
+        assert_eq!(run.bytes, run.raw_bytes);
+    }
+
+    #[test]
+    fn front_coded_long_suffixes_escape_the_inline_length() {
+        // Suffixes ≥ 15 bytes take the header escape path (+1 byte over
+        // plain when nothing is shared) and must still round-trip.
+        let keys = [vec![b'a'; 40], vec![b'b'; 15], vec![b'c'; 14]];
+        let mut w = RunWriter::mem_codec(RunCodec::FrontCoded).block_budget(1);
+        for k in &keys {
+            w.write_record(k, b"v").unwrap();
+        }
+        let run = w.finish().unwrap();
+        let got: Vec<Vec<u8>> = read_all(&run).into_iter().map(|(k, _)| k).collect();
+        assert_eq!(got, keys.to_vec());
+        // Two of the three suffixes escape: exactly two extra bytes.
+        assert_eq!(run.bytes, run.raw_bytes + 2);
+    }
+
+    #[test]
+    fn corrupt_front_coded_lcp_is_an_error() {
+        // A non-zero lcp with no previous key must be rejected, not panic.
+        let mut bytes = Vec::new();
+        write_vu64(&mut bytes, (5 << 5) | (1 << 1)); // lcp=5, slen=1, explicit val
+        bytes.push(b'x');
+        write_vu64(&mut bytes, 0); // vlen
+        let run = Run {
+            source: RunSource::Mem(Arc::new(bytes)),
+            records: 1,
+            bytes: 0,
+            raw_bytes: 0,
+            codec: RunCodec::FrontCoded,
+        };
+        let mut rd = run.reader().unwrap();
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        assert!(rd.next_into(&mut k, &mut v).is_err());
+    }
+
+    #[test]
+    fn corrupt_suffix_length_escape_is_an_error() {
+        // Escape varint near u64::MAX must not wrap into a small bogus
+        // suffix length (silent mis-decode) — it must error.
+        let mut bytes = Vec::new();
+        write_vu64(&mut bytes, SLEN_INLINE_MAX << 1); // lcp=0, slen escaped
+        write_vu64(&mut bytes, u64::MAX - 3); // corrupt escape length
+        let run = Run {
+            source: RunSource::Mem(Arc::new(bytes)),
+            records: 1,
+            bytes: 0,
+            raw_bytes: 0,
+            codec: RunCodec::FrontCoded,
+        };
+        let mut rd = run.reader().unwrap();
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        assert!(rd.next_into(&mut k, &mut v).is_err());
+    }
+
+    #[test]
+    fn codec_names_parse() {
+        assert_eq!(RunCodec::parse("plain"), Some(RunCodec::Plain));
+        assert_eq!(RunCodec::parse("front"), Some(RunCodec::FrontCoded));
+        assert_eq!(RunCodec::parse("front-coded"), Some(RunCodec::FrontCoded));
+        assert_eq!(RunCodec::parse("zstd"), None);
+        assert_eq!(RunCodec::FrontCoded.name(), "front");
     }
 }

@@ -21,7 +21,7 @@
 
 use crate::error::{MrError, Result};
 use crate::io::Writable;
-use crate::run::{Run, RunWriter, TempDir};
+use crate::run::{Run, RunCodec, RunWriter, TempDir};
 use crate::task::{RecordSink, VecSink};
 use parking_lot::Mutex;
 use std::io::Write;
@@ -83,6 +83,7 @@ impl<K: Send, V: Send> RecordSinkFactory<K, V> for VecSinkFactory<K, V> {
 pub struct RunSinkFactory<K, V> {
     spill_to_disk: bool,
     temp: Option<Arc<TempDir>>,
+    codec: RunCodec,
     _marker: std::marker::PhantomData<fn() -> (K, V)>,
 }
 
@@ -92,6 +93,7 @@ impl<K: Writable, V: Writable> RunSinkFactory<K, V> {
         RunSinkFactory {
             spill_to_disk: false,
             temp: None,
+            codec: RunCodec::default(),
             _marker: std::marker::PhantomData,
         }
     }
@@ -101,8 +103,17 @@ impl<K: Writable, V: Writable> RunSinkFactory<K, V> {
         RunSinkFactory {
             spill_to_disk: true,
             temp: Some(temp),
+            codec: RunCodec::default(),
             _marker: std::marker::PhantomData,
         }
+    }
+
+    /// Encode the produced runs with `codec` (keys arrive in reduce
+    /// output order, so front coding pays off whenever consecutive keys
+    /// share prefixes — e.g. job-chained n-gram streams).
+    pub fn codec(mut self, codec: RunCodec) -> Self {
+        self.codec = codec;
+        self
     }
 
     /// Mirror a job's spill configuration: file-backed when
@@ -158,9 +169,12 @@ where
 
     fn make(&self, _partition: usize) -> Result<RunSink<K, V>> {
         let writer = if self.spill_to_disk {
-            RunWriter::file(self.temp.as_ref().expect("disk sink requires a temp dir"))?
+            RunWriter::file_codec(
+                self.temp.as_ref().expect("disk sink requires a temp dir"),
+                self.codec,
+            )?
         } else {
-            RunWriter::mem()
+            RunWriter::mem_codec(self.codec)
         };
         Ok(RunSink {
             writer: Some(writer),

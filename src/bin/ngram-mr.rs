@@ -5,7 +5,7 @@
 //! ngram-mr stats     --input corpus.bin
 //! ngram-mr compute   --input corpus.bin --method suffix-sigma --tau 5 --sigma 5
 //!                    [--mode cf|df] [--output all|closed|maximal] [--slots N]
-//!                    [--spill-to-disk] [--tmp-dir DIR]
+//!                    [--spill-to-disk] [--tmp-dir DIR] [--run-codec plain|front]
 //!                    [--decode] [--out results.tsv]
 //! ngram-mr timeseries --input corpus.bin --tau 5 --sigma 3 [--out series.tsv]
 //! ```
@@ -29,7 +29,8 @@ fn usage() -> ! {
          ngram-mr stats      --input FILE\n  \
          ngram-mr compute    --input FILE --method naive|apriori-scan|apriori-index|suffix-sigma\n                      \
          --tau N --sigma N [--mode cf|df] [--output all|closed|maximal]\n                      \
-         [--slots N] [--spill-to-disk] [--tmp-dir DIR] [--decode] [--out FILE]\n  \
+         [--slots N] [--spill-to-disk] [--tmp-dir DIR] [--run-codec plain|front]\n                      \
+         [--decode] [--out FILE]\n  \
          ngram-mr timeseries --input FILE --tau N --sigma N [--decode] [--out FILE]"
     );
     std::process::exit(2)
@@ -181,6 +182,13 @@ fn cmd_compute(args: &Args) -> ExitCode {
         job: mapreduce::JobConfig {
             spill_to_disk: args.has("spill-to-disk"),
             tmp_dir: args.get("tmp-dir").map(PathBuf::from),
+            run_codec: match args.get("run-codec") {
+                None => mapreduce::RunCodec::default(),
+                Some(name) => mapreduce::RunCodec::parse(name).unwrap_or_else(|| {
+                    eprintln!("unknown run codec {name} (expected plain or front)");
+                    usage()
+                }),
+            },
             ..mapreduce::JobConfig::default()
         },
         ..NGramParams::new(args.parse_num("tau", 2u64), args.parse_num("sigma", 5usize))
