@@ -2,14 +2,20 @@
 //! a fixed corpus scale, written to `BENCH_shuffle.json` so each perf PR
 //! measures itself against the recorded trajectory.
 //!
-//! Three configurations isolate the two shuffle fast-path levers:
+//! Four configurations isolate the shuffle fast-path levers and the
+//! input stage:
 //!
 //! * `baseline`  — plain codec, prefix-digest sort *disabled* (the
 //!   pre-optimization engine);
 //! * `prefix`    — plain codec, prefix-accelerated sort (digest compare
 //!   inline, decode comparator only on ties);
 //! * `front`     — prefix sort plus front-coded runs (shuffle
-//!   compression; `encoded_run_bytes / raw_run_bytes` is the ratio).
+//!   compression; `encoded_run_bytes / raw_run_bytes` is the ratio);
+//! * `store`     — prefix sort, plain codec, but map input pulled from a
+//!   block-store corpus on disk instead of an in-memory vector — the
+//!   out-of-core input stage, with the input-side counters
+//!   (`input_bytes`, `input_blocks`, `input_peak_block_bytes`) recording
+//!   what the map tasks actually fetched.
 //!
 //! Wall clocks are the best of [`REPS`] runs to damp scheduler noise.
 //! Knobs: `NGRAM_BENCH_SCALE` (default [`bench::DEFAULT_SCALE`]),
@@ -17,12 +23,22 @@
 //! `BENCH_shuffle.json` in the working directory).
 
 use bench::{cluster_from_env, corpora, fmt_bytes, fmt_duration, scale_from_env};
+use corpus::CorpusReader;
 use mapreduce::{Counter, RunCodec};
-use ngrams::{compute, Method, NGramParams};
+use ngrams::{compute, compute_from_store, Method, NGramParams, NGramResult};
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Repetitions per configuration; the JSON records the fastest.
 const REPS: usize = 3;
+
+/// Where a configuration's map input comes from.
+enum BenchInput<'a> {
+    /// The in-memory collection (prepared-record slices).
+    Mem(&'a corpus::Collection),
+    /// A block store on disk, read block-by-block per map split.
+    Store(Arc<CorpusReader>),
+}
 
 struct Entry {
     method: &'static str,
@@ -36,12 +52,15 @@ struct Entry {
     shuffle_bytes: u64,
     spills: u64,
     records: u64,
+    input_bytes: u64,
+    input_blocks: u64,
+    input_peak_block_bytes: u64,
     output: usize,
 }
 
 fn run_one(
     cluster: &mapreduce::Cluster,
-    coll: &corpus::Collection,
+    input: &BenchInput<'_>,
     method: Method,
     config: (&'static str, RunCodec, bool),
 ) -> Entry {
@@ -51,7 +70,14 @@ fn run_one(
         let mut params = NGramParams::new(5, 5);
         params.job.run_codec = codec;
         params.job.prefix_sort = prefix_sort;
-        let result = compute(cluster, coll, method, &params).expect("method run failed");
+        let result: NGramResult = match input {
+            BenchInput::Mem(coll) => {
+                compute(cluster, coll, method, &params).expect("method run failed")
+            }
+            BenchInput::Store(reader) => {
+                compute_from_store(cluster, reader, method, &params).expect("store run failed")
+            }
+        };
         let c = &result.counters;
         let entry = Entry {
             method: method.name(),
@@ -65,6 +91,9 @@ fn run_one(
             shuffle_bytes: c.get(Counter::ShuffleBytes),
             spills: c.get(Counter::Spills),
             records: c.get(Counter::MapOutputRecords),
+            input_bytes: c.get(Counter::MapInputBytes),
+            input_blocks: c.get(Counter::InputBlocksRead),
+            input_peak_block_bytes: c.get(Counter::InputPeakBlockBytes),
             output: result.grams.len(),
         };
         if best.as_ref().is_none_or(|b| entry.wall < b.wall) {
@@ -81,6 +110,7 @@ fn json_line(e: &Entry) -> String {
             "\"prefix_sort\": {}, \"wall_ms\": {:.3}, \"map_sort_ms\": {:.3}, ",
             "\"raw_run_bytes\": {}, \"encoded_run_bytes\": {}, ",
             "\"shuffle_bytes\": {}, \"spills\": {}, \"map_output_records\": {}, ",
+            "\"input_bytes\": {}, \"input_blocks\": {}, \"input_peak_block_bytes\": {}, ",
             "\"output_grams\": {}}}"
         ),
         e.method,
@@ -94,6 +124,9 @@ fn json_line(e: &Entry) -> String {
         e.shuffle_bytes,
         e.spills,
         e.records,
+        e.input_bytes,
+        e.input_blocks,
+        e.input_peak_block_bytes,
         e.output,
     )
 }
@@ -109,16 +142,24 @@ fn main() {
         cluster.slots()
     );
 
+    // The store leg reads the same collection from a freshly written
+    // block store (removed afterwards).
+    let store_path =
+        std::env::temp_dir().join(format!("shuffle-bench-store-{}.ngs", std::process::id()));
+    corpus::save_store(&nyt, &store_path).expect("cannot write bench store");
+    let reader = Arc::new(CorpusReader::open(&store_path).expect("cannot open bench store"));
+
     const CONFIGS: [(&str, RunCodec, bool); 3] = [
         ("baseline", RunCodec::Plain, false),
         ("prefix", RunCodec::Plain, true),
         ("front", RunCodec::FrontCoded, true),
     ];
+    const STORE_CONFIG: (&str, RunCodec, bool) = ("store", RunCodec::Plain, true);
 
     let mut entries: Vec<Entry> = Vec::new();
     for method in Method::ALL {
         for config in CONFIGS {
-            let e = run_one(&cluster, &nyt, method, config);
+            let e = run_one(&cluster, &BenchInput::Mem(&nyt), method, config);
             eprintln!(
                 "{:>14} {:>8}: wall {:>8}  map-sort {:>8}  runs {} raw / {} encoded ({:.2}x)  spills {}",
                 e.method,
@@ -132,7 +173,25 @@ fn main() {
             );
             entries.push(e);
         }
+        let e = run_one(
+            &cluster,
+            &BenchInput::Store(Arc::clone(&reader)),
+            method,
+            STORE_CONFIG,
+        );
+        eprintln!(
+            "{:>14} {:>8}: wall {:>8}  map-sort {:>8}  input {} in {} blocks (peak {})",
+            e.method,
+            e.config,
+            fmt_duration(e.wall),
+            fmt_duration(e.map_sort),
+            fmt_bytes(e.input_bytes),
+            e.input_blocks,
+            fmt_bytes(e.input_peak_block_bytes),
+        );
+        entries.push(e);
     }
+    let _ = std::fs::remove_file(&store_path);
 
     let out_path = std::env::var("NGRAM_BENCH_SHUFFLE_OUT")
         .unwrap_or_else(|_| "BENCH_shuffle.json".to_string());

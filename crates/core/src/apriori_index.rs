@@ -11,13 +11,13 @@
 use crate::aggregate::CountMode;
 use crate::apriori_scan::kv_err;
 use crate::gram::Gram;
-use crate::input::InputSeq;
+use crate::input::{InputProvider, InputSeq};
 use crate::postings::PostingList;
 use kvstore::{KvStore, Options as KvOptions};
 use mapreduce::{
     for_each_run_record, from_bytes, to_bytes, ByteReader, Cluster, FxHashMap, Job, JobConfig,
     MapContext, Mapper, ReduceContext, Reducer, Result, Run, RunRecordSource, RunSinkFactory,
-    SliceSource, TempDir, ValueIter, VarintSeqComparator, Writable,
+    TempDir, ValueIter, VarintSeqComparator, Writable,
 };
 use std::sync::Arc;
 
@@ -324,7 +324,7 @@ pub fn apriori_index(
     params: &IndexParams,
 ) -> Result<Vec<(Gram, u64)>> {
     let mut all = Vec::new();
-    apriori_index_impl(cluster, input, params, |gram, list| {
+    apriori_index_impl(cluster, &input, params, |gram, list| {
         all.push((gram, list_count(&list, params.mode)));
         Ok(())
     })?;
@@ -333,10 +333,11 @@ pub fn apriori_index(
 
 /// Streaming APRIORI-INDEX: `(gram, frequency)` pairs flow to `emit` as
 /// each round's output runs are read back, instead of accumulating in a
-/// result vector.
-pub fn apriori_index_streamed(
+/// result vector. Phase-1 rounds pull a fresh source per round from the
+/// [`InputProvider`]; phase-2 rounds consume the previous round's runs.
+pub fn apriori_index_streamed<P: InputProvider>(
     cluster: &Cluster,
-    input: &[(u64, InputSeq)],
+    input: &P,
     params: &IndexParams,
     emit: &mut dyn FnMut(Gram, u64) -> Result<()>,
 ) -> Result<()> {
@@ -353,16 +354,16 @@ pub fn apriori_index_postings(
     params: &IndexParams,
 ) -> Result<Vec<(Gram, PostingList)>> {
     let mut all = Vec::new();
-    apriori_index_impl(cluster, input, params, |gram, list| {
+    apriori_index_impl(cluster, &input, params, |gram, list| {
         all.push((gram, list));
         Ok(())
     })?;
     Ok(all)
 }
 
-fn apriori_index_impl(
+fn apriori_index_impl<P: InputProvider>(
     cluster: &Cluster,
-    input: &[(u64, InputSeq)],
+    input: &P,
     params: &IndexParams,
     mut sink: impl FnMut(Gram, PostingList) -> Result<()>,
 ) -> Result<()> {
@@ -395,7 +396,7 @@ fn apriori_index_impl(
             // Raw twin of the default `Gram: Ord` comparator — same
             // order, no per-comparison deserialization.
             .sort_comparator(VarintSeqComparator);
-            job.run_streamed(cluster, SliceSource::new(input), &sinks)?
+            job.run_streamed(cluster, input.source()?, &sinks)?
                 .artifacts
         } else {
             let budget = params.buffer_budget_bytes;

@@ -8,12 +8,11 @@
 
 use crate::aggregate::CountMode;
 use crate::gram::Gram;
-use crate::input::InputSeq;
+use crate::input::{InputProvider, InputSeq};
 use kvstore::{KvStore, Options as KvOptions};
 use mapreduce::{
     for_each_run_record, Cluster, FxHashSet, Job, JobConfig, MapContext, Mapper, MrError,
-    ReduceContext, Reducer, Result, Run, RunSinkFactory, SliceSource, TempDir, ValueIter,
-    VarintSeqComparator,
+    ReduceContext, Reducer, Result, Run, RunSinkFactory, TempDir, ValueIter, VarintSeqComparator,
 };
 use std::sync::Arc;
 
@@ -256,21 +255,22 @@ pub fn apriori_scan(
     params: &ScanParams,
 ) -> Result<Vec<(Gram, u64)>> {
     let mut all: Vec<(Gram, u64)> = Vec::new();
-    apriori_scan_streamed(cluster, input, params, &mut |g, c| {
+    apriori_scan_streamed(cluster, &input, params, &mut |g, c| {
         all.push((g, c));
         Ok(())
     })?;
     Ok(all)
 }
 
-/// Streaming APRIORI-SCAN: every round borrows the input splits in place
-/// (no per-round clone) and writes its frequent k-grams to serialized runs
-/// — on disk when the job spills — which feed both the next round's
-/// dictionary and `emit`, so no round output is ever materialized as a
-/// record vector.
-pub fn apriori_scan_streamed(
+/// Streaming APRIORI-SCAN: every round pulls a fresh source from the
+/// [`InputProvider`] — a borrowed slice streamed in place, or a corpus
+/// store read block-by-block — and writes its frequent k-grams to
+/// serialized runs (on disk when the job spills), which feed both the
+/// next round's dictionary and `emit`, so no round output is ever
+/// materialized as a record vector.
+pub fn apriori_scan_streamed<P: InputProvider>(
     cluster: &Cluster,
-    input: &[(u64, InputSeq)],
+    input: &P,
     params: &ScanParams,
     emit: &mut dyn FnMut(Gram, u64) -> Result<()>,
 ) -> Result<()> {
@@ -311,7 +311,7 @@ pub fn apriori_scan_streamed(
             params.job.tmp_dir.as_deref(),
         )?
         .codec(params.job.run_codec);
-        let out = job.run_streamed(cluster, SliceSource::new(input), &sinks)?;
+        let out = job.run_streamed(cluster, input.source()?, &sinks)?;
         let runs = out.artifacts;
         if runs.iter().map(|r| r.records).sum::<u64>() == 0 {
             break;

@@ -6,17 +6,19 @@ use crate::aggregate::{CountAgg, CountMode, DfAgg, IndexAgg, PrefixAggregator, T
 use crate::apriori_index::{apriori_index_streamed, IndexParams};
 use crate::apriori_scan::{apriori_scan_streamed, ScanParams};
 use crate::gram::{FirstTermPartitioner, Gram, ReverseLexComparator};
-use crate::input::prepare_input;
+use crate::input::{prepare_input, InputProvider};
 use crate::maximal::filter_suffix_side_streamed;
 use crate::naive::{NaiveMapper, NaiveReducer, SumCombiner};
 use crate::postings::PostingList;
+use crate::store_input::StoreInput;
 use crate::suffix_sigma::{EmitFilter, StackReducer, SuffixMapper};
 use crate::timeseries::TimeSeries;
-use corpus::Collection;
+use corpus::{Collection, CorpusReader};
 use mapreduce::{
     Cluster, CounterSnapshot, Job, JobConfig, MrError, RecordSink, RecordSinkFactory, Result,
     RunRecordSource, RunSinkFactory, SliceSource, VarintSeqComparator, VecSinkFactory,
 };
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// The four methods of the paper.
@@ -205,15 +207,75 @@ pub fn compute_to_sink<F>(
 where
     F: RecordSinkFactory<Gram, u64>,
 {
+    let input = prepare_input(coll, params.tau, params.split_docs);
+    let slice: &[_] = &input;
+    compute_source_to_sink(cluster, &slice, method, params, sinks)
+}
+
+/// Compute n-gram statistics straight from a block-store corpus — the
+/// out-of-core sibling of [`compute`]. Map input is read block-by-block
+/// from disk and flattened lazily per block; combined with
+/// `JobConfig::spill_to_disk`, peak memory is the sort buffers plus one
+/// corpus block, independent of corpus size.
+pub fn compute_from_store(
+    cluster: &Cluster,
+    reader: &Arc<CorpusReader>,
+    method: Method,
+    params: &NGramParams,
+) -> Result<NGramResult> {
+    let sinks = VecSinkFactory::default();
+    let (artifacts, stats) = compute_store_to_sink(cluster, reader, method, params, &sinks)?;
+    let mut grams: Vec<(Gram, u64)> = artifacts.into_iter().flatten().collect();
+    grams.sort();
+    Ok(NGramResult {
+        grams,
+        counters: stats.counters,
+        jobs: stats.jobs,
+        elapsed: stats.elapsed,
+    })
+}
+
+/// Compute n-gram statistics from a block-store corpus, pushing results
+/// into the caller's sinks — the out-of-core sibling of
+/// [`compute_to_sink`]. τ-splitting uses the store's precomputed unigram
+/// frequencies, so no counting pass over the corpus happens either.
+pub fn compute_store_to_sink<F>(
+    cluster: &Cluster,
+    reader: &Arc<CorpusReader>,
+    method: Method,
+    params: &NGramParams,
+    sinks: &F,
+) -> Result<(Vec<F::Artifact>, NGramRunStats)>
+where
+    F: RecordSinkFactory<Gram, u64>,
+{
+    let provider = StoreInput::new(Arc::clone(reader), params.tau, params.split_docs);
+    compute_source_to_sink(cluster, &provider, method, params, sinks)
+}
+
+/// Compute n-gram statistics over any [`InputProvider`] — the engine
+/// under [`compute_to_sink`] (borrowed prepared records) and
+/// [`compute_store_to_sink`] (lazy block-store splits). Iterative methods
+/// pull a fresh source from the provider at every round.
+pub fn compute_source_to_sink<P, F>(
+    cluster: &Cluster,
+    input: &P,
+    method: Method,
+    params: &NGramParams,
+    sinks: &F,
+) -> Result<(Vec<F::Artifact>, NGramRunStats)>
+where
+    P: InputProvider,
+    F: RecordSinkFactory<Gram, u64>,
+{
     validate_params(method, params)?;
     let started = Instant::now();
     let log_mark = cluster.job_log().len();
-    let input = prepare_input(coll, params.tau, params.split_docs);
 
     let artifacts: Vec<F::Artifact> = match (method, params.mode) {
         (Method::Naive, CountMode::Cf) => run_naive(
             cluster,
-            &input,
+            input,
             CountAgg { tau: params.tau },
             params,
             true,
@@ -221,7 +283,7 @@ where
         )?,
         (Method::Naive, CountMode::Df) => run_naive(
             cluster,
-            &input,
+            input,
             DfAgg { tau: params.tau },
             params,
             false,
@@ -231,7 +293,7 @@ where
             let mut sink = sinks.make(0)?;
             apriori_scan_streamed(
                 cluster,
-                &input,
+                input,
                 &ScanParams {
                     tau: params.tau,
                     sigma: params.sigma,
@@ -250,7 +312,7 @@ where
             let mut sink = sinks.make(0)?;
             apriori_index_streamed(
                 cluster,
-                &input,
+                input,
                 &IndexParams {
                     tau: params.tau,
                     sigma: params.sigma,
@@ -275,7 +337,7 @@ where
             match params.output {
                 OutputMode::All => run_suffix_sigma(
                     cluster,
-                    &input,
+                    input,
                     CountAgg { tau: params.tau },
                     params,
                     filter,
@@ -292,7 +354,7 @@ where
                     .codec(params.job.run_codec);
                     let pass1 = run_suffix_sigma(
                         cluster,
-                        &input,
+                        input,
                         CountAgg { tau: params.tau },
                         params,
                         filter,
@@ -312,7 +374,7 @@ where
         }
         (Method::SuffixSigma, CountMode::Df) => run_suffix_sigma(
             cluster,
-            &input,
+            input,
             DfAgg { tau: params.tau },
             params,
             EmitFilter::All,
@@ -484,15 +546,16 @@ fn named(params: &NGramParams, name: &str) -> JobConfig {
     cfg
 }
 
-fn run_naive<A, F>(
+fn run_naive<P, A, F>(
     cluster: &Cluster,
-    input: &[(u64, crate::input::InputSeq)],
+    input: &P,
     agg: A,
     params: &NGramParams,
     combinable: bool,
     sinks: &F,
 ) -> Result<Vec<F::Artifact>>
 where
+    P: InputProvider,
     A: PrefixAggregator<Stat = u64, In = u64>,
     F: RecordSinkFactory<Gram, u64>,
 {
@@ -515,20 +578,19 @@ where
     if params.combiner && combinable {
         job = job.combiner(|| Box::new(SumCombiner));
     }
-    Ok(job
-        .run_streamed(cluster, SliceSource::new(input), sinks)?
-        .artifacts)
+    Ok(job.run_streamed(cluster, input.source()?, sinks)?.artifacts)
 }
 
-fn run_suffix_sigma<A, F>(
+fn run_suffix_sigma<P, A, F>(
     cluster: &Cluster,
-    input: &[(u64, crate::input::InputSeq)],
+    input: &P,
     agg: A,
     params: &NGramParams,
     filter: EmitFilter,
     sinks: &F,
 ) -> Result<Vec<F::Artifact>>
 where
+    P: InputProvider,
     A: PrefixAggregator<Stat = u64>,
     F: RecordSinkFactory<Gram, u64>,
 {
@@ -546,9 +608,7 @@ where
     )
     .partitioner(FirstTermPartitioner)
     .sort_comparator(ReverseLexComparator);
-    Ok(job
-        .run_streamed(cluster, SliceSource::new(input), sinks)?
-        .artifacts)
+    Ok(job.run_streamed(cluster, input.source()?, sinks)?.artifacts)
 }
 
 #[cfg(test)]

@@ -6,7 +6,7 @@
 //! can contain [an infrequent term]."
 
 use corpus::Collection;
-use mapreduce::FxHashMap;
+use mapreduce::{FxHashMap, RecordSource, Result, SliceSource};
 
 /// One map-input record: a contiguous term sequence (a sentence, or a
 /// fragment of one after document splitting) with provenance.
@@ -37,74 +37,129 @@ pub fn unigram_counts(coll: &Collection) -> FxHashMap<u32, u64> {
     counts
 }
 
-/// Flatten a collection into map-input records.
+/// Flatten one document into map-input records, streaming each surviving
+/// fragment to `emit` — the per-document core shared by the materializing
+/// [`prepare_input`] and the lazy block-store source
+/// ([`crate::CorpusSplitSource`]), so both produce bit-identical records.
 ///
-/// Sentence boundaries always act as barriers (§VII-B). When `split_at_tau`
-/// is set, sequences are additionally split at every term with collection
-/// frequency below τ, and the infrequent terms themselves are dropped —
-/// they cannot participate in any frequent n-gram. Fragments keep gapped
-/// position bases so all methods see consistent coordinates.
+/// Sentence boundaries always act as barriers (§VII-B). When `cf` is
+/// supplied, sequences are additionally split at every term whose
+/// collection frequency is below τ, and the infrequent terms themselves
+/// are dropped — they cannot participate in any frequent n-gram.
+/// Fragments keep gapped position bases so all methods see consistent
+/// coordinates.
+pub fn flatten_document(
+    did: u64,
+    year: u16,
+    sentences: &[Vec<u32>],
+    tau: u64,
+    cf: Option<&dyn Fn(u32) -> u64>,
+    emit: &mut dyn FnMut(u64, InputSeq) -> Result<()>,
+) -> Result<()> {
+    let mut base = 0u32;
+    for s in sentences {
+        match cf {
+            None => {
+                if !s.is_empty() {
+                    emit(
+                        did,
+                        InputSeq {
+                            did,
+                            year,
+                            base,
+                            terms: s.clone(),
+                        },
+                    )?;
+                }
+            }
+            Some(cf) => {
+                // Split at infrequent terms; emit surviving fragments.
+                let mut frag_start = 0usize;
+                for (i, &t) in s.iter().enumerate() {
+                    if cf(t) < tau {
+                        if i > frag_start {
+                            emit(
+                                did,
+                                InputSeq {
+                                    did,
+                                    year,
+                                    base: base + frag_start as u32,
+                                    terms: s[frag_start..i].to_vec(),
+                                },
+                            )?;
+                        }
+                        frag_start = i + 1;
+                    }
+                }
+                if s.len() > frag_start {
+                    emit(
+                        did,
+                        InputSeq {
+                            did,
+                            year,
+                            base: base + frag_start as u32,
+                            terms: s[frag_start..].to_vec(),
+                        },
+                    )?;
+                }
+            }
+        }
+        base += s.len() as u32 + 1;
+    }
+    Ok(())
+}
+
+/// Flatten a collection into map-input records (the materialized path;
+/// see [`flatten_document`] for the shared per-document semantics).
 pub fn prepare_input(coll: &Collection, tau: u64, split_at_tau: bool) -> Vec<(u64, InputSeq)> {
     let unigrams = if split_at_tau {
         Some(unigram_counts(coll))
     } else {
         None
     };
+    let cf = unigrams
+        .as_ref()
+        .map(|counts| move |t: u32| counts.get(&t).copied().unwrap_or(0));
     let mut out = Vec::new();
     for d in &coll.docs {
-        let mut base = 0u32;
-        for s in &d.sentences {
-            match &unigrams {
-                None => {
-                    if !s.is_empty() {
-                        out.push((
-                            d.id,
-                            InputSeq {
-                                did: d.id,
-                                year: d.year,
-                                base,
-                                terms: s.clone(),
-                            },
-                        ));
-                    }
-                    base += s.len() as u32 + 1;
-                }
-                Some(counts) => {
-                    // Split at infrequent terms; emit surviving fragments.
-                    let mut frag_start = 0usize;
-                    for (i, &t) in s.iter().enumerate() {
-                        if counts.get(&t).copied().unwrap_or(0) < tau {
-                            if i > frag_start {
-                                out.push((
-                                    d.id,
-                                    InputSeq {
-                                        did: d.id,
-                                        year: d.year,
-                                        base: base + frag_start as u32,
-                                        terms: s[frag_start..i].to_vec(),
-                                    },
-                                ));
-                            }
-                            frag_start = i + 1;
-                        }
-                    }
-                    if s.len() > frag_start {
-                        out.push((
-                            d.id,
-                            InputSeq {
-                                did: d.id,
-                                year: d.year,
-                                base: base + frag_start as u32,
-                                terms: s[frag_start..].to_vec(),
-                            },
-                        ));
-                    }
-                    base += s.len() as u32 + 1;
-                }
-            }
-        }
+        flatten_document(
+            d.id,
+            d.year,
+            &d.sentences,
+            tau,
+            cf.as_ref().map(|f| f as &dyn Fn(u32) -> u64),
+            &mut |did, seq| {
+                out.push((did, seq));
+                Ok(())
+            },
+        )
+        .expect("infallible emit");
     }
     out
+}
+
+/// A job input the driver can re-open: one fresh [`RecordSource`] per
+/// MapReduce round. The single-job methods call [`InputProvider::source`]
+/// once; the iterative APRIORI drivers call it at the top of every round
+/// — which is what lets a disk-resident corpus feed a multi-round
+/// computation without ever being materialized (re-opening a store source
+/// is a metadata clone, not an I/O pass).
+pub trait InputProvider {
+    /// The source type handed to [`mapreduce::Job::run_streamed`].
+    type Source: RecordSource<u64, InputSeq>;
+
+    /// Create a fresh source over the full input.
+    fn source(&self) -> Result<Self::Source>;
+}
+
+/// Borrowed in-memory records (the [`prepare_input`] path): every round
+/// streams the same slice in place.
+impl<'a> InputProvider for &'a [(u64, InputSeq)] {
+    type Source = SliceSource<'a, u64, InputSeq>;
+
+    fn source(&self) -> Result<Self::Source> {
+        Ok(SliceSource::new(self))
+    }
 }
 
 /// Total number of term occurrences across prepared input records.

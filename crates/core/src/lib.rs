@@ -46,6 +46,7 @@ mod naive;
 mod postings;
 mod reference;
 mod single_machine;
+mod store_input;
 mod suffix_sigma;
 mod timeseries;
 
@@ -58,12 +59,15 @@ pub use apriori_scan::{
     apriori_scan, apriori_scan_streamed, CountingReducer, GramDict, ScanMapper, ScanParams,
 };
 pub use driver::{
-    compute, compute_inverted_index, compute_inverted_index_to_sink, compute_time_series,
+    compute, compute_from_store, compute_inverted_index, compute_inverted_index_to_sink,
+    compute_source_to_sink, compute_store_to_sink, compute_time_series,
     compute_time_series_to_sink, compute_to_sink, validate_params, Method, NGramParams,
     NGramResult, NGramRunStats, OutputMode,
 };
 pub use gram::{lcp, reverse_lex, FirstTermPartitioner, Gram, ReverseLexComparator};
-pub use input::{input_tokens, prepare_input, unigram_counts, InputSeq};
+pub use input::{
+    flatten_document, input_tokens, prepare_input, unigram_counts, InputProvider, InputSeq,
+};
 pub use maximal::{
     filter_suffix_side, filter_suffix_side_streamed, ReverseMapper, SuffixFilterReducer,
 };
@@ -73,5 +77,6 @@ pub use reference::{
     is_subsequence, reference_cf, reference_closed, reference_df, reference_maximal, reference_ts,
 };
 pub use single_machine::suffix_sort_counts;
+pub use store_input::{CorpusSplitSource, CorpusSplitStream, StoreInput};
 pub use suffix_sigma::{EmitFilter, StackReducer, SuffixMapper};
 pub use timeseries::TimeSeries;

@@ -1,0 +1,211 @@
+//! Map input from the block-structured corpus store: whole blocks become
+//! the unit of split assignment, and sentence flattening plus the
+//! document-splits-at-τ optimization (§V) run **lazily per block** inside
+//! the map task — so a computation driven from a store never materializes
+//! the collection, the prepared input vector, or more than one decoded
+//! block per map task at a time.
+//!
+//! The τ-split needs per-term collection frequencies; the store's footer
+//! carries the precomputed unigram counts, so no counting pass over the
+//! corpus happens either. [`CorpusSplitSource`] yields bit-identical
+//! records to `prepare_input(&reader.load_collection()?, τ, split)` — the
+//! shared per-document flattener ([`crate::flatten_document`]) guarantees
+//! it — differing only in which split each record lands in, which the
+//! shuffle erases.
+
+use crate::input::{flatten_document, InputProvider, InputSeq};
+use corpus::CorpusReader;
+use mapreduce::{InputStats, RecordSource, RecordStream, Result};
+use std::sync::Arc;
+
+/// A [`RecordSource`] over a corpus store: splits are whole blocks,
+/// assigned round-robin, decoded and flattened on demand.
+pub struct CorpusSplitSource {
+    reader: Arc<CorpusReader>,
+    tau: u64,
+    split_at_tau: bool,
+}
+
+impl CorpusSplitSource {
+    /// Source over every block of `reader`, flattening with the given τ
+    /// and document-splitting setting.
+    pub fn new(reader: Arc<CorpusReader>, tau: u64, split_at_tau: bool) -> Self {
+        CorpusSplitSource {
+            reader,
+            tau,
+            split_at_tau,
+        }
+    }
+}
+
+impl RecordSource<u64, InputSeq> for CorpusSplitSource {
+    type Split = CorpusSplitStream;
+
+    fn len_hint(&self) -> usize {
+        // One record per sentence is exact without τ-splitting and an
+        // upper-bound flavored estimate with it — good enough for the
+        // map-task-count heuristic.
+        usize::try_from(self.reader.meta().num_sentences).unwrap_or(usize::MAX)
+    }
+
+    fn into_splits(self, n: usize) -> Result<Vec<CorpusSplitStream>> {
+        let n = n.max(1);
+        let mut groups: Vec<Vec<usize>> = (0..n).map(|_| Vec::new()).collect();
+        for b in 0..self.reader.num_blocks() {
+            groups[b % n].push(b);
+        }
+        Ok(groups
+            .into_iter()
+            .map(|blocks| CorpusSplitStream {
+                reader: Arc::clone(&self.reader),
+                blocks,
+                tau: self.tau,
+                split_at_tau: self.split_at_tau,
+                stats: InputStats::default(),
+            })
+            .collect())
+    }
+}
+
+/// One map task's share of a store: a set of whole blocks, read with
+/// positioned I/O and flattened one block at a time.
+pub struct CorpusSplitStream {
+    reader: Arc<CorpusReader>,
+    blocks: Vec<usize>,
+    tau: u64,
+    split_at_tau: bool,
+    stats: InputStats,
+}
+
+impl RecordStream<u64, InputSeq> for CorpusSplitStream {
+    fn for_each(&mut self, f: &mut dyn FnMut(&u64, &InputSeq) -> Result<()>) -> Result<()> {
+        let cfs = Arc::clone(self.reader.unigram_cf());
+        let cf = move |t: u32| cfs.get(t as usize).copied().unwrap_or(0);
+        let cf_ref: Option<&dyn Fn(u32) -> u64> = if self.split_at_tau { Some(&cf) } else { None };
+        for &b in &self.blocks {
+            let entry = self.reader.block_entry(b);
+            let docs = self.reader.read_block(b)?;
+            self.stats.bytes_read += entry.bytes;
+            self.stats.blocks_read += 1;
+            self.stats.peak_block_bytes = self.stats.peak_block_bytes.max(entry.bytes);
+            for d in &docs {
+                flatten_document(
+                    d.id,
+                    d.year,
+                    &d.sentences,
+                    self.tau,
+                    cf_ref,
+                    &mut |did, seq| f(&did, &seq),
+                )?;
+            }
+        }
+        Ok(())
+    }
+
+    fn input_stats(&self) -> InputStats {
+        self.stats
+    }
+}
+
+/// [`InputProvider`] over a shared store reader: every round's source is a
+/// metadata clone — re-opening costs no I/O, making the iterative APRIORI
+/// drivers as store-friendly as the single-job methods.
+pub struct StoreInput {
+    reader: Arc<CorpusReader>,
+    tau: u64,
+    split_at_tau: bool,
+}
+
+impl StoreInput {
+    /// Provider over `reader` with the computation's τ-splitting settings.
+    pub fn new(reader: Arc<CorpusReader>, tau: u64, split_at_tau: bool) -> Self {
+        StoreInput {
+            reader,
+            tau,
+            split_at_tau,
+        }
+    }
+}
+
+impl InputProvider for StoreInput {
+    type Source = CorpusSplitSource;
+
+    fn source(&self) -> Result<CorpusSplitSource> {
+        Ok(CorpusSplitSource::new(
+            Arc::clone(&self.reader),
+            self.tau,
+            self.split_at_tau,
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::input::prepare_input;
+    use corpus::{generate, save_store, CorpusProfile};
+    use std::path::PathBuf;
+
+    fn temp_store(tag: &str, docs: usize, seed: u64) -> (PathBuf, corpus::Collection) {
+        let coll = generate(&CorpusProfile::tiny("split-src", docs), seed);
+        let path =
+            std::env::temp_dir().join(format!("core-store-input-{}-{tag}.ngs", std::process::id()));
+        save_store(&coll, &path).unwrap();
+        (path, coll)
+    }
+
+    fn collect_all(source: CorpusSplitSource, n: usize) -> Vec<(u64, InputSeq)> {
+        let mut out = Vec::new();
+        for mut split in source.into_splits(n).unwrap() {
+            split
+                .for_each(&mut |&did, seq| {
+                    out.push((did, seq.clone()));
+                    Ok(())
+                })
+                .unwrap();
+        }
+        out.sort_by_key(|(did, seq)| (*did, seq.base));
+        out
+    }
+
+    #[test]
+    fn store_source_yields_exactly_prepare_input() {
+        let (path, coll) = temp_store("exact", 30, 77);
+        let reader = Arc::new(CorpusReader::open(&path).unwrap());
+        for split_at_tau in [false, true] {
+            for n in [1usize, 3] {
+                let got = collect_all(
+                    CorpusSplitSource::new(Arc::clone(&reader), 2, split_at_tau),
+                    n,
+                );
+                let mut expected = prepare_input(&coll, 2, split_at_tau);
+                expected.sort_by_key(|(did, seq)| (*did, seq.base));
+                assert_eq!(got, expected, "split_at_tau={split_at_tau}, n={n}");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn split_streams_report_block_io() {
+        let (path, _) = temp_store("stats", 25, 5);
+        let reader = Arc::new(CorpusReader::open(&path).unwrap());
+        let data_bytes = reader.meta().data_bytes;
+        let splits = CorpusSplitSource::new(Arc::clone(&reader), 2, true)
+            .into_splits(2)
+            .unwrap();
+        let mut total = InputStats::default();
+        for mut s in splits {
+            s.for_each(&mut |_, _| Ok(())).unwrap();
+            let st = s.input_stats();
+            total.bytes_read += st.bytes_read;
+            total.blocks_read += st.blocks_read;
+            total.peak_block_bytes = total.peak_block_bytes.max(st.peak_block_bytes);
+        }
+        assert_eq!(total.bytes_read, data_bytes);
+        assert_eq!(total.blocks_read, reader.num_blocks() as u64);
+        assert!(total.peak_block_bytes > 0);
+        assert!(total.peak_block_bytes <= data_bytes);
+        let _ = std::fs::remove_file(&path);
+    }
+}

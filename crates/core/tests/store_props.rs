@@ -1,0 +1,185 @@
+//! Property tests of the block-store input path: on random Zipf corpora,
+//! a [`CorpusSplitSource`] over a written store must yield exactly the
+//! records of `prepare_input(&load(...), τ, split)` for both τ-split
+//! settings, all four methods driven from the store must agree with their
+//! in-memory runs, and the input-side counters must witness that no map
+//! task ever held more than one block of the corpus.
+
+use corpus::{generate, save_store, CorpusProfile, CorpusReader, CorpusWriter};
+use mapreduce::{Cluster, Counter, InputStats, JobConfig, RecordSource, RecordStream};
+use ngrams::{
+    compute, compute_from_store, prepare_input, CorpusSplitSource, InputSeq, Method, NGramParams,
+};
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_store_path() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "core-store-props-{}-{}.ngs",
+        std::process::id(),
+        STORE_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+/// Drain every split of a store source into one sorted record vector.
+/// Sorting by (did, base) gives a canonical order: block-to-split
+/// placement differs from the slice source's round-robin, but fragment
+/// identity must not.
+fn drain_source(source: CorpusSplitSource, n_splits: usize) -> Vec<(u64, InputSeq)> {
+    let mut out = Vec::new();
+    for mut split in source.into_splits(n_splits).unwrap() {
+        split
+            .for_each(&mut |&did, seq| {
+                out.push((did, seq.clone()));
+                Ok(())
+            })
+            .unwrap();
+    }
+    out.sort_by_key(|(did, seq)| (*did, seq.base));
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn store_source_equals_prepare_input(
+        seed in 0u64..10_000,
+        docs in 8usize..40,
+        tau in 1u64..4,
+        n_splits in 1usize..5,
+        block_budget in prop_oneof![Just(128usize), Just(1024), Just(corpus::STORE_BLOCK_BYTES)],
+    ) {
+        let coll = generate(&CorpusProfile::tiny("store-prop", docs), seed);
+        let path = temp_store_path();
+        let mut w = CorpusWriter::create(&path, &coll.name)
+            .unwrap()
+            .block_budget(block_budget);
+        for d in &coll.docs {
+            w.push(d).unwrap();
+        }
+        w.finish(&coll.dictionary).unwrap();
+        let reader = Arc::new(CorpusReader::open(&path).unwrap());
+        // The store must round-trip the collection (prepare_input's input).
+        let loaded = reader.load_collection().unwrap();
+        prop_assert_eq!(&loaded.docs, &coll.docs);
+        for split_at_tau in [false, true] {
+            let got = drain_source(
+                CorpusSplitSource::new(Arc::clone(&reader), tau, split_at_tau),
+                n_splits,
+            );
+            let mut expected = prepare_input(&loaded, tau, split_at_tau);
+            expected.sort_by_key(|(did, seq)| (*did, seq.base));
+            prop_assert_eq!(
+                got,
+                expected,
+                "split_at_tau={}, seed={}, budget={}",
+                split_at_tau,
+                seed,
+                block_budget
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn all_methods_from_store_match_in_memory(
+        seed in 0u64..10_000,
+        docs in 8usize..24,
+        tau in 2u64..4,
+    ) {
+        let coll = generate(&CorpusProfile::tiny("store-agree", docs), seed);
+        let path = temp_store_path();
+        save_store(&coll, &path).unwrap();
+        let reader = Arc::new(CorpusReader::open(&path).unwrap());
+        let cluster = Cluster::new(2);
+        let mut params = NGramParams::new(tau, 4);
+        params.job = JobConfig {
+            spill_to_disk: true,
+            sort_buffer_bytes: 512,
+            ..JobConfig::default()
+        };
+        for method in Method::ALL {
+            let in_memory = compute(&cluster, &coll, method, &params)
+                .unwrap_or_else(|e| panic!("{} in-memory failed: {e}", method.name()));
+            let from_store = compute_from_store(&cluster, &reader, method, &params)
+                .unwrap_or_else(|e| panic!("{} from-store failed: {e}", method.name()));
+            prop_assert_eq!(
+                &from_store.grams,
+                &in_memory.grams,
+                "{} store-driven output diverged (seed={})",
+                method.name(),
+                seed
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+}
+
+#[test]
+fn store_driven_compute_is_bounded_by_one_block() {
+    // A multi-block store with a tiny block budget: the input-side peak
+    // counter must stay at one block (budget plus at most one document of
+    // overshoot), far below the corpus size — the out-of-core guarantee.
+    let coll = generate(&CorpusProfile::tiny("bounded", 300), 23);
+    let path = temp_store_path();
+    const BUDGET: usize = 2048;
+    let mut w = CorpusWriter::create(&path, &coll.name)
+        .unwrap()
+        .block_budget(BUDGET);
+    for d in &coll.docs {
+        w.push(d).unwrap();
+    }
+    let meta = w.finish(&coll.dictionary).unwrap();
+    let reader = Arc::new(CorpusReader::open(&path).unwrap());
+    assert!(reader.num_blocks() > 2, "corpus must span several blocks");
+    let max_block = (0..reader.num_blocks())
+        .map(|i| reader.block_entry(i).bytes)
+        .max()
+        .unwrap();
+
+    let cluster = Cluster::new(2);
+    let mut params = NGramParams::new(3, 4);
+    params.job = JobConfig {
+        spill_to_disk: true,
+        ..JobConfig::default()
+    };
+    let result = compute_from_store(&cluster, &reader, Method::SuffixSigma, &params).unwrap();
+    assert!(!result.grams.is_empty());
+
+    let peak = result.counters.get(Counter::InputPeakBlockBytes);
+    assert_eq!(
+        peak, max_block,
+        "peak input allocation must be exactly the largest single block"
+    );
+    assert!(
+        peak < meta.data_bytes,
+        "peak ({peak}) must be far below the corpus ({})",
+        meta.data_bytes
+    );
+    // Every block was read exactly once by the single job...
+    assert_eq!(
+        result.counters.get(Counter::InputBlocksRead),
+        reader.num_blocks() as u64
+    );
+    // ...for a total input volume of the whole corpus.
+    assert_eq!(result.counters.get(Counter::MapInputBytes), meta.data_bytes);
+    let _ = std::fs::remove_file(&path);
+}
+
+#[test]
+fn input_stats_default_is_zero_for_memory_sources() {
+    // In-memory slices have no serialized form: the default InputStats
+    // keeps the new counters at zero so the legacy path reads unchanged.
+    let records: Vec<(u64, InputSeq)> = vec![];
+    let splits = mapreduce::SliceSource::new(&records)
+        .into_splits(2)
+        .unwrap();
+    for s in splits {
+        assert_eq!(s.input_stats(), InputStats::default());
+    }
+}

@@ -6,66 +6,60 @@
 
 use crate::dictionary::Dictionary;
 use crate::document::{Collection, Document};
-use mapreduce::{read_vu64_at, write_vu64, MrError};
+use crate::wire::{read_str, read_u64, write_str};
+use mapreduce::write_vu64;
 use std::io::{self, Read, Write};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"NGRAMMR1";
 
-fn write_str(out: &mut Vec<u8>, s: &str) {
-    write_vu64(out, s.len() as u64);
-    out.extend_from_slice(s.as_bytes());
+/// Flush threshold for the streaming writers: the scratch buffer drains
+/// to the underlying `BufWriter` once it grows past this.
+const SAVE_CHUNK_BYTES: usize = 64 * 1024;
+
+fn drain(buf: &mut Vec<u8>, out: &mut impl Write) -> io::Result<()> {
+    out.write_all(buf)?;
+    buf.clear();
+    Ok(())
 }
 
-fn read_str(buf: &[u8], pos: &mut usize) -> io::Result<String> {
-    let len = read_u64(buf, pos)? as usize;
-    let end = pos
-        .checked_add(len)
-        .filter(|&e| e <= buf.len())
-        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated string"))?;
-    let s = std::str::from_utf8(&buf[*pos..end])
-        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 string"))?
-        .to_string();
-    *pos = end;
-    Ok(s)
-}
-
-fn read_u64(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
-    read_vu64_at(buf, pos).map_err(|e| match e {
-        MrError::Io(io) => io,
-        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
-    })
-}
-
-/// Serialize `coll` to `path`.
+/// Serialize `coll` to `path`, streaming through a `BufWriter` — the
+/// serialized corpus never exists in memory as one buffer; peak scratch
+/// is one document past [`SAVE_CHUNK_BYTES`].
 pub fn save(coll: &Collection, path: &Path) -> io::Result<()> {
-    let mut out = Vec::new();
-    out.extend_from_slice(MAGIC);
-    write_str(&mut out, &coll.name);
-    // Dictionary in id order.
-    write_vu64(&mut out, coll.dictionary.len() as u64);
-    for (_, term, cf) in coll.dictionary.iter() {
-        write_str(&mut out, term);
-        write_vu64(&mut out, cf);
-    }
-    // Documents.
-    write_vu64(&mut out, coll.docs.len() as u64);
-    for d in &coll.docs {
-        write_vu64(&mut out, d.id);
-        write_vu64(&mut out, u64::from(d.year));
-        write_vu64(&mut out, d.sentences.len() as u64);
-        for s in &d.sentences {
-            write_vu64(&mut out, s.len() as u64);
-            for &t in s {
-                write_vu64(&mut out, u64::from(t));
-            }
-        }
-    }
     if let Some(dir) = path.parent() {
         std::fs::create_dir_all(dir)?;
     }
     let mut f = io::BufWriter::new(std::fs::File::create(path)?);
-    f.write_all(&out)?;
+    let mut buf = Vec::new();
+    buf.extend_from_slice(MAGIC);
+    write_str(&mut buf, &coll.name);
+    // Dictionary in id order.
+    write_vu64(&mut buf, coll.dictionary.len() as u64);
+    for (_, term, cf) in coll.dictionary.iter() {
+        write_str(&mut buf, term);
+        write_vu64(&mut buf, cf);
+        if buf.len() >= SAVE_CHUNK_BYTES {
+            drain(&mut buf, &mut f)?;
+        }
+    }
+    // Documents.
+    write_vu64(&mut buf, coll.docs.len() as u64);
+    for d in &coll.docs {
+        write_vu64(&mut buf, d.id);
+        write_vu64(&mut buf, u64::from(d.year));
+        write_vu64(&mut buf, d.sentences.len() as u64);
+        for s in &d.sentences {
+            write_vu64(&mut buf, s.len() as u64);
+            for &t in s {
+                write_vu64(&mut buf, u64::from(t));
+            }
+        }
+        if buf.len() >= SAVE_CHUNK_BYTES {
+            drain(&mut buf, &mut f)?;
+        }
+    }
+    drain(&mut buf, &mut f)?;
     f.flush()
 }
 
@@ -143,22 +137,29 @@ pub fn save_sharded(coll: &Collection, dir: &Path, num_shards: usize) -> io::Res
         dir.join("meta.txt"),
         format!("name\t{}\nshards\t{}\n", coll.name, num_shards),
     )?;
-    // Shard the documents.
-    let mut shards: Vec<Vec<u8>> = vec![Vec::new(); num_shards];
+    // Shard the documents: every shard streams through its own writer
+    // with a small shared scratch buffer instead of accumulating all
+    // shards in memory first.
+    let mut shards: Vec<io::BufWriter<std::fs::File>> = (0..num_shards)
+        .map(|i| {
+            std::fs::File::create(dir.join(format!("docs-{i:03}.bin"))).map(io::BufWriter::new)
+        })
+        .collect::<io::Result<_>>()?;
+    let mut buf = Vec::new();
     for d in &coll.docs {
-        let buf = &mut shards[(d.id % num_shards as u64) as usize];
-        write_vu64(buf, d.id);
-        write_vu64(buf, u64::from(d.year));
-        write_vu64(buf, d.sentences.len() as u64);
+        write_vu64(&mut buf, d.id);
+        write_vu64(&mut buf, u64::from(d.year));
+        write_vu64(&mut buf, d.sentences.len() as u64);
         for s in &d.sentences {
-            write_vu64(buf, s.len() as u64);
+            write_vu64(&mut buf, s.len() as u64);
             for &t in s {
-                write_vu64(buf, u64::from(t));
+                write_vu64(&mut buf, u64::from(t));
             }
         }
+        drain(&mut buf, &mut shards[(d.id % num_shards as u64) as usize])?;
     }
-    for (i, shard) in shards.iter().enumerate() {
-        std::fs::write(dir.join(format!("docs-{i:03}.bin")), shard)?;
+    for mut shard in shards {
+        shard.flush()?;
     }
     Ok(())
 }

@@ -29,7 +29,9 @@ mod lexicon;
 mod profile;
 mod sample;
 mod stats;
+mod store;
 mod text;
+mod wire;
 mod zipf;
 
 pub use dictionary::Dictionary;
@@ -40,6 +42,10 @@ pub use lexicon::{word, Lexicon};
 pub use profile::CorpusProfile;
 pub use sample::sample_fraction;
 pub use stats::CollectionStats;
+pub use store::{
+    is_store_file, save_store, BlockEntry, CorpusReader, CorpusWriter, StoreMeta,
+    STORE_BLOCK_BYTES, STORE_MAGIC,
+};
 pub use text::{
     build_collection_from_text, render_document, split_sentences, strip_boilerplate, tokenize,
 };

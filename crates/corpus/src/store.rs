@@ -1,0 +1,701 @@
+//! The block-structured corpus store: the paper's disk-resident corpus
+//! representation, made splittable.
+//!
+//! The paper stores its preprocessed corpora on disk — "documents are
+//! spread as key-value pairs of 64-bit document identifier and content
+//! integer array over a total of 256 binary files" (§VII-B) — and streams
+//! map input from file splits. This module is that representation for the
+//! simulated cluster: one file holding varint-coded document **blocks**
+//! (~256 KiB each, whole documents only) followed by a self-describing
+//! footer, so map tasks can claim whole blocks and read them with
+//! positioned I/O while the driver answers metadata questions (document /
+//! token / term counts, unigram collection frequencies for τ-splitting)
+//! without touching a single document.
+//!
+//! ```text
+//! store   := magic "NGRAMMR2"  block*  footer  trailer
+//! block   := doc+                      (≈ STORE_BLOCK_BYTES each)
+//! doc     := [did][year][#sentences]([len][term]*)*        (all varints)
+//! footer  := [#blocks]([offset][bytes][#docs][first-did])*   block index
+//!            [name][#docs][#sentences][#tokens][Σ len²][year-lo][year-hi]
+//!            [#terms]([term][dict-cf])*                      dictionary
+//!            [#terms]([unigram-cf])*            occurrence counts by id
+//! trailer := [footer-offset: u64 LE]  magic                  (16 bytes)
+//! ```
+//!
+//! The fixed-size trailer lets [`CorpusReader::open`] locate the footer
+//! with two positioned reads; blocks are never read at open time. The
+//! unigram array in the footer holds *actual occurrence counts* (what
+//! `ngrams::unigram_counts` would compute), so document splitting at
+//! infrequent terms needs no in-memory counting pass over the corpus.
+
+use crate::dictionary::Dictionary;
+use crate::document::{Collection, Document};
+use crate::stats::CollectionStats;
+use crate::wire::{read_str, read_u64, write_str};
+use mapreduce::write_vu64;
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Write};
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+/// Magic bytes opening and closing a store file (`NGRAMMR1` is the legacy
+/// single-blob format of [`crate::encode`]).
+pub const STORE_MAGIC: &[u8; 8] = b"NGRAMMR2";
+
+/// Raw-byte budget per document block. A block closes at the first
+/// document boundary past this size, so one oversized document can push a
+/// block past the budget but never splits across blocks.
+pub const STORE_BLOCK_BYTES: usize = 256 * 1024;
+
+/// Fixed trailer size: `[footer-offset: u64 LE][magic]`.
+const TRAILER_BYTES: u64 = 16;
+
+fn bad(msg: &str) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("corpus store: {msg}"))
+}
+
+/// Peek the leading magic of `path`: `true` for a block store, `false`
+/// for anything else (including the legacy `NGRAMMR1` format). Missing or
+/// too-short files report as non-stores rather than errors, so CLI input
+/// auto-detection can fall through to the legacy loader's own diagnostics.
+pub fn is_store_file(path: &Path) -> bool {
+    let mut magic = [0u8; 8];
+    match File::open(path).and_then(|mut f| f.read_exact(&mut magic)) {
+        Ok(()) => &magic == STORE_MAGIC,
+        Err(_) => false,
+    }
+}
+
+/// One entry of the footer's block index.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Absolute byte offset of the block within the file.
+    pub offset: u64,
+    /// Encoded size of the block in bytes.
+    pub bytes: u64,
+    /// Number of documents in the block.
+    pub docs: u64,
+    /// Identifier of the first document (blocks preserve insertion order).
+    pub first_did: u64,
+}
+
+/// Collection-level metadata carried by the footer — everything
+/// `ngram-mr stats` reports, answerable without scanning a block.
+#[derive(Clone, Debug, PartialEq)]
+pub struct StoreMeta {
+    /// Collection name.
+    pub name: String,
+    /// Number of documents.
+    pub num_docs: u64,
+    /// Number of sentences.
+    pub num_sentences: u64,
+    /// Total term occurrences.
+    pub num_tokens: u64,
+    /// Sum of squared sentence lengths (for the stats stddev).
+    pub sentence_len_sum_sq: u64,
+    /// Year range over all documents; `None` when the store is empty.
+    pub years: Option<(u16, u16)>,
+    /// Distinct terms actually occurring in the documents.
+    pub distinct_terms: u64,
+    /// Total encoded bytes across all document blocks.
+    pub data_bytes: u64,
+}
+
+impl StoreMeta {
+    /// The Table-I statistics, reconstructed from the footer in O(1).
+    pub fn stats(&self) -> CollectionStats {
+        let mean = if self.num_sentences > 0 {
+            self.num_tokens as f64 / self.num_sentences as f64
+        } else {
+            0.0
+        };
+        let var = if self.num_sentences > 0 {
+            (self.sentence_len_sum_sq as f64 / self.num_sentences as f64 - mean * mean).max(0.0)
+        } else {
+            0.0
+        };
+        CollectionStats {
+            num_docs: self.num_docs,
+            term_occurrences: self.num_tokens,
+            distinct_terms: self.distinct_terms,
+            num_sentences: self.num_sentences,
+            sentence_len_mean: mean,
+            sentence_len_std: var.sqrt(),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Streaming store writer: documents go straight through a [`BufWriter`]
+/// to disk, one block at a time — at no point does the serialized corpus
+/// (or the collection itself) have to exist in memory. The writer keeps
+/// only the current block, the block index, and the per-term occurrence
+/// counters that land in the footer.
+pub struct CorpusWriter {
+    out: BufWriter<File>,
+    name: String,
+    block_budget: usize,
+    /// Encoded documents of the block being staged.
+    block: Vec<u8>,
+    block_docs: u64,
+    block_first_did: u64,
+    /// Absolute offset where the staged block will land.
+    offset: u64,
+    index: Vec<BlockEntry>,
+    num_docs: u64,
+    num_sentences: u64,
+    num_tokens: u64,
+    sentence_len_sum_sq: u64,
+    years: Option<(u16, u16)>,
+    /// Occurrence counts indexed by term id (ids are dense ranks).
+    unigram_cf: Vec<u64>,
+}
+
+impl CorpusWriter {
+    /// Create a store at `path` for a collection called `name`.
+    pub fn create(path: &Path, name: &str) -> io::Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut out = BufWriter::with_capacity(256 * 1024, File::create(path)?);
+        out.write_all(STORE_MAGIC)?;
+        Ok(CorpusWriter {
+            out,
+            name: name.to_string(),
+            block_budget: STORE_BLOCK_BYTES,
+            block: Vec::new(),
+            block_docs: 0,
+            block_first_did: 0,
+            offset: STORE_MAGIC.len() as u64,
+            index: Vec::new(),
+            num_docs: 0,
+            num_sentences: 0,
+            num_tokens: 0,
+            sentence_len_sum_sq: 0,
+            years: None,
+            unigram_cf: Vec::new(),
+        })
+    }
+
+    /// Override the per-block byte budget (tests; the default
+    /// [`STORE_BLOCK_BYTES`] is right for production use).
+    pub fn block_budget(mut self, bytes: usize) -> Self {
+        self.block_budget = bytes.max(1);
+        self
+    }
+
+    /// Append one document. Documents are stored in push order; the block
+    /// index records each block's first document id.
+    pub fn push(&mut self, doc: &Document) -> io::Result<()> {
+        if self.block.is_empty() {
+            self.block_first_did = doc.id;
+        }
+        write_vu64(&mut self.block, doc.id);
+        write_vu64(&mut self.block, u64::from(doc.year));
+        write_vu64(&mut self.block, doc.sentences.len() as u64);
+        for s in &doc.sentences {
+            write_vu64(&mut self.block, s.len() as u64);
+            self.num_sentences += 1;
+            self.num_tokens += s.len() as u64;
+            self.sentence_len_sum_sq += (s.len() as u64) * (s.len() as u64);
+            for &t in s {
+                write_vu64(&mut self.block, u64::from(t));
+                let slot = t as usize;
+                if slot >= self.unigram_cf.len() {
+                    self.unigram_cf.resize(slot + 1, 0);
+                }
+                self.unigram_cf[slot] += 1;
+            }
+        }
+        self.block_docs += 1;
+        self.num_docs += 1;
+        self.years = Some(match self.years {
+            None => (doc.year, doc.year),
+            Some((lo, hi)) => (lo.min(doc.year), hi.max(doc.year)),
+        });
+        if self.block.len() >= self.block_budget {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> io::Result<()> {
+        if self.block.is_empty() {
+            return Ok(());
+        }
+        self.out.write_all(&self.block)?;
+        self.index.push(BlockEntry {
+            offset: self.offset,
+            bytes: self.block.len() as u64,
+            docs: self.block_docs,
+            first_did: self.block_first_did,
+        });
+        self.offset += self.block.len() as u64;
+        self.block.clear();
+        self.block_docs = 0;
+        Ok(())
+    }
+
+    /// Seal the store: flush the last block and write the footer and
+    /// trailer. The dictionary is supplied here because the term↔id
+    /// mapping is global state the document stream cannot carry.
+    pub fn finish(mut self, dictionary: &Dictionary) -> io::Result<StoreMeta> {
+        self.flush_block()?;
+        let footer_offset = self.offset;
+        let mut footer = Vec::new();
+        write_vu64(&mut footer, self.index.len() as u64);
+        for b in &self.index {
+            write_vu64(&mut footer, b.offset);
+            write_vu64(&mut footer, b.bytes);
+            write_vu64(&mut footer, b.docs);
+            write_vu64(&mut footer, b.first_did);
+        }
+        write_str(&mut footer, &self.name);
+        write_vu64(&mut footer, self.num_docs);
+        write_vu64(&mut footer, self.num_sentences);
+        write_vu64(&mut footer, self.num_tokens);
+        write_vu64(&mut footer, self.sentence_len_sum_sq);
+        let (lo, hi) = self.years.map_or((0, 0), |(lo, hi)| (lo, hi));
+        write_vu64(&mut footer, u64::from(lo));
+        write_vu64(&mut footer, u64::from(hi));
+        write_vu64(&mut footer, dictionary.len() as u64);
+        for (_, term, cf) in dictionary.iter() {
+            write_str(&mut footer, term);
+            write_vu64(&mut footer, cf);
+        }
+        // Occurrence counts cover every dictionary id even when the tail
+        // never appears in a document (count 0), so readers can index the
+        // array by any valid term id.
+        let n_terms = dictionary.len().max(self.unigram_cf.len());
+        write_vu64(&mut footer, n_terms as u64);
+        for id in 0..n_terms {
+            write_vu64(&mut footer, self.unigram_cf.get(id).copied().unwrap_or(0));
+        }
+        self.out.write_all(&footer)?;
+        self.out.write_all(&footer_offset.to_le_bytes())?;
+        self.out.write_all(STORE_MAGIC)?;
+        self.out.flush()?;
+        let data_bytes = footer_offset - STORE_MAGIC.len() as u64;
+        Ok(StoreMeta {
+            name: self.name,
+            num_docs: self.num_docs,
+            num_sentences: self.num_sentences,
+            num_tokens: self.num_tokens,
+            sentence_len_sum_sq: self.sentence_len_sum_sq,
+            years: self.years,
+            distinct_terms: self.unigram_cf.iter().filter(|&&c| c > 0).count() as u64,
+            data_bytes,
+        })
+    }
+}
+
+/// Write `coll` as a block store at `path` — documents stream through a
+/// [`CorpusWriter`] one at a time; the serialized corpus never exists in
+/// memory.
+pub fn save_store(coll: &Collection, path: &Path) -> io::Result<StoreMeta> {
+    let mut w = CorpusWriter::create(path, &coll.name)?;
+    for d in &coll.docs {
+        w.push(d)?;
+    }
+    w.finish(&coll.dictionary)
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Positioned read at `offset`, independent of any shared cursor so
+/// concurrent map splits can read blocks from one shared handle.
+fn read_exact_at(file: &File, path: &Path, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let _ = path;
+        std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
+    }
+    #[cfg(not(unix))]
+    {
+        // Fallback for cursor-only platforms: a private handle per read.
+        use std::io::Seek;
+        let _ = file;
+        let mut f = File::open(path)?;
+        f.seek(io::SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+}
+
+/// Random-access reader over a store file: opens by reading only the
+/// trailer and footer, then serves whole blocks via positioned reads.
+/// Shareable across threads behind an [`Arc`] — block reads never touch
+/// a shared cursor.
+pub struct CorpusReader {
+    file: File,
+    path: PathBuf,
+    meta: StoreMeta,
+    index: Vec<BlockEntry>,
+    /// Dictionary terms with their stored cf, in id order.
+    dict_counts: Vec<(String, u64)>,
+    /// Actual occurrence counts indexed by term id.
+    unigram_cf: Arc<Vec<u64>>,
+}
+
+impl CorpusReader {
+    /// Open `path`, validating magic and footer structure. Document
+    /// blocks are not read.
+    pub fn open(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < STORE_MAGIC.len() as u64 + TRAILER_BYTES {
+            return Err(bad("file too short"));
+        }
+        let mut magic = [0u8; 8];
+        read_exact_at(&file, path, &mut magic, 0)?;
+        if &magic != STORE_MAGIC {
+            return Err(bad("bad magic (not a block-store corpus)"));
+        }
+        let mut trailer = [0u8; TRAILER_BYTES as usize];
+        read_exact_at(&file, path, &mut trailer, file_len - TRAILER_BYTES)?;
+        if &trailer[8..] != STORE_MAGIC {
+            return Err(bad("bad trailer magic (truncated or not a store)"));
+        }
+        let footer_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+        if footer_offset < STORE_MAGIC.len() as u64 || footer_offset > file_len - TRAILER_BYTES {
+            return Err(bad("footer offset out of bounds"));
+        }
+        let footer_len = (file_len - TRAILER_BYTES - footer_offset) as usize;
+        let mut footer = vec![0u8; footer_len];
+        read_exact_at(&file, path, &mut footer, footer_offset)?;
+
+        let pos = &mut 0usize;
+        let n_blocks = read_u64(&footer, pos)? as usize;
+        let mut index = Vec::with_capacity(n_blocks.min(footer_len));
+        for _ in 0..n_blocks {
+            let entry = BlockEntry {
+                offset: read_u64(&footer, pos)?,
+                bytes: read_u64(&footer, pos)?,
+                docs: read_u64(&footer, pos)?,
+                first_did: read_u64(&footer, pos)?,
+            };
+            let end = entry
+                .offset
+                .checked_add(entry.bytes)
+                .ok_or_else(|| bad("block extent overflows"))?;
+            if entry.offset < STORE_MAGIC.len() as u64 || end > footer_offset {
+                return Err(bad("block extent out of bounds"));
+            }
+            index.push(entry);
+        }
+        let name = read_str(&footer, pos)?;
+        let num_docs = read_u64(&footer, pos)?;
+        let num_sentences = read_u64(&footer, pos)?;
+        let num_tokens = read_u64(&footer, pos)?;
+        let sentence_len_sum_sq = read_u64(&footer, pos)?;
+        let year_lo = read_u64(&footer, pos)?;
+        let year_hi = read_u64(&footer, pos)?;
+        let years = if num_docs == 0 {
+            None
+        } else {
+            let lo = u16::try_from(year_lo).map_err(|_| bad("year out of range"))?;
+            let hi = u16::try_from(year_hi).map_err(|_| bad("year out of range"))?;
+            Some((lo, hi))
+        };
+        if index.iter().map(|b| b.docs).sum::<u64>() != num_docs {
+            return Err(bad("block index disagrees with document count"));
+        }
+        let n_terms = read_u64(&footer, pos)? as usize;
+        let mut dict_counts = Vec::with_capacity(n_terms.min(footer_len));
+        for _ in 0..n_terms {
+            let term = read_str(&footer, pos)?;
+            let cf = read_u64(&footer, pos)?;
+            dict_counts.push((term, cf));
+        }
+        let n_cf = read_u64(&footer, pos)? as usize;
+        let mut unigram_cf = Vec::with_capacity(n_cf.min(footer_len));
+        for _ in 0..n_cf {
+            unigram_cf.push(read_u64(&footer, pos)?);
+        }
+        if *pos != footer.len() {
+            return Err(bad("trailing bytes in footer"));
+        }
+        let meta = StoreMeta {
+            name,
+            num_docs,
+            num_sentences,
+            num_tokens,
+            sentence_len_sum_sq,
+            years,
+            distinct_terms: unigram_cf.iter().filter(|&&c| c > 0).count() as u64,
+            data_bytes: index.iter().map(|b| b.bytes).sum(),
+        };
+        Ok(CorpusReader {
+            file,
+            path: path.to_path_buf(),
+            meta,
+            index,
+            dict_counts,
+            unigram_cf: Arc::new(unigram_cf),
+        })
+    }
+
+    /// Collection metadata from the footer (no block I/O).
+    pub fn meta(&self) -> &StoreMeta {
+        &self.meta
+    }
+
+    /// Number of document blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.index.len()
+    }
+
+    /// The block index entry of block `i`.
+    pub fn block_entry(&self, i: usize) -> BlockEntry {
+        self.index[i]
+    }
+
+    /// Actual per-term occurrence counts, indexed by term id — the
+    /// unigram statistics τ-splitting needs, precomputed at write time.
+    pub fn unigram_cf(&self) -> &Arc<Vec<u64>> {
+        &self.unigram_cf
+    }
+
+    /// Rebuild the term dictionary from the footer counts. The ranking
+    /// re-derives identically because terms were written in id order and
+    /// ids are assigned by (cf desc, term asc).
+    pub fn dictionary(&self) -> Dictionary {
+        Dictionary::from_counts(self.dict_counts.iter().cloned())
+    }
+
+    /// Read and decode one whole block of documents.
+    pub fn read_block(&self, i: usize) -> io::Result<Vec<Document>> {
+        let entry = self.index[i];
+        let mut buf = vec![0u8; entry.bytes as usize];
+        read_exact_at(&self.file, &self.path, &mut buf, entry.offset)?;
+        let pos = &mut 0usize;
+        // Footer counts are untrusted until decode succeeds: clamp every
+        // pre-allocation by the block's real byte size (a document costs
+        // at least one byte per field) so a corrupt count degrades into a
+        // decode error, never an allocation blow-up.
+        let mut docs = Vec::with_capacity((entry.docs as usize).min(buf.len()));
+        for _ in 0..entry.docs {
+            let id = read_u64(&buf, pos)?;
+            let year = u16::try_from(read_u64(&buf, pos)?).map_err(|_| bad("year out of range"))?;
+            let n_sent = read_u64(&buf, pos)? as usize;
+            let mut sentences = Vec::with_capacity(n_sent.min(buf.len()));
+            for _ in 0..n_sent {
+                let len = read_u64(&buf, pos)? as usize;
+                let mut s = Vec::with_capacity(len.min(buf.len()));
+                for _ in 0..len {
+                    let t = read_u64(&buf, pos)?;
+                    s.push(u32::try_from(t).map_err(|_| bad("term id exceeds u32"))?);
+                }
+                sentences.push(s);
+            }
+            docs.push(Document {
+                id,
+                year,
+                sentences,
+            });
+        }
+        if *pos != buf.len() {
+            return Err(bad("trailing bytes in block"));
+        }
+        Ok(docs)
+    }
+
+    /// Materialize the full collection (compatibility path for consumers
+    /// that need everything in memory, e.g. the time-series driver).
+    pub fn load_collection(&self) -> io::Result<Collection> {
+        // Clamped like read_block's: num_docs is footer data.
+        let cap = self.meta.num_docs.min(self.meta.data_bytes) as usize;
+        let mut docs = Vec::with_capacity(cap);
+        for i in 0..self.num_blocks() {
+            docs.extend(self.read_block(i)?);
+        }
+        Ok(Collection {
+            name: self.meta.name.clone(),
+            docs,
+            dictionary: self.dictionary(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encode;
+    use crate::generator::generate;
+    use crate::profile::CorpusProfile;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("corpus-store-{}-{tag}.ngs", std::process::id()))
+    }
+
+    fn sample(docs: usize, seed: u64) -> Collection {
+        generate(&CorpusProfile::tiny("store-test", docs), seed)
+    }
+
+    #[test]
+    fn store_round_trips_collection_and_dictionary() {
+        let coll = sample(40, 11);
+        let path = temp_path("rt");
+        let meta = save_store(&coll, &path).unwrap();
+        assert_eq!(meta.num_docs, coll.docs.len() as u64);
+        assert_eq!(meta.num_tokens, coll.term_occurrences());
+        let reader = CorpusReader::open(&path).unwrap();
+        assert_eq!(reader.meta(), &meta);
+        let loaded = reader.load_collection().unwrap();
+        assert_eq!(loaded.name, coll.name);
+        assert_eq!(loaded.docs, coll.docs);
+        assert_eq!(loaded.dictionary.len(), coll.dictionary.len());
+        for (id, term, cf) in coll.dictionary.iter() {
+            assert_eq!(loaded.dictionary.term(id), Some(term));
+            assert_eq!(loaded.dictionary.cf(id), cf);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn small_budget_produces_many_bounded_blocks() {
+        let coll = sample(120, 3);
+        let path = temp_path("blocks");
+        let mut w = CorpusWriter::create(&path, &coll.name)
+            .unwrap()
+            .block_budget(256);
+        let mut max_doc = 0usize;
+        for d in &coll.docs {
+            let mut enc = Vec::new();
+            write_vu64(&mut enc, d.id);
+            write_vu64(&mut enc, u64::from(d.year));
+            write_vu64(&mut enc, d.sentences.len() as u64);
+            for s in &d.sentences {
+                write_vu64(&mut enc, s.len() as u64);
+                for &t in s {
+                    write_vu64(&mut enc, u64::from(t));
+                }
+            }
+            max_doc = max_doc.max(enc.len());
+            w.push(d).unwrap();
+        }
+        w.finish(&coll.dictionary).unwrap();
+        let reader = CorpusReader::open(&path).unwrap();
+        assert!(reader.num_blocks() > 4, "256-byte budget must split blocks");
+        // A block overshoots the budget by at most one document.
+        for i in 0..reader.num_blocks() {
+            assert!(reader.block_entry(i).bytes as usize <= 256 + max_doc);
+        }
+        // Blocks concatenate to the original document order.
+        let mut dids = Vec::new();
+        for i in 0..reader.num_blocks() {
+            for d in reader.read_block(i).unwrap() {
+                dids.push(d.id);
+            }
+        }
+        assert_eq!(dids, coll.docs.iter().map(|d| d.id).collect::<Vec<_>>());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn footer_unigram_counts_match_documents() {
+        let coll = sample(30, 7);
+        let path = temp_path("uni");
+        save_store(&coll, &path).unwrap();
+        let reader = CorpusReader::open(&path).unwrap();
+        let cfs = reader.unigram_cf();
+        let mut expected: Vec<u64> = vec![0; coll.dictionary.len()];
+        for d in &coll.docs {
+            for s in &d.sentences {
+                for &t in s {
+                    expected[t as usize] += 1;
+                }
+            }
+        }
+        assert_eq!(&cfs[..], &expected[..]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn stats_from_footer_match_full_scan() {
+        let coll = sample(35, 19);
+        let path = temp_path("stats");
+        save_store(&coll, &path).unwrap();
+        let reader = CorpusReader::open(&path).unwrap();
+        let from_footer = reader.meta().stats();
+        let from_scan = CollectionStats::compute(&coll);
+        assert_eq!(from_footer.num_docs, from_scan.num_docs);
+        assert_eq!(from_footer.term_occurrences, from_scan.term_occurrences);
+        assert_eq!(from_footer.distinct_terms, from_scan.distinct_terms);
+        assert_eq!(from_footer.num_sentences, from_scan.num_sentences);
+        assert!((from_footer.sentence_len_mean - from_scan.sentence_len_mean).abs() < 1e-9);
+        assert!((from_footer.sentence_len_std - from_scan.sentence_len_std).abs() < 1e-9);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn store_detection_distinguishes_formats() {
+        let coll = sample(10, 1);
+        let store = temp_path("detect-store");
+        let legacy = temp_path("detect-legacy");
+        save_store(&coll, &store).unwrap();
+        encode::save(&coll, &legacy).unwrap();
+        assert!(is_store_file(&store));
+        assert!(!is_store_file(&legacy));
+        assert!(!is_store_file(Path::new("/nonexistent/corpus.ngs")));
+        let _ = std::fs::remove_file(&store);
+        let _ = std::fs::remove_file(&legacy);
+    }
+
+    #[test]
+    fn bad_magic_is_rejected() {
+        let path = temp_path("badmagic");
+        std::fs::write(&path, b"NOTASTORExxxxxxxxxxxxxxxxxxxxxxx").unwrap();
+        assert!(CorpusReader::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncated_store_is_rejected() {
+        let coll = sample(20, 5);
+        let path = temp_path("trunc");
+        save_store(&coll, &path).unwrap();
+        let bytes = std::fs::read(&path).unwrap();
+        // Chopping anywhere destroys the trailer (magic or offset), so
+        // every truncation point must be detected at open.
+        for cut in [bytes.len() - 1, bytes.len() / 2, 20] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(CorpusReader::open(&path).is_err(), "cut at {cut}");
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn corrupt_footer_offset_is_rejected() {
+        let coll = sample(12, 9);
+        let path = temp_path("corrupt-offset");
+        save_store(&coll, &path).unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        let trailer = bytes.len() - 16;
+        // Point the footer past the end of the file.
+        bytes[trailer..trailer + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(CorpusReader::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_collection_round_trips() {
+        let path = temp_path("empty");
+        let w = CorpusWriter::create(&path, "nothing").unwrap();
+        let meta = w.finish(&Dictionary::default()).unwrap();
+        assert_eq!(meta.num_docs, 0);
+        assert_eq!(meta.years, None);
+        let reader = CorpusReader::open(&path).unwrap();
+        assert_eq!(reader.num_blocks(), 0);
+        assert!(reader.load_collection().unwrap().docs.is_empty());
+        let _ = std::fs::remove_file(&path);
+    }
+}

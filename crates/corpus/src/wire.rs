@@ -1,0 +1,32 @@
+//! Crate-private varint/string framing shared by the on-disk corpus
+//! formats ([`crate::encode`]'s legacy blob and [`crate::store`]'s block
+//! store): io-error mapping for the `mapreduce` varint reader plus
+//! length-prefixed strings.
+
+use mapreduce::{read_vu64_at, write_vu64, MrError};
+use std::io;
+
+pub(crate) fn read_u64(buf: &[u8], pos: &mut usize) -> io::Result<u64> {
+    read_vu64_at(buf, pos).map_err(|e| match e {
+        MrError::Io(io) => io,
+        other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+    })
+}
+
+pub(crate) fn read_str(buf: &[u8], pos: &mut usize) -> io::Result<String> {
+    let len = read_u64(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "truncated string"))?;
+    let s = std::str::from_utf8(&buf[*pos..end])
+        .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-utf8 string"))?
+        .to_string();
+    *pos = end;
+    Ok(s)
+}
+
+pub(crate) fn write_str(out: &mut Vec<u8>, s: &str) {
+    write_vu64(out, s.len() as u64);
+    out.extend_from_slice(s.as_bytes());
+}

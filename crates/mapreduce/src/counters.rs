@@ -17,6 +17,17 @@ use std::sync::atomic::{AtomicU64, Ordering};
 pub enum Counter {
     /// Input records consumed by mappers.
     MapInputRecords,
+    /// Serialized input bytes streamed into map tasks. Zero for purely
+    /// in-memory sources (vectors, borrowed slices), which have no
+    /// serialized form; counted for run-backed and block-store sources.
+    MapInputBytes,
+    /// Input blocks fetched by map tasks (corpus-store blocks, chained
+    /// runs). Zero for in-memory sources.
+    InputBlocksRead,
+    /// Largest single input block resident in a map task at once — the
+    /// input side's peak-allocation witness. Aggregates by *maximum*, not
+    /// sum, in [`CounterSnapshot::merge`].
+    InputPeakBlockBytes,
     /// Key-value pairs emitted by mappers (pre-combine, Hadoop semantics).
     MapOutputRecords,
     /// Serialized key+value bytes emitted by mappers (pre-combine).
@@ -52,10 +63,13 @@ pub enum Counter {
     ReduceOutputRecords,
 }
 
-const NUM_COUNTERS: usize = 13;
+const NUM_COUNTERS: usize = 16;
 
 const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "MAP_INPUT_RECORDS",
+    "MAP_INPUT_BYTES",
+    "INPUT_BLOCKS_READ",
+    "INPUT_PEAK_BLOCK_BYTES",
     "MAP_OUTPUT_RECORDS",
     "MAP_OUTPUT_BYTES",
     "COMBINE_INPUT_RECORDS",
@@ -96,6 +110,13 @@ impl Counters {
     #[inline]
     pub fn inc(&self, c: Counter) {
         self.add(c, 1);
+    }
+
+    /// Raise a built-in counter to at least `n` (peak-style counters such
+    /// as [`Counter::InputPeakBlockBytes`]).
+    #[inline]
+    pub fn max(&self, c: Counter, n: u64) {
+        self.builtin[c as usize].fetch_max(n, Ordering::Relaxed);
     }
 
     /// Read the current value of a built-in counter.
@@ -144,9 +165,15 @@ impl CounterSnapshot {
     }
 
     /// Accumulate another snapshot into this one (multi-job aggregation).
+    /// Peak counters aggregate by maximum — a chain of jobs has the peak
+    /// of its peaks, not their sum.
     pub fn merge(&mut self, other: &CounterSnapshot) {
         for i in 0..NUM_COUNTERS {
-            self.builtin[i] += other.builtin[i];
+            if i == Counter::InputPeakBlockBytes as usize {
+                self.builtin[i] = self.builtin[i].max(other.builtin[i]);
+            } else {
+                self.builtin[i] += other.builtin[i];
+            }
         }
         for (k, v) in &other.user {
             *self.user.entry(k).or_insert(0) += v;

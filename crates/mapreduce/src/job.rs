@@ -493,6 +493,10 @@ where
             })
         };
         counters.add(Counter::MapInputRecords, records_in);
+        let input = split.input_stats();
+        counters.add(Counter::MapInputBytes, input.bytes_read);
+        counters.add(Counter::InputBlocksRead, input.blocks_read);
+        counters.max(Counter::InputPeakBlockBytes, input.peak_block_bytes);
         mapped?;
         collector.finish()
     }

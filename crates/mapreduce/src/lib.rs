@@ -97,16 +97,16 @@ pub use job::{
 pub use merge::MergeStream;
 pub use partition::{FnPartitioner, HashPartition, Partitioner};
 pub use run::{
-    BlockCodec, DecodeState, FrontCodedCodec, PlainCodec, RawBlock, Run, RunCodec, RunInput,
-    RunReader, RunWriter, TempDir, RUN_BLOCK_BYTES,
+    BlockCodec, DecodeState, FrontCodedCodec, PlainCodec, PostingDeltaCodec, RawBlock, Run,
+    RunCodec, RunInput, RunReader, RunWriter, TempDir, RUN_BLOCK_BYTES,
 };
 pub use sink::{
     CountingSink, CountingSinkFactory, RecordSinkFactory, RunSink, RunSinkFactory, VecSinkFactory,
     WriterSink, WriterSinkFactory,
 };
 pub use source::{
-    for_each_run_record, RecordSource, RecordStream, RunRecordSource, RunStream, SliceSource,
-    SliceStream, VecSource, VecStream,
+    for_each_run_record, InputStats, RecordSource, RecordStream, RunRecordSource, RunStream,
+    SliceSource, SliceStream, VecSource, VecStream,
 };
 pub use task::{BoxedCombiner, MapContext, Mapper, RecordSink, ReduceContext, Reducer, VecSink};
 pub use values::ValueIter;

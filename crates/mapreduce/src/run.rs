@@ -104,6 +104,11 @@ pub enum RunCodec {
     /// Per-record front coding: each key stores only the length of its
     /// common prefix with the previous key plus the differing suffix.
     FrontCoded,
+    /// Front-coded keys plus byte-delta values: each value stores only
+    /// its common prefix length with the previous value and the differing
+    /// suffix. Aimed at APRIORI-INDEX posting-list payloads, which front
+    /// coding barely touches because its value path is all-or-nothing.
+    PostingDelta,
 }
 
 impl RunCodec {
@@ -112,14 +117,17 @@ impl RunCodec {
         match self {
             RunCodec::Plain => "plain",
             RunCodec::FrontCoded => "front",
+            RunCodec::PostingDelta => "posting-delta",
         }
     }
 
-    /// Parse a CLI / config name (`"plain"`, `"front"`, `"front-coded"`).
+    /// Parse a CLI / config name (`"plain"`, `"front"`, `"front-coded"`,
+    /// `"posting-delta"`, `"postings"`).
     pub fn parse(s: &str) -> Option<RunCodec> {
         match s {
             "plain" => Some(RunCodec::Plain),
             "front" | "front-coded" => Some(RunCodec::FrontCoded),
+            "posting-delta" | "postings" => Some(RunCodec::PostingDelta),
             _ => None,
         }
     }
@@ -129,6 +137,7 @@ impl RunCodec {
         match self {
             RunCodec::Plain => &PlainCodec,
             RunCodec::FrontCoded => &FrontCodedCodec,
+            RunCodec::PostingDelta => &PostingDeltaCodec,
         }
     }
 }
@@ -323,6 +332,100 @@ impl BlockCodec for FrontCodedCodec {
             state.prev_val.clear();
             state.prev_val.extend_from_slice(val);
         }
+        key.extend_from_slice(&state.prev_key);
+        Ok(true)
+    }
+}
+
+/// Front-coded keys (identical header layout to [`FrontCodedCodec`]) with
+/// **byte-delta values**: when a value is not an exact repeat, it is
+/// stored as `[vlcp][vslen][vsuffix]` against the previous record's value
+/// instead of `[vlen][val]`.
+///
+/// This targets the payloads front coding barely touches: APRIORI-INDEX
+/// shuffles gap-coded posting lists whose serialized bytes are large,
+/// rarely identical, but structurally similar between neighbours — the
+/// mapper emits single-posting lists `[1][did][n][gaps…]` sorted by gram,
+/// so consecutive values share the leading count byte and the high-order
+/// did bytes. Front coding's value path is all-or-nothing (repeat or full
+/// copy) and pays full freight there; the byte delta recovers the shared
+/// prefix at a worst case of one extra byte per record (`vlcp = 0`).
+pub struct PostingDeltaCodec;
+
+impl BlockCodec for PostingDeltaCodec {
+    fn name(&self) -> &'static str {
+        "posting-delta"
+    }
+
+    fn encode_block(&self, block: &RawBlock<'_>, out: &mut Vec<u8>) {
+        let mut prev: Option<(&[u8], &[u8])> = None;
+        for i in 0..block.len() {
+            let (key, val) = block.record(i);
+            let (prev_key, prev_val) = prev.unwrap_or((&[], &[]));
+            let lcp = common_prefix_len(prev_key, key);
+            let same_val = prev.is_some() && val == prev_val;
+            let slen = (key.len() - lcp) as u64;
+            let inline = slen.min(SLEN_INLINE_MAX);
+            write_vu64(out, (lcp as u64) << 5 | inline << 1 | u64::from(same_val));
+            if inline == SLEN_INLINE_MAX {
+                write_vu64(out, slen - SLEN_INLINE_MAX);
+            }
+            out.extend_from_slice(&key[lcp..]);
+            if !same_val {
+                // The delta base resets with the block (prev is empty at
+                // the first record), keeping decode state one block deep.
+                let vlcp = if prev.is_some() {
+                    common_prefix_len(prev_val, val)
+                } else {
+                    0
+                };
+                write_vu64(out, vlcp as u64);
+                write_vu64(out, (val.len() - vlcp) as u64);
+                out.extend_from_slice(&val[vlcp..]);
+            }
+            prev = Some((key, val));
+        }
+    }
+
+    fn decode_record(
+        &self,
+        input: &mut RunInput,
+        state: &mut DecodeState,
+        key: &mut Vec<u8>,
+        val: &mut Vec<u8>,
+    ) -> Result<bool> {
+        let Some(header) = input.next_varint()? else {
+            return Ok(false);
+        };
+        let same_val = header & 1 == 1;
+        let inline = (header >> 1) & SLEN_INLINE_MAX;
+        let lcp = (header >> 5) as usize;
+        if lcp > state.prev_key.len() {
+            return Err(MrError::Corrupt("posting-delta lcp exceeds previous key"));
+        }
+        let suffix_len = if inline == SLEN_INLINE_MAX {
+            usize::try_from(input.read_varint()?)
+                .ok()
+                .and_then(|extra| extra.checked_add(SLEN_INLINE_MAX as usize))
+                .ok_or(MrError::Corrupt("posting-delta suffix length overflow"))?
+        } else {
+            inline as usize
+        };
+        state.prev_key.truncate(lcp);
+        input.append_exact(suffix_len, &mut state.prev_key)?;
+        if !same_val {
+            let vlcp = usize::try_from(input.read_varint()?)
+                .map_err(|_| MrError::Corrupt("posting-delta value lcp overflow"))?;
+            if vlcp > state.prev_val.len() {
+                return Err(MrError::Corrupt(
+                    "posting-delta value lcp exceeds previous value",
+                ));
+            }
+            let vslen = input.read_varint()? as usize;
+            state.prev_val.truncate(vlcp);
+            input.append_exact(vslen, &mut state.prev_val)?;
+        }
+        val.extend_from_slice(&state.prev_val);
         key.extend_from_slice(&state.prev_key);
         Ok(true)
     }
@@ -824,7 +927,81 @@ mod tests {
         assert_eq!(RunCodec::parse("plain"), Some(RunCodec::Plain));
         assert_eq!(RunCodec::parse("front"), Some(RunCodec::FrontCoded));
         assert_eq!(RunCodec::parse("front-coded"), Some(RunCodec::FrontCoded));
+        assert_eq!(
+            RunCodec::parse("posting-delta"),
+            Some(RunCodec::PostingDelta)
+        );
+        assert_eq!(RunCodec::parse("postings"), Some(RunCodec::PostingDelta));
         assert_eq!(RunCodec::parse("zstd"), None);
         assert_eq!(RunCodec::FrontCoded.name(), "front");
+        assert_eq!(RunCodec::PostingDelta.name(), "posting-delta");
+    }
+
+    #[test]
+    fn posting_delta_round_trips_and_beats_front_on_shared_value_prefixes() {
+        // Posting-list-shaped payloads: same key repeated, values sharing
+        // a long byte prefix but never identical (the front codec's
+        // all-or-nothing value path copies every one in full).
+        let mut plain = RunWriter::mem();
+        let mut front = RunWriter::mem_codec(RunCodec::FrontCoded);
+        let mut delta = RunWriter::mem_codec(RunCodec::PostingDelta);
+        for i in 0..500u32 {
+            let key = format!("gram/{:02}", i / 50).into_bytes();
+            let mut val = vec![1u8; 24]; // shared prefix
+            val.extend_from_slice(&i.to_be_bytes()); // unique tail
+            for w in [&mut plain, &mut front, &mut delta] {
+                w.write_record(&key, &val).unwrap();
+            }
+        }
+        let plain = plain.finish().unwrap();
+        let front = front.finish().unwrap();
+        let delta = delta.finish().unwrap();
+        assert_eq!(read_all(&plain), read_all(&delta));
+        assert_eq!(read_all(&front), read_all(&delta));
+        assert!(
+            delta.bytes * 2 < front.bytes,
+            "value deltas must beat all-or-nothing values here ({} vs {})",
+            delta.bytes,
+            front.bytes
+        );
+    }
+
+    #[test]
+    fn posting_delta_restarts_at_block_boundaries() {
+        let mut w = RunWriter::mem_codec(RunCodec::PostingDelta).block_budget(1);
+        let recs = [
+            (&b"abcde"[..], &b"vvvv1"[..]),
+            (b"abcdf", b"vvvv2"),
+            (b"", b""),
+            (b"x", b"vvvv2"),
+        ];
+        for (k, v) in &recs {
+            w.write_record(k, v).unwrap();
+        }
+        let run = w.finish().unwrap();
+        let got = read_all(&run);
+        for (i, (k, v)) in recs.iter().enumerate() {
+            assert_eq!(got[i], (k.to_vec(), v.to_vec()));
+        }
+    }
+
+    #[test]
+    fn corrupt_posting_delta_value_lcp_is_an_error() {
+        // A value lcp with no previous value must be rejected, not panic.
+        let mut bytes = Vec::new();
+        write_vu64(&mut bytes, 1 << 1); // lcp=0, slen=1, explicit val
+        bytes.push(b'k');
+        write_vu64(&mut bytes, 9); // vlcp=9 > |prev_val|=0
+        write_vu64(&mut bytes, 0); // vslen
+        let run = Run {
+            source: RunSource::Mem(Arc::new(bytes)),
+            records: 1,
+            bytes: 0,
+            raw_bytes: 0,
+            codec: RunCodec::PostingDelta,
+        };
+        let mut rd = run.reader().unwrap();
+        let (mut k, mut v) = (Vec::new(), Vec::new());
+        assert!(rd.next_into(&mut k, &mut v).is_err());
     }
 }

@@ -22,11 +22,34 @@ use crate::io::{ByteReader, Writable};
 use crate::run::{Run, TempDir};
 use std::sync::Arc;
 
+/// Input-side I/O telemetry of one exhausted [`RecordStream`], recorded
+/// into the job's input counters after the map task drains the split.
+///
+/// In-memory sources (vectors, borrowed slices) have no serialized form
+/// and report the all-zero default; serialized sources (runs, corpus-store
+/// blocks) report what they actually fetched. `peak_block_bytes` is the
+/// largest single block resident at once — the witness that a bounded
+/// source never held more than one block.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct InputStats {
+    /// Serialized bytes fetched from the backing input.
+    pub bytes_read: u64,
+    /// Number of blocks (or runs) fetched.
+    pub blocks_read: u64,
+    /// Largest single block held in memory at once.
+    pub peak_block_bytes: u64,
+}
+
 /// A stream of key/value records feeding one map task.
 pub trait RecordStream<K, V>: Send {
     /// Apply `f` to every record in order. `f` may abort the stream by
     /// returning an error, which is propagated unchanged.
     fn for_each(&mut self, f: &mut dyn FnMut(&K, &V) -> Result<()>) -> Result<()>;
+
+    /// Input-side I/O telemetry, read after the stream is drained.
+    fn input_stats(&self) -> InputStats {
+        InputStats::default()
+    }
 }
 
 /// A job input: knows its approximate size and how to split itself into
@@ -202,6 +225,17 @@ where
 {
     fn for_each(&mut self, f: &mut dyn FnMut(&K, &V) -> Result<()>) -> Result<()> {
         for_each_run_record::<K, V>(&self.runs, |k, v| f(&k, &v))
+    }
+
+    fn input_stats(&self) -> InputStats {
+        InputStats {
+            bytes_read: self.runs.iter().map(|r| r.bytes).sum(),
+            blocks_read: self.runs.len() as u64,
+            // Runs are decoded record-by-record, so no whole run is ever
+            // resident beyond its backing (on disk in spill mode); the
+            // peak is one record, not tracked here.
+            peak_block_bytes: 0,
+        }
     }
 }
 

@@ -101,6 +101,48 @@ proptest! {
     }
 
     #[test]
+    fn posting_delta_and_plain_decode_identically(
+        records in records_strategy(),
+        sorted in any::<bool>(),
+        budget in prop_oneof![Just(1usize), Just(64), Just(RUN_BLOCK_BYTES)],
+        use_files in any::<bool>(),
+    ) {
+        let mut records = records;
+        if sorted {
+            records.sort();
+        }
+        let dir = TempDir::create(None).unwrap();
+        let (plain, delta) = if use_files {
+            (
+                write_run(
+                    RunWriter::file_codec(&dir, RunCodec::Plain).unwrap().block_budget(budget),
+                    &records,
+                ),
+                write_run(
+                    RunWriter::file_codec(&dir, RunCodec::PostingDelta).unwrap().block_budget(budget),
+                    &records,
+                ),
+            )
+        } else {
+            (
+                write_run(RunWriter::mem_codec(RunCodec::Plain).block_budget(budget), &records),
+                write_run(
+                    RunWriter::mem_codec(RunCodec::PostingDelta).block_budget(budget),
+                    &records,
+                ),
+            )
+        };
+
+        prop_assert_eq!(delta.records, records.len() as u64);
+        prop_assert_eq!(plain.raw_bytes, delta.raw_bytes);
+        let plain_decoded = read_run(&plain);
+        prop_assert_eq!(&plain_decoded, &records, "plain run must reproduce its input");
+        let delta_decoded = read_run(&delta);
+        prop_assert_eq!(&delta_decoded, &records, "posting-delta run must reproduce its input");
+        prop_assert_eq!(read_run(&delta), plain_decoded);
+    }
+
+    #[test]
     fn merge_is_codec_transparent(
         a in records_strategy(),
         b in records_strategy(),

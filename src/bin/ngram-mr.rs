@@ -2,13 +2,22 @@
 //!
 //! ```text
 //! ngram-mr generate  --profile nyt|web|tiny --scale 0.1 --seed 42 --out corpus.bin
+//!                    [--format legacy|blocks]
 //! ngram-mr stats     --input corpus.bin
 //! ngram-mr compute   --input corpus.bin --method suffix-sigma --tau 5 --sigma 5
 //!                    [--mode cf|df] [--output all|closed|maximal] [--slots N]
-//!                    [--spill-to-disk] [--tmp-dir DIR] [--run-codec plain|front]
+//!                    [--spill-to-disk] [--tmp-dir DIR]
+//!                    [--run-codec plain|front|posting-delta]
 //!                    [--decode] [--out results.tsv]
 //! ngram-mr timeseries --input corpus.bin --tau 5 --sigma 3 [--out series.tsv]
 //! ```
+//!
+//! `--format blocks` writes the block-structured corpus store (magic
+//! `NGRAMMR2`): documents stream to disk in ~256 KiB blocks with a footer
+//! carrying the block index, metadata, dictionary and unigram statistics.
+//! Every `--input` auto-detects the format: `stats` answers from a store's
+//! footer in O(1), and `compute` reads store blocks lazily per map split —
+//! with `--spill-to-disk`, the collection is never materialized at all.
 //!
 //! `compute` streams its results: records are written to `--out` (or
 //! stdout) *during* the reduce phase through a
@@ -22,16 +31,21 @@ use std::collections::HashMap;
 use std::io::Write;
 use std::path::PathBuf;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  ngram-mr generate   --profile nyt|web|tiny --scale F --seed N --out FILE\n  \
+        "usage:\n  ngram-mr generate   --profile nyt|web|tiny --scale F --seed N --out FILE\n                      \
+         [--format legacy|blocks]\n  \
          ngram-mr stats      --input FILE\n  \
          ngram-mr compute    --input FILE --method naive|apriori-scan|apriori-index|suffix-sigma\n                      \
          --tau N --sigma N [--mode cf|df] [--output all|closed|maximal]\n                      \
-         [--slots N] [--spill-to-disk] [--tmp-dir DIR] [--run-codec plain|front]\n                      \
+         [--slots N] [--spill-to-disk] [--tmp-dir DIR]\n                      \
+         [--run-codec plain|front|posting-delta]\n                      \
          [--decode] [--out FILE]\n  \
-         ngram-mr timeseries --input FILE --tau N --sigma N [--decode] [--out FILE]"
+         ngram-mr timeseries --input FILE --tau N --sigma N [--decode] [--out FILE]\n\n\
+         corpus FILEs may be legacy blobs (NGRAMMR1) or block stores\n\
+         (NGRAMMR2, `generate --format blocks`); every --input auto-detects."
     );
     std::process::exit(2)
 }
@@ -89,14 +103,42 @@ impl Args {
     }
 }
 
-fn load_corpus(args: &Args) -> Collection {
+/// A corpus input of either format, auto-detected by magic.
+enum CorpusInput {
+    /// Legacy `NGRAMMR1` blob, fully materialized.
+    Legacy(Collection),
+    /// Block store, opened by footer only — blocks stay on disk.
+    Store(Arc<corpus::CorpusReader>),
+}
+
+fn open_corpus(args: &Args) -> CorpusInput {
     let path = PathBuf::from(args.require("input"));
-    match corpus::load(&path) {
-        Ok(c) => c,
-        Err(e) => {
-            eprintln!("cannot load corpus {}: {e}", path.display());
-            std::process::exit(1)
+    if corpus::is_store_file(&path) {
+        match corpus::CorpusReader::open(&path) {
+            Ok(r) => CorpusInput::Store(Arc::new(r)),
+            Err(e) => {
+                eprintln!("cannot open corpus store {}: {e}", path.display());
+                std::process::exit(1)
+            }
         }
+    } else {
+        match corpus::load(&path) {
+            Ok(c) => CorpusInput::Legacy(c),
+            Err(e) => {
+                eprintln!("cannot load corpus {}: {e}", path.display());
+                std::process::exit(1)
+            }
+        }
+    }
+}
+
+fn load_corpus(args: &Args) -> Collection {
+    match open_corpus(args) {
+        CorpusInput::Legacy(c) => c,
+        CorpusInput::Store(r) => r.load_collection().unwrap_or_else(|e| {
+            eprintln!("cannot read corpus store blocks: {e}");
+            std::process::exit(1)
+        }),
     }
 }
 
@@ -129,11 +171,23 @@ fn cmd_generate(args: &Args) -> ExitCode {
         }
     };
     let out = PathBuf::from(args.require("out"));
+    let format = args.get("format").unwrap_or("legacy");
     let t0 = std::time::Instant::now();
     let coll = generate(&profile, seed);
-    corpus::save(&coll, &out).expect("cannot write corpus");
+    match format {
+        "legacy" => corpus::save(&coll, &out).expect("cannot write corpus"),
+        "blocks" | "store" => {
+            // Documents stream through the CorpusWriter one block at a
+            // time — the serialized corpus never exists in memory.
+            corpus::save_store(&coll, &out).expect("cannot write corpus store");
+        }
+        other => {
+            eprintln!("unknown format {other} (expected legacy or blocks)");
+            usage()
+        }
+    }
     println!(
-        "wrote {} ({} docs, {} tokens) in {:?}",
+        "wrote {} ({} docs, {} tokens, {format}) in {:?}",
         out.display(),
         coll.docs.len(),
         coll.term_occurrences(),
@@ -143,14 +197,25 @@ fn cmd_generate(args: &Args) -> ExitCode {
 }
 
 fn cmd_stats(args: &Args) -> ExitCode {
-    let coll = load_corpus(args);
-    println!("corpus `{}`:", coll.name);
-    println!("{}", CollectionStats::compute(&coll));
+    match open_corpus(args) {
+        // Block stores answer from the footer: no document is read.
+        CorpusInput::Store(reader) => {
+            let meta = reader.meta();
+            println!("corpus `{}` (block store):", meta.name);
+            println!("{}", meta.stats());
+            println!("{:<28}{:>14}", "# blocks", reader.num_blocks());
+            println!("{:<28}{:>14}", "data bytes", meta.data_bytes);
+        }
+        CorpusInput::Legacy(coll) => {
+            println!("corpus `{}`:", coll.name);
+            println!("{}", CollectionStats::compute(&coll));
+        }
+    }
     ExitCode::SUCCESS
 }
 
 fn cmd_compute(args: &Args) -> ExitCode {
-    let coll = load_corpus(args);
+    let input = open_corpus(args);
     let method = match args.require("method") {
         "naive" => Method::Naive,
         "apriori-scan" => Method::AprioriScan,
@@ -200,14 +265,19 @@ fn cmd_compute(args: &Args) -> ExitCode {
         return ExitCode::FAILURE;
     }
     let cluster = cluster(args);
-    let decode = args.has("decode");
-    let dictionary = &coll.dictionary;
+    // Only --decode needs the term dictionary (a store serves it from
+    // the footer without touching a document block); without it, skip
+    // the O(#terms) clone/rebuild entirely.
+    let dictionary: Option<Dictionary> = args.has("decode").then(|| match &input {
+        CorpusInput::Store(reader) => reader.dictionary(),
+        CorpusInput::Legacy(coll) => coll.dictionary.clone(),
+    });
     // Stream results as the reducers produce them instead of collecting
     // them first; lines land in reduce completion order, unsorted.
     let sinks = mapreduce::WriterSinkFactory::new(
         out_writer(args),
         move |buf: &mut Vec<u8>, gram: &Gram, count: &u64| {
-            if decode {
+            if let Some(dictionary) = &dictionary {
                 buf.extend_from_slice(
                     format!("{}\t{}\n", count, dictionary.decode(gram.terms())).as_bytes(),
                 );
@@ -217,7 +287,17 @@ fn cmd_compute(args: &Args) -> ExitCode {
             }
         },
     );
-    let stats = match ngrams::compute_to_sink(&cluster, &coll, method, &params, &sinks) {
+    let computed = match &input {
+        // Out-of-core: map splits read store blocks lazily; nothing
+        // materializes the collection or the prepared input.
+        CorpusInput::Store(reader) => {
+            ngrams::compute_store_to_sink(&cluster, reader, method, &params, &sinks)
+        }
+        CorpusInput::Legacy(coll) => {
+            ngrams::compute_to_sink(&cluster, coll, method, &params, &sinks)
+        }
+    };
+    let stats = match computed {
         Ok((_, stats)) => stats,
         Err(e) => {
             eprintln!("computation failed: {e}");
@@ -226,13 +306,15 @@ fn cmd_compute(args: &Args) -> ExitCode {
     };
     sinks.flush().expect("cannot flush output");
     eprintln!(
-        "{}: {} n-grams, {} job(s), {:?}, {} records, {} bytes",
+        "{}: {} n-grams, {} job(s), {:?}, {} records, {} bytes ({} input bytes, peak block {})",
         method.name(),
         sinks.records(),
         stats.jobs,
         stats.elapsed,
         stats.counters.get(Counter::MapOutputRecords),
         stats.counters.get(Counter::MapOutputBytes),
+        stats.counters.get(Counter::MapInputBytes),
+        stats.counters.get(Counter::InputPeakBlockBytes),
     );
     ExitCode::SUCCESS
 }

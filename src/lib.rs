@@ -40,12 +40,13 @@ pub use ngrams;
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use corpus::{
-        build_collection_from_text, generate, load, render_document, sample_fraction, save,
-        Collection, CollectionStats, CorpusProfile, Dictionary, Document,
+        build_collection_from_text, generate, is_store_file, load, render_document,
+        sample_fraction, save, save_store, Collection, CollectionStats, CorpusProfile,
+        CorpusReader, CorpusWriter, Dictionary, Document,
     };
     pub use mapreduce::{Cluster, Counter, CounterSnapshot, JobConfig};
     pub use ngrams::{
-        compute, compute_time_series, CountMode, Gram, Method, NGramParams, NGramResult,
-        OutputMode, TimeSeries,
+        compute, compute_from_store, compute_time_series, CountMode, Gram, Method, NGramParams,
+        NGramResult, OutputMode, TimeSeries,
     };
 }
