@@ -2,20 +2,26 @@
 //! a fixed corpus scale, written to `BENCH_shuffle.json` so each perf PR
 //! measures itself against the recorded trajectory.
 //!
-//! Four configurations isolate the shuffle fast-path levers and the
-//! input stage:
+//! Six configurations isolate the shuffle fast-path levers, the input
+//! stage, and the pipelined overlap:
 //!
-//! * `baseline`  — plain codec, prefix-digest sort *disabled* (the
+//! * `baseline`    — plain codec, prefix-digest sort *disabled* (the
 //!   pre-optimization engine);
-//! * `prefix`    — plain codec, prefix-accelerated sort (digest compare
+//! * `prefix`      — plain codec, prefix-accelerated sort (digest compare
 //!   inline, decode comparator only on ties);
-//! * `front`     — prefix sort plus front-coded runs (shuffle
+//! * `front`       — prefix sort plus front-coded runs (shuffle
 //!   compression; `encoded_run_bytes / raw_run_bytes` is the ratio);
-//! * `store`     — prefix sort, plain codec, but map input pulled from a
+//! * `store`       — prefix sort, plain codec, but map input pulled from a
 //!   block-store corpus on disk instead of an in-memory vector — the
 //!   out-of-core input stage, with the input-side counters
 //!   (`input_bytes`, `input_blocks`, `input_peak_block_bytes`) recording
-//!   what the map tasks actually fetched.
+//!   what the map tasks actually fetched;
+//! * `store-front` — the store input with front-coded runs, synchronous:
+//!   the ablation twin of `pipelined`;
+//! * `pipelined`   — `store-front` plus `JobConfig::pipelined`: block
+//!   prefetch, spill-writer threads, reduce read-ahead. The three
+//!   `*_stall_nanos` keys record the residual waits the overlap failed to
+//!   hide (zero on every synchronous config).
 //!
 //! Wall clocks are the best of [`REPS`] runs to damp scheduler noise.
 //! Knobs: `NGRAM_BENCH_SCALE` (default [`bench::DEFAULT_SCALE`]),
@@ -40,11 +46,23 @@ enum BenchInput<'a> {
     Store(Arc<CorpusReader>),
 }
 
+/// One benchmark configuration: name, run codec, prefix sort, pipelined,
+/// sort-buffer bytes (`0` = the engine default).
+type Config = (&'static str, RunCodec, bool, bool, usize);
+
+/// Sort buffer of the `store-front` / `pipelined` twin legs: small enough
+/// that every map task spills several times mid-map — the regime the
+/// spill pipeline overlaps (with the default 64 MiB buffer this workload
+/// only ever spills once, at task end, where there is nothing left to
+/// overlap).
+const SPILLY_SORT_BUFFER: usize = 256 * 1024;
+
 struct Entry {
     method: &'static str,
     config: &'static str,
     codec: RunCodec,
     prefix_sort: bool,
+    pipelined: bool,
     wall: Duration,
     map_sort: Duration,
     raw_run_bytes: u64,
@@ -55,6 +73,9 @@ struct Entry {
     input_bytes: u64,
     input_blocks: u64,
     input_peak_block_bytes: u64,
+    input_stall_nanos: u64,
+    spill_stall_nanos: u64,
+    decode_stall_nanos: u64,
     output: usize,
 }
 
@@ -62,14 +83,18 @@ fn run_one(
     cluster: &mapreduce::Cluster,
     input: &BenchInput<'_>,
     method: Method,
-    config: (&'static str, RunCodec, bool),
+    config: Config,
 ) -> Entry {
-    let (name, codec, prefix_sort) = config;
+    let (name, codec, prefix_sort, pipelined, sort_buffer) = config;
     let mut best: Option<Entry> = None;
     for _ in 0..REPS {
         let mut params = NGramParams::new(5, 5);
         params.job.run_codec = codec;
         params.job.prefix_sort = prefix_sort;
+        params.job.pipelined = pipelined;
+        if sort_buffer > 0 {
+            params.job.sort_buffer_bytes = sort_buffer;
+        }
         let result: NGramResult = match input {
             BenchInput::Mem(coll) => {
                 compute(cluster, coll, method, &params).expect("method run failed")
@@ -84,6 +109,7 @@ fn run_one(
             config: name,
             codec,
             prefix_sort,
+            pipelined,
             wall: result.elapsed,
             map_sort: Duration::from_nanos(c.get(Counter::MapSortNanos)),
             raw_run_bytes: c.get(Counter::RawRunBytes),
@@ -94,6 +120,9 @@ fn run_one(
             input_bytes: c.get(Counter::MapInputBytes),
             input_blocks: c.get(Counter::InputBlocksRead),
             input_peak_block_bytes: c.get(Counter::InputPeakBlockBytes),
+            input_stall_nanos: c.get(Counter::MapInputStallNanos),
+            spill_stall_nanos: c.get(Counter::SpillStallNanos),
+            decode_stall_nanos: c.get(Counter::ReduceDecodeStallNanos),
             output: result.grams.len(),
         };
         if best.as_ref().is_none_or(|b| entry.wall < b.wall) {
@@ -111,7 +140,9 @@ fn json_line(e: &Entry) -> String {
             "\"raw_run_bytes\": {}, \"encoded_run_bytes\": {}, ",
             "\"shuffle_bytes\": {}, \"spills\": {}, \"map_output_records\": {}, ",
             "\"input_bytes\": {}, \"input_blocks\": {}, \"input_peak_block_bytes\": {}, ",
-            "\"output_grams\": {}}}"
+            "\"output_grams\": {}, \"pipelined\": {}, ",
+            "\"map_input_stall_nanos\": {}, \"spill_stall_nanos\": {}, ",
+            "\"reduce_decode_stall_nanos\": {}}}"
         ),
         e.method,
         e.config,
@@ -128,6 +159,10 @@ fn json_line(e: &Entry) -> String {
         e.input_blocks,
         e.input_peak_block_bytes,
         e.output,
+        e.pipelined,
+        e.input_stall_nanos,
+        e.spill_stall_nanos,
+        e.decode_stall_nanos,
     )
 }
 
@@ -142,26 +177,53 @@ fn main() {
         cluster.slots()
     );
 
-    // The store leg reads the same collection from a freshly written
+    // The store legs read the same collection from a freshly written
     // block store (removed afterwards).
     let store_path =
         std::env::temp_dir().join(format!("shuffle-bench-store-{}.ngs", std::process::id()));
     corpus::save_store(&nyt, &store_path).expect("cannot write bench store");
     let reader = Arc::new(CorpusReader::open(&store_path).expect("cannot open bench store"));
+    {
+        // Report the size-balanced split plan the store legs will use.
+        let splits = cluster.slots() * 4;
+        let (_, loads) = ngrams::plan_splits(&reader, splits);
+        eprintln!(
+            "store: {} blocks over {} splits, per-split byte skew {:.3} (max/mean)",
+            reader.num_blocks(),
+            splits,
+            ngrams::split_skew(&loads),
+        );
+    }
 
-    const CONFIGS: [(&str, RunCodec, bool); 3] = [
-        ("baseline", RunCodec::Plain, false),
-        ("prefix", RunCodec::Plain, true),
-        ("front", RunCodec::FrontCoded, true),
+    const MEM_CONFIGS: [Config; 3] = [
+        ("baseline", RunCodec::Plain, false, false, 0),
+        ("prefix", RunCodec::Plain, true, false, 0),
+        ("front", RunCodec::FrontCoded, true, false, 0),
     ];
-    const STORE_CONFIG: (&str, RunCodec, bool) = ("store", RunCodec::Plain, true);
+    const STORE_CONFIGS: [Config; 3] = [
+        ("store", RunCodec::Plain, true, false, 0),
+        (
+            "store-front",
+            RunCodec::FrontCoded,
+            true,
+            false,
+            SPILLY_SORT_BUFFER,
+        ),
+        (
+            "pipelined",
+            RunCodec::FrontCoded,
+            true,
+            true,
+            SPILLY_SORT_BUFFER,
+        ),
+    ];
 
     let mut entries: Vec<Entry> = Vec::new();
     for method in Method::ALL {
-        for config in CONFIGS {
+        for config in MEM_CONFIGS {
             let e = run_one(&cluster, &BenchInput::Mem(&nyt), method, config);
             eprintln!(
-                "{:>14} {:>8}: wall {:>8}  map-sort {:>8}  runs {} raw / {} encoded ({:.2}x)  spills {}",
+                "{:>14} {:>11}: wall {:>8}  map-sort {:>8}  runs {} raw / {} encoded ({:.2}x)  spills {}",
                 e.method,
                 e.config,
                 fmt_duration(e.wall),
@@ -173,23 +235,28 @@ fn main() {
             );
             entries.push(e);
         }
-        let e = run_one(
-            &cluster,
-            &BenchInput::Store(Arc::clone(&reader)),
-            method,
-            STORE_CONFIG,
-        );
-        eprintln!(
-            "{:>14} {:>8}: wall {:>8}  map-sort {:>8}  input {} in {} blocks (peak {})",
-            e.method,
-            e.config,
-            fmt_duration(e.wall),
-            fmt_duration(e.map_sort),
-            fmt_bytes(e.input_bytes),
-            e.input_blocks,
-            fmt_bytes(e.input_peak_block_bytes),
-        );
-        entries.push(e);
+        for config in STORE_CONFIGS {
+            let e = run_one(
+                &cluster,
+                &BenchInput::Store(Arc::clone(&reader)),
+                method,
+                config,
+            );
+            eprintln!(
+                "{:>14} {:>11}: wall {:>8}  map-sort {:>8}  input {} in {} blocks (peak {})  stalls in/sp/dec {:.1}/{:.1}/{:.1} ms",
+                e.method,
+                e.config,
+                fmt_duration(e.wall),
+                fmt_duration(e.map_sort),
+                fmt_bytes(e.input_bytes),
+                e.input_blocks,
+                fmt_bytes(e.input_peak_block_bytes),
+                e.input_stall_nanos as f64 / 1e6,
+                e.spill_stall_nanos as f64 / 1e6,
+                e.decode_stall_nanos as f64 / 1e6,
+            );
+            entries.push(e);
+        }
     }
     let _ = std::fs::remove_file(&store_path);
 

@@ -249,7 +249,8 @@ pub fn compute_store_to_sink<F>(
 where
     F: RecordSinkFactory<Gram, u64>,
 {
-    let provider = StoreInput::new(Arc::clone(reader), params.tau, params.split_docs);
+    let provider = StoreInput::new(Arc::clone(reader), params.tau, params.split_docs)
+        .pipelined(params.job.effective_pipelined());
     compute_source_to_sink(cluster, &provider, method, params, sinks)
 }
 

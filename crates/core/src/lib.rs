@@ -77,6 +77,6 @@ pub use reference::{
     is_subsequence, reference_cf, reference_closed, reference_df, reference_maximal, reference_ts,
 };
 pub use single_machine::suffix_sort_counts;
-pub use store_input::{CorpusSplitSource, CorpusSplitStream, StoreInput};
+pub use store_input::{plan_splits, split_skew, CorpusSplitSource, CorpusSplitStream, StoreInput};
 pub use suffix_sigma::{EmitFilter, StackReducer, SuffixMapper};
 pub use timeseries::TimeSeries;

@@ -14,16 +14,63 @@
 //! shuffle erases.
 
 use crate::input::{flatten_document, InputProvider, InputSeq};
-use corpus::CorpusReader;
+use corpus::{CorpusReader, Document};
 use mapreduce::{InputStats, RecordSource, RecordStream, Result};
 use std::sync::Arc;
+use std::time::Instant;
+
+/// Size-balanced (LPT — longest processing time first) assignment of a
+/// store's blocks to `n` splits using the footer's block byte sizes:
+/// blocks are placed largest-first onto the least-loaded split, then each
+/// split's list is restored to file order so streams read forward.
+/// Returns the per-split block lists and their byte loads.
+///
+/// This replaces round-robin placement, which ignores block sizes and can
+/// leave one map task with all the oversized blocks (a block overshoots
+/// the write budget by up to one document).
+pub fn plan_splits(reader: &CorpusReader, n: usize) -> (Vec<Vec<usize>>, Vec<u64>) {
+    let n = n.max(1);
+    let mut order: Vec<usize> = (0..reader.num_blocks()).collect();
+    order.sort_by_key(|&b| std::cmp::Reverse(reader.block_entry(b).bytes));
+    let mut groups: Vec<Vec<usize>> = (0..n).map(|_| Vec::new()).collect();
+    let mut loads: Vec<u64> = vec![0; n];
+    for b in order {
+        // First minimum = lowest split index on ties: deterministic.
+        let (s, _) = loads
+            .iter()
+            .enumerate()
+            .min_by_key(|&(_, &l)| l)
+            .expect("n >= 1");
+        groups[s].push(b);
+        loads[s] += reader.block_entry(b).bytes;
+    }
+    for g in &mut groups {
+        g.sort_unstable();
+    }
+    (groups, loads)
+}
+
+/// Per-split byte skew of a split plan: max load over mean non-zero-split
+/// load (1.0 = perfectly even; 0.0 for an empty plan). The reporting
+/// companion of [`plan_splits`].
+pub fn split_skew(loads: &[u64]) -> f64 {
+    let total: u64 = loads.iter().sum();
+    let max = loads.iter().copied().max().unwrap_or(0);
+    if total == 0 {
+        return 0.0;
+    }
+    let used = loads.iter().filter(|&&l| l > 0).count().max(1);
+    max as f64 / (total as f64 / used as f64)
+}
 
 /// A [`RecordSource`] over a corpus store: splits are whole blocks,
-/// assigned round-robin, decoded and flattened on demand.
+/// assigned size-balanced (LPT over the footer's block byte sizes),
+/// decoded and flattened on demand.
 pub struct CorpusSplitSource {
     reader: Arc<CorpusReader>,
     tau: u64,
     split_at_tau: bool,
+    pipelined: bool,
 }
 
 impl CorpusSplitSource {
@@ -34,7 +81,18 @@ impl CorpusSplitSource {
             reader,
             tau,
             split_at_tau,
+            pipelined: false,
         }
+    }
+
+    /// Enable double-buffered block prefetch: each split's stream runs
+    /// the positioned read + varint decode of block *k+1* on a background
+    /// thread while the map task flattens block *k*. Costs one extra
+    /// resident block, witnessed by the stream's
+    /// [`InputStats::peak_block_bytes`].
+    pub fn pipelined(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
     }
 }
 
@@ -49,11 +107,7 @@ impl RecordSource<u64, InputSeq> for CorpusSplitSource {
     }
 
     fn into_splits(self, n: usize) -> Result<Vec<CorpusSplitStream>> {
-        let n = n.max(1);
-        let mut groups: Vec<Vec<usize>> = (0..n).map(|_| Vec::new()).collect();
-        for b in 0..self.reader.num_blocks() {
-            groups[b % n].push(b);
-        }
+        let (groups, _) = plan_splits(&self.reader, n);
         Ok(groups
             .into_iter()
             .map(|blocks| CorpusSplitStream {
@@ -61,6 +115,7 @@ impl RecordSource<u64, InputSeq> for CorpusSplitSource {
                 blocks,
                 tau: self.tau,
                 split_at_tau: self.split_at_tau,
+                pipelined: self.pipelined,
                 stats: InputStats::default(),
             })
             .collect())
@@ -68,17 +123,20 @@ impl RecordSource<u64, InputSeq> for CorpusSplitSource {
 }
 
 /// One map task's share of a store: a set of whole blocks, read with
-/// positioned I/O and flattened one block at a time.
+/// positioned I/O and flattened one block at a time — or, pipelined, with
+/// the next block read and decoded in the background while the current
+/// one is flattened.
 pub struct CorpusSplitStream {
     reader: Arc<CorpusReader>,
     blocks: Vec<usize>,
     tau: u64,
     split_at_tau: bool,
+    pipelined: bool,
     stats: InputStats,
 }
 
-impl RecordStream<u64, InputSeq> for CorpusSplitStream {
-    fn for_each(&mut self, f: &mut dyn FnMut(&u64, &InputSeq) -> Result<()>) -> Result<()> {
+impl CorpusSplitStream {
+    fn for_each_sync(&mut self, f: &mut dyn FnMut(&u64, &InputSeq) -> Result<()>) -> Result<()> {
         let cfs = Arc::clone(self.reader.unigram_cf());
         let cf = move |t: u32| cfs.get(t as usize).copied().unwrap_or(0);
         let cf_ref: Option<&dyn Fn(u32) -> u64> = if self.split_at_tau { Some(&cf) } else { None };
@@ -102,6 +160,71 @@ impl RecordStream<u64, InputSeq> for CorpusSplitStream {
         Ok(())
     }
 
+    /// Double-buffered variant: a scoped prefetcher thread reads and
+    /// decodes blocks in order over a rendezvous channel, so the read of
+    /// block *k+1* overlaps the flattening of block *k*. At most two
+    /// blocks are resident at once (the one being flattened plus the one
+    /// being prefetched); the peak counter witnesses the pair. Time spent
+    /// blocked on the channel is the residual input latency the overlap
+    /// could not hide, reported via [`InputStats::stall_nanos`].
+    fn for_each_prefetch(
+        &mut self,
+        f: &mut dyn FnMut(&u64, &InputSeq) -> Result<()>,
+    ) -> Result<()> {
+        let cfs = Arc::clone(self.reader.unigram_cf());
+        let cf = move |t: u32| cfs.get(t as usize).copied().unwrap_or(0);
+        let cf_ref: Option<&dyn Fn(u32) -> u64> = if self.split_at_tau { Some(&cf) } else { None };
+        let reader = Arc::clone(&self.reader);
+        let blocks = self.blocks.clone();
+        type Fetched = std::io::Result<(Vec<Document>, u64)>;
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Fetched>(0);
+        let stats = &mut self.stats;
+        let (tau, blocks_total) = (self.tau, self.blocks.len());
+        std::thread::scope(move |scope| -> Result<()> {
+            scope.spawn(move || {
+                for &b in &blocks {
+                    let bytes = reader.block_entry(b).bytes;
+                    let fetched = reader.read_block(b).map(|docs| (docs, bytes));
+                    if tx.send(fetched).is_err() {
+                        return; // consumer aborted; stop fetching
+                    }
+                }
+            });
+            let mut prev_bytes = 0u64;
+            for _ in 0..blocks_total {
+                let waited = Instant::now();
+                let fetched = rx.recv();
+                stats.stall_nanos += waited.elapsed().as_nanos() as u64;
+                let (docs, bytes) = match fetched {
+                    Ok(res) => res?,
+                    Err(_) => break, // producer gone (only after an error)
+                };
+                stats.bytes_read += bytes;
+                stats.blocks_read += 1;
+                // Residency witness: the block being flattened plus the
+                // one the prefetcher is reading behind it.
+                stats.peak_block_bytes = stats.peak_block_bytes.max(prev_bytes + bytes);
+                prev_bytes = bytes;
+                for d in &docs {
+                    flatten_document(d.id, d.year, &d.sentences, tau, cf_ref, &mut |did, seq| {
+                        f(&did, &seq)
+                    })?;
+                }
+            }
+            Ok(())
+        })
+    }
+}
+
+impl RecordStream<u64, InputSeq> for CorpusSplitStream {
+    fn for_each(&mut self, f: &mut dyn FnMut(&u64, &InputSeq) -> Result<()>) -> Result<()> {
+        if self.pipelined && self.blocks.len() > 1 {
+            self.for_each_prefetch(f)
+        } else {
+            self.for_each_sync(f)
+        }
+    }
+
     fn input_stats(&self) -> InputStats {
         self.stats
     }
@@ -114,6 +237,7 @@ pub struct StoreInput {
     reader: Arc<CorpusReader>,
     tau: u64,
     split_at_tau: bool,
+    pipelined: bool,
 }
 
 impl StoreInput {
@@ -123,7 +247,15 @@ impl StoreInput {
             reader,
             tau,
             split_at_tau,
+            pipelined: false,
         }
+    }
+
+    /// Open every round's source with double-buffered block prefetch
+    /// ([`CorpusSplitSource::pipelined`]).
+    pub fn pipelined(mut self, on: bool) -> Self {
+        self.pipelined = on;
+        self
     }
 }
 
@@ -131,11 +263,10 @@ impl InputProvider for StoreInput {
     type Source = CorpusSplitSource;
 
     fn source(&self) -> Result<CorpusSplitSource> {
-        Ok(CorpusSplitSource::new(
-            Arc::clone(&self.reader),
-            self.tau,
-            self.split_at_tau,
-        ))
+        Ok(
+            CorpusSplitSource::new(Arc::clone(&self.reader), self.tau, self.split_at_tau)
+                .pipelined(self.pipelined),
+        )
     }
 }
 
@@ -183,6 +314,134 @@ mod tests {
                 assert_eq!(got, expected, "split_at_tau={split_at_tau}, n={n}");
             }
         }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    fn collect_all_pipelined(source: CorpusSplitSource, n: usize) -> Vec<(u64, InputSeq)> {
+        collect_all(source.pipelined(true), n)
+    }
+
+    #[test]
+    fn pipelined_stream_yields_exactly_the_sync_records() {
+        let (path, _) = temp_store("piped", 40, 99);
+        let reader = Arc::new(CorpusReader::open(&path).unwrap());
+        for split_at_tau in [false, true] {
+            for n in [1usize, 3] {
+                let sync = collect_all(
+                    CorpusSplitSource::new(Arc::clone(&reader), 2, split_at_tau),
+                    n,
+                );
+                let piped = collect_all_pipelined(
+                    CorpusSplitSource::new(Arc::clone(&reader), 2, split_at_tau),
+                    n,
+                );
+                assert_eq!(piped, sync, "split_at_tau={split_at_tau}, n={n}");
+            }
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn lpt_split_plan_balances_bytes_and_covers_every_block() {
+        let (path, _) = temp_store("lpt", 60, 13);
+        let reader = CorpusReader::open(&path).unwrap();
+        // Blocks here are near-uniform; the balance claim needs skewed
+        // sizes, so fabricate loads for the skew comparison below and
+        // check coverage/determinism on the real store.
+        for n in [1usize, 2, 5] {
+            let (groups, loads) = plan_splits(&reader, n);
+            assert_eq!(groups.len(), n);
+            let mut all: Vec<usize> = groups.iter().flatten().copied().collect();
+            all.sort_unstable();
+            assert_eq!(all, (0..reader.num_blocks()).collect::<Vec<_>>());
+            for (g, &load) in groups.iter().zip(&loads) {
+                assert_eq!(
+                    g.iter().map(|&b| reader.block_entry(b).bytes).sum::<u64>(),
+                    load
+                );
+                assert!(g.windows(2).all(|w| w[0] < w[1]), "forward read order");
+            }
+            // LPT guarantee: no split exceeds mean + the largest block.
+            let total: u64 = loads.iter().sum();
+            let max_block = (0..reader.num_blocks())
+                .map(|b| reader.block_entry(b).bytes)
+                .max()
+                .unwrap_or(0);
+            let max_load = loads.iter().copied().max().unwrap_or(0);
+            assert!(max_load <= total / n as u64 + max_block);
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn byte_skew_reports_imbalance() {
+        assert_eq!(split_skew(&[]), 0.0);
+        assert_eq!(split_skew(&[0, 0]), 0.0);
+        assert!((split_skew(&[100, 100]) - 1.0).abs() < 1e-12);
+        // One split with everything, one empty: skew counts used splits.
+        assert!((split_skew(&[200, 0]) - 1.0).abs() < 1e-12);
+        assert!(split_skew(&[300, 100]) > 1.4);
+    }
+
+    /// The acceptance witness for the input stage: under pipelining, the
+    /// time the consumer is *stalled* on input must shrink versus the
+    /// synchronous path, where every read+decode blocks the consumer in
+    /// full. The sync cost is measured by draining the same split with a
+    /// no-op consumer; the pipelined leg adds per-record compute so the
+    /// prefetcher has something to hide behind.
+    #[test]
+    fn pipelined_input_stall_shrinks_versus_sync_read_time() {
+        // Sized so the sync read+decode cost is comfortably above the
+        // pipelined leg's fixed overheads (thread spawn + first-block
+        // fetch), which is what keeps the comparison below stable on
+        // loaded CI hosts.
+        let coll = generate(&CorpusProfile::tiny("stall", 2000), 7);
+        let path =
+            std::env::temp_dir().join(format!("core-store-input-stall-{}.ngs", std::process::id()));
+        let mut w = corpus::CorpusWriter::create(&path, &coll.name)
+            .unwrap()
+            .block_budget(512);
+        for d in &coll.docs {
+            w.push(d).unwrap();
+        }
+        w.finish(&coll.dictionary).unwrap();
+        let reader = Arc::new(CorpusReader::open(&path).unwrap());
+        assert!(reader.num_blocks() > 8, "needs many blocks to overlap");
+
+        // Warm the page cache so both legs read from memory, then
+        // measure the synchronous read+decode cost of the whole store —
+        // the time the sync path stalls its consumer.
+        let mut warmup = CorpusSplitSource::new(Arc::clone(&reader), 2, true)
+            .into_splits(1)
+            .unwrap();
+        warmup[0].for_each(&mut |_, _| Ok(())).unwrap();
+        let started = std::time::Instant::now();
+        let mut splits = CorpusSplitSource::new(Arc::clone(&reader), 2, true)
+            .into_splits(1)
+            .unwrap();
+        splits[0].for_each(&mut |_, _| Ok(())).unwrap();
+        let sync_nanos = started.elapsed().as_nanos() as u64;
+
+        // Pipelined with per-fragment compute: reads hide behind it.
+        let mut splits = CorpusSplitSource::new(Arc::clone(&reader), 2, true)
+            .pipelined(true)
+            .into_splits(1)
+            .unwrap();
+        splits[0]
+            .for_each(&mut |_, _| {
+                std::thread::sleep(std::time::Duration::from_micros(10));
+                Ok(())
+            })
+            .unwrap();
+        let stats = splits[0].input_stats();
+        assert!(stats.stall_nanos > 0, "the first block is always waited on");
+        assert!(
+            stats.stall_nanos < sync_nanos,
+            "pipelined stall ({}) must shrink below the sync read+decode \
+             time ({})",
+            stats.stall_nanos,
+            sync_nanos
+        );
         let _ = std::fs::remove_file(&path);
     }
 

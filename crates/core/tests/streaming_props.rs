@@ -4,7 +4,7 @@
 //! brute-force oracle in `reference.rs` — chained rounds included.
 
 use corpus::{generate, CorpusProfile};
-use mapreduce::{Cluster, JobConfig};
+use mapreduce::{Cluster, JobConfig, RunCodec};
 use ngrams::{
     compute, prepare_input, reference_cf, reference_df, CountMode, Gram, Method, NGramParams,
 };
@@ -53,6 +53,54 @@ proptest! {
                 docs,
                 tau,
                 sigma
+            );
+        }
+    }
+
+    #[test]
+    fn pipelined_execution_is_record_identical_to_synchronous(
+        seed in 0u64..10_000,
+        docs in 8usize..24,
+        tau in 2u64..4,
+        codec in prop_oneof![
+            Just(RunCodec::Plain),
+            Just(RunCodec::FrontCoded),
+            Just(RunCodec::PostingDelta),
+        ],
+        sort_buffer in prop_oneof![Just(256usize), Just(4096)],
+        spill in any::<bool>(),
+    ) {
+        // Pipelined execution (spill-writer thread, reduce read-ahead,
+        // prefetching sources) must be a pure scheduling change: same
+        // records, any codec, any spill budget/backend.
+        let coll = generate(&CorpusProfile::tiny("zipf-piped", docs), seed);
+        let cluster = Cluster::new(2);
+        let mut params = NGramParams::new(tau, 4);
+        params.job = JobConfig {
+            spill_to_disk: spill,
+            sort_buffer_bytes: sort_buffer,
+            run_codec: codec,
+            ..JobConfig::default()
+        };
+        params.memory_budget_bytes = 1 << 10;
+        for method in Method::ALL {
+            let sync = compute(&cluster, &coll, method, &params)
+                .unwrap_or_else(|e| panic!("{} sync failed: {e}", method.name()));
+            let mut piped_params = params.clone();
+            piped_params.job.pipelined = true;
+            piped_params.job.pipeline_min_cpus = 1; // force threads on any host
+            let piped = compute(&cluster, &coll, method, &piped_params)
+                .unwrap_or_else(|e| panic!("{} pipelined failed: {e}", method.name()));
+            prop_assert_eq!(
+                &piped.grams,
+                &sync.grams,
+                "{} pipelined output diverged (seed={}, codec={:?}, \
+                 buffer={}, spill={})",
+                method.name(),
+                seed,
+                codec,
+                sort_buffer,
+                spill
             );
         }
     }

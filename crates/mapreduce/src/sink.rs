@@ -26,6 +26,7 @@ use crate::task::{RecordSink, VecSink};
 use parking_lot::Mutex;
 use std::io::Write;
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
 
 /// Creates one sink per reduce task and seals finished sinks into
@@ -201,18 +202,144 @@ where
 /// the shared-writer lock.
 const WRITER_SINK_FLUSH_BYTES: usize = 64 * 1024;
 
+/// A full buffer or a flush barrier, handed to the dedicated writer
+/// thread of a pipelined [`WriterSinkFactory`].
+enum WriterMsg {
+    Buf(Vec<u8>),
+    Flush(SyncSender<()>),
+}
+
+enum WriterBackend {
+    /// Formatted bytes are written under a lock on the reduce thread —
+    /// the synchronous path.
+    Direct(Mutex<Box<dyn Write + Send>>),
+    /// Full buffers are handed to a dedicated writer thread through a
+    /// bounded channel (double buffering: one buffer being written, one
+    /// in flight), so reduce compute overlaps downstream output I/O.
+    Threaded {
+        tx: Mutex<Option<SyncSender<WriterMsg>>>,
+        handle: Mutex<Option<std::thread::JoinHandle<()>>>,
+        /// First write/flush error, surfaced at the next drain or flush.
+        error: Arc<Mutex<Option<MrError>>>,
+    },
+}
+
+fn writer_thread(
+    mut w: Box<dyn Write + Send>,
+    rx: Receiver<WriterMsg>,
+    error: Arc<Mutex<Option<MrError>>>,
+) {
+    let mut failed = false;
+    for msg in rx {
+        match msg {
+            WriterMsg::Buf(buf) => {
+                if failed {
+                    continue; // drain without blocking the producers
+                }
+                if let Err(e) = w.write_all(&buf) {
+                    *error.lock() = Some(e.into());
+                    failed = true;
+                }
+            }
+            WriterMsg::Flush(ack) => {
+                if !failed {
+                    if let Err(e) = w.flush() {
+                        *error.lock() = Some(e.into());
+                        failed = true;
+                    }
+                }
+                let _ = ack.send(());
+            }
+        }
+    }
+}
+
 struct SharedWriter {
-    writer: Mutex<Box<dyn Write + Send>>,
+    backend: WriterBackend,
     records: AtomicU64,
 }
 
 impl SharedWriter {
-    fn drain(&self, buf: &mut Vec<u8>) -> Result<()> {
-        if !buf.is_empty() {
-            self.writer.lock().write_all(buf)?;
-            buf.clear();
+    fn direct(writer: Box<dyn Write + Send>) -> Self {
+        SharedWriter {
+            backend: WriterBackend::Direct(Mutex::new(writer)),
+            records: AtomicU64::new(0),
         }
-        Ok(())
+    }
+
+    fn threaded(writer: Box<dyn Write + Send>) -> Self {
+        let (tx, rx) = std::sync::mpsc::sync_channel::<WriterMsg>(1);
+        let error: Arc<Mutex<Option<MrError>>> = Arc::new(Mutex::new(None));
+        let thread_error = Arc::clone(&error);
+        let handle = std::thread::spawn(move || writer_thread(writer, rx, thread_error));
+        SharedWriter {
+            backend: WriterBackend::Threaded {
+                tx: Mutex::new(Some(tx)),
+                handle: Mutex::new(Some(handle)),
+                error,
+            },
+            records: AtomicU64::new(0),
+        }
+    }
+
+    fn drain(&self, buf: &mut Vec<u8>) -> Result<()> {
+        if buf.is_empty() {
+            return Ok(());
+        }
+        match &self.backend {
+            WriterBackend::Direct(writer) => {
+                writer.lock().write_all(buf)?;
+                buf.clear();
+                Ok(())
+            }
+            WriterBackend::Threaded { tx, error, .. } => {
+                if let Some(e) = error.lock().take() {
+                    return Err(e);
+                }
+                // Hand the full buffer over but keep the sink's capacity:
+                // a bare `take` would leave a zero-capacity Vec that
+                // regrows through doubling on every subsequent chunk.
+                let full = std::mem::replace(buf, Vec::with_capacity(WRITER_SINK_FLUSH_BYTES));
+                tx.lock()
+                    .as_ref()
+                    .expect("writer thread lives until drop")
+                    .send(WriterMsg::Buf(full))
+                    .map_err(|_| MrError::TaskPanic("output writer thread died".into()))
+            }
+        }
+    }
+
+    fn flush(&self) -> Result<()> {
+        match &self.backend {
+            WriterBackend::Direct(writer) => {
+                writer.lock().flush()?;
+                Ok(())
+            }
+            WriterBackend::Threaded { tx, error, .. } => {
+                let (ack_tx, ack_rx) = std::sync::mpsc::sync_channel::<()>(0);
+                tx.lock()
+                    .as_ref()
+                    .expect("writer thread lives until drop")
+                    .send(WriterMsg::Flush(ack_tx))
+                    .map_err(|_| MrError::TaskPanic("output writer thread died".into()))?;
+                let _ = ack_rx.recv();
+                if let Some(e) = error.lock().take() {
+                    return Err(e);
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl Drop for SharedWriter {
+    fn drop(&mut self) {
+        if let WriterBackend::Threaded { tx, handle, .. } = &self.backend {
+            drop(tx.lock().take());
+            if let Some(h) = handle.lock().take() {
+                let _ = h.join();
+            }
+        }
     }
 }
 
@@ -233,13 +360,24 @@ impl<K, V, F> WriterSinkFactory<K, V, F>
 where
     F: Fn(&mut Vec<u8>, &K, &V) + Send + Sync,
 {
-    /// Stream records through `format` into `writer`.
+    /// Stream records through `format` into `writer`, writing on the
+    /// reduce threads (synchronous output).
     pub fn new(writer: Box<dyn Write + Send>, format: F) -> Self {
         WriterSinkFactory {
-            shared: Arc::new(SharedWriter {
-                writer: Mutex::new(writer),
-                records: AtomicU64::new(0),
-            }),
+            shared: Arc::new(SharedWriter::direct(writer)),
+            format: Arc::new(format),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    /// Stream records through `format` into `writer` via a dedicated
+    /// writer thread: sinks hand full buffers over a bounded channel
+    /// (double buffering), so reduce compute overlaps output I/O. Write
+    /// errors surface at the next drain, at [`WriterSinkFactory::flush`],
+    /// or at seal time.
+    pub fn pipelined(writer: Box<dyn Write + Send>, format: F) -> Self {
+        WriterSinkFactory {
+            shared: Arc::new(SharedWriter::threaded(writer)),
             format: Arc::new(format),
             _marker: std::marker::PhantomData,
         }
@@ -251,9 +389,10 @@ where
     }
 
     /// Flush the underlying writer (call after the last job completes).
+    /// On the pipelined backend this is a barrier: it returns once the
+    /// writer thread has drained and flushed everything handed to it.
     pub fn flush(&self) -> Result<()> {
-        self.shared.writer.lock().flush()?;
-        Ok(())
+        self.shared.flush()
     }
 }
 
@@ -439,6 +578,47 @@ mod tests {
         let mut lines: Vec<&str> = text.lines().collect();
         lines.sort_unstable();
         assert_eq!(lines, vec!["10\t1", "20\t2"]);
+    }
+
+    #[test]
+    fn pipelined_writer_sink_matches_direct_output() {
+        struct Shared(Arc<Mutex<Vec<u8>>>);
+        impl Write for Shared {
+            fn write(&mut self, data: &[u8]) -> std::io::Result<usize> {
+                self.0.lock().extend_from_slice(data);
+                Ok(data.len())
+            }
+            fn flush(&mut self) -> std::io::Result<()> {
+                Ok(())
+            }
+        }
+        let format = |out: &mut Vec<u8>, k: &u32, v: &u64| {
+            out.extend_from_slice(format!("{v}\t{k}\n").as_bytes());
+        };
+        let mut outputs: Vec<Vec<String>> = Vec::new();
+        for pipelined in [false, true] {
+            let buf: Arc<Mutex<Vec<u8>>> = Arc::new(Mutex::new(Vec::new()));
+            let writer: Box<dyn Write + Send> = Box::new(Shared(Arc::clone(&buf)));
+            let factory = if pipelined {
+                WriterSinkFactory::pipelined(writer, format)
+            } else {
+                WriterSinkFactory::new(writer, format)
+            };
+            let mut sink = factory.make(0).unwrap();
+            // Enough bytes to force several 64 KiB hand-offs.
+            for i in 0..20_000u32 {
+                sink.push(i, u64::from(i) * 7);
+            }
+            assert_eq!(factory.seal(0, sink).unwrap(), 20_000);
+            factory.flush().unwrap();
+            assert_eq!(factory.records(), 20_000);
+            let text = String::from_utf8(buf.lock().clone()).unwrap();
+            let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+            lines.sort_unstable();
+            outputs.push(lines);
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[0].len(), 20_000);
     }
 
     #[test]

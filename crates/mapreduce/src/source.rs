@@ -36,8 +36,14 @@ pub struct InputStats {
     pub bytes_read: u64,
     /// Number of blocks (or runs) fetched.
     pub blocks_read: u64,
-    /// Largest single block held in memory at once.
+    /// Largest single block held in memory at once (under a pipelined
+    /// prefetcher: the largest *pair* of consecutive blocks — the consumed
+    /// block plus the one being prefetched).
     pub peak_block_bytes: u64,
+    /// Nanoseconds the consuming map task spent blocked waiting on a
+    /// background prefetcher. Zero for synchronous streams, which fetch
+    /// inline and measure no wait.
+    pub stall_nanos: u64,
 }
 
 /// A stream of key/value records feeding one map task.
@@ -231,10 +237,13 @@ where
         InputStats {
             bytes_read: self.runs.iter().map(|r| r.bytes).sum(),
             blocks_read: self.runs.len() as u64,
-            // Runs are decoded record-by-record, so no whole run is ever
-            // resident beyond its backing (on disk in spill mode); the
-            // peak is one record, not tracked here.
-            peak_block_bytes: 0,
+            // The run is the block unit of this source (`blocks_read`
+            // counts runs), and an in-memory run's backing is resident in
+            // full while it is read — so the peak input unit is the
+            // largest single run, not zero. (File-backed runs are only
+            // buffer-resident, making this an upper bound there.)
+            peak_block_bytes: self.runs.iter().map(|r| r.bytes).max().unwrap_or(0),
+            stall_nanos: 0,
         }
     }
 }

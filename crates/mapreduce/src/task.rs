@@ -21,10 +21,12 @@ pub trait Mapper: Send {
     type InKey: Send + Sync;
     /// Input value type.
     type InValue: Send + Sync;
-    /// Intermediate key type; serialized into the shuffle.
-    type OutKey: Writable + Send;
+    /// Intermediate key type; serialized into the shuffle. (`'static`
+    /// because pipelined collectors may hand serialized buffers typed by
+    /// `K`/`V` to a spill-writer thread.)
+    type OutKey: Writable + Send + 'static;
     /// Intermediate value type; serialized into the shuffle.
-    type OutValue: Writable + Send;
+    type OutValue: Writable + Send + 'static;
 
     /// Process one input record.
     fn map(
@@ -90,7 +92,7 @@ impl<K, V> RecordSink<K, V> for VecSink<K, V> {
 }
 
 /// Context passed to `Mapper::map` for emitting intermediate records.
-pub struct MapContext<'a, K: Writable + Send, V: Writable + Send> {
+pub struct MapContext<'a, K: Writable + Send + 'static, V: Writable + Send + 'static> {
     pub(crate) collector: &'a mut MapOutputCollector<K, V>,
     pub(crate) partitioner: &'a dyn Partitioner<K>,
     pub(crate) num_partitions: usize,
@@ -98,7 +100,7 @@ pub struct MapContext<'a, K: Writable + Send, V: Writable + Send> {
     pub(crate) error: Option<crate::error::MrError>,
 }
 
-impl<K: Writable + Send, V: Writable + Send> MapContext<'_, K, V> {
+impl<K: Writable + Send + 'static, V: Writable + Send + 'static> MapContext<'_, K, V> {
     /// Emit one intermediate record. Serialization happens immediately;
     /// `MAP_OUTPUT_RECORDS` / `MAP_OUTPUT_BYTES` are incremented here,
     /// before any combining, matching Hadoop's counter semantics.

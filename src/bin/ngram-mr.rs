@@ -6,7 +6,7 @@
 //! ngram-mr stats     --input corpus.bin
 //! ngram-mr compute   --input corpus.bin --method suffix-sigma --tau 5 --sigma 5
 //!                    [--mode cf|df] [--output all|closed|maximal] [--slots N]
-//!                    [--spill-to-disk] [--tmp-dir DIR]
+//!                    [--spill-to-disk] [--tmp-dir DIR] [--pipelined]
 //!                    [--run-codec plain|front|posting-delta]
 //!                    [--decode] [--out results.tsv]
 //! ngram-mr timeseries --input corpus.bin --tau 5 --sigma 3 [--out series.tsv]
@@ -25,6 +25,9 @@
 //! in memory and lines appear in reduce-task completion order rather than
 //! sorted. `--spill-to-disk` additionally sends shuffle spills and
 //! chained-job runs to `--tmp-dir`, bounding memory by the sort buffers.
+//! `--pipelined` overlaps I/O with compute end to end: store-block input
+//! prefetch, a dedicated spill-writer thread per map task, reduce-side
+//! run read-ahead, and a double-buffered output writer.
 
 use ngram_mr::prelude::*;
 use std::collections::HashMap;
@@ -40,7 +43,7 @@ fn usage() -> ! {
          ngram-mr stats      --input FILE\n  \
          ngram-mr compute    --input FILE --method naive|apriori-scan|apriori-index|suffix-sigma\n                      \
          --tau N --sigma N [--mode cf|df] [--output all|closed|maximal]\n                      \
-         [--slots N] [--spill-to-disk] [--tmp-dir DIR]\n                      \
+         [--slots N] [--spill-to-disk] [--tmp-dir DIR] [--pipelined]\n                      \
          [--run-codec plain|front|posting-delta]\n                      \
          [--decode] [--out FILE]\n  \
          ngram-mr timeseries --input FILE --tau N --sigma N [--decode] [--out FILE]\n\n\
@@ -246,6 +249,7 @@ fn cmd_compute(args: &Args) -> ExitCode {
         },
         job: mapreduce::JobConfig {
             spill_to_disk: args.has("spill-to-disk"),
+            pipelined: args.has("pipelined"),
             tmp_dir: args.get("tmp-dir").map(PathBuf::from),
             run_codec: match args.get("run-codec") {
                 None => mapreduce::RunCodec::default(),
@@ -273,20 +277,24 @@ fn cmd_compute(args: &Args) -> ExitCode {
         CorpusInput::Legacy(coll) => coll.dictionary.clone(),
     });
     // Stream results as the reducers produce them instead of collecting
-    // them first; lines land in reduce completion order, unsorted.
-    let sinks = mapreduce::WriterSinkFactory::new(
-        out_writer(args),
-        move |buf: &mut Vec<u8>, gram: &Gram, count: &u64| {
-            if let Some(dictionary) = &dictionary {
-                buf.extend_from_slice(
-                    format!("{}\t{}\n", count, dictionary.decode(gram.terms())).as_bytes(),
-                );
-            } else {
-                let ids: Vec<String> = gram.terms().iter().map(u32::to_string).collect();
-                buf.extend_from_slice(format!("{}\t{}\n", count, ids.join(" ")).as_bytes());
-            }
-        },
-    );
+    // them first; lines land in reduce completion order, unsorted. With
+    // --pipelined, a dedicated writer thread double-buffers the output so
+    // reduce compute overlaps the write I/O.
+    let format = move |buf: &mut Vec<u8>, gram: &Gram, count: &u64| {
+        if let Some(dictionary) = &dictionary {
+            buf.extend_from_slice(
+                format!("{}\t{}\n", count, dictionary.decode(gram.terms())).as_bytes(),
+            );
+        } else {
+            let ids: Vec<String> = gram.terms().iter().map(u32::to_string).collect();
+            buf.extend_from_slice(format!("{}\t{}\n", count, ids.join(" ")).as_bytes());
+        }
+    };
+    let sinks = if params.job.effective_pipelined() {
+        mapreduce::WriterSinkFactory::pipelined(out_writer(args), format)
+    } else {
+        mapreduce::WriterSinkFactory::new(out_writer(args), format)
+    };
     let computed = match &input {
         // Out-of-core: map splits read store blocks lazily; nothing
         // materializes the collection or the prepared input.
