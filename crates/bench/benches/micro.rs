@@ -221,7 +221,10 @@ fn bench_end_to_end(c: &mut Criterion) {
     for method in [ngrams::Method::SuffixSigma, ngrams::Method::Naive] {
         group.bench_function(method.name(), |b| {
             b.iter(|| {
-                let r = ngrams::compute(&cluster, &coll, method, &params).unwrap();
+                let r = ngrams::Computation::new(method, &params)
+                    .input(&coll)
+                    .run(&cluster)
+                    .unwrap();
                 black_box(r.grams.len())
             });
         });

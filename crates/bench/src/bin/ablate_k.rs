@@ -10,7 +10,7 @@
 //! in between.
 
 use mapreduce::Counter;
-use ngrams::{compute, Method, NGramParams};
+use ngrams::{Computation, Method, NGramParams};
 
 fn main() {
     let scale = bench::scale_from_env();
@@ -24,7 +24,9 @@ fn main() {
                 apriori_k: k,
                 ..NGramParams::new(tau, 8)
             };
-            let result = compute(&cluster, coll, Method::AprioriIndex, &params)
+            let result = Computation::new(Method::AprioriIndex, &params)
+                .input(coll)
+                .run(&cluster)
                 .expect("apriori-index failed");
             rows.push(vec![
                 format!("K={k}"),

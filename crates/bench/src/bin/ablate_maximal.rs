@@ -6,7 +6,7 @@
 //! quantifies the reduction on both corpora.
 
 use mapreduce::Counter;
-use ngrams::{compute, Method, NGramParams, OutputMode};
+use ngrams::{Computation, Method, NGramParams, OutputMode};
 
 fn main() {
     let scale = bench::scale_from_env();
@@ -25,8 +25,10 @@ fn main() {
                 output,
                 ..NGramParams::new(tau, 50)
             };
-            let result =
-                compute(&cluster, coll, Method::SuffixSigma, &params).expect("suffix-sigma failed");
+            let result = Computation::new(Method::SuffixSigma, &params)
+                .input(coll)
+                .run(&cluster)
+                .expect("suffix-sigma failed");
             if output == OutputMode::All {
                 all_count = result.grams.len();
             }

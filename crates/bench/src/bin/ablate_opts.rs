@@ -8,8 +8,8 @@
 
 use mapreduce::{Cluster, Counter, Job, JobConfig, RawComparator};
 use ngrams::{
-    compute, prepare_input, reverse_lex, CountAgg, EmitFilter, FirstTermPartitioner, Gram, Method,
-    NGramParams, ReverseLexComparator, StackReducer, SuffixMapper,
+    prepare_input, reverse_lex, Computation, CountAgg, EmitFilter, FirstTermPartitioner, Gram,
+    Method, NGramParams, ReverseLexComparator, StackReducer, SuffixMapper,
 };
 
 /// Deserializing twin of [`ReverseLexComparator`] — what SUFFIX-σ's sort
@@ -61,25 +61,25 @@ fn main() {
     let mut rows = Vec::new();
     for &method in &Method::ALL {
         let tau = 10;
-        let on = compute(
-            &cluster,
-            coll,
+        let on = Computation::new(
             method,
             &NGramParams {
                 split_docs: true,
                 ..NGramParams::new(tau, 50)
             },
         )
+        .input(coll)
+        .run(&cluster)
         .unwrap();
-        let off = compute(
-            &cluster,
-            coll,
+        let off = Computation::new(
             method,
             &NGramParams {
                 split_docs: false,
                 ..NGramParams::new(tau, 50)
             },
         )
+        .input(coll)
+        .run(&cluster)
         .unwrap();
         assert_eq!(on.grams, off.grams);
         rows.push(vec![
@@ -111,15 +111,15 @@ fn main() {
     // --- NAÏVE combiner. ---
     let mut rows = Vec::new();
     for combiner in [false, true] {
-        let result = compute(
-            &cluster,
-            coll,
+        let result = Computation::new(
             Method::Naive,
             &NGramParams {
                 combiner,
                 ..NGramParams::new(5, 5)
             },
         )
+        .input(coll)
+        .run(&cluster)
         .unwrap();
         rows.push(vec![
             if combiner {

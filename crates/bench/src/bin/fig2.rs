@@ -5,7 +5,7 @@
 //! toward short, less frequent n-grams; and very long n-grams (hundreds
 //! of terms) exist that occur ten or more times.
 
-use ngrams::{compute, Method, NGramParams};
+use ngrams::{Computation, Method, NGramParams};
 
 fn main() {
     let scale = bench::scale_from_env();
@@ -15,8 +15,10 @@ fn main() {
     for coll in [&nyt, &cw] {
         let params = NGramParams::new(/*tau*/ 5, /*sigma*/ usize::MAX);
         let t0 = std::time::Instant::now();
-        let result =
-            compute(&cluster, coll, Method::SuffixSigma, &params).expect("suffix-sigma failed");
+        let result = Computation::new(Method::SuffixSigma, &params)
+            .input(coll)
+            .run(&cluster)
+            .expect("suffix-sigma failed");
         let wall = t0.elapsed();
 
         // Bucket (i, j) = (⌊log10 |s|⌋, ⌊log10 cf(s)⌋).

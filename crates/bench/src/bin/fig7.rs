@@ -17,7 +17,7 @@
 use bench::{fmt_duration, print_table};
 use corpus::sample_fraction;
 use mapreduce::{Cluster, JobConfig};
-use ngrams::{compute, Method, NGramParams};
+use ngrams::{Computation, Method, NGramParams};
 use std::time::Duration;
 
 const SLOTS: [usize; 4] = [16, 32, 48, 64];
@@ -41,7 +41,10 @@ fn sweep(coll: &corpus::Collection, tau: u64) {
             },
             ..NGramParams::new(tau, 5)
         };
-        let result = compute(&cluster, &sample, method, &params).expect("run failed");
+        let result = Computation::new(method, &params)
+            .input(&sample)
+            .run(&cluster)
+            .expect("run failed");
         let log = cluster.job_log();
         let mut row = vec![method.name().to_string()];
         let mut walls = Vec::new();

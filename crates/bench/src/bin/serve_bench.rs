@@ -1,0 +1,300 @@
+//! Serving-layer load benchmark: build a segment index from a full
+//! SUFFIX-σ run, stand the HTTP server up on an ephemeral port, and
+//! hammer it with a mixed read workload over keep-alive connections.
+//! Results go to `BENCH_serve.json` so each serving PR measures itself
+//! against the recorded trajectory.
+//!
+//! The workload models an interactive statistics consumer: 80% point
+//! lookups (`/ngram`, drawn with a hot-set skew so the cache has
+//! something to do), 15% prefix scans (`/prefix`, single-term prefixes),
+//! and 5% top-k (`/topk?k=10`). Latency is measured per request at the
+//! client, across the full socket round-trip.
+//!
+//! Knobs: `NGRAM_BENCH_SCALE` (default [`bench::DEFAULT_SCALE`]),
+//! `NGRAM_BENCH_SERVE_REQUESTS` (default 4000 total),
+//! `NGRAM_BENCH_SERVE_CLIENTS` (default 4 connections),
+//! `NGRAM_BENCH_SERVE_WORKERS` (default 4 server threads),
+//! `NGRAM_BENCH_SERVE_OUT` (default `BENCH_serve.json`).
+
+use bench::{cached_corpus, cluster_from_env, scale_from_env};
+use corpus::CorpusProfile;
+use mapreduce::RunCodec;
+use ngrams::{Computation, Method, NGramParams};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use serve::{build_index, IndexOptions, StatsIndex, StatsServer};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::time::Instant;
+
+/// Request classes in the mixed workload.
+const CLASSES: [&str; 3] = ["ngram", "prefix", "topk"];
+
+fn env_usize(key: &str, default: usize) -> usize {
+    std::env::var(key)
+        .ok()
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(default)
+}
+
+/// One measured request: class index and client-side latency.
+struct Sample {
+    class: usize,
+    nanos: u64,
+}
+
+/// Issue `GET path` on a kept-alive connection; return the status code.
+fn get_keep_alive(stream: &mut TcpStream, path: &str, scratch: &mut Vec<u8>) -> u16 {
+    write!(stream, "GET {path} HTTP/1.1\r\nhost: bench\r\n\r\n").expect("request write");
+    // Read headers up to the blank line, then exactly content-length
+    // bytes of body, so the connection stays usable for the next request.
+    scratch.clear();
+    let mut byte = [0u8; 1];
+    while !scratch.ends_with(b"\r\n\r\n") {
+        let n = stream.read(&mut byte).expect("header read");
+        assert!(n > 0, "server closed mid-headers");
+        scratch.push(byte[0]);
+    }
+    let head = String::from_utf8_lossy(scratch);
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status line")
+        .parse()
+        .expect("status code");
+    let body_len: usize = head
+        .lines()
+        .find_map(|l| {
+            l.to_ascii_lowercase()
+                .strip_prefix("content-length:")
+                .map(str::to_owned)
+        })
+        .expect("content-length header")
+        .trim()
+        .parse()
+        .expect("content-length value");
+    let mut body = vec![0u8; body_len];
+    stream.read_exact(&mut body).expect("body read");
+    status
+}
+
+/// Draw a gram index with a hot-set skew: the minimum of two uniform
+/// draws quadratically favours the front of the (frequency-sorted) list,
+/// giving the LRU cache a realistic reuse pattern.
+fn skewed_index(rng: &mut StdRng, len: usize) -> usize {
+    let a = rng.random_range(0..len);
+    let b = rng.random_range(0..len);
+    a.min(b)
+}
+
+fn client_loop(
+    addr: SocketAddr,
+    grams: &[String],
+    prefixes: &[String],
+    requests: usize,
+    seed: u64,
+) -> Vec<Sample> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut stream = TcpStream::connect(addr).expect("client connect");
+    stream.set_nodelay(true).expect("nodelay");
+    let mut scratch = Vec::with_capacity(1024);
+    let mut samples = Vec::with_capacity(requests);
+    for _ in 0..requests {
+        let roll: u32 = rng.random_range(0..100);
+        let (class, path) = if roll < 80 {
+            let q = grams[skewed_index(&mut rng, grams.len())].replace(' ', "+");
+            (0, format!("/v1/bench/ngram?q={q}"))
+        } else if roll < 95 {
+            let p = &prefixes[rng.random_range(0..prefixes.len())];
+            (1, format!("/v1/bench/prefix?q={p}&limit=50"))
+        } else {
+            (2, "/v1/bench/topk?k=10".to_string())
+        };
+        let start = Instant::now();
+        let status = get_keep_alive(&mut stream, &path, &mut scratch);
+        let nanos = start.elapsed().as_nanos() as u64;
+        assert_eq!(status, 200, "GET {path}");
+        samples.push(Sample { class, nanos });
+    }
+    samples
+}
+
+/// Percentile over an ascending-sorted latency slice, in microseconds.
+fn percentile_us(sorted: &[u64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let ix = ((sorted.len() - 1) as f64 * q).round() as usize;
+    sorted[ix] as f64 / 1e3
+}
+
+fn latency_json(sorted: &[u64]) -> String {
+    format!(
+        "{{\"requests\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}}}",
+        sorted.len(),
+        percentile_us(sorted, 0.50),
+        percentile_us(sorted, 0.99),
+        percentile_us(sorted, 1.0),
+    )
+}
+
+fn main() {
+    let scale = scale_from_env();
+    let cluster = cluster_from_env();
+    let requests = env_usize("NGRAM_BENCH_SERVE_REQUESTS", 4000);
+    let clients = env_usize("NGRAM_BENCH_SERVE_CLIENTS", 4).max(1);
+    let workers = env_usize("NGRAM_BENCH_SERVE_WORKERS", 4).max(1);
+    let out_path =
+        std::env::var("NGRAM_BENCH_SERVE_OUT").unwrap_or_else(|_| "BENCH_serve.json".to_string());
+
+    let coll = cached_corpus(&CorpusProfile::nyt_like(scale), 1987);
+    eprintln!(
+        "serve_bench: corpus `{}` at scale {scale} ({} docs), {} slots, τ=5 σ=5",
+        coll.name,
+        coll.docs.len(),
+        cluster.slots()
+    );
+
+    // Build the index the way `ngram-mr index` does: one computation,
+    // segments sealed through the sink factory.
+    let params = NGramParams::new(5, 5);
+    let computation = Computation::new(Method::SuffixSigma, &params).input(&coll);
+    let index_dir = std::env::temp_dir().join(format!("serve-bench-index-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&index_dir);
+    let build_start = Instant::now();
+    let opts = IndexOptions {
+        codec: RunCodec::FrontCoded,
+        ..IndexOptions::default()
+    };
+    let meta = build_index(
+        &cluster,
+        &computation,
+        &coll.dictionary,
+        &coll.name,
+        &index_dir,
+        &opts,
+    )
+    .expect("index build failed");
+    let build_wall = build_start.elapsed();
+    eprintln!(
+        "index: {} entries in {} segment(s), codec {}, built in {:.1}s",
+        meta.entries,
+        meta.segments,
+        meta.codec.name(),
+        build_wall.as_secs_f64()
+    );
+
+    // Query targets: every served gram decoded back to text, most-frequent
+    // first so the hot-set skew aligns with real popularity; prefixes are
+    // the distinct leading terms of the top grams.
+    let index = Arc::new(StatsIndex::open(&index_dir).expect("index open failed"));
+    let mut ranked = index.prefix("", usize::MAX).expect("enumerate index");
+    ranked.sort_by_key(|(_, c)| std::cmp::Reverse(*c));
+    let grams: Arc<Vec<String>> = Arc::new(ranked.iter().map(|(g, _)| g.clone()).collect());
+    let mut prefixes: Vec<String> = grams
+        .iter()
+        .take(256)
+        .filter_map(|g| g.split_whitespace().next().map(str::to_owned))
+        .collect();
+    prefixes.sort();
+    prefixes.dedup();
+    let prefixes = Arc::new(prefixes);
+    assert!(!grams.is_empty(), "empty index — nothing to serve");
+
+    let mut indexes = HashMap::new();
+    indexes.insert("bench".to_string(), Arc::clone(&index));
+    let server = StatsServer::bind("127.0.0.1:0", indexes)
+        .expect("bind failed")
+        .workers(workers);
+    let addr = server.local_addr();
+    let handle = server.spawn().expect("server spawn failed");
+
+    let per_client = requests / clients;
+    let load_start = Instant::now();
+    let samples: Vec<Sample> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..clients)
+            .map(|c| {
+                let grams = Arc::clone(&grams);
+                let prefixes = Arc::clone(&prefixes);
+                scope.spawn(move || {
+                    client_loop(addr, &grams, &prefixes, per_client, 0xBE7C + c as u64)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("client thread"))
+            .collect()
+    });
+    let load_wall = load_start.elapsed();
+    handle.shutdown();
+
+    let (hits, misses) = index.cache_stats();
+    let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
+    let qps = samples.len() as f64 / load_wall.as_secs_f64();
+
+    let mut overall: Vec<u64> = samples.iter().map(|s| s.nanos).collect();
+    overall.sort_unstable();
+    let mut by_class: Vec<Vec<u64>> = vec![Vec::new(); CLASSES.len()];
+    for s in &samples {
+        by_class[s.class].push(s.nanos);
+    }
+    for v in &mut by_class {
+        v.sort_unstable();
+    }
+
+    eprintln!(
+        "load: {} requests over {} client(s) in {:.2}s — {:.0} req/s, p50 {:.0}µs, p99 {:.0}µs, cache hit rate {:.3}",
+        samples.len(),
+        clients,
+        load_wall.as_secs_f64(),
+        qps,
+        percentile_us(&overall, 0.50),
+        percentile_us(&overall, 0.99),
+        hit_rate,
+    );
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(&format!("  \"corpus\": \"{}\",\n", coll.name));
+    json.push_str(&format!("  \"scale\": {scale},\n"));
+    json.push_str(&format!("  \"docs\": {},\n", coll.docs.len()));
+    json.push_str(&format!(
+        "  \"method\": \"{}\",\n",
+        Method::SuffixSigma.name()
+    ));
+    json.push_str("  \"tau\": 5,\n  \"sigma\": 5,\n");
+    json.push_str(&format!("  \"entries\": {},\n", meta.entries));
+    json.push_str(&format!("  \"segments\": {},\n", meta.segments));
+    json.push_str(&format!("  \"codec\": \"{}\",\n", meta.codec.name()));
+    json.push_str(&format!(
+        "  \"index_build_ms\": {:.3},\n",
+        build_wall.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!("  \"server_workers\": {workers},\n"));
+    json.push_str(&format!("  \"clients\": {clients},\n"));
+    json.push_str(&format!("  \"requests\": {},\n", samples.len()));
+    json.push_str(&format!(
+        "  \"wall_ms\": {:.3},\n",
+        load_wall.as_secs_f64() * 1e3
+    ));
+    json.push_str(&format!("  \"qps\": {qps:.1},\n"));
+    json.push_str(&format!(
+        "  \"latency\": {{\"overall\": {}",
+        latency_json(&overall)
+    ));
+    for (class, lats) in CLASSES.iter().zip(&by_class) {
+        json.push_str(&format!(", \"{class}\": {}", latency_json(lats)));
+    }
+    json.push_str("},\n");
+    json.push_str(&format!(
+        "  \"cache\": {{\"hits\": {hits}, \"misses\": {misses}, \"hit_rate\": {hit_rate:.4}}}\n"
+    ));
+    json.push_str("}\n");
+    std::fs::write(&out_path, json).expect("cannot write bench output");
+    eprintln!("wrote {out_path}");
+
+    let _ = std::fs::remove_dir_all(&index_dir);
+}

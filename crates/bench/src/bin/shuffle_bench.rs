@@ -31,7 +31,7 @@
 use bench::{cluster_from_env, corpora, fmt_bytes, fmt_duration, scale_from_env};
 use corpus::CorpusReader;
 use mapreduce::{Counter, RunCodec};
-use ngrams::{compute, compute_from_store, Method, NGramParams, NGramResult};
+use ngrams::{Computation, Method, NGramParams, NGramResult};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -96,12 +96,14 @@ fn run_one(
             params.job.sort_buffer_bytes = sort_buffer;
         }
         let result: NGramResult = match input {
-            BenchInput::Mem(coll) => {
-                compute(cluster, coll, method, &params).expect("method run failed")
-            }
-            BenchInput::Store(reader) => {
-                compute_from_store(cluster, reader, method, &params).expect("store run failed")
-            }
+            BenchInput::Mem(coll) => Computation::new(method, &params)
+                .input(coll)
+                .run(cluster)
+                .expect("method run failed"),
+            BenchInput::Store(reader) => Computation::new(method, &params)
+                .input_store(std::sync::Arc::clone(reader))
+                .run(cluster)
+                .expect("store run failed"),
         };
         let c = &result.counters;
         let entry = Entry {

@@ -16,7 +16,7 @@
 
 use corpus::{generate, Collection, CorpusProfile};
 use mapreduce::{Cluster, Counter};
-use ngrams::{compute, Method, NGramParams};
+use ngrams::{Computation, Method, NGramParams};
 use std::path::PathBuf;
 use std::time::Duration;
 
@@ -183,7 +183,10 @@ pub fn measure(
     {
         return Outcome::Dnf("record cap (paper: did not complete in reasonable time)");
     }
-    let result = compute(cluster, coll, method, params).expect("method run failed");
+    let result = Computation::new(method, params)
+        .input(coll)
+        .run(cluster)
+        .expect("method run failed");
     Outcome::Done(Measurement {
         method,
         wall: result.elapsed + job_overhead() * result.jobs as u32,

@@ -6,7 +6,7 @@ use crate::aggregate::{CountAgg, CountMode, DfAgg, IndexAgg, PrefixAggregator, T
 use crate::apriori_index::{apriori_index_streamed, IndexParams};
 use crate::apriori_scan::{apriori_scan_streamed, ScanParams};
 use crate::gram::{FirstTermPartitioner, Gram, ReverseLexComparator};
-use crate::input::{prepare_input, InputProvider};
+use crate::input::{prepare_input, InputProvider, InputSeq};
 use crate::maximal::filter_suffix_side_streamed;
 use crate::naive::{NaiveMapper, NaiveReducer, SumCombiner};
 use crate::postings::PostingList;
@@ -165,38 +165,189 @@ pub fn validate_params(method: Method, params: &NGramParams) -> Result<()> {
     Ok(())
 }
 
-/// Compute n-gram statistics with the chosen method.
+// ---------------------------------------------------------------------------
+// The Computation builder — the one front door for n-gram statistics
+// ---------------------------------------------------------------------------
+
+/// The input a [`Computation`] reads.
+///
+/// Every driver path reduces to one of three shapes: a borrowed in-memory
+/// [`Collection`] (prepared into flattened records at run time), a shared
+/// block-store [`CorpusReader`] (read out-of-core, split lazily per
+/// block), or pre-flattened records the caller prepared itself.
+pub enum ComputeInput<'a> {
+    /// An in-memory collection; `prepare_input` runs when the computation
+    /// does (τ-splitting included).
+    Collection(&'a Collection),
+    /// A block-store corpus, streamed from disk; τ-splitting uses the
+    /// store's precomputed unigram frequencies, so no counting pass over
+    /// the corpus happens.
+    Store(Arc<CorpusReader>),
+    /// Records already flattened by [`prepare_input`] — reused across
+    /// runs without re-preparation.
+    Records(&'a [(u64, InputSeq)]),
+}
+
+/// One n-gram statistics computation: a method, its parameters, and an
+/// input, run on a cluster.
+///
+/// This is the single entry point that replaced the
+/// `compute` / `compute_to_sink` / `compute_from_store` /
+/// `compute_store_to_sink` / `compute_source_to_sink` family: pick the
+/// input shape with one of the `input*` builders, then either collect
+/// ([`run`](Computation::run)) or stream into sinks
+/// ([`run_to_sink`](Computation::run_to_sink)).
 ///
 /// All four methods produce identical output for identical parameters;
 /// they differ in cost, which is the subject of the paper's evaluation.
+///
+/// ```
+/// use ngrams::{Computation, Method, NGramParams};
+/// use corpus::{generate, CorpusProfile};
+/// use mapreduce::Cluster;
+///
+/// let coll = generate(&CorpusProfile::tiny("doc", 20), 7);
+/// let cluster = Cluster::new(2);
+/// let result = Computation::new(Method::SuffixSigma, &NGramParams::new(3, 4))
+///     .input(&coll)
+///     .run(&cluster)
+///     .unwrap();
+/// assert!(!result.grams.is_empty());
+/// ```
+pub struct Computation<'a> {
+    method: Method,
+    params: NGramParams,
+    input: Option<ComputeInput<'a>>,
+}
+
+impl<'a> Computation<'a> {
+    /// Start a computation with `method` and `params` (cloned) and no
+    /// input attached yet.
+    pub fn new(method: Method, params: &NGramParams) -> Self {
+        Computation {
+            method,
+            params: params.clone(),
+            input: None,
+        }
+    }
+
+    /// Read from an in-memory collection.
+    pub fn input(mut self, coll: &'a Collection) -> Self {
+        self.input = Some(ComputeInput::Collection(coll));
+        self
+    }
+
+    /// Read out-of-core from a block-store corpus. Combined with
+    /// `JobConfig::spill_to_disk`, peak memory is the sort buffers plus
+    /// one corpus block, independent of corpus size.
+    pub fn input_store(mut self, reader: Arc<CorpusReader>) -> Self {
+        self.input = Some(ComputeInput::Store(reader));
+        self
+    }
+
+    /// Read pre-flattened records (the output of [`prepare_input`]).
+    pub fn input_records(mut self, records: &'a [(u64, InputSeq)]) -> Self {
+        self.input = Some(ComputeInput::Records(records));
+        self
+    }
+
+    /// The method this computation runs.
+    pub fn method(&self) -> Method {
+        self.method
+    }
+
+    /// The parameters this computation runs with.
+    pub fn params(&self) -> &NGramParams {
+        &self.params
+    }
+
+    /// Check method/parameter compatibility without running (see
+    /// [`validate_params`]). Cheap and side-effect free — callers that
+    /// acquire output resources can validate first so a doomed run never
+    /// touches them.
+    pub fn validate(&self) -> Result<()> {
+        validate_params(self.method, &self.params)
+    }
+
+    /// Run, collecting the statistics into a sorted vector.
+    pub fn run(&self, cluster: &Cluster) -> Result<NGramResult> {
+        let sinks = VecSinkFactory::default();
+        let (artifacts, stats) = self.run_to_sink(cluster, &sinks)?;
+        let mut grams: Vec<(Gram, u64)> = artifacts.into_iter().flatten().collect();
+        grams.sort();
+        Ok(NGramResult {
+            grams,
+            counters: stats.counters,
+            jobs: stats.jobs,
+            elapsed: stats.elapsed,
+        })
+    }
+
+    /// Run, pushing every result record into sinks created from `sinks`
+    /// instead of collecting them — the streaming sibling of
+    /// [`run`](Computation::run).
+    ///
+    /// For the single-job methods the caller's sinks receive records
+    /// *during* the final reduce phase; for the multi-job APRIORI methods
+    /// each round's output is pumped into one sink as its runs are read
+    /// back. Pair with a [`mapreduce::WriterSinkFactory`] to stream TSV
+    /// to a file, or a [`mapreduce::CountingSinkFactory`] for a dry run.
+    /// Returns the sealed sink artifacts plus run telemetry.
+    pub fn run_to_sink<F>(
+        &self,
+        cluster: &Cluster,
+        sinks: &F,
+    ) -> Result<(Vec<F::Artifact>, NGramRunStats)>
+    where
+        F: RecordSinkFactory<Gram, u64>,
+    {
+        match self.input.as_ref().ok_or_else(|| {
+            MrError::Config(
+                "computation has no input: call .input(), .input_store(), or .input_records()"
+                    .into(),
+            )
+        })? {
+            ComputeInput::Collection(coll) => {
+                let input = prepare_input(coll, self.params.tau, self.params.split_docs);
+                let slice: &[_] = &input;
+                run_source_to_sink(cluster, &slice, self.method, &self.params, sinks)
+            }
+            ComputeInput::Store(reader) => {
+                let provider =
+                    StoreInput::new(Arc::clone(reader), self.params.tau, self.params.split_docs)
+                        .pipelined(self.params.job.effective_pipelined());
+                run_source_to_sink(cluster, &provider, self.method, &self.params, sinks)
+            }
+            ComputeInput::Records(records) => {
+                run_source_to_sink(cluster, records, self.method, &self.params, sinks)
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deprecated free-function entry points (thin wrappers over Computation)
+// ---------------------------------------------------------------------------
+
+/// Compute n-gram statistics with the chosen method.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Computation::new(method, params).input(coll).run(cluster)`"
+)]
 pub fn compute(
     cluster: &Cluster,
     coll: &Collection,
     method: Method,
     params: &NGramParams,
 ) -> Result<NGramResult> {
-    let sinks = VecSinkFactory::default();
-    let (artifacts, stats) = compute_to_sink(cluster, coll, method, params, &sinks)?;
-    let mut grams: Vec<(Gram, u64)> = artifacts.into_iter().flatten().collect();
-    grams.sort();
-    Ok(NGramResult {
-        grams,
-        counters: stats.counters,
-        jobs: stats.jobs,
-        elapsed: stats.elapsed,
-    })
+    Computation::new(method, params).input(coll).run(cluster)
 }
 
-/// Compute n-gram statistics, pushing every result record into sinks
-/// created from `sinks` instead of collecting them — the streaming
-/// sibling of [`compute`].
-///
-/// For the single-job methods the caller's sinks receive records *during*
-/// the final reduce phase; for the multi-job APRIORI methods each round's
-/// output is pumped into one sink as its runs are read back. Pair with a
-/// [`mapreduce::WriterSinkFactory`] to stream TSV to a file, or a
-/// [`mapreduce::CountingSinkFactory`] for a dry run. Returns the sealed
-/// sink artifacts plus run telemetry.
+/// Compute n-gram statistics, pushing every result record into sinks.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Computation::new(method, params).input(coll).run_to_sink(cluster, sinks)`"
+)]
 pub fn compute_to_sink<F>(
     cluster: &Cluster,
     coll: &Collection,
@@ -207,38 +358,32 @@ pub fn compute_to_sink<F>(
 where
     F: RecordSinkFactory<Gram, u64>,
 {
-    let input = prepare_input(coll, params.tau, params.split_docs);
-    let slice: &[_] = &input;
-    compute_source_to_sink(cluster, &slice, method, params, sinks)
+    Computation::new(method, params)
+        .input(coll)
+        .run_to_sink(cluster, sinks)
 }
 
-/// Compute n-gram statistics straight from a block-store corpus — the
-/// out-of-core sibling of [`compute`]. Map input is read block-by-block
-/// from disk and flattened lazily per block; combined with
-/// `JobConfig::spill_to_disk`, peak memory is the sort buffers plus one
-/// corpus block, independent of corpus size.
+/// Compute n-gram statistics straight from a block-store corpus.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Computation::new(method, params).input_store(reader).run(cluster)`"
+)]
 pub fn compute_from_store(
     cluster: &Cluster,
     reader: &Arc<CorpusReader>,
     method: Method,
     params: &NGramParams,
 ) -> Result<NGramResult> {
-    let sinks = VecSinkFactory::default();
-    let (artifacts, stats) = compute_store_to_sink(cluster, reader, method, params, &sinks)?;
-    let mut grams: Vec<(Gram, u64)> = artifacts.into_iter().flatten().collect();
-    grams.sort();
-    Ok(NGramResult {
-        grams,
-        counters: stats.counters,
-        jobs: stats.jobs,
-        elapsed: stats.elapsed,
-    })
+    Computation::new(method, params)
+        .input_store(Arc::clone(reader))
+        .run(cluster)
 }
 
-/// Compute n-gram statistics from a block-store corpus, pushing results
-/// into the caller's sinks — the out-of-core sibling of
-/// [`compute_to_sink`]. τ-splitting uses the store's precomputed unigram
-/// frequencies, so no counting pass over the corpus happens either.
+/// Compute n-gram statistics from a block-store corpus into sinks.
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Computation::new(method, params).input_store(reader).run_to_sink(cluster, sinks)`"
+)]
 pub fn compute_store_to_sink<F>(
     cluster: &Cluster,
     reader: &Arc<CorpusReader>,
@@ -249,16 +394,34 @@ pub fn compute_store_to_sink<F>(
 where
     F: RecordSinkFactory<Gram, u64>,
 {
-    let provider = StoreInput::new(Arc::clone(reader), params.tau, params.split_docs)
-        .pipelined(params.job.effective_pipelined());
-    compute_source_to_sink(cluster, &provider, method, params, sinks)
+    Computation::new(method, params)
+        .input_store(Arc::clone(reader))
+        .run_to_sink(cluster, sinks)
 }
 
-/// Compute n-gram statistics over any [`InputProvider`] — the engine
-/// under [`compute_to_sink`] (borrowed prepared records) and
-/// [`compute_store_to_sink`] (lazy block-store splits). Iterative methods
-/// pull a fresh source from the provider at every round.
+/// Compute n-gram statistics over any [`InputProvider`].
+#[deprecated(
+    since = "0.1.0",
+    note = "use `Computation` with `.input()`, `.input_store()`, or `.input_records()`"
+)]
 pub fn compute_source_to_sink<P, F>(
+    cluster: &Cluster,
+    input: &P,
+    method: Method,
+    params: &NGramParams,
+    sinks: &F,
+) -> Result<(Vec<F::Artifact>, NGramRunStats)>
+where
+    P: InputProvider,
+    F: RecordSinkFactory<Gram, u64>,
+{
+    run_source_to_sink(cluster, input, method, params, sinks)
+}
+
+/// The engine under every [`Computation`]: dispatch `(method, mode)` over
+/// any [`InputProvider`] and stream results into the caller's sinks.
+/// Iterative methods pull a fresh source from the provider at every round.
+fn run_source_to_sink<P, F>(
     cluster: &Cluster,
     input: &P,
     method: Method,
@@ -617,12 +780,21 @@ mod tests {
     use super::*;
     use corpus::{generate, CorpusProfile};
 
+    fn run(
+        cluster: &Cluster,
+        coll: &Collection,
+        method: Method,
+        params: &NGramParams,
+    ) -> Result<NGramResult> {
+        Computation::new(method, params).input(coll).run(cluster)
+    }
+
     #[test]
     fn all_methods_agree_on_a_tiny_corpus() {
         let coll = generate(&CorpusProfile::tiny("agree", 30), 17);
         let cluster = Cluster::new(2);
         let params = NGramParams::new(3, 4);
-        let baseline = compute(&cluster, &coll, Method::SuffixSigma, &params)
+        let baseline = run(&cluster, &coll, Method::SuffixSigma, &params)
             .unwrap()
             .grams;
         assert!(
@@ -630,7 +802,7 @@ mod tests {
             "tiny corpus must have frequent n-grams"
         );
         for method in [Method::Naive, Method::AprioriScan, Method::AprioriIndex] {
-            let got = compute(&cluster, &coll, method, &params).unwrap().grams;
+            let got = run(&cluster, &coll, method, &params).unwrap().grams;
             assert_eq!(got, baseline, "{} disagrees", method.name());
         }
     }
@@ -641,8 +813,35 @@ mod tests {
         let cluster = Cluster::new(1);
         let mut params = NGramParams::new(2, 3);
         params.output = OutputMode::Maximal;
-        assert!(compute(&cluster, &coll, Method::Naive, &params).is_err());
-        assert!(compute(&cluster, &coll, Method::SuffixSigma, &params).is_ok());
+        assert!(run(&cluster, &coll, Method::Naive, &params).is_err());
+        assert!(run(&cluster, &coll, Method::SuffixSigma, &params).is_ok());
+    }
+
+    #[test]
+    fn computation_without_input_is_a_config_error() {
+        let cluster = Cluster::new(1);
+        let err = Computation::new(Method::Naive, &NGramParams::new(2, 3))
+            .run(&cluster)
+            .unwrap_err();
+        assert!(matches!(err, MrError::Config(_)));
+    }
+
+    #[test]
+    fn prepared_records_input_matches_collection_input() {
+        let coll = generate(&CorpusProfile::tiny("recs", 25), 11);
+        let cluster = Cluster::new(2);
+        let params = NGramParams::new(2, 3);
+        let via_coll = run(&cluster, &coll, Method::SuffixSigma, &params)
+            .unwrap()
+            .grams;
+        let records = prepare_input(&coll, params.tau, params.split_docs);
+        let via_records = Computation::new(Method::SuffixSigma, &params)
+            .input_records(&records)
+            .run(&cluster)
+            .unwrap()
+            .grams;
+        assert_eq!(via_coll, via_records);
+        assert!(!via_coll.is_empty());
     }
 
     #[test]
@@ -670,7 +869,7 @@ mod tests {
         assert_eq!(via_suffix, via_apriori);
         assert!(!via_suffix.is_empty());
         // The counts derived from the index equal the plain run.
-        let counted = compute(&cluster, &coll, Method::SuffixSigma, &params).unwrap();
+        let counted = run(&cluster, &coll, Method::SuffixSigma, &params).unwrap();
         let from_index: Vec<(Gram, u64)> = via_suffix
             .iter()
             .map(|(g, l)| (g.clone(), l.cf()))
@@ -683,11 +882,11 @@ mod tests {
         let coll = generate(&CorpusProfile::tiny("jobs", 30), 23);
         let cluster = Cluster::new(2);
         let params = NGramParams::new(2, 3);
-        let naive = compute(&cluster, &coll, Method::Naive, &params).unwrap();
+        let naive = run(&cluster, &coll, Method::Naive, &params).unwrap();
         assert_eq!(naive.jobs, 1);
-        let suffix = compute(&cluster, &coll, Method::SuffixSigma, &params).unwrap();
+        let suffix = run(&cluster, &coll, Method::SuffixSigma, &params).unwrap();
         assert_eq!(suffix.jobs, 1);
-        let scan = compute(&cluster, &coll, Method::AprioriScan, &params).unwrap();
+        let scan = run(&cluster, &coll, Method::AprioriScan, &params).unwrap();
         assert!(scan.jobs >= 3, "one job per k plus the terminating scan");
     }
 }

@@ -20,14 +20,17 @@
 //! ([`compute_time_series`]).
 //!
 //! ```
-//! use ngrams::{compute, Method, NGramParams};
+//! use ngrams::{Computation, Method, NGramParams};
 //! use corpus::{generate, CorpusProfile};
 //! use mapreduce::Cluster;
 //!
 //! let coll = generate(&CorpusProfile::tiny("doc", 20), 7);
 //! let cluster = Cluster::new(2);
 //! let params = NGramParams::new(/*tau*/ 3, /*sigma*/ 4);
-//! let result = compute(&cluster, &coll, Method::SuffixSigma, &params).unwrap();
+//! let result = Computation::new(Method::SuffixSigma, &params)
+//!     .input(&coll)
+//!     .run(&cluster)
+//!     .unwrap();
 //! for (gram, cf) in result.grams.iter().take(3) {
 //!     println!("{} : {}", coll.dictionary.decode(gram.terms()), cf);
 //! }
@@ -58,10 +61,13 @@ pub use apriori_index::{
 pub use apriori_scan::{
     apriori_scan, apriori_scan_streamed, CountingReducer, GramDict, ScanMapper, ScanParams,
 };
+#[allow(deprecated)]
 pub use driver::{
-    compute, compute_from_store, compute_inverted_index, compute_inverted_index_to_sink,
-    compute_source_to_sink, compute_store_to_sink, compute_time_series,
-    compute_time_series_to_sink, compute_to_sink, validate_params, Method, NGramParams,
+    compute, compute_from_store, compute_source_to_sink, compute_store_to_sink, compute_to_sink,
+};
+pub use driver::{
+    compute_inverted_index, compute_inverted_index_to_sink, compute_time_series,
+    compute_time_series_to_sink, validate_params, Computation, ComputeInput, Method, NGramParams,
     NGramResult, NGramRunStats, OutputMode,
 };
 pub use gram::{lcp, reverse_lex, FirstTermPartitioner, Gram, ReverseLexComparator};

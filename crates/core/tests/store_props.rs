@@ -7,13 +7,33 @@
 
 use corpus::{generate, save_store, CorpusProfile, CorpusReader, CorpusWriter};
 use mapreduce::{Cluster, Counter, InputStats, JobConfig, RecordSource, RecordStream};
-use ngrams::{
-    compute, compute_from_store, prepare_input, CorpusSplitSource, InputSeq, Method, NGramParams,
-};
+use ngrams::{prepare_input, Computation, CorpusSplitSource, InputSeq, Method, NGramParams};
 use proptest::prelude::*;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
+
+/// All runs go through the [`Computation`] builder — the one front door.
+fn compute(
+    cluster: &Cluster,
+    coll: &corpus::Collection,
+    method: Method,
+    params: &NGramParams,
+) -> mapreduce::Result<ngrams::NGramResult> {
+    Computation::new(method, params).input(coll).run(cluster)
+}
+
+/// Store-driven runs use the builder's out-of-core input.
+fn compute_from_store(
+    cluster: &Cluster,
+    reader: &Arc<CorpusReader>,
+    method: Method,
+    params: &NGramParams,
+) -> mapreduce::Result<ngrams::NGramResult> {
+    Computation::new(method, params)
+        .input_store(Arc::clone(reader))
+        .run(cluster)
+}
 
 static STORE_SEQ: AtomicU64 = AtomicU64::new(0);
 

@@ -6,9 +6,19 @@
 use corpus::{generate, CorpusProfile};
 use mapreduce::{Cluster, JobConfig, RunCodec};
 use ngrams::{
-    compute, prepare_input, reference_cf, reference_df, CountMode, Gram, Method, NGramParams,
+    prepare_input, reference_cf, reference_df, Computation, CountMode, Gram, Method, NGramParams,
 };
 use proptest::prelude::*;
+
+/// All runs go through the [`Computation`] builder — the one front door.
+fn compute(
+    cluster: &Cluster,
+    coll: &corpus::Collection,
+    method: Method,
+    params: &NGramParams,
+) -> mapreduce::Result<ngrams::NGramResult> {
+    Computation::new(method, params).input(coll).run(cluster)
+}
 
 fn spilly_params(tau: u64, sigma: usize) -> NGramParams {
     let mut params = NGramParams::new(tau, sigma);

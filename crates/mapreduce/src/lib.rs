@@ -97,8 +97,9 @@ pub use job::{
 pub use merge::MergeStream;
 pub use partition::{FnPartitioner, HashPartition, Partitioner};
 pub use run::{
-    BlockCodec, DecodeState, FrontCodedCodec, PlainCodec, PostingDeltaCodec, RawBlock, Run,
-    RunCodec, RunInput, RunReader, RunWriter, TempDir, RUN_BLOCK_BYTES,
+    decode_block, BlockCodec, BlockEncoder, DecodeState, FrontCodedCodec, PlainCodec,
+    PostingDeltaCodec, RawBlock, Run, RunCodec, RunInput, RunReader, RunWriter, TempDir,
+    RUN_BLOCK_BYTES,
 };
 pub use sink::{
     CountingSink, CountingSinkFactory, RecordSinkFactory, RunSink, RunSinkFactory, VecSinkFactory,

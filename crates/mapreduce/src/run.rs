@@ -450,6 +450,112 @@ fn common_prefix_len(a: &[u8], b: &[u8]) -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// Standalone block encode/decode
+// ---------------------------------------------------------------------------
+
+/// Stages records and encodes them as **one self-contained block** of a
+/// [`RunCodec`] — the write-side primitive for formats that need
+/// individually addressable blocks (e.g. a serving index that positioned-
+/// reads one block per lookup) rather than a sequential [`Run`].
+///
+/// Every codec restarts its delta chain at the first record of a block,
+/// so a block produced here decodes with a fresh [`DecodeState`] — see
+/// [`decode_block`].
+pub struct BlockEncoder {
+    codec: RunCodec,
+    block: Vec<u8>,
+    recs: Vec<RawRec>,
+}
+
+impl BlockEncoder {
+    /// New empty encoder for `codec`.
+    pub fn new(codec: RunCodec) -> Self {
+        BlockEncoder {
+            codec,
+            block: Vec::new(),
+            recs: Vec::new(),
+        }
+    }
+
+    /// Stage one record. Records are encoded in push order.
+    pub fn push(&mut self, key: &[u8], val: &[u8]) -> Result<()> {
+        write_vu64(&mut self.block, key.len() as u64);
+        let key_start = self.block.len();
+        self.block.extend_from_slice(key);
+        let key_end = self.block.len();
+        write_vu64(&mut self.block, val.len() as u64);
+        let val_start = self.block.len();
+        self.block.extend_from_slice(val);
+        let val_end = self.block.len();
+        if u32::try_from(val_end).is_err() {
+            return Err(MrError::Config(
+                "block record exceeds the 4 GiB offset space".into(),
+            ));
+        }
+        self.recs.push(RawRec {
+            key_start: key_start as u32,
+            key_end: key_end as u32,
+            val_start: val_start as u32,
+            val_end: val_end as u32,
+        });
+        Ok(())
+    }
+
+    /// Number of records staged.
+    pub fn len(&self) -> usize {
+        self.recs.len()
+    }
+
+    /// True when no record is staged.
+    pub fn is_empty(&self) -> bool {
+        self.recs.is_empty()
+    }
+
+    /// Raw (pre-codec) frame bytes staged so far — the block-budget gauge.
+    pub fn raw_bytes(&self) -> usize {
+        self.block.len()
+    }
+
+    /// Encode every staged record into `out` as one self-contained block
+    /// and clear the stage for the next block.
+    pub fn encode_into(&mut self, out: &mut Vec<u8>) {
+        self.codec.block_codec().encode_block(
+            &RawBlock {
+                data: &self.block,
+                recs: &self.recs,
+            },
+            out,
+        );
+        self.block.clear();
+        self.recs.clear();
+    }
+}
+
+/// Decode one self-contained block produced by [`BlockEncoder`], calling
+/// `f` with each record's key and value bytes in encoding order.
+pub fn decode_block(
+    codec: RunCodec,
+    bytes: Vec<u8>,
+    mut f: impl FnMut(&[u8], &[u8]) -> Result<()>,
+) -> Result<()> {
+    let mut input = RunInput::Mem {
+        data: Arc::new(bytes),
+        pos: 0,
+    };
+    let mut state = DecodeState::default();
+    let codec = codec.block_codec();
+    let (mut key, mut val) = (Vec::new(), Vec::new());
+    loop {
+        key.clear();
+        val.clear();
+        if !codec.decode_record(&mut input, &mut state, &mut key, &mut val)? {
+            return Ok(());
+        }
+        f(&key, &val)?;
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Run + writer + reader
 // ---------------------------------------------------------------------------
 
@@ -1176,6 +1282,63 @@ mod tests {
         let (mut k, mut v) = (Vec::new(), Vec::new());
         assert!(rd.next_into(&mut k, &mut v).is_err());
         assert!(!rd.next_into(&mut k, &mut v).unwrap_or(true));
+    }
+
+    #[test]
+    fn block_encoder_round_trips_across_codecs() {
+        for codec in [
+            RunCodec::Plain,
+            RunCodec::FrontCoded,
+            RunCodec::PostingDelta,
+        ] {
+            let mut enc = BlockEncoder::new(codec);
+            assert!(enc.is_empty());
+            let recs: Vec<(Vec<u8>, Vec<u8>)> = (0..300u32)
+                .map(|i| {
+                    (
+                        format!("shared/key/{i:04}").into_bytes(),
+                        u64::from(i % 7).to_le_bytes().to_vec(),
+                    )
+                })
+                .collect();
+            for (k, v) in &recs {
+                enc.push(k, v).unwrap();
+            }
+            assert_eq!(enc.len(), 300);
+            assert!(enc.raw_bytes() > 0);
+            let mut out = Vec::new();
+            enc.encode_into(&mut out);
+            assert!(enc.is_empty(), "encode clears the stage");
+            let mut got = Vec::new();
+            decode_block(codec, out, |k, v| {
+                got.push((k.to_vec(), v.to_vec()));
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(got, recs, "codec {codec:?}");
+        }
+    }
+
+    #[test]
+    fn block_encoder_blocks_are_self_contained() {
+        // Two blocks from one encoder must each decode with fresh state:
+        // the second block's first record cannot delta against the first
+        // block's last record.
+        let mut enc = BlockEncoder::new(RunCodec::FrontCoded);
+        enc.push(b"alpha/0", b"1").unwrap();
+        enc.push(b"alpha/1", b"1").unwrap();
+        let mut b1 = Vec::new();
+        enc.encode_into(&mut b1);
+        enc.push(b"alpha/2", b"1").unwrap();
+        let mut b2 = Vec::new();
+        enc.encode_into(&mut b2);
+        let mut got = Vec::new();
+        decode_block(RunCodec::FrontCoded, b2, |k, _| {
+            got.push(k.to_vec());
+            Ok(())
+        })
+        .unwrap();
+        assert_eq!(got, vec![b"alpha/2".to_vec()]);
     }
 
     #[test]

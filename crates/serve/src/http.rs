@@ -1,0 +1,492 @@
+//! A hand-rolled HTTP/1.1 front end over [`StatsIndex`]es — plain
+//! `std::net`, a fixed worker pool, keep-alive connections, JSON
+//! responses. No framework: the protocol surface a statistics read API
+//! needs is a request line, a handful of headers, and a content length.
+//!
+//! Routes (all `GET`):
+//!
+//! | route | query | answer |
+//! |-------|-------|--------|
+//! | `/` | — | the mounted index names |
+//! | `/v1/{index}/ngram` | `q=` | count of exactly that n-gram |
+//! | `/v1/{index}/prefix` | `q=`, `limit=` | extensions of the prefix, in gram order |
+//! | `/v1/{index}/topk` | `k=` | highest-frequency grams |
+//! | `/v1/{index}/stats` | — | manifest + cache telemetry |
+
+use crate::index::StatsIndex;
+use crate::json::{json_array, JsonObject};
+use mapreduce::{MrError, Result};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{mpsc, Arc};
+
+/// Default worker threads serving requests.
+pub const DEFAULT_WORKERS: usize = 4;
+/// Requests larger than this are rejected with 400.
+const MAX_REQUEST_BYTES: usize = 8 * 1024;
+/// Cap on `limit=` / `k=` to bound per-request work.
+const MAX_ROWS: usize = 10_000;
+
+/// The HTTP server: a listener plus the indexes it serves, keyed by the
+/// `{index}` path component.
+pub struct StatsServer {
+    listener: TcpListener,
+    addr: SocketAddr,
+    indexes: Arc<HashMap<String, Arc<StatsIndex>>>,
+    workers: usize,
+    shutdown: Arc<AtomicBool>,
+}
+
+/// Handle to a server running on a background thread.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shutdown: Arc<AtomicBool>,
+    join: Option<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (useful with port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Stop the accept loop and join the server thread.
+    pub fn shutdown(mut self) {
+        self.stop();
+    }
+
+    fn stop(&mut self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(join) = self.join.take() {
+            let _ = join.join();
+        }
+    }
+}
+
+impl Drop for ServerHandle {
+    fn drop(&mut self) {
+        if self.join.is_some() {
+            self.stop();
+        }
+    }
+}
+
+impl StatsServer {
+    /// Bind `addr` (e.g. `"127.0.0.1:8600"`; port 0 picks a free port)
+    /// serving `indexes` with the default worker count.
+    pub fn bind(addr: &str, indexes: HashMap<String, Arc<StatsIndex>>) -> Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        let addr = listener.local_addr()?;
+        Ok(StatsServer {
+            listener,
+            addr,
+            indexes: Arc::new(indexes),
+            workers: DEFAULT_WORKERS,
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// Override the worker thread count.
+    pub fn workers(mut self, n: usize) -> Self {
+        self.workers = n.max(1);
+        self
+    }
+
+    /// The bound address.
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Serve until the shutdown flag flips: accept connections and hand
+    /// them to the worker pool. Blocks the calling thread.
+    pub fn run(self) -> Result<()> {
+        let (tx, rx) = mpsc::channel::<TcpStream>();
+        let rx = Arc::new(Mutex::new(rx));
+        std::thread::scope(|scope| {
+            for worker in 0..self.workers {
+                let rx = Arc::clone(&rx);
+                let indexes = Arc::clone(&self.indexes);
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{worker}"))
+                    .spawn_scoped(scope, move || loop {
+                        let conn = { rx.lock().recv() };
+                        match conn {
+                            Ok(stream) => serve_connection(stream, &indexes),
+                            Err(_) => break, // accept loop gone
+                        }
+                    })
+                    .expect("spawn http worker");
+            }
+            for conn in self.listener.incoming() {
+                if self.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                match conn {
+                    Ok(stream) => {
+                        // Interactive point lookups: never trade latency
+                        // for coalescing.
+                        let _ = stream.set_nodelay(true);
+                        let _ = tx.send(stream);
+                    }
+                    Err(_) => break,
+                }
+            }
+            drop(tx); // release workers blocked on recv
+        });
+        Ok(())
+    }
+
+    /// Run on a background thread, returning a handle that can stop it.
+    pub fn spawn(self) -> Result<ServerHandle> {
+        let addr = self.addr;
+        let shutdown = Arc::clone(&self.shutdown);
+        let join = std::thread::Builder::new()
+            .name("serve-accept".into())
+            .spawn(move || {
+                let _ = self.run();
+            })
+            .map_err(|e| MrError::Config(format!("cannot spawn server thread: {e}")))?;
+        Ok(ServerHandle {
+            addr,
+            shutdown,
+            join: Some(join),
+        })
+    }
+}
+
+/// One keep-alive connection: read requests until close/EOF/error.
+fn serve_connection(mut stream: TcpStream, indexes: &HashMap<String, Arc<StatsIndex>>) {
+    let peer_open = |stream: &mut TcpStream, buf: &mut Vec<u8>| -> Option<usize> {
+        // Read until the header terminator; none of our requests carry a
+        // body, so the headers are the request.
+        let mut chunk = [0u8; 1024];
+        loop {
+            if let Some(end) = find_header_end(buf) {
+                return Some(end);
+            }
+            if buf.len() > MAX_REQUEST_BYTES {
+                return Some(usize::MAX); // oversized: flagged for 400
+            }
+            match stream.read(&mut chunk) {
+                Ok(0) | Err(_) => return None,
+                Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            }
+        }
+    };
+    let mut buf: Vec<u8> = Vec::new();
+    loop {
+        let Some(end) = peer_open(&mut stream, &mut buf) else {
+            return;
+        };
+        if end == usize::MAX {
+            let _ = write_response(&mut stream, 400, &error_json("request too large"), true);
+            return;
+        }
+        let head = String::from_utf8_lossy(&buf[..end]).into_owned();
+        buf.drain(..end + 4);
+        let close = wants_close(&head);
+        let (status, body) = handle_request(&head, indexes);
+        if write_response(&mut stream, status, &body, close).is_err() || close {
+            return;
+        }
+    }
+}
+
+fn find_header_end(buf: &[u8]) -> Option<usize> {
+    buf.windows(4).position(|w| w == b"\r\n\r\n")
+}
+
+fn wants_close(head: &str) -> bool {
+    head.lines()
+        .skip(1)
+        .filter_map(|l| l.split_once(':'))
+        .any(|(k, v)| {
+            k.eq_ignore_ascii_case("connection") && v.trim().eq_ignore_ascii_case("close")
+        })
+}
+
+fn write_response(
+    stream: &mut TcpStream,
+    status: u16,
+    body: &str,
+    close: bool,
+) -> std::io::Result<()> {
+    let reason = match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        _ => "Internal Server Error",
+    };
+    // One write for head+body: a split write would leave the body segment
+    // queued behind Nagle waiting on the peer's delayed ACK (~40ms per
+    // response on keep-alive connections).
+    let response = format!(
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{body}",
+        body.len(),
+        if close { "close" } else { "keep-alive" },
+    );
+    stream.write_all(response.as_bytes())?;
+    stream.flush()
+}
+
+fn error_json(msg: &str) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("error", msg);
+    o.finish()
+}
+
+/// Dispatch one parsed request head to `(status, json-body)`.
+fn handle_request(head: &str, indexes: &HashMap<String, Arc<StatsIndex>>) -> (u16, String) {
+    let Some(request_line) = head.lines().next() else {
+        return (400, error_json("empty request"));
+    };
+    let mut parts = request_line.split_whitespace();
+    let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
+    else {
+        return (400, error_json("malformed request line"));
+    };
+    if !version.starts_with("HTTP/1.") {
+        return (400, error_json("unsupported protocol"));
+    }
+    if method != "GET" {
+        return (405, error_json("only GET is supported"));
+    }
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p, q),
+        None => (target, ""),
+    };
+    let params = parse_query(query);
+
+    if path == "/" || path == "/v1" || path == "/v1/" {
+        let mut names: Vec<&str> = indexes.keys().map(String::as_str).collect();
+        names.sort_unstable();
+        let mut o = JsonObject::new();
+        o.field(
+            "indexes",
+            &json_array(names.into_iter().map(|n| {
+                let mut s = String::new();
+                crate::json::write_json_str(&mut s, n);
+                s
+            })),
+        );
+        return (200, o.finish());
+    }
+
+    let rest = match path.strip_prefix("/v1/") {
+        Some(rest) => rest,
+        None => return (404, error_json("no such route")),
+    };
+    let Some((index_name, endpoint)) = rest.split_once('/') else {
+        return (404, error_json("route is /v1/{index}/{endpoint}"));
+    };
+    let Some(index) = indexes.get(index_name) else {
+        return (404, error_json("unknown index"));
+    };
+    match endpoint {
+        "ngram" => handle_ngram(index, &params),
+        "prefix" => handle_prefix(index, &params),
+        "topk" => handle_topk(index, &params),
+        "stats" => handle_stats(index_name, index),
+        _ => (404, error_json("unknown endpoint")),
+    }
+}
+
+fn handle_ngram(index: &StatsIndex, params: &HashMap<String, String>) -> (u16, String) {
+    let Some(q) = params
+        .get("q")
+        .map(String::as_str)
+        .filter(|q| !q.trim().is_empty())
+    else {
+        return (400, error_json("missing query parameter q"));
+    };
+    match index.lookup(q) {
+        Ok(count) => {
+            let mut o = JsonObject::new();
+            o.field_str("q", q)
+                .field_u64("count", count.unwrap_or(0))
+                .field("found", if count.is_some() { "true" } else { "false" });
+            (200, o.finish())
+        }
+        Err(e) => (500, error_json(&format!("lookup failed: {e}"))),
+    }
+}
+
+fn rows_json(rows: Vec<(String, u64)>) -> String {
+    json_array(rows.into_iter().map(|(gram, count)| {
+        let mut o = JsonObject::new();
+        o.field_str("gram", &gram).field_u64("count", count);
+        o.finish()
+    }))
+}
+
+fn handle_prefix(index: &StatsIndex, params: &HashMap<String, String>) -> (u16, String) {
+    let Some(q) = params.get("q") else {
+        return (400, error_json("missing query parameter q"));
+    };
+    let limit = match parse_bounded(params, "limit", 100) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    match index.prefix(q, limit) {
+        Ok(rows) => {
+            let mut o = JsonObject::new();
+            o.field_str("q", q)
+                .field_u64("limit", limit as u64)
+                .field_u64("returned", rows.len() as u64)
+                .field("results", &rows_json(rows));
+            (200, o.finish())
+        }
+        Err(e) => (500, error_json(&format!("prefix scan failed: {e}"))),
+    }
+}
+
+fn handle_topk(index: &StatsIndex, params: &HashMap<String, String>) -> (u16, String) {
+    let k = match parse_bounded(params, "k", 10) {
+        Ok(v) => v,
+        Err(resp) => return resp,
+    };
+    match index.topk(k) {
+        Ok(rows) => {
+            let mut o = JsonObject::new();
+            o.field_u64("k", k as u64)
+                .field_u64("returned", rows.len() as u64)
+                .field("results", &rows_json(rows));
+            (200, o.finish())
+        }
+        Err(e) => (500, error_json(&format!("topk failed: {e}"))),
+    }
+}
+
+fn handle_stats(name: &str, index: &StatsIndex) -> (u16, String) {
+    let meta = index.meta();
+    let (hits, misses) = index.cache_stats();
+    let total = hits + misses;
+    let mut cache = JsonObject::new();
+    cache
+        .field_u64("hits", hits)
+        .field_u64("misses", misses)
+        .field_f64(
+            "hit_rate",
+            if total == 0 {
+                0.0
+            } else {
+                hits as f64 / total as f64
+            },
+        )
+        .field_u64("used_bytes", index.cache_used_bytes() as u64);
+    let mut o = JsonObject::new();
+    o.field_str("index", name)
+        .field_str("corpus", &meta.corpus)
+        .field_str("method", &meta.method)
+        .field_str("count_mode", &meta.count_mode)
+        .field_u64("tau", meta.tau)
+        .field_u64("sigma", meta.sigma)
+        .field_str("codec", meta.codec.name())
+        .field_u64("segments", meta.segments)
+        .field_u64("entries", meta.entries)
+        .field_u64("terms", index.dictionary().len() as u64)
+        .field("cache", &cache.finish());
+    (200, o.finish())
+}
+
+/// Parse a bounded positive integer parameter, with a default.
+fn parse_bounded(
+    params: &HashMap<String, String>,
+    name: &str,
+    default: usize,
+) -> std::result::Result<usize, (u16, String)> {
+    match params.get(name) {
+        None => Ok(default),
+        Some(raw) => match raw.parse::<usize>() {
+            Ok(v) if (1..=MAX_ROWS).contains(&v) => Ok(v),
+            _ => Err((
+                400,
+                error_json(&format!("{name} must be an integer in 1..={MAX_ROWS}")),
+            )),
+        },
+    }
+}
+
+/// Split `a=1&b=two+words` into a map, percent/plus-decoding values.
+fn parse_query(query: &str) -> HashMap<String, String> {
+    query
+        .split('&')
+        .filter(|kv| !kv.is_empty())
+        .map(|kv| {
+            let (k, v) = kv.split_once('=').unwrap_or((kv, ""));
+            (url_decode(k), url_decode(v))
+        })
+        .collect()
+}
+
+fn url_decode(s: &str) -> String {
+    let bytes = s.as_bytes();
+    let mut out = Vec::with_capacity(bytes.len());
+    let mut i = 0;
+    while i < bytes.len() {
+        match bytes[i] {
+            b'+' => {
+                out.push(b' ');
+                i += 1;
+            }
+            b'%' if i + 2 < bytes.len() => {
+                let hex = |b: u8| (b as char).to_digit(16);
+                match (hex(bytes[i + 1]), hex(bytes[i + 2])) {
+                    (Some(hi), Some(lo)) => {
+                        out.push((hi * 16 + lo) as u8);
+                        i += 3;
+                    }
+                    _ => {
+                        out.push(bytes[i]);
+                        i += 1;
+                    }
+                }
+            }
+            b => {
+                out.push(b);
+                i += 1;
+            }
+        }
+    }
+    String::from_utf8_lossy(&out).into_owned()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn query_parsing_decodes_escapes() {
+        let p = parse_query("q=new+york%20times&limit=5&flag");
+        assert_eq!(p["q"], "new york times");
+        assert_eq!(p["limit"], "5");
+        assert_eq!(p["flag"], "");
+    }
+
+    #[test]
+    fn bad_requests_get_structured_errors() {
+        let indexes = HashMap::new();
+        let (s, _) = handle_request("POST /v1/x/ngram HTTP/1.1", &indexes);
+        assert_eq!(s, 405);
+        let (s, _) = handle_request("GET /v2/nope HTTP/1.1", &indexes);
+        assert_eq!(s, 404);
+        let (s, _) = handle_request("GET /v1/missing/ngram?q=a HTTP/1.1", &indexes);
+        assert_eq!(s, 404);
+        let (s, body) = handle_request("GET / HTTP/1.1", &indexes);
+        assert_eq!(s, 200);
+        assert_eq!(body, r#"{"indexes":[]}"#);
+    }
+
+    #[test]
+    fn connection_close_is_detected() {
+        assert!(wants_close("GET / HTTP/1.1\r\nConnection: close"));
+        assert!(!wants_close("GET / HTTP/1.1\r\nConnection: keep-alive"));
+        assert!(!wants_close("GET / HTTP/1.1"));
+    }
+}

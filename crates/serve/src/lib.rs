@@ -1,0 +1,45 @@
+//! The serving layer: query the n-gram statistics the MapReduce methods
+//! compute, online.
+//!
+//! The paper's pipeline ends with `(n-gram, frequency)` pairs on disk;
+//! this crate makes them servable. Reduce output lands in immutable
+//! block-compressed **segments** ([`SegmentWriter`] / [`SegmentReader`],
+//! reusing the shuffle's block codecs), a directory of segments plus the
+//! dictionary forms a **[`StatsIndex`]** (point lookup, prefix scan,
+//! top-k, with an LRU hot-term cache), and a **[`StatsServer`]** exposes
+//! indexes over HTTP/1.1 with JSON responses.
+//!
+//! ```
+//! use serve::{build_index, IndexOptions, StatsIndex};
+//! use ngrams::{Computation, Method, NGramParams};
+//! use corpus::{generate, CorpusProfile};
+//! use mapreduce::Cluster;
+//!
+//! let coll = generate(&CorpusProfile::tiny("docs", 20), 7);
+//! let cluster = Cluster::new(2);
+//! let computation = Computation::new(Method::SuffixSigma, &NGramParams::new(2, 4)).input(&coll);
+//! let dir = std::env::temp_dir().join(format!("serve-doc-{}", std::process::id()));
+//! build_index(&cluster, &computation, &coll.dictionary, "docs", &dir, &IndexOptions::default()).unwrap();
+//! let index = StatsIndex::open(&dir).unwrap();
+//! assert!(index.entries() > 0);
+//! # std::fs::remove_dir_all(&dir).unwrap();
+//! ```
+
+#![warn(missing_docs)]
+
+mod http;
+mod index;
+pub mod json;
+mod segment;
+mod sink;
+
+pub use http::{ServerHandle, StatsServer, DEFAULT_WORKERS};
+pub use index::{
+    build_index, IndexMeta, IndexOptions, StatsIndex, DEFAULT_CACHE_BYTES, INDEX_FORMAT,
+    MANIFEST_FILE, TERMS_FILE,
+};
+pub use segment::{
+    SegmentBlock, SegmentMeta, SegmentReader, SegmentWriter, SEGMENT_BLOCK_BYTES, SEGMENT_MAGIC,
+    SEGMENT_TOP_ENTRIES,
+};
+pub use sink::{SegmentSink, SegmentSinkFactory};

@@ -1,0 +1,668 @@
+//! The immutable serving segment: sorted `(gram, count)` records in
+//! block-compressed form, opened by positioned reads.
+//!
+//! A segment holds one reduce partition's statistics, re-sorted by raw
+//! key bytes so point lookups binary-search the block index and prefix
+//! scans walk a contiguous block range. Blocks are encoded through the
+//! shuffle's [`BlockCodec`](mapreduce::BlockCodec)s (`plain`, `front`,
+//! `posting-delta`) and are individually self-contained — each restarts
+//! the codec's delta chain — so serving one lookup decodes one block,
+//! never the file.
+//!
+//! ```text
+//! segment := magic "NGRAMSG1"  block*  footer  trailer
+//! block   := codec-encoded records      (≈ SEGMENT_BLOCK_BYTES raw each)
+//! record  := key = gram term-id varints, val = count varint
+//! footer  := [codec][#entries][#blocks]
+//!            ([offset][bytes][#recs][first-key][last-key])*  block index
+//!            [#top]([count][key])*              top entries by frequency
+//! trailer := [footer-offset: u64 LE]  magic                  (16 bytes)
+//! ```
+//!
+//! The layout mirrors the corpus store (`NGRAMMR2`): a fixed trailer
+//! locates the footer with two positioned reads at open; block payloads
+//! are only touched by queries. First/last keys in the block index bound
+//! every block, so a lookup reads at most one block and a prefix scan
+//! reads exactly the overlapping range.
+
+use mapreduce::{decode_block, read_vu64_at, write_vu64, BlockEncoder, MrError, Result, RunCodec};
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::{Path, PathBuf};
+
+/// Magic bytes opening and closing a segment file.
+pub const SEGMENT_MAGIC: &[u8; 8] = b"NGRAMSG1";
+
+/// Raw-frame budget per block. Smaller than the shuffle's 32 KiB because
+/// the unit of serving work is one point lookup: a block is the amount of
+/// decode one query pays for.
+pub const SEGMENT_BLOCK_BYTES: usize = 8 * 1024;
+
+/// How many of the highest-frequency entries a segment records in its
+/// footer by default — the precomputed half of the top-k endpoint.
+pub const SEGMENT_TOP_ENTRIES: usize = 1024;
+
+/// Fixed trailer size: `[footer-offset: u64 LE][magic]`.
+const TRAILER_BYTES: u64 = 16;
+
+fn bad(msg: &'static str) -> MrError {
+    MrError::Corrupt(msg)
+}
+
+fn codec_id(codec: RunCodec) -> u64 {
+    match codec {
+        RunCodec::Plain => 0,
+        RunCodec::FrontCoded => 1,
+        RunCodec::PostingDelta => 2,
+    }
+}
+
+fn codec_from_id(id: u64) -> Result<RunCodec> {
+    match id {
+        0 => Ok(RunCodec::Plain),
+        1 => Ok(RunCodec::FrontCoded),
+        2 => Ok(RunCodec::PostingDelta),
+        _ => Err(bad("unknown segment codec id")),
+    }
+}
+
+fn write_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    write_vu64(out, bytes.len() as u64);
+    out.extend_from_slice(bytes);
+}
+
+fn read_bytes(buf: &[u8], pos: &mut usize) -> Result<Vec<u8>> {
+    let len = read_vu64_at(buf, pos)? as usize;
+    let end = pos
+        .checked_add(len)
+        .filter(|&e| e <= buf.len())
+        .ok_or(bad("segment footer byte string out of bounds"))?;
+    let out = buf[*pos..end].to_vec();
+    *pos = end;
+    Ok(out)
+}
+
+/// One entry of a segment's block index.
+#[derive(Clone, Debug)]
+pub struct SegmentBlock {
+    /// Absolute byte offset of the encoded block within the file.
+    pub offset: u64,
+    /// Encoded size of the block in bytes.
+    pub bytes: u64,
+    /// Number of records in the block.
+    pub records: u64,
+    /// Raw key bytes of the block's first record.
+    pub first_key: Vec<u8>,
+    /// Raw key bytes of the block's last record.
+    pub last_key: Vec<u8>,
+}
+
+/// Summary a sealed [`SegmentWriter`] leaves behind.
+#[derive(Clone, Debug)]
+pub struct SegmentMeta {
+    /// Where the segment lives.
+    pub path: PathBuf,
+    /// Total records.
+    pub entries: u64,
+    /// Number of blocks.
+    pub blocks: u64,
+    /// Encoded block payload bytes (excluding footer and trailer).
+    pub data_bytes: u64,
+    /// The block codec.
+    pub codec: RunCodec,
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+/// Streaming segment writer. Records must arrive in strictly ascending
+/// raw-key-byte order; the writer closes a block at every
+/// [`SEGMENT_BLOCK_BYTES`] of raw frames, tracks the block index, and
+/// keeps the running top entries by count for the footer.
+pub struct SegmentWriter {
+    out: BufWriter<File>,
+    path: PathBuf,
+    codec: RunCodec,
+    block_budget: usize,
+    top_budget: usize,
+    encoder: BlockEncoder,
+    scratch: Vec<u8>,
+    val_buf: Vec<u8>,
+    offset: u64,
+    first_key: Vec<u8>,
+    last_key: Vec<u8>,
+    block_records: u64,
+    index: Vec<SegmentBlock>,
+    entries: u64,
+    /// Min-heap by count of the best entries seen so far.
+    top: std::collections::BinaryHeap<std::cmp::Reverse<(u64, Vec<u8>)>>,
+}
+
+impl SegmentWriter {
+    /// Create a segment at `path` encoded with `codec`.
+    pub fn create(path: &Path, codec: RunCodec) -> Result<Self> {
+        if let Some(dir) = path.parent() {
+            if !dir.as_os_str().is_empty() {
+                std::fs::create_dir_all(dir)?;
+            }
+        }
+        let mut out = BufWriter::with_capacity(128 * 1024, File::create(path)?);
+        out.write_all(SEGMENT_MAGIC)?;
+        Ok(SegmentWriter {
+            out,
+            path: path.to_path_buf(),
+            codec,
+            block_budget: SEGMENT_BLOCK_BYTES,
+            top_budget: SEGMENT_TOP_ENTRIES,
+            encoder: BlockEncoder::new(codec),
+            scratch: Vec::new(),
+            val_buf: Vec::new(),
+            offset: SEGMENT_MAGIC.len() as u64,
+            first_key: Vec::new(),
+            last_key: Vec::new(),
+            block_records: 0,
+            index: Vec::new(),
+            entries: 0,
+            top: std::collections::BinaryHeap::new(),
+        })
+    }
+
+    /// Override the per-block raw-byte budget (tests; the default
+    /// [`SEGMENT_BLOCK_BYTES`] is right for production use).
+    pub fn block_budget(mut self, bytes: usize) -> Self {
+        self.block_budget = bytes.max(1);
+        self
+    }
+
+    /// Override how many top-frequency entries the footer records.
+    pub fn top_entries(mut self, n: usize) -> Self {
+        self.top_budget = n;
+        self
+    }
+
+    /// Append one record. Keys must be strictly ascending.
+    pub fn push(&mut self, key: &[u8], count: u64) -> Result<()> {
+        if self.entries > 0 && key <= self.last_key.as_slice() {
+            return Err(MrError::Config(
+                "segment keys must be strictly ascending".into(),
+            ));
+        }
+        if self.block_records == 0 {
+            self.first_key.clear();
+            self.first_key.extend_from_slice(key);
+        }
+        self.last_key.clear();
+        self.last_key.extend_from_slice(key);
+        self.val_buf.clear();
+        write_vu64(&mut self.val_buf, count);
+        self.encoder.push(key, &self.val_buf)?;
+        self.block_records += 1;
+        self.entries += 1;
+        if self.top_budget > 0 {
+            self.top.push(std::cmp::Reverse((count, key.to_vec())));
+            if self.top.len() > self.top_budget {
+                self.top.pop();
+            }
+        }
+        if self.encoder.raw_bytes() >= self.block_budget {
+            self.flush_block()?;
+        }
+        Ok(())
+    }
+
+    fn flush_block(&mut self) -> Result<()> {
+        if self.encoder.is_empty() {
+            return Ok(());
+        }
+        self.scratch.clear();
+        self.encoder.encode_into(&mut self.scratch);
+        self.out.write_all(&self.scratch)?;
+        self.index.push(SegmentBlock {
+            offset: self.offset,
+            bytes: self.scratch.len() as u64,
+            records: self.block_records,
+            first_key: self.first_key.clone(),
+            last_key: self.last_key.clone(),
+        });
+        self.offset += self.scratch.len() as u64;
+        self.block_records = 0;
+        Ok(())
+    }
+
+    /// Seal the segment: flush the last block, write footer and trailer.
+    pub fn finish(mut self) -> Result<SegmentMeta> {
+        self.flush_block()?;
+        let footer_offset = self.offset;
+        let mut footer = Vec::new();
+        write_vu64(&mut footer, codec_id(self.codec));
+        write_vu64(&mut footer, self.entries);
+        write_vu64(&mut footer, self.index.len() as u64);
+        for b in &self.index {
+            write_vu64(&mut footer, b.offset);
+            write_vu64(&mut footer, b.bytes);
+            write_vu64(&mut footer, b.records);
+            write_bytes(&mut footer, &b.first_key);
+            write_bytes(&mut footer, &b.last_key);
+        }
+        // Top entries, highest count first (heap drains ascending).
+        let mut top: Vec<(u64, Vec<u8>)> =
+            self.top.into_iter().map(|std::cmp::Reverse(e)| e).collect();
+        top.sort_by(|a, b| b.cmp(a));
+        write_vu64(&mut footer, top.len() as u64);
+        for (count, key) in &top {
+            write_vu64(&mut footer, *count);
+            write_bytes(&mut footer, key);
+        }
+        self.out.write_all(&footer)?;
+        self.out.write_all(&footer_offset.to_le_bytes())?;
+        self.out.write_all(SEGMENT_MAGIC)?;
+        self.out.flush()?;
+        Ok(SegmentMeta {
+            path: self.path,
+            entries: self.entries,
+            blocks: self.index.len() as u64,
+            data_bytes: footer_offset - SEGMENT_MAGIC.len() as u64,
+            codec: self.codec,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Reader
+// ---------------------------------------------------------------------------
+
+/// Positioned read at `offset`, shareable across query threads (no shared
+/// cursor) — the same primitive the corpus store reader uses.
+fn read_exact_at(file: &File, path: &Path, buf: &mut [u8], offset: u64) -> io::Result<()> {
+    #[cfg(unix)]
+    {
+        let _ = path;
+        std::os::unix::fs::FileExt::read_exact_at(file, buf, offset)
+    }
+    #[cfg(not(unix))]
+    {
+        use std::io::{Read, Seek};
+        let _ = file;
+        let mut f = File::open(path)?;
+        f.seek(io::SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
+}
+
+/// Random-access reader over one segment: opens by trailer + footer only,
+/// then serves whole blocks via positioned reads. Shareable across query
+/// worker threads behind an `Arc`.
+pub struct SegmentReader {
+    file: File,
+    path: PathBuf,
+    codec: RunCodec,
+    entries: u64,
+    index: Vec<SegmentBlock>,
+    top: Vec<(u64, Vec<u8>)>,
+    data_bytes: u64,
+}
+
+impl SegmentReader {
+    /// Open `path`, validating magic and footer structure.
+    pub fn open(path: &Path) -> Result<Self> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < SEGMENT_MAGIC.len() as u64 + TRAILER_BYTES {
+            return Err(bad("segment file too short"));
+        }
+        let mut magic = [0u8; 8];
+        read_exact_at(&file, path, &mut magic, 0)?;
+        if &magic != SEGMENT_MAGIC {
+            return Err(bad("bad segment magic"));
+        }
+        let mut trailer = [0u8; TRAILER_BYTES as usize];
+        read_exact_at(&file, path, &mut trailer, file_len - TRAILER_BYTES)?;
+        if &trailer[8..] != SEGMENT_MAGIC {
+            return Err(bad("bad segment trailer magic"));
+        }
+        let footer_offset = u64::from_le_bytes(trailer[..8].try_into().expect("8 bytes"));
+        if footer_offset < SEGMENT_MAGIC.len() as u64 || footer_offset > file_len - TRAILER_BYTES {
+            return Err(bad("segment footer offset out of bounds"));
+        }
+        let footer_len = (file_len - TRAILER_BYTES - footer_offset) as usize;
+        let mut footer = vec![0u8; footer_len];
+        read_exact_at(&file, path, &mut footer, footer_offset)?;
+
+        let pos = &mut 0usize;
+        let codec = codec_from_id(read_vu64_at(&footer, pos)?)?;
+        let entries = read_vu64_at(&footer, pos)?;
+        let n_blocks = read_vu64_at(&footer, pos)? as usize;
+        let mut index = Vec::with_capacity(n_blocks.min(footer_len));
+        for _ in 0..n_blocks {
+            let block = SegmentBlock {
+                offset: read_vu64_at(&footer, pos)?,
+                bytes: read_vu64_at(&footer, pos)?,
+                records: read_vu64_at(&footer, pos)?,
+                first_key: read_bytes(&footer, pos)?,
+                last_key: read_bytes(&footer, pos)?,
+            };
+            let end = block
+                .offset
+                .checked_add(block.bytes)
+                .ok_or(bad("segment block extent overflows"))?;
+            if block.offset < SEGMENT_MAGIC.len() as u64 || end > footer_offset {
+                return Err(bad("segment block extent out of bounds"));
+            }
+            if block.first_key > block.last_key {
+                return Err(bad("segment block key range inverted"));
+            }
+            if let Some(prev) = index.last() {
+                let prev: &SegmentBlock = prev;
+                if prev.last_key >= block.first_key {
+                    return Err(bad("segment blocks out of order"));
+                }
+            }
+            index.push(block);
+        }
+        if index.iter().map(|b| b.records).sum::<u64>() != entries {
+            return Err(bad("segment block index disagrees with entry count"));
+        }
+        let n_top = read_vu64_at(&footer, pos)? as usize;
+        let mut top = Vec::with_capacity(n_top.min(footer_len));
+        for _ in 0..n_top {
+            let count = read_vu64_at(&footer, pos)?;
+            let key = read_bytes(&footer, pos)?;
+            top.push((count, key));
+        }
+        if *pos != footer.len() {
+            return Err(bad("trailing bytes in segment footer"));
+        }
+        Ok(SegmentReader {
+            file,
+            path: path.to_path_buf(),
+            codec,
+            entries,
+            index,
+            top,
+            data_bytes: index_data_bytes(footer_offset),
+        })
+    }
+
+    /// Total records in the segment.
+    pub fn entries(&self) -> u64 {
+        self.entries
+    }
+
+    /// Number of blocks.
+    pub fn num_blocks(&self) -> usize {
+        self.index.len()
+    }
+
+    /// Encoded block payload bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.data_bytes
+    }
+
+    /// The codec blocks are encoded with.
+    pub fn codec(&self) -> RunCodec {
+        self.codec
+    }
+
+    /// The precomputed highest-frequency entries, descending by count.
+    pub fn top_entries(&self) -> &[(u64, Vec<u8>)] {
+        &self.top
+    }
+
+    /// Read and decode block `i`, calling `f` for each `(key, count)`.
+    fn for_each_in_block(
+        &self,
+        i: usize,
+        f: &mut dyn FnMut(&[u8], u64) -> Result<()>,
+    ) -> Result<()> {
+        let entry = &self.index[i];
+        let mut buf = vec![0u8; entry.bytes as usize];
+        read_exact_at(&self.file, &self.path, &mut buf, entry.offset)?;
+        decode_block(self.codec, buf, |key, val| {
+            let mut vpos = 0usize;
+            let count = read_vu64_at(val, &mut vpos)?;
+            if vpos != val.len() {
+                return Err(bad("trailing bytes in segment value"));
+            }
+            f(key, count)
+        })
+    }
+
+    /// Point lookup by raw key bytes: binary-search the block index, read
+    /// and decode at most one block.
+    pub fn lookup(&self, key: &[u8]) -> Result<Option<u64>> {
+        // Index of the last block whose first_key <= key.
+        let part = self
+            .index
+            .partition_point(|b| b.first_key.as_slice() <= key);
+        if part == 0 {
+            return Ok(None);
+        }
+        let i = part - 1;
+        if self.index[i].last_key.as_slice() < key {
+            return Ok(None);
+        }
+        let mut found = None;
+        self.for_each_in_block(i, &mut |k, count| {
+            if k == key {
+                found = Some(count);
+            }
+            Ok(())
+        })?;
+        Ok(found)
+    }
+
+    /// Scan every record whose key starts with `prefix`, in ascending key
+    /// order. `f` returns `false` to stop early.
+    pub fn scan_prefix(
+        &self,
+        prefix: &[u8],
+        f: &mut dyn FnMut(&[u8], u64) -> Result<bool>,
+    ) -> Result<()> {
+        // First candidate block: the last one starting at or before the
+        // prefix — earlier blocks end before any prefixed key — but a
+        // prefixed key can also start a later block, so walk forward from
+        // there until a block starts past the prefix range.
+        let start = self
+            .index
+            .partition_point(|b| b.first_key.as_slice() < prefix)
+            .saturating_sub(1);
+        let mut stop = false;
+        for i in start..self.index.len() {
+            if stop {
+                break;
+            }
+            let b = &self.index[i];
+            // A block strictly past the prefix range starts with a key
+            // that is > prefix yet not an extension of it.
+            if b.first_key.as_slice() > prefix && !b.first_key.starts_with(prefix) {
+                break;
+            }
+            if b.last_key.as_slice() < prefix {
+                continue;
+            }
+            self.for_each_in_block(i, &mut |k, count| {
+                if stop {
+                    return Ok(());
+                }
+                if k.starts_with(prefix) {
+                    if !f(k, count)? {
+                        stop = true;
+                    }
+                } else if k > prefix {
+                    stop = true;
+                }
+                Ok(())
+            })?;
+        }
+        Ok(())
+    }
+
+    /// Scan the whole segment in key order.
+    pub fn scan_all(&self, f: &mut dyn FnMut(&[u8], u64) -> Result<()>) -> Result<()> {
+        for i in 0..self.index.len() {
+            self.for_each_in_block(i, f)?;
+        }
+        Ok(())
+    }
+}
+
+fn index_data_bytes(footer_offset: u64) -> u64 {
+    footer_offset - SEGMENT_MAGIC.len() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("serve-seg-{}-{tag}.seg", std::process::id()))
+    }
+
+    /// Sorted synthetic keys: two-byte "grams" over a small alphabet.
+    fn sample_records(n: u32) -> Vec<(Vec<u8>, u64)> {
+        let mut recs: Vec<(Vec<u8>, u64)> = (0..n)
+            .map(|i| {
+                let mut key = Vec::new();
+                write_vu64(&mut key, u64::from(i / 7));
+                write_vu64(&mut key, u64::from(i % 7));
+                (key, u64::from(i % 13) + 1)
+            })
+            .collect();
+        recs.sort();
+        recs
+    }
+
+    fn write_segment(path: &Path, codec: RunCodec, recs: &[(Vec<u8>, u64)]) -> SegmentMeta {
+        let mut w = SegmentWriter::create(path, codec).unwrap().block_budget(64);
+        for (k, c) in recs {
+            w.push(k, *c).unwrap();
+        }
+        w.finish().unwrap()
+    }
+
+    #[test]
+    fn segment_round_trips_across_codecs() {
+        let recs = sample_records(500);
+        for codec in [
+            RunCodec::Plain,
+            RunCodec::FrontCoded,
+            RunCodec::PostingDelta,
+        ] {
+            let path = temp_path(&format!("rt-{}", codec.name()));
+            let meta = write_segment(&path, codec, &recs);
+            assert_eq!(meta.entries, 500);
+            assert!(meta.blocks > 4, "64-byte budget must split blocks");
+            let r = SegmentReader::open(&path).unwrap();
+            assert_eq!(r.entries(), 500);
+            assert_eq!(r.codec(), codec);
+            let mut got = Vec::new();
+            r.scan_all(&mut |k, c| {
+                got.push((k.to_vec(), c));
+                Ok(())
+            })
+            .unwrap();
+            assert_eq!(got, recs);
+            for (k, c) in &recs {
+                assert_eq!(r.lookup(k).unwrap(), Some(*c), "codec {codec:?}");
+            }
+            assert_eq!(r.lookup(b"\xff\xff\xff").unwrap(), None);
+            assert_eq!(r.lookup(b"").unwrap(), None);
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn prefix_scan_returns_exactly_the_extension_range() {
+        let recs = sample_records(700);
+        let path = temp_path("prefix");
+        write_segment(&path, RunCodec::FrontCoded, &recs);
+        let r = SegmentReader::open(&path).unwrap();
+        let mut prefix = Vec::new();
+        write_vu64(&mut prefix, 3);
+        let mut got = Vec::new();
+        r.scan_prefix(&prefix, &mut |k, c| {
+            got.push((k.to_vec(), c));
+            Ok(true)
+        })
+        .unwrap();
+        let expected: Vec<(Vec<u8>, u64)> = recs
+            .iter()
+            .filter(|(k, _)| k.starts_with(&prefix))
+            .cloned()
+            .collect();
+        assert!(!expected.is_empty());
+        assert_eq!(got, expected);
+        // Early stop works.
+        let mut seen = 0;
+        r.scan_prefix(&prefix, &mut |_, _| {
+            seen += 1;
+            Ok(seen < 3)
+        })
+        .unwrap();
+        assert_eq!(seen, 3);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn top_entries_are_the_true_maxima() {
+        let recs = sample_records(400);
+        let path = temp_path("top");
+        let mut w = SegmentWriter::create(&path, RunCodec::Plain)
+            .unwrap()
+            .block_budget(64)
+            .top_entries(10);
+        for (k, c) in &recs {
+            w.push(k, *c).unwrap();
+        }
+        w.finish().unwrap();
+        let r = SegmentReader::open(&path).unwrap();
+        let top = r.top_entries();
+        assert_eq!(top.len(), 10);
+        let mut expected: Vec<(u64, Vec<u8>)> = recs.iter().map(|(k, c)| (*c, k.clone())).collect();
+        expected.sort_by(|a, b| b.cmp(a));
+        expected.truncate(10);
+        assert_eq!(top, &expected[..]);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn unsorted_keys_are_rejected() {
+        let path = temp_path("unsorted");
+        let mut w = SegmentWriter::create(&path, RunCodec::Plain).unwrap();
+        w.push(b"bb", 1).unwrap();
+        assert!(w.push(b"aa", 1).is_err());
+        assert!(w.push(b"bb", 2).is_err(), "duplicates rejected too");
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn empty_segment_round_trips() {
+        let path = temp_path("empty");
+        let meta = SegmentWriter::create(&path, RunCodec::FrontCoded)
+            .unwrap()
+            .finish()
+            .unwrap();
+        assert_eq!(meta.entries, 0);
+        let r = SegmentReader::open(&path).unwrap();
+        assert_eq!(r.entries(), 0);
+        assert_eq!(r.num_blocks(), 0);
+        assert_eq!(r.lookup(b"x").unwrap(), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn truncation_and_bad_magic_are_rejected() {
+        let recs = sample_records(100);
+        let path = temp_path("corrupt");
+        write_segment(&path, RunCodec::Plain, &recs);
+        let bytes = std::fs::read(&path).unwrap();
+        for cut in [bytes.len() - 1, bytes.len() / 2, 10] {
+            std::fs::write(&path, &bytes[..cut]).unwrap();
+            assert!(SegmentReader::open(&path).is_err(), "cut at {cut}");
+        }
+        std::fs::write(&path, b"NOTASEGMENTxxxxxxxxxxxxxxxxx").unwrap();
+        assert!(SegmentReader::open(&path).is_err());
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,136 @@
+//! A [`RecordSinkFactory`] that lands reduce output directly in serving
+//! segments: each reduce partition becomes one `part-NNNNN.seg` file.
+//!
+//! Reduce output arrives in the job's sort order (reverse-lexicographic
+//! for SUFFIX-σ, plain for the others), which is *not* the segment's
+//! byte-lexicographic order — so the sink buffers `(key-bytes, count)`
+//! pairs, sorts them at seal time, and streams them through a
+//! [`SegmentWriter`]. Per the factory contract, I/O errors are deferred:
+//! `push` never fails, `seal` surfaces anything that went wrong.
+
+use crate::segment::{SegmentMeta, SegmentWriter, SEGMENT_TOP_ENTRIES};
+use mapreduce::{to_bytes, MrError, RecordSink, RecordSinkFactory, Result, RunCodec};
+use ngrams::Gram;
+use std::path::{Path, PathBuf};
+
+/// Buffering sink for one reduce partition (see [`SegmentSinkFactory`]).
+pub struct SegmentSink {
+    records: Vec<(Vec<u8>, u64)>,
+}
+
+impl RecordSink<Gram, u64> for SegmentSink {
+    fn push(&mut self, k: Gram, v: u64) {
+        self.records.push((to_bytes(&k), v));
+    }
+}
+
+/// Factory writing each reduce partition as one block-compressed segment
+/// under a directory. Artifacts are the sealed [`SegmentMeta`]s.
+pub struct SegmentSinkFactory {
+    dir: PathBuf,
+    codec: RunCodec,
+    top_entries: usize,
+}
+
+impl SegmentSinkFactory {
+    /// Write segments under `dir` (created if missing) with `codec`.
+    pub fn new(dir: &Path, codec: RunCodec) -> Self {
+        SegmentSinkFactory {
+            dir: dir.to_path_buf(),
+            codec,
+            top_entries: SEGMENT_TOP_ENTRIES,
+        }
+    }
+
+    /// Override how many top-frequency entries each segment stores.
+    pub fn top_entries(mut self, n: usize) -> Self {
+        self.top_entries = n;
+        self
+    }
+
+    /// The file name of partition `partition`'s segment.
+    pub fn segment_path(&self, partition: usize) -> PathBuf {
+        self.dir.join(format!("part-{partition:05}.seg"))
+    }
+}
+
+impl RecordSinkFactory<Gram, u64> for SegmentSinkFactory {
+    type Sink = SegmentSink;
+    type Artifact = SegmentMeta;
+
+    fn make(&self, _partition: usize) -> Result<Self::Sink> {
+        Ok(SegmentSink {
+            records: Vec::new(),
+        })
+    }
+
+    fn seal(&self, partition: usize, mut sink: Self::Sink) -> Result<Self::Artifact> {
+        sink.records.sort_unstable();
+        // Hash partitioning makes grams unique across partitions, and a
+        // reducer emits each key once — duplicates mean a wiring bug, and
+        // the writer's strict-ascending check would reject them anyway.
+        for pair in sink.records.windows(2) {
+            if pair[0].0 == pair[1].0 {
+                return Err(MrError::Config(format!(
+                    "duplicate gram key in segment partition {partition}"
+                )));
+            }
+        }
+        let path = self.segment_path(partition);
+        let mut writer = SegmentWriter::create(&path, self.codec)?.top_entries(self.top_entries);
+        for (key, count) in &sink.records {
+            writer.push(key, *count)?;
+        }
+        writer.finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::segment::SegmentReader;
+    use mapreduce::from_bytes;
+
+    #[test]
+    fn sink_sorts_and_round_trips() {
+        let dir = std::env::temp_dir().join(format!("serve-sink-{}", std::process::id()));
+        let fac = SegmentSinkFactory::new(&dir, RunCodec::FrontCoded);
+        let mut sink = fac.make(0).unwrap();
+        // Deliberately unsorted input, as a reverse-lex reducer would emit.
+        let grams = [
+            (Gram::new(&[9, 1]), 4u64),
+            (Gram::new(&[2]), 10),
+            (Gram::new(&[2, 5, 7]), 3),
+            (Gram::new(&[1, 1]), 7),
+        ];
+        for (g, c) in &grams {
+            sink.push(g.clone(), *c);
+        }
+        let meta = fac.seal(0, sink).unwrap();
+        assert_eq!(meta.entries, 4);
+        let reader = SegmentReader::open(&meta.path).unwrap();
+        for (g, c) in &grams {
+            assert_eq!(reader.lookup(&to_bytes(g)).unwrap(), Some(*c));
+        }
+        let mut decoded = Vec::new();
+        reader
+            .scan_all(&mut |k, c| {
+                decoded.push((from_bytes::<Gram>(k).unwrap(), c));
+                Ok(())
+            })
+            .unwrap();
+        assert_eq!(decoded.len(), 4);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn duplicate_keys_fail_at_seal() {
+        let dir = std::env::temp_dir().join(format!("serve-sink-dup-{}", std::process::id()));
+        let fac = SegmentSinkFactory::new(&dir, RunCodec::Plain);
+        let mut sink = fac.make(1).unwrap();
+        sink.push(Gram::new(&[3, 3]), 1);
+        sink.push(Gram::new(&[3, 3]), 2);
+        assert!(fac.seal(1, sink).is_err());
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

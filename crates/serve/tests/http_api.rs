@@ -1,0 +1,196 @@
+//! HTTP integration: a real server on an ephemeral port, exercised by a
+//! plain `TcpStream` client — all four endpoints, the index listing,
+//! keep-alive reuse, and the 404/400 error paths.
+
+use corpus::{generate, CorpusProfile};
+use mapreduce::Cluster;
+use ngrams::{Computation, Method, NGramParams};
+use serve::{build_index, IndexOptions, StatsIndex, StatsServer};
+use std::collections::HashMap;
+use std::io::{Read, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+/// Send one `GET` over a fresh connection; return `(status, body)`.
+fn get(addr: std::net::SocketAddr, path: &str) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect");
+    write!(
+        stream,
+        "GET {path} HTTP/1.1\r\nhost: test\r\nconnection: close\r\n\r\n"
+    )
+    .expect("send");
+    let mut response = Vec::new();
+    stream.read_to_end(&mut response).expect("read");
+    parse_response(&response)
+}
+
+fn parse_response(raw: &[u8]) -> (u16, String) {
+    let text = String::from_utf8_lossy(raw);
+    let (head, body) = text.split_once("\r\n\r\n").expect("header terminator");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    (status, body.to_string())
+}
+
+struct Fixture {
+    dir: PathBuf,
+    expected: Vec<(String, u64)>,
+}
+
+fn build_fixture() -> Fixture {
+    let coll = generate(&CorpusProfile::tiny("http-api", 30), 99);
+    let cluster = Cluster::new(2);
+    let params = NGramParams::new(2, 4);
+    let computation = Computation::new(Method::SuffixSigma, &params).input(&coll);
+    let expected: Vec<(String, u64)> = computation
+        .run(&cluster)
+        .expect("compute")
+        .grams
+        .iter()
+        .map(|(g, c)| (coll.dictionary.decode(g.terms()), *c))
+        .collect();
+    let dir = std::env::temp_dir().join(format!("serve-http-api-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    build_index(
+        &cluster,
+        &computation,
+        &coll.dictionary,
+        "http-api",
+        &dir,
+        &IndexOptions::default(),
+    )
+    .expect("index build");
+    Fixture { dir, expected }
+}
+
+#[test]
+fn http_endpoints_end_to_end() {
+    let fixture = build_fixture();
+    let index = Arc::new(StatsIndex::open(&fixture.dir).expect("open index"));
+    let mut indexes = HashMap::new();
+    indexes.insert("tiny".to_string(), index);
+    let server = StatsServer::bind("127.0.0.1:0", indexes)
+        .expect("bind")
+        .workers(2);
+    let addr = server.local_addr();
+    let handle = server.spawn().expect("spawn");
+
+    // Index listing at the root.
+    let (status, body) = get(addr, "/");
+    assert_eq!(status, 200);
+    assert_eq!(body, r#"{"indexes":["tiny"]}"#);
+
+    // ngram: every computed gram is served with its exact count.
+    for (text, count) in fixture.expected.iter().take(10) {
+        let q: String = text.replace(' ', "+");
+        let (status, body) = get(addr, &format!("/v1/tiny/ngram?q={q}"));
+        assert_eq!(status, 200, "gram {text:?}");
+        assert!(
+            body.contains(&format!("\"count\":{count}")),
+            "gram {text:?}: {body}"
+        );
+        assert!(body.contains("\"found\":true"), "{body}");
+    }
+    // ngram miss: well-formed 200 with found=false.
+    let (status, body) = get(addr, "/v1/tiny/ngram?q=no+such+gram+here");
+    assert_eq!(status, 200);
+    assert!(body.contains("\"found\":false"), "{body}");
+
+    // prefix: returns extensions of the first term, bounded by limit.
+    let first_term = fixture.expected[0]
+        .0
+        .split_whitespace()
+        .next()
+        .unwrap()
+        .to_string();
+    let (status, body) = get(addr, &format!("/v1/tiny/prefix?q={first_term}&limit=3"));
+    assert_eq!(status, 200);
+    assert!(body.contains("\"results\":["), "{body}");
+    assert!(body.contains(&format!("\"q\":\"{first_term}\"")), "{body}");
+
+    // topk: k rows, counts non-increasing.
+    let (status, body) = get(addr, "/v1/tiny/topk?k=5");
+    assert_eq!(status, 200);
+    let counts: Vec<u64> = body
+        .match_indices("\"count\":")
+        .map(|(i, _)| {
+            body[i + 8..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect::<String>()
+                .parse()
+                .unwrap()
+        })
+        .collect();
+    assert_eq!(counts.len(), 5, "{body}");
+    assert!(counts.windows(2).all(|w| w[0] >= w[1]), "{body}");
+
+    // stats: manifest fields and cache telemetry.
+    let (status, body) = get(addr, "/v1/tiny/stats");
+    assert_eq!(status, 200);
+    for needle in [
+        "\"index\":\"tiny\"",
+        "\"method\":\"SUFFIX-SIGMA\"",
+        "\"count_mode\":\"cf\"",
+        "\"tau\":2",
+        "\"entries\":",
+        "\"cache\":{",
+        "\"hit_rate\":",
+    ] {
+        assert!(body.contains(needle), "missing {needle} in {body}");
+    }
+
+    // Error paths: unknown index and endpoint → 404, bad params → 400,
+    // non-GET → 405.
+    let (status, body) = get(addr, "/v1/nope/ngram?q=a");
+    assert_eq!(status, 404);
+    assert!(body.contains("unknown index"), "{body}");
+    let (status, _) = get(addr, "/v1/tiny/nope");
+    assert_eq!(status, 404);
+    let (status, body) = get(addr, "/v1/tiny/ngram");
+    assert_eq!(status, 400);
+    assert!(body.contains("missing query parameter q"), "{body}");
+    let (status, _) = get(addr, "/v1/tiny/topk?k=0");
+    assert_eq!(status, 400);
+    let (status, _) = get(addr, "/v1/tiny/prefix?q=a&limit=notanumber");
+    assert_eq!(status, 400);
+    let (status, _) = {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(
+            stream,
+            "POST /v1/tiny/ngram?q=a HTTP/1.1\r\nconnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut raw = Vec::new();
+        stream.read_to_end(&mut raw).unwrap();
+        parse_response(&raw)
+    };
+    assert_eq!(status, 405);
+
+    // Keep-alive: two requests over one connection.
+    {
+        let mut stream = TcpStream::connect(addr).unwrap();
+        write!(stream, "GET / HTTP/1.1\r\nhost: t\r\n\r\n").unwrap();
+        let mut buf = [0u8; 4096];
+        let n = stream.read(&mut buf).unwrap();
+        let first = String::from_utf8_lossy(&buf[..n]).into_owned();
+        assert!(first.contains("connection: keep-alive"), "{first}");
+        write!(
+            stream,
+            "GET /v1/tiny/stats HTTP/1.1\r\nconnection: close\r\n\r\n"
+        )
+        .unwrap();
+        let mut rest = Vec::new();
+        stream.read_to_end(&mut rest).unwrap();
+        let second = String::from_utf8_lossy(&rest);
+        assert!(second.contains("\"entries\":"), "{second}");
+    }
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&fixture.dir);
+}

@@ -1,0 +1,88 @@
+//! The serving invariant, property-tested: every `(gram, count)` a
+//! driver run produces is served back *identically* after the segment
+//! round-trip — for all four methods, both count modes, and every block
+//! codec. The index must also deny what was never computed: lookups of
+//! unknown grams return nothing, and the full enumeration contains
+//! exactly the computed record set.
+
+use corpus::{generate, CorpusProfile};
+use mapreduce::{Cluster, RunCodec};
+use ngrams::{Computation, CountMode, Method, NGramParams};
+use proptest::prelude::*;
+use serve::{build_index, IndexOptions, StatsIndex};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+static DIR_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn temp_index_dir() -> PathBuf {
+    std::env::temp_dir().join(format!(
+        "serve-props-{}-{}",
+        std::process::id(),
+        DIR_SEQ.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+const CODECS: [RunCodec; 3] = [
+    RunCodec::Plain,
+    RunCodec::FrontCoded,
+    RunCodec::PostingDelta,
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    #[test]
+    fn every_computed_gram_is_served_back_identically(
+        seed in 0u64..10_000,
+        docs in 10usize..30,
+        tau in 2u64..4,
+        sigma in 2usize..5,
+        df in any::<bool>(),
+        codec_ix in 0usize..3,
+    ) {
+        let coll = generate(&CorpusProfile::tiny("serve-prop", docs), seed);
+        let cluster = Cluster::new(2);
+        let mut params = NGramParams::new(tau, sigma);
+        params.mode = if df { CountMode::Df } else { CountMode::Cf };
+        let codec = CODECS[codec_ix];
+        for method in Method::ALL {
+            let computation = Computation::new(method, &params).input(&coll);
+            let expected = computation.run(&cluster)
+                .unwrap_or_else(|e| panic!("{} failed: {e}", method.name()))
+                .grams;
+            let dir = temp_index_dir();
+            let opts = IndexOptions { codec, ..IndexOptions::default() };
+            let meta = build_index(&cluster, &computation, &coll.dictionary, "prop", &dir, &opts)
+                .unwrap_or_else(|e| panic!("{} index build failed: {e}", method.name()));
+            prop_assert_eq!(meta.entries, expected.len() as u64);
+            let index = StatsIndex::open(&dir)
+                .unwrap_or_else(|e| panic!("{} index open failed: {e}", method.name()));
+
+            // Point lookups: identical counts for every computed gram.
+            for (gram, count) in &expected {
+                prop_assert_eq!(
+                    index.lookup_gram(gram.terms()).unwrap(),
+                    Some(*count),
+                    "{} codec {:?}: gram {:?} served wrong",
+                    method.name(), codec, gram
+                );
+            }
+            // Denial: a term id beyond the dictionary was never counted.
+            let absent = [u32::MAX - 1];
+            prop_assert_eq!(index.lookup_gram(&absent).unwrap(), None);
+
+            // Enumeration: the empty prefix returns exactly the computed
+            // set, decoded — same size, same multiset of counts.
+            let all = index.prefix("", usize::MAX).unwrap();
+            prop_assert_eq!(all.len(), expected.len());
+            let mut served: Vec<u64> = all.iter().map(|(_, c)| *c).collect();
+            let mut computed: Vec<u64> = expected.iter().map(|(_, c)| *c).collect();
+            served.sort_unstable();
+            computed.sort_unstable();
+            prop_assert_eq!(served, computed);
+
+            let _ = std::fs::remove_dir_all(&dir);
+        }
+    }
+}

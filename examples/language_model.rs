@@ -85,7 +85,10 @@ fn main() {
     let params = NGramParams::new(/*tau*/ 3, /*sigma*/ 5);
 
     let t0 = std::time::Instant::now();
-    let result = compute(&cluster, &coll, Method::SuffixSigma, &params).expect("statistics failed");
+    let result = Computation::new(Method::SuffixSigma, &params)
+        .input(&coll)
+        .run(&cluster)
+        .expect("statistics failed");
     println!(
         "collected {} n-gram statistics (σ=5, τ=3) in {:?}",
         result.grams.len(),

@@ -24,7 +24,10 @@ fn main() {
 
     let mut reference: Option<Vec<(Gram, u64)>> = None;
     for method in ngrams::Method::ALL {
-        let result = compute(&cluster, &coll, method, &params).expect("method run failed");
+        let result = Computation::new(method, &params)
+            .input(&coll)
+            .run(&cluster)
+            .expect("method run failed");
         println!("--- {} ({} job(s)) ---", method.name(), result.jobs);
         for (gram, cf) in &result.grams {
             println!("  ⟨{}⟩ : {}", coll.dictionary.decode(gram.terms()), cf);
@@ -41,15 +44,15 @@ fn main() {
     }
 
     // §VI-A: maximality collapses the answer to the single n-gram ⟨a x b⟩.
-    let maximal = compute(
-        &cluster,
-        &coll,
+    let maximal = Computation::new(
         Method::SuffixSigma,
         &NGramParams {
             output: OutputMode::Maximal,
             ..NGramParams::new(3, 3)
         },
     )
+    .input(&coll)
+    .run(&cluster)
     .expect("maximal run failed");
     println!("--- maximal (σ-suffix + post-filter) ---");
     for (gram, cf) in &maximal.grams {

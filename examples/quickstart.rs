@@ -17,8 +17,10 @@ fn main() {
 
     // All n-grams of at most 5 terms occurring at least 10 times.
     let params = NGramParams::new(/*tau*/ 10, /*sigma*/ 5);
-    let result =
-        compute(&cluster, &coll, Method::SuffixSigma, &params).expect("suffix-sigma run failed");
+    let result = Computation::new(Method::SuffixSigma, &params)
+        .input(&coll)
+        .run(&cluster)
+        .expect("suffix-sigma run failed");
 
     println!(
         "SUFFIX-σ found {} frequent n-grams in {:?} using {} MapReduce job(s)",

@@ -16,7 +16,10 @@ fn main() {
 
     let params = NGramParams::new(/*tau*/ 8, /*sigma*/ 100);
     let t0 = std::time::Instant::now();
-    let all = compute(&cluster, &coll, Method::SuffixSigma, &params).expect("run failed");
+    let all = Computation::new(Method::SuffixSigma, &params)
+        .input(&coll)
+        .run(&cluster)
+        .expect("run failed");
     println!(
         "{} frequent n-grams (τ={}, σ={}) in {:?}",
         all.grams.len(),
@@ -38,25 +41,25 @@ fn main() {
     }
 
     // Maximality/closedness drastically shrink the output (§VI-A).
-    let maximal = compute(
-        &cluster,
-        &coll,
+    let maximal = Computation::new(
         Method::SuffixSigma,
         &NGramParams {
             output: OutputMode::Maximal,
             ..params.clone()
         },
     )
+    .input(&coll)
+    .run(&cluster)
     .expect("maximal run failed");
-    let closed = compute(
-        &cluster,
-        &coll,
+    let closed = Computation::new(
         Method::SuffixSigma,
         &NGramParams {
             output: OutputMode::Closed,
             ..params.clone()
         },
     )
+    .input(&coll)
+    .run(&cluster)
     .expect("closed run failed");
     println!(
         "\noutput reduction: all = {}, closed = {} ({:.1}%), maximal = {} ({:.1}%)",

@@ -10,6 +10,12 @@
 //!                    [--run-codec plain|front|posting-delta]
 //!                    [--decode] [--out results.tsv]
 //! ngram-mr timeseries --input corpus.bin --tau 5 --sigma 3 [--out series.tsv]
+//! ngram-mr index     --input corpus.bin --dir stats.idx --method suffix-sigma
+//!                    --tau 5 --sigma 5 [--mode cf|df] [--codec plain|front|posting-delta]
+//!                    [--top N] [--slots N]
+//! ngram-mr serve     --index [NAME=]DIR[,[NAME=]DIR...] [--addr HOST:PORT]
+//!                    [--workers N] [--cache-bytes N]
+//! ngram-mr query     --addr HOST:PORT --path /v1/NAME/ngram?q=...
 //! ```
 //!
 //! `--format blocks` writes the block-structured corpus store (magic
@@ -28,6 +34,12 @@
 //! `--pipelined` overlaps I/O with compute end to end: store-block input
 //! prefetch, a dedicated spill-writer thread per map task, reduce-side
 //! run read-ahead, and a double-buffered output writer.
+//!
+//! `index` runs the same computation but lands reduce output in a
+//! serving index (block-compressed segments + dictionary + manifest);
+//! `serve` mounts one or more such indexes behind the HTTP/1.1 query API
+//! (`/v1/{index}/ngram|prefix|topk|stats`); `query` is a minimal HTTP
+//! client for scripting against a running server.
 
 use ngram_mr::prelude::*;
 use std::collections::HashMap;
@@ -46,7 +58,12 @@ fn usage() -> ! {
          [--slots N] [--spill-to-disk] [--tmp-dir DIR] [--pipelined]\n                      \
          [--run-codec plain|front|posting-delta]\n                      \
          [--decode] [--out FILE]\n  \
-         ngram-mr timeseries --input FILE --tau N --sigma N [--decode] [--out FILE]\n\n\
+         ngram-mr timeseries --input FILE --tau N --sigma N [--decode] [--out FILE]\n  \
+         ngram-mr index      --input FILE --dir DIR --method METHOD --tau N --sigma N\n                      \
+         [--mode cf|df] [--codec plain|front|posting-delta] [--top N] [--slots N]\n  \
+         ngram-mr serve      --index [NAME=]DIR[,[NAME=]DIR...] [--addr HOST:PORT]\n                      \
+         [--workers N] [--cache-bytes N]\n  \
+         ngram-mr query      --addr HOST:PORT --path /v1/NAME/ENDPOINT[?QUERY]\n\n\
          corpus FILEs may be legacy blobs (NGRAMMR1) or block stores\n\
          (NGRAMMR2, `generate --format blocks`); every --input auto-detects."
     );
@@ -217,9 +234,8 @@ fn cmd_stats(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
-fn cmd_compute(args: &Args) -> ExitCode {
-    let input = open_corpus(args);
-    let method = match args.require("method") {
+fn parse_method(args: &Args) -> Method {
+    match args.require("method") {
         "naive" => Method::Naive,
         "apriori-scan" => Method::AprioriScan,
         "apriori-index" => Method::AprioriIndex,
@@ -228,8 +244,11 @@ fn cmd_compute(args: &Args) -> ExitCode {
             eprintln!("unknown method {other}");
             usage()
         }
-    };
-    let params = NGramParams {
+    }
+}
+
+fn parse_params(args: &Args) -> NGramParams {
+    NGramParams {
         mode: match args.get("mode").unwrap_or("cf") {
             "cf" => CountMode::Cf,
             "df" => CountMode::Df,
@@ -261,10 +280,31 @@ fn cmd_compute(args: &Args) -> ExitCode {
             ..mapreduce::JobConfig::default()
         },
         ..NGramParams::new(args.parse_num("tau", 2u64), args.parse_num("sigma", 5usize))
-    };
+    }
+}
+
+/// Attach the right input shape for an auto-detected corpus: block
+/// stores stream out-of-core, legacy blobs run in memory.
+fn computation_for<'a>(
+    input: &'a CorpusInput,
+    method: Method,
+    params: &NGramParams,
+) -> Computation<'a> {
+    let computation = Computation::new(method, params);
+    match input {
+        CorpusInput::Store(reader) => computation.input_store(Arc::clone(reader)),
+        CorpusInput::Legacy(coll) => computation.input(coll),
+    }
+}
+
+fn cmd_compute(args: &Args) -> ExitCode {
+    let input = open_corpus(args);
+    let method = parse_method(args);
+    let params = parse_params(args);
+    let computation = computation_for(&input, method, &params);
     // Validate before opening --out: a doomed run must not truncate a
     // pre-existing results file.
-    if let Err(e) = ngrams::validate_params(method, &params) {
+    if let Err(e) = computation.validate() {
         eprintln!("computation failed: {e}");
         return ExitCode::FAILURE;
     }
@@ -295,17 +335,7 @@ fn cmd_compute(args: &Args) -> ExitCode {
     } else {
         mapreduce::WriterSinkFactory::new(out_writer(args), format)
     };
-    let computed = match &input {
-        // Out-of-core: map splits read store blocks lazily; nothing
-        // materializes the collection or the prepared input.
-        CorpusInput::Store(reader) => {
-            ngrams::compute_store_to_sink(&cluster, reader, method, &params, &sinks)
-        }
-        CorpusInput::Legacy(coll) => {
-            ngrams::compute_to_sink(&cluster, coll, method, &params, &sinks)
-        }
-    };
-    let stats = match computed {
+    let stats = match computation.run_to_sink(&cluster, &sinks) {
         Ok((_, stats)) => stats,
         Err(e) => {
             eprintln!("computation failed: {e}");
@@ -358,6 +388,153 @@ fn cmd_timeseries(args: &Args) -> ExitCode {
     ExitCode::SUCCESS
 }
 
+fn cmd_index(args: &Args) -> ExitCode {
+    let input = open_corpus(args);
+    let method = parse_method(args);
+    let params = parse_params(args);
+    let computation = computation_for(&input, method, &params);
+    if let Err(e) = computation.validate() {
+        eprintln!("index build failed: {e}");
+        return ExitCode::FAILURE;
+    }
+    let dir = PathBuf::from(args.require("dir"));
+    let codec = match args.get("codec") {
+        None => mapreduce::RunCodec::FrontCoded,
+        Some(name) => mapreduce::RunCodec::parse(name).unwrap_or_else(|| {
+            eprintln!("unknown segment codec {name}");
+            usage()
+        }),
+    };
+    let opts = serve::IndexOptions {
+        codec,
+        top_entries: args.parse_num("top", serve::IndexOptions::default().top_entries),
+    };
+    let (dictionary, corpus_name) = match &input {
+        CorpusInput::Store(reader) => (reader.dictionary(), reader.meta().name.clone()),
+        CorpusInput::Legacy(coll) => (coll.dictionary.clone(), coll.name.clone()),
+    };
+    let cluster = cluster(args);
+    let t0 = std::time::Instant::now();
+    match serve::build_index(
+        &cluster,
+        &computation,
+        &dictionary,
+        &corpus_name,
+        &dir,
+        &opts,
+    ) {
+        Ok(meta) => {
+            eprintln!(
+                "indexed {} ({}, {}): {} entries in {} segment(s), codec {}, {:?}",
+                dir.display(),
+                meta.method,
+                meta.count_mode,
+                meta.entries,
+                meta.segments,
+                meta.codec.name(),
+                t0.elapsed()
+            );
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("index build failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_serve(args: &Args) -> ExitCode {
+    let cache_bytes: usize = args.parse_num("cache-bytes", serve::DEFAULT_CACHE_BYTES);
+    let mut indexes = std::collections::HashMap::new();
+    for spec in args.require("index").split(',') {
+        let (name, dir) = match spec.split_once('=') {
+            Some((name, dir)) => (name.to_string(), PathBuf::from(dir)),
+            None => {
+                let dir = PathBuf::from(spec);
+                let name = dir
+                    .file_name()
+                    .map(|n| n.to_string_lossy().into_owned())
+                    .unwrap_or_else(|| "default".to_string());
+                (name, dir)
+            }
+        };
+        match StatsIndex::open_with_cache(&dir, cache_bytes) {
+            Ok(index) => {
+                eprintln!(
+                    "mounted /v1/{name} from {} ({} entries, {} segments)",
+                    dir.display(),
+                    index.entries(),
+                    index.meta().segments
+                );
+                indexes.insert(name, Arc::new(index));
+            }
+            Err(e) => {
+                eprintln!("cannot open index {}: {e}", dir.display());
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    let addr = args.get("addr").unwrap_or("127.0.0.1:7071");
+    let workers: usize = args.parse_num("workers", serve::DEFAULT_WORKERS);
+    let server = match StatsServer::bind(addr, indexes) {
+        Ok(s) => s.workers(workers),
+        Err(e) => {
+            eprintln!("cannot bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    eprintln!(
+        "serving on http://{}/ ({workers} workers)",
+        server.local_addr()
+    );
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("server failed: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+fn cmd_query(args: &Args) -> ExitCode {
+    let addr = args.require("addr");
+    let path = args.require("path");
+    let mut stream = match std::net::TcpStream::connect(addr) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let request = format!("GET {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n\r\n");
+    if let Err(e) = stream.write_all(request.as_bytes()) {
+        eprintln!("cannot send request: {e}");
+        return ExitCode::FAILURE;
+    }
+    let mut response = Vec::new();
+    if let Err(e) = std::io::Read::read_to_end(&mut stream, &mut response) {
+        eprintln!("cannot read response: {e}");
+        return ExitCode::FAILURE;
+    }
+    let text = String::from_utf8_lossy(&response);
+    let Some((head, body)) = text.split_once("\r\n\r\n") else {
+        eprintln!("malformed response");
+        return ExitCode::FAILURE;
+    };
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(0);
+    println!("{body}");
+    if status == 200 {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("HTTP {status}");
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let argv: Vec<String> = std::env::args().skip(1).collect();
     let Some((cmd, rest)) = argv.split_first() else {
@@ -369,6 +546,9 @@ fn main() -> ExitCode {
         "stats" => cmd_stats(&args),
         "compute" => cmd_compute(&args),
         "timeseries" => cmd_timeseries(&args),
+        "index" => cmd_index(&args),
+        "serve" => cmd_serve(&args),
+        "query" => cmd_query(&args),
         _ => usage(),
     }
 }

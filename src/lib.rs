@@ -10,6 +10,7 @@
 //! | [`corpus`] | synthetic NYT-like / ClueWeb-like corpora plus the text preprocessing pipeline |
 //! | [`kvstore`] | disk-resident key-value store (the Berkeley DB role) |
 //! | [`ngrams`] | the four methods — NAÏVE, APRIORI-SCAN, APRIORI-INDEX, SUFFIX-σ — and the §VI extensions |
+//! | [`serve`] | segment index + HTTP/1.1 query layer over the computed statistics |
 //!
 //! ## Quick start
 //!
@@ -21,7 +22,10 @@
 //! // A simulated cluster with 4 map/reduce slots.
 //! let cluster = Cluster::new(4);
 //! // All n-grams of up to 5 terms occurring at least 3 times:
-//! let result = compute(&cluster, &coll, Method::SuffixSigma, &NGramParams::new(3, 5)).unwrap();
+//! let result = Computation::new(Method::SuffixSigma, &NGramParams::new(3, 5))
+//!     .input(&coll)
+//!     .run(&cluster)
+//!     .unwrap();
 //! assert!(!result.grams.is_empty());
 //! for (gram, cf) in result.grams.iter().take(5) {
 //!     println!("{:>6}  {}", cf, coll.dictionary.decode(gram.terms()));
@@ -36,6 +40,7 @@ pub use corpus;
 pub use kvstore;
 pub use mapreduce;
 pub use ngrams;
+pub use serve;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
@@ -46,7 +51,8 @@ pub mod prelude {
     };
     pub use mapreduce::{Cluster, Counter, CounterSnapshot, JobConfig};
     pub use ngrams::{
-        compute, compute_from_store, compute_time_series, CountMode, Gram, Method, NGramParams,
-        NGramResult, OutputMode, TimeSeries,
+        compute_time_series, Computation, CountMode, Gram, Method, NGramParams, NGramResult,
+        OutputMode, TimeSeries,
     };
+    pub use serve::{build_index, IndexOptions, StatsIndex, StatsServer};
 }

@@ -80,13 +80,11 @@ fn generate_stats_compute_round_trip() {
     // The CLI result must equal the library result on the same corpus.
     let coll = corpus::load(&corpus_path).unwrap();
     let cluster = mapreduce::Cluster::new(2);
-    let expected = ngrams::compute(
-        &cluster,
-        &coll,
-        ngrams::Method::SuffixSigma,
-        &ngrams::NGramParams::new(3, 3),
-    )
-    .unwrap();
+    let expected =
+        ngrams::Computation::new(ngrams::Method::SuffixSigma, &ngrams::NGramParams::new(3, 3))
+            .input(&coll)
+            .run(&cluster)
+            .unwrap();
     assert_eq!(lines.len(), expected.grams.len());
 
     // All four methods via CLI agree (spot-check record counts).

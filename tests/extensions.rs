@@ -4,10 +4,20 @@
 use corpus::{Collection, Dictionary, Document};
 use mapreduce::Cluster;
 use ngrams::{
-    compute, compute_time_series, prepare_input, reference_cf, reference_closed, reference_maximal,
-    reference_ts, Gram, Method, NGramParams, OutputMode, TimeSeries,
+    compute_time_series, prepare_input, reference_cf, reference_closed, reference_maximal,
+    reference_ts, Computation, Gram, Method, NGramParams, OutputMode, TimeSeries,
 };
 use proptest::prelude::*;
+
+/// All runs go through the [`Computation`] builder — the one front door.
+fn compute(
+    cluster: &Cluster,
+    coll: &Collection,
+    method: Method,
+    params: &NGramParams,
+) -> mapreduce::Result<ngrams::NGramResult> {
+    Computation::new(method, params).input(coll).run(cluster)
+}
 
 fn collection(docs: Vec<Vec<Vec<u32>>>) -> Collection {
     Collection {

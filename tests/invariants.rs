@@ -6,10 +6,20 @@
 //! * at low τ, SUFFIX-σ transfers the fewest records (§VII-E).
 
 use mapreduce::{Cluster, Counter};
-use ngrams::{compute, input_tokens, prepare_input, reference_cf, Method, NGramParams};
+use ngrams::{input_tokens, prepare_input, reference_cf, Computation, Method, NGramParams};
 
 fn tiny_corpus(seed: u64) -> corpus::Collection {
     corpus::generate(&corpus::CorpusProfile::tiny("inv", 50), seed)
+}
+
+/// All runs go through the [`Computation`] builder — the one front door.
+fn compute(
+    cluster: &Cluster,
+    coll: &corpus::Collection,
+    method: Method,
+    params: &NGramParams,
+) -> mapreduce::Result<ngrams::NGramResult> {
+    Computation::new(method, params).input(coll).run(cluster)
 }
 
 #[test]

@@ -5,8 +5,18 @@
 
 use corpus::{Collection, Dictionary, Document};
 use mapreduce::{Cluster, JobConfig};
-use ngrams::{compute, prepare_input, reference_cf, CountMode, Gram, Method, NGramParams};
+use ngrams::{prepare_input, reference_cf, Computation, CountMode, Gram, Method, NGramParams};
 use proptest::prelude::*;
+
+/// All runs go through the [`Computation`] builder — the one front door.
+fn compute(
+    cluster: &Cluster,
+    coll: &Collection,
+    method: Method,
+    params: &NGramParams,
+) -> mapreduce::Result<ngrams::NGramResult> {
+    Computation::new(method, params).input(coll).run(cluster)
+}
 
 /// Build a collection straight from nested term-id vectors.
 fn collection(docs: Vec<Vec<Vec<u32>>>) -> Collection {

@@ -4,6 +4,16 @@
 use mapreduce::Cluster;
 use ngram_mr::prelude::*;
 
+/// All runs go through the [`Computation`] builder — the one front door.
+fn compute(
+    cluster: &Cluster,
+    coll: &Collection,
+    method: Method,
+    params: &NGramParams,
+) -> mapreduce::Result<NGramResult> {
+    Computation::new(method, params).input(coll).run(cluster)
+}
+
 #[test]
 fn text_to_statistics_end_to_end() {
     // Build from actual prose through the tokenizer/sentence splitter.

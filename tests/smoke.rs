@@ -12,6 +12,16 @@ fn tiny_corpus() -> Collection {
     generate(&CorpusProfile::tiny("smoke", 50), 1234)
 }
 
+/// All runs go through the [`Computation`] builder — the one front door.
+fn compute(
+    cluster: &Cluster,
+    coll: &Collection,
+    method: Method,
+    params: &NGramParams,
+) -> mapreduce::Result<NGramResult> {
+    Computation::new(method, params).input(coll).run(cluster)
+}
+
 #[test]
 fn all_four_methods_agree_on_a_deterministic_tiny_corpus() {
     let coll = tiny_corpus();
