@@ -2,7 +2,7 @@
 //! a fixed corpus scale, written to `BENCH_shuffle.json` so each perf PR
 //! measures itself against the recorded trajectory.
 //!
-//! Six configurations isolate the shuffle fast-path levers, the input
+//! Seven configurations isolate the shuffle fast-path levers, the input
 //! stage, and the pipelined overlap:
 //!
 //! * `baseline`    — plain codec, prefix-digest sort *disabled* (the
@@ -21,7 +21,12 @@
 //! * `pipelined`   — `store-front` plus `JobConfig::pipelined`: block
 //!   prefetch, spill-writer threads, reduce read-ahead. The three
 //!   `*_stall_nanos` keys record the residual waits the overlap failed to
-//!   hide (zero on every synchronous config).
+//!   hide (zero on every synchronous config);
+//! * `store-rank`  — the `store` leg reading a `StoreCodec::Rank`
+//!   compressed store: on-disk input bytes shrink
+//!   (`input_bytes / input_raw_bytes` is the store compression ratio,
+//!   mirroring the run-codec ratio) while decoded block residency and
+//!   output stay identical.
 //!
 //! Wall clocks are the best of [`REPS`] runs to damp scheduler noise.
 //! Knobs: `NGRAM_BENCH_SCALE` (default [`bench::DEFAULT_SCALE`]),
@@ -29,7 +34,7 @@
 //! `BENCH_shuffle.json` in the working directory).
 
 use bench::{cluster_from_env, corpora, fmt_bytes, fmt_duration, scale_from_env};
-use corpus::CorpusReader;
+use corpus::{CorpusReader, StoreCodec};
 use mapreduce::{Counter, RunCodec};
 use ngrams::{Computation, Method, NGramParams, NGramResult};
 use std::sync::Arc;
@@ -71,6 +76,7 @@ struct Entry {
     spills: u64,
     records: u64,
     input_bytes: u64,
+    input_raw_bytes: u64,
     input_blocks: u64,
     input_peak_block_bytes: u64,
     input_stall_nanos: u64,
@@ -120,6 +126,7 @@ fn run_one(
             spills: c.get(Counter::Spills),
             records: c.get(Counter::MapOutputRecords),
             input_bytes: c.get(Counter::MapInputBytes),
+            input_raw_bytes: c.get(Counter::InputRawBytes),
             input_blocks: c.get(Counter::InputBlocksRead),
             input_peak_block_bytes: c.get(Counter::InputPeakBlockBytes),
             input_stall_nanos: c.get(Counter::MapInputStallNanos),
@@ -144,7 +151,7 @@ fn json_line(e: &Entry) -> String {
             "\"input_bytes\": {}, \"input_blocks\": {}, \"input_peak_block_bytes\": {}, ",
             "\"output_grams\": {}, \"pipelined\": {}, ",
             "\"map_input_stall_nanos\": {}, \"spill_stall_nanos\": {}, ",
-            "\"reduce_decode_stall_nanos\": {}}}"
+            "\"reduce_decode_stall_nanos\": {}, \"input_raw_bytes\": {}}}"
         ),
         e.method,
         e.config,
@@ -165,6 +172,7 @@ fn json_line(e: &Entry) -> String {
         e.input_stall_nanos,
         e.spill_stall_nanos,
         e.decode_stall_nanos,
+        e.input_raw_bytes,
     )
 }
 
@@ -180,11 +188,24 @@ fn main() {
     );
 
     // The store legs read the same collection from a freshly written
-    // block store (removed afterwards).
+    // block store, plus a rank-compressed twin (both removed afterwards).
     let store_path =
         std::env::temp_dir().join(format!("shuffle-bench-store-{}.ngs", std::process::id()));
     corpus::save_store(&nyt, &store_path).expect("cannot write bench store");
     let reader = Arc::new(CorpusReader::open(&store_path).expect("cannot open bench store"));
+    let rank_path =
+        std::env::temp_dir().join(format!("shuffle-bench-rank-{}.ngs", std::process::id()));
+    corpus::save_store_codec(&nyt, &rank_path, StoreCodec::Rank).expect("cannot write rank store");
+    let rank_reader = Arc::new(CorpusReader::open(&rank_path).expect("cannot open rank store"));
+    {
+        let m = rank_reader.meta();
+        eprintln!(
+            "rank store: {} on disk / {} decoded ({:.3}x)",
+            fmt_bytes(m.data_bytes),
+            fmt_bytes(m.raw_data_bytes),
+            m.data_bytes as f64 / m.raw_data_bytes.max(1) as f64,
+        );
+    }
     {
         // Report the size-balanced split plan the store legs will use.
         let splits = cluster.slots() * 4;
@@ -219,6 +240,8 @@ fn main() {
             SPILLY_SORT_BUFFER,
         ),
     ];
+    // The twin of `store`, reading the rank-compressed store instead.
+    const RANK_CONFIGS: [Config; 1] = [("store-rank", RunCodec::Plain, true, false, 0)];
 
     let mut entries: Vec<Entry> = Vec::new();
     for method in Method::ALL {
@@ -237,20 +260,25 @@ fn main() {
             );
             entries.push(e);
         }
-        for config in STORE_CONFIGS {
+        let store_legs = STORE_CONFIGS
+            .iter()
+            .map(|&c| (&reader, c))
+            .chain(RANK_CONFIGS.iter().map(|&c| (&rank_reader, c)));
+        for (leg_reader, config) in store_legs {
             let e = run_one(
                 &cluster,
-                &BenchInput::Store(Arc::clone(&reader)),
+                &BenchInput::Store(Arc::clone(leg_reader)),
                 method,
                 config,
             );
             eprintln!(
-                "{:>14} {:>11}: wall {:>8}  map-sort {:>8}  input {} in {} blocks (peak {})  stalls in/sp/dec {:.1}/{:.1}/{:.1} ms",
+                "{:>14} {:>11}: wall {:>8}  map-sort {:>8}  input {} disk / {} raw in {} blocks (peak {})  stalls in/sp/dec {:.1}/{:.1}/{:.1} ms",
                 e.method,
                 e.config,
                 fmt_duration(e.wall),
                 fmt_duration(e.map_sort),
                 fmt_bytes(e.input_bytes),
+                fmt_bytes(e.input_raw_bytes),
                 e.input_blocks,
                 fmt_bytes(e.input_peak_block_bytes),
                 e.input_stall_nanos as f64 / 1e6,
@@ -261,6 +289,7 @@ fn main() {
         }
     }
     let _ = std::fs::remove_file(&store_path);
+    let _ = std::fs::remove_file(&rank_path);
 
     let out_path = std::env::var("NGRAM_BENCH_SHUFFLE_OUT")
         .unwrap_or_else(|_| "BENCH_shuffle.json".to_string());

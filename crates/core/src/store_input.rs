@@ -144,8 +144,12 @@ impl CorpusSplitStream {
             let entry = self.reader.block_entry(b);
             let docs = self.reader.read_block(b)?;
             self.stats.bytes_read += entry.bytes;
+            self.stats.raw_bytes += entry.raw_bytes;
             self.stats.blocks_read += 1;
-            self.stats.peak_block_bytes = self.stats.peak_block_bytes.max(entry.bytes);
+            // The decoded block is what actually sits in memory, so the
+            // residency witness tracks raw (post-codec) bytes; on a plain
+            // store raw == on-disk and nothing changes.
+            self.stats.peak_block_bytes = self.stats.peak_block_bytes.max(entry.raw_bytes);
             for d in &docs {
                 flatten_document(
                     d.id,
@@ -176,35 +180,38 @@ impl CorpusSplitStream {
         let cf_ref: Option<&dyn Fn(u32) -> u64> = if self.split_at_tau { Some(&cf) } else { None };
         let reader = Arc::clone(&self.reader);
         let blocks = self.blocks.clone();
-        type Fetched = std::io::Result<(Vec<Document>, u64)>;
+        type Fetched = std::io::Result<(Vec<Document>, u64, u64)>;
         let (tx, rx) = std::sync::mpsc::sync_channel::<Fetched>(0);
         let stats = &mut self.stats;
         let (tau, blocks_total) = (self.tau, self.blocks.len());
         std::thread::scope(move |scope| -> Result<()> {
             scope.spawn(move || {
                 for &b in &blocks {
-                    let bytes = reader.block_entry(b).bytes;
-                    let fetched = reader.read_block(b).map(|docs| (docs, bytes));
+                    let entry = reader.block_entry(b);
+                    let fetched = reader
+                        .read_block(b)
+                        .map(|docs| (docs, entry.bytes, entry.raw_bytes));
                     if tx.send(fetched).is_err() {
                         return; // consumer aborted; stop fetching
                     }
                 }
             });
-            let mut prev_bytes = 0u64;
+            let mut prev_raw = 0u64;
             for _ in 0..blocks_total {
                 let waited = Instant::now();
                 let fetched = rx.recv();
                 stats.stall_nanos += waited.elapsed().as_nanos() as u64;
-                let (docs, bytes) = match fetched {
+                let (docs, bytes, raw_bytes) = match fetched {
                     Ok(res) => res?,
                     Err(_) => break, // producer gone (only after an error)
                 };
                 stats.bytes_read += bytes;
+                stats.raw_bytes += raw_bytes;
                 stats.blocks_read += 1;
-                // Residency witness: the block being flattened plus the
-                // one the prefetcher is reading behind it.
-                stats.peak_block_bytes = stats.peak_block_bytes.max(prev_bytes + bytes);
-                prev_bytes = bytes;
+                // Residency witness: the decoded block being flattened
+                // plus the one the prefetcher decoded behind it.
+                stats.peak_block_bytes = stats.peak_block_bytes.max(prev_raw + raw_bytes);
+                prev_raw = raw_bytes;
                 for d in &docs {
                     flatten_document(d.id, d.year, &d.sentences, tau, cf_ref, &mut |did, seq| {
                         f(&did, &seq)
@@ -227,6 +234,15 @@ impl RecordStream<u64, InputSeq> for CorpusSplitStream {
 
     fn input_stats(&self) -> InputStats {
         self.stats
+    }
+
+    /// On-disk bytes this split will read — what LPT claim ordering in
+    /// the job runner sorts by, so the biggest splits start first.
+    fn predicted_cost(&self) -> u64 {
+        self.blocks
+            .iter()
+            .map(|&b| self.reader.block_entry(b).bytes)
+            .sum()
     }
 }
 
@@ -458,13 +474,60 @@ mod tests {
             s.for_each(&mut |_, _| Ok(())).unwrap();
             let st = s.input_stats();
             total.bytes_read += st.bytes_read;
+            total.raw_bytes += st.raw_bytes;
             total.blocks_read += st.blocks_read;
             total.peak_block_bytes = total.peak_block_bytes.max(st.peak_block_bytes);
         }
         assert_eq!(total.bytes_read, data_bytes);
+        // Plain store: decoded bytes equal on-disk bytes.
+        assert_eq!(total.raw_bytes, data_bytes);
         assert_eq!(total.blocks_read, reader.num_blocks() as u64);
         assert!(total.peak_block_bytes > 0);
         assert!(total.peak_block_bytes <= data_bytes);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn compressed_store_streams_report_raw_bytes_and_raw_peak() {
+        let coll = generate(&CorpusProfile::tiny("split-src-rank", 150), 31);
+        let path =
+            std::env::temp_dir().join(format!("core-store-input-rank-{}.ngs", std::process::id()));
+        corpus::save_store_codec(&coll, &path, corpus::StoreCodec::Rank).unwrap();
+        let reader = Arc::new(CorpusReader::open(&path).unwrap());
+        let meta = reader.meta().clone();
+        assert!(
+            meta.data_bytes < meta.raw_data_bytes,
+            "store must actually compress for this test to witness anything"
+        );
+        for pipelined in [false, true] {
+            let splits = CorpusSplitSource::new(Arc::clone(&reader), 2, true)
+                .pipelined(pipelined)
+                .into_splits(2)
+                .unwrap();
+            let mut total = InputStats::default();
+            let mut max_raw_entry = 0u64;
+            for mut s in splits {
+                let cost = s.predicted_cost();
+                s.for_each(&mut |_, _| Ok(())).unwrap();
+                let st = s.input_stats();
+                assert_eq!(cost, st.bytes_read, "predicted cost is on-disk bytes");
+                total.bytes_read += st.bytes_read;
+                total.raw_bytes += st.raw_bytes;
+                total.peak_block_bytes = total.peak_block_bytes.max(st.peak_block_bytes);
+            }
+            for b in 0..reader.num_blocks() {
+                max_raw_entry = max_raw_entry.max(reader.block_entry(b).raw_bytes);
+            }
+            assert_eq!(total.bytes_read, meta.data_bytes, "pipelined={pipelined}");
+            assert_eq!(
+                total.raw_bytes, meta.raw_data_bytes,
+                "pipelined={pipelined}"
+            );
+            // Peak tracks the *decoded* block(s): at least one raw block,
+            // at most two (pipelined pair).
+            assert!(total.peak_block_bytes >= max_raw_entry);
+            assert!(total.peak_block_bytes <= 2 * max_raw_entry);
+        }
         let _ = std::fs::remove_file(&path);
     }
 }

@@ -5,7 +5,7 @@
 //! in-memory runs, and the input-side counters must witness that no map
 //! task ever held more than one block of the corpus.
 
-use corpus::{generate, save_store, CorpusProfile, CorpusReader, CorpusWriter};
+use corpus::{generate, save_store, CorpusProfile, CorpusReader, CorpusWriter, StoreCodec};
 use mapreduce::{Cluster, Counter, InputStats, JobConfig, RecordSource, RecordStream};
 use ngrams::{prepare_input, Computation, CorpusSplitSource, InputSeq, Method, NGramParams};
 use proptest::prelude::*;
@@ -61,6 +61,36 @@ fn drain_source(source: CorpusSplitSource, n_splits: usize) -> Vec<(u64, InputSe
     }
     out.sort_by_key(|(did, seq)| (*did, seq.base));
     out
+}
+
+/// Write `coll` with an explicit codec *and* block budget (the save
+/// helpers fix the budget at the production default).
+fn write_store_codec(
+    coll: &corpus::Collection,
+    path: &std::path::Path,
+    codec: StoreCodec,
+    block_budget: usize,
+) -> corpus::StoreMeta {
+    let mut counts: Vec<u64> = Vec::new();
+    for d in &coll.docs {
+        for s in &d.sentences {
+            for &t in s {
+                let slot = t as usize;
+                if slot >= counts.len() {
+                    counts.resize(slot + 1, 0);
+                }
+                counts[slot] += 1;
+            }
+        }
+    }
+    let mut w = CorpusWriter::create(path, &coll.name)
+        .unwrap()
+        .codec(codec, &counts)
+        .block_budget(block_budget);
+    for d in &coll.docs {
+        w.push(d).unwrap();
+    }
+    w.finish(&coll.dictionary).unwrap()
 }
 
 proptest! {
@@ -142,6 +172,57 @@ proptest! {
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(6))]
+
+    #[test]
+    fn compressed_store_runs_are_record_identical_to_plain(
+        seed in 0u64..10_000,
+        docs in 8usize..24,
+        tau in 2u64..4,
+        split_docs in any::<bool>(),
+        block_budget in prop_oneof![Just(512usize), Just(4096), Just(corpus::STORE_BLOCK_BYTES)],
+    ) {
+        // The tentpole identity: a store written with any codec drives
+        // every method to the exact same records as the plain store, at
+        // every block budget and τ-split setting.
+        let coll = generate(&CorpusProfile::tiny("store-codec-prop", docs), seed);
+        let cluster = Cluster::new(2);
+        let mut params = NGramParams::new(tau, 4);
+        params.split_docs = split_docs;
+        params.job = JobConfig {
+            spill_to_disk: true,
+            sort_buffer_bytes: 512,
+            ..JobConfig::default()
+        };
+        let plain_path = temp_store_path();
+        let plain_meta = write_store_codec(&coll, &plain_path, StoreCodec::Plain, block_budget);
+        let plain_reader = Arc::new(CorpusReader::open(&plain_path).unwrap());
+        for codec in [StoreCodec::Rank, StoreCodec::Lz] {
+            let path = temp_store_path();
+            let meta = write_store_codec(&coll, &path, codec, block_budget);
+            // Budgets are defined on raw bytes, so the decoded payload is
+            // invariant across codecs.
+            prop_assert_eq!(meta.raw_data_bytes, plain_meta.data_bytes);
+            let reader = Arc::new(CorpusReader::open(&path).unwrap());
+            for method in Method::ALL {
+                let plain_run = compute_from_store(&cluster, &plain_reader, method, &params)
+                    .unwrap_or_else(|e| panic!("{} plain failed: {e}", method.name()));
+                let codec_run = compute_from_store(&cluster, &reader, method, &params)
+                    .unwrap_or_else(|e| panic!("{} {} failed: {e}", method.name(), codec.name()));
+                prop_assert_eq!(
+                    &codec_run.grams,
+                    &plain_run.grams,
+                    "{} diverged on a {} store (seed={}, budget={}, split_docs={})",
+                    method.name(),
+                    codec.name(),
+                    seed,
+                    block_budget,
+                    split_docs
+                );
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+        let _ = std::fs::remove_file(&plain_path);
+    }
 
     #[test]
     fn pipelined_store_runs_match_synchronous_for_all_methods(
@@ -239,8 +320,55 @@ fn store_driven_compute_is_bounded_by_one_block() {
         result.counters.get(Counter::InputBlocksRead),
         reader.num_blocks() as u64
     );
-    // ...for a total input volume of the whole corpus.
+    // ...for a total input volume of the whole corpus. On a plain store
+    // the decoded volume equals the on-disk volume.
     assert_eq!(result.counters.get(Counter::MapInputBytes), meta.data_bytes);
+    assert_eq!(result.counters.get(Counter::InputRawBytes), meta.data_bytes);
+    let _ = std::fs::remove_file(&path);
+}
+
+/// The compressed-store sibling of the one-block witness: peak residency
+/// is the largest *decoded* block (what's actually allocated), on-disk
+/// input bytes shrink below decoded bytes, and the new raw-bytes counter
+/// reports the decoded total — the end-to-end "shrink input bytes"
+/// acceptance check at test scale.
+#[test]
+fn compressed_store_compute_peak_is_one_decoded_block() {
+    let coll = generate(&CorpusProfile::tiny("bounded-rank", 300), 23);
+    let path = temp_store_path();
+    const BUDGET: usize = 2048;
+    let meta = write_store_codec(&coll, &path, StoreCodec::Rank, BUDGET);
+    assert!(
+        meta.data_bytes < meta.raw_data_bytes,
+        "rank codec must shrink this corpus ({} vs {})",
+        meta.data_bytes,
+        meta.raw_data_bytes
+    );
+    let reader = Arc::new(CorpusReader::open(&path).unwrap());
+    assert!(reader.num_blocks() > 2, "corpus must span several blocks");
+    let max_raw = (0..reader.num_blocks())
+        .map(|i| reader.block_entry(i).raw_bytes)
+        .max()
+        .unwrap();
+
+    let cluster = Cluster::new(2);
+    let mut params = NGramParams::new(3, 4);
+    params.job = JobConfig {
+        spill_to_disk: true,
+        ..JobConfig::default()
+    };
+    let result = compute_from_store(&cluster, &reader, Method::SuffixSigma, &params).unwrap();
+    assert!(!result.grams.is_empty());
+    assert_eq!(
+        result.counters.get(Counter::InputPeakBlockBytes),
+        max_raw,
+        "peak input allocation must be exactly the largest decoded block"
+    );
+    assert_eq!(result.counters.get(Counter::MapInputBytes), meta.data_bytes);
+    assert_eq!(
+        result.counters.get(Counter::InputRawBytes),
+        meta.raw_data_bytes
+    );
     let _ = std::fs::remove_file(&path);
 }
 

@@ -18,10 +18,20 @@ use crate::dictionary::Dictionary;
 use crate::document::{Collection, Document};
 use crate::lexicon::Lexicon;
 use crate::profile::CorpusProfile;
+use crate::store::{CorpusWriter, StoreCodec, StoreMeta, STORE_BLOCK_BYTES};
 use crate::zipf::Zipf;
 use mapreduce::FxHashMap;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use std::collections::VecDeque;
+use std::io;
+use std::path::Path;
+
+/// How many recent documents the near-duplication model can splice from.
+/// A bounded window (instead of full lookback) is what lets document
+/// generation stream with O(window) memory; web mirrors copy *recent*
+/// content anyway.
+const DUP_WINDOW: usize = 64;
 
 /// Standard normal via Box–Muller.
 fn normal(rng: &mut StdRng) -> f64 {
@@ -38,85 +48,145 @@ fn lognormal(rng: &mut StdRng, mean: f64, std: f64) -> f64 {
     (mu + sigma2.sqrt() * normal(rng)).exp()
 }
 
-/// Generate a collection from `profile`, deterministically in `seed`.
-pub fn generate(profile: &CorpusProfile, seed: u64) -> Collection {
-    let mut rng = StdRng::seed_from_u64(seed ^ 0x6e67_7261_6d73); // "ngrams"
-    let unigram = Zipf::new(profile.vocab_size, profile.zipf_exponent);
+/// Streaming document source: yields one raw document (sentences of raw
+/// word indices) at a time, holding only the RNG, the phrase library, and
+/// a [`DUP_WINDOW`]-deep recent-document window for near-duplication —
+/// never the corpus. Deterministic in `(profile, seed)`, so two streams
+/// with the same inputs replay the identical document sequence (the
+/// two-pass [`generate_store`] depends on this).
+struct DocStream<'a> {
+    profile: &'a CorpusProfile,
+    rng: StdRng,
+    unigram: Zipf,
+    phrases: Vec<Vec<u32>>,
+    phrase_picker: Option<Zipf>,
+    /// Recent raw documents the duplication model may splice from.
+    recent: VecDeque<Vec<Vec<u32>>>,
+    /// Total tokens across `recent` (kept incrementally for the
+    /// peak-memory witness).
+    window_tokens: u64,
+    doc_idx: usize,
+}
 
-    // ---- Phrase library. ----
-    let mut phrases: Vec<Vec<u32>> = Vec::with_capacity(profile.phrase_vocab);
-    for _ in 0..profile.phrase_vocab {
-        let long = rng.random::<f64>() < profile.long_phrase_fraction;
-        let (lo, hi) = if long {
-            profile.long_phrase_len
-        } else {
-            profile.short_phrase_len
-        };
-        let len = rng.random_range(lo..=hi.max(lo + 1));
-        phrases.push((0..len).map(|_| unigram.sample(&mut rng)).collect());
-    }
-    let phrase_picker = if profile.phrase_vocab > 0 {
-        Some(Zipf::new(
-            profile.phrase_vocab,
-            profile.phrase_zipf_exponent,
-        ))
-    } else {
-        None
-    };
+impl<'a> DocStream<'a> {
+    fn new(profile: &'a CorpusProfile, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed ^ 0x6e67_7261_6d73); // "ngrams"
+        let unigram = Zipf::new(profile.vocab_size, profile.zipf_exponent);
 
-    // ---- Documents (tokens are raw word indices at this stage). ----
-    let mut raw_docs: Vec<Vec<Vec<u32>>> = Vec::with_capacity(profile.num_docs);
-    for doc_idx in 0..profile.num_docs {
-        // Web-style near-duplication: splice a chunk of an earlier document.
-        if doc_idx > 16 && rng.random::<f64>() < profile.duplicate_doc_rate {
-            let src_idx = rng.random_range(0..doc_idx);
-            let src: &Vec<Vec<u32>> = &raw_docs[src_idx];
-            if !src.is_empty() {
-                let start = rng.random_range(0..src.len());
-                let take = rng.random_range(1..=src.len() - start);
-                let mut dup: Vec<Vec<u32>> = src[start..start + take].to_vec();
-                // A couple of fresh sentences so duplicates are "near", not exact.
-                for _ in 0..rng.random_range(0..3usize) {
-                    dup.push(fresh_sentence(profile, &unigram, &mut rng));
-                }
-                raw_docs.push(dup);
-                continue;
-            }
-        }
-
-        let n_sent = (profile.sentences_per_doc
-            + normal(&mut rng) * profile.sentences_per_doc / 3.0)
-            .round()
-            .max(1.0) as usize;
-        let mut sentences = Vec::with_capacity(n_sent);
-        for _ in 0..n_sent {
-            let use_phrase = phrase_picker.is_some() && rng.random::<f64>() < profile.phrase_rate;
-            if use_phrase {
-                let p = phrase_picker.as_ref().unwrap().sample(&mut rng) as usize;
-                let mut s = phrases[p].clone();
-                // Occasionally extend a quoted phrase with attribution noise.
-                if rng.random::<f64>() < 0.3 {
-                    for _ in 0..rng.random_range(1..4usize) {
-                        s.push(unigram.sample(&mut rng));
-                    }
-                }
-                sentences.push(s);
+        // ---- Phrase library. ----
+        let mut phrases: Vec<Vec<u32>> = Vec::with_capacity(profile.phrase_vocab);
+        for _ in 0..profile.phrase_vocab {
+            let long = rng.random::<f64>() < profile.long_phrase_fraction;
+            let (lo, hi) = if long {
+                profile.long_phrase_len
             } else {
-                sentences.push(fresh_sentence(profile, &unigram, &mut rng));
-            }
+                profile.short_phrase_len
+            };
+            let len = rng.random_range(lo..=hi.max(lo + 1));
+            phrases.push((0..len).map(|_| unigram.sample(&mut rng)).collect());
         }
-        raw_docs.push(sentences);
+        let phrase_picker = if profile.phrase_vocab > 0 {
+            Some(Zipf::new(
+                profile.phrase_vocab,
+                profile.phrase_zipf_exponent,
+            ))
+        } else {
+            None
+        };
+        DocStream {
+            profile,
+            rng,
+            unigram,
+            phrases,
+            phrase_picker,
+            recent: VecDeque::with_capacity(DUP_WINDOW + 1),
+            window_tokens: 0,
+            doc_idx: 0,
+        }
     }
 
-    // ---- Frequency-ranked dictionary and token remap (paper §V). ----
-    let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
-    for doc in &raw_docs {
-        for sent in doc {
-            for &w in sent {
-                *counts.entry(w).or_insert(0) += 1;
+    /// Tokens resident in the duplication window.
+    fn window_tokens(&self) -> u64 {
+        self.window_tokens
+    }
+
+    fn next_doc(&mut self) -> Option<Vec<Vec<u32>>> {
+        if self.doc_idx >= self.profile.num_docs {
+            return None;
+        }
+        let profile = self.profile;
+        let doc_idx = self.doc_idx;
+        self.doc_idx += 1;
+
+        // Web-style near-duplication: splice a chunk of a recent document.
+        let mut sentences: Option<Vec<Vec<u32>>> = None;
+        if doc_idx > 16 && self.rng.random::<f64>() < profile.duplicate_doc_rate {
+            let src_idx = self.rng.random_range(0..self.recent.len());
+            let src_len = self.recent[src_idx].len();
+            if src_len > 0 {
+                let start = self.rng.random_range(0..src_len);
+                let take = self.rng.random_range(1..=src_len - start);
+                let mut dup: Vec<Vec<u32>> = self.recent[src_idx][start..start + take].to_vec();
+                // A couple of fresh sentences so duplicates are "near", not exact.
+                for _ in 0..self.rng.random_range(0..3usize) {
+                    dup.push(fresh_sentence(profile, &self.unigram, &mut self.rng));
+                }
+                sentences = Some(dup);
             }
         }
+        let sentences = sentences.unwrap_or_else(|| {
+            let n_sent = (profile.sentences_per_doc
+                + normal(&mut self.rng) * profile.sentences_per_doc / 3.0)
+                .round()
+                .max(1.0) as usize;
+            let mut sentences = Vec::with_capacity(n_sent);
+            for _ in 0..n_sent {
+                let use_phrase =
+                    self.phrase_picker.is_some() && self.rng.random::<f64>() < profile.phrase_rate;
+                if use_phrase {
+                    let p = self.phrase_picker.as_ref().unwrap().sample(&mut self.rng) as usize;
+                    let mut s = self.phrases[p].clone();
+                    // Occasionally extend a quoted phrase with attribution noise.
+                    if self.rng.random::<f64>() < 0.3 {
+                        for _ in 0..self.rng.random_range(1..4usize) {
+                            s.push(self.unigram.sample(&mut self.rng));
+                        }
+                    }
+                    sentences.push(s);
+                } else {
+                    sentences.push(fresh_sentence(profile, &self.unigram, &mut self.rng));
+                }
+            }
+            sentences
+        });
+
+        self.window_tokens += sentences.iter().map(|s| s.len() as u64).sum::<u64>();
+        self.recent.push_back(sentences.clone());
+        if self.recent.len() > DUP_WINDOW {
+            let evicted = self.recent.pop_front().expect("window non-empty");
+            self.window_tokens -= evicted.iter().map(|s| s.len() as u64).sum::<u64>();
+        }
+        Some(sentences)
     }
+}
+
+/// Chronological year for document `i` of `num_docs`, spread across the
+/// profile's year range.
+fn doc_year(profile: &CorpusProfile, i: usize) -> u16 {
+    let (y_lo, y_hi) = profile.years;
+    if profile.num_docs <= 1 || y_hi == y_lo {
+        y_lo
+    } else {
+        y_lo + ((i as u64 * u64::from(y_hi - y_lo)) / (profile.num_docs as u64 - 1).max(1)) as u16
+    }
+}
+
+/// Build the frequency-ranked dictionary and raw-word → term-id remap
+/// from raw-word occurrence counts (paper §V).
+fn build_dictionary(
+    profile: &CorpusProfile,
+    counts: &FxHashMap<u32, u64>,
+) -> (Dictionary, FxHashMap<u32, u32>) {
     let lexicon = Lexicon::new(profile.vocab_size);
     let dictionary = Dictionary::from_counts(
         counts
@@ -132,27 +202,39 @@ pub fn generate(profile: &CorpusProfile, seed: u64) -> Collection {
             )
         })
         .collect();
+    (dictionary, remap)
+}
 
-    let (y_lo, y_hi) = profile.years;
+/// Generate a collection from `profile`, deterministically in `seed`.
+pub fn generate(profile: &CorpusProfile, seed: u64) -> Collection {
+    // ---- Documents (tokens are raw word indices at this stage). ----
+    let mut stream = DocStream::new(profile, seed);
+    let mut raw_docs: Vec<Vec<Vec<u32>>> = Vec::with_capacity(profile.num_docs);
+    while let Some(doc) = stream.next_doc() {
+        raw_docs.push(doc);
+    }
+
+    // ---- Frequency-ranked dictionary and token remap (paper §V). ----
+    let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
+    for doc in &raw_docs {
+        for sent in doc {
+            for &w in sent {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+    }
+    let (dictionary, remap) = build_dictionary(profile, &counts);
+
     let docs: Vec<Document> = raw_docs
         .into_iter()
         .enumerate()
-        .map(|(i, sentences)| {
-            let year = if profile.num_docs <= 1 || y_hi == y_lo {
-                y_lo
-            } else {
-                // Chronological assignment across the year range.
-                y_lo + ((i as u64 * u64::from(y_hi - y_lo)) / (profile.num_docs as u64 - 1).max(1))
-                    as u16
-            };
-            Document {
-                id: i as u64,
-                year,
-                sentences: sentences
-                    .into_iter()
-                    .map(|s| s.into_iter().map(|w| remap[&w]).collect())
-                    .collect(),
-            }
+        .map(|(i, sentences)| Document {
+            id: i as u64,
+            year: doc_year(profile, i),
+            sentences: sentences
+                .into_iter()
+                .map(|s| s.into_iter().map(|w| remap[&w]).collect())
+                .collect(),
         })
         .collect();
 
@@ -161,6 +243,93 @@ pub fn generate(profile: &CorpusProfile, seed: u64) -> Collection {
         docs,
         dictionary,
     }
+}
+
+/// What [`generate_store`] hands back: the sealed store's metadata plus a
+/// peak-memory witness.
+#[derive(Clone, Debug)]
+pub struct StreamedGenerate {
+    /// Footer metadata of the store that was written.
+    pub meta: StoreMeta,
+    /// Peak resident document tokens (current document + duplication
+    /// window), in bytes at 4 bytes/token — the generator-side memory
+    /// high-water mark, far below the whole corpus for any real profile.
+    pub peak_doc_bytes: u64,
+}
+
+/// Generate a corpus straight into a block store at `path` without ever
+/// materializing the collection: pass 1 streams documents to count words
+/// and build the dictionary, pass 2 replays the identical stream and
+/// encodes each document into (optionally compressed) blocks. Peak memory
+/// is one staged block plus the dictionary plus the duplication window —
+/// witnessed by [`StreamedGenerate::peak_doc_bytes`] and the store's
+/// block sizes. The resulting file is byte-identical to
+/// `save_store_codec(&generate(profile, seed), path, codec)`.
+pub fn generate_store(
+    profile: &CorpusProfile,
+    seed: u64,
+    path: &Path,
+    codec: StoreCodec,
+) -> io::Result<StreamedGenerate> {
+    generate_store_budget(profile, seed, path, codec, STORE_BLOCK_BYTES)
+}
+
+/// [`generate_store`] with an explicit block budget (tests).
+pub(crate) fn generate_store_budget(
+    profile: &CorpusProfile,
+    seed: u64,
+    path: &Path,
+    codec: StoreCodec,
+    block_budget: usize,
+) -> io::Result<StreamedGenerate> {
+    // ---- Pass 1: count raw words; documents are dropped as they go. ----
+    let mut counts: FxHashMap<u32, u64> = FxHashMap::default();
+    let mut peak_doc_tokens = 0u64;
+    let mut stream = DocStream::new(profile, seed);
+    while let Some(doc) = stream.next_doc() {
+        let doc_tokens: u64 = doc.iter().map(|s| s.len() as u64).sum();
+        for sent in &doc {
+            for &w in sent {
+                *counts.entry(w).or_insert(0) += 1;
+            }
+        }
+        // The yielded doc is also the newest window entry; don't count it
+        // twice.
+        peak_doc_tokens = peak_doc_tokens.max(stream.window_tokens().max(doc_tokens));
+    }
+    let (dictionary, remap) = build_dictionary(profile, &counts);
+
+    // Remapped per-id occurrence counts — the rank codec's permutation
+    // input (ids are unique per raw word, so this is a scatter).
+    let mut id_counts = vec![0u64; dictionary.len()];
+    for (&w, &f) in &counts {
+        id_counts[remap[&w] as usize] = f;
+    }
+
+    // ---- Pass 2: replay the stream, remap, encode into blocks. ----
+    let mut writer = CorpusWriter::create(path, &profile.name)?.block_budget(block_budget);
+    if codec != StoreCodec::Plain {
+        writer = writer.codec(codec, &id_counts);
+    }
+    let mut stream = DocStream::new(profile, seed);
+    let mut i = 0usize;
+    while let Some(sentences) = stream.next_doc() {
+        let doc = Document {
+            id: i as u64,
+            year: doc_year(profile, i),
+            sentences: sentences
+                .into_iter()
+                .map(|s| s.into_iter().map(|w| remap[&w]).collect())
+                .collect(),
+        };
+        writer.push(&doc)?;
+        i += 1;
+    }
+    let meta = writer.finish(&dictionary)?;
+    Ok(StreamedGenerate {
+        meta,
+        peak_doc_bytes: peak_doc_tokens * 4,
+    })
 }
 
 fn fresh_sentence(profile: &CorpusProfile, unigram: &Zipf, rng: &mut StdRng) -> Vec<u32> {
@@ -252,6 +421,78 @@ mod tests {
         assert!(years.windows(2).all(|w| w[0] <= w[1]));
         assert_eq!(*years.first().unwrap(), 1987);
         assert_eq!(*years.last().unwrap(), 2007);
+    }
+
+    #[test]
+    fn streamed_generate_store_is_byte_identical_to_materialized_save() {
+        use crate::store::save_store_codec;
+        let p = CorpusProfile::tiny("stream-eq", 120);
+        for codec in StoreCodec::ALL {
+            let streamed = std::env::temp_dir().join(format!(
+                "gen-streamed-{}-{}.ngs",
+                std::process::id(),
+                codec.name()
+            ));
+            let materialized = std::env::temp_dir().join(format!(
+                "gen-material-{}-{}.ngs",
+                std::process::id(),
+                codec.name()
+            ));
+            let out = generate_store(&p, 77, &streamed, codec).unwrap();
+            let coll = generate(&p, 77);
+            let meta = save_store_codec(&coll, &materialized, codec).unwrap();
+            assert_eq!(out.meta, meta, "{}", codec.name());
+            assert_eq!(
+                std::fs::read(&streamed).unwrap(),
+                std::fs::read(&materialized).unwrap(),
+                "{}: streamed and materialized stores must be byte-identical",
+                codec.name()
+            );
+            let _ = std::fs::remove_file(&streamed);
+            let _ = std::fs::remove_file(&materialized);
+        }
+    }
+
+    #[test]
+    fn streamed_generate_peak_memory_is_bounded_by_window_not_corpus() {
+        let p = CorpusProfile::tiny("stream-peak", 600);
+        let path = std::env::temp_dir().join(format!("gen-peak-{}.ngs", std::process::id()));
+        let budget = 2048usize;
+        let out = super::generate_store_budget(&p, 5, &path, StoreCodec::Plain, budget).unwrap();
+        let total_bytes = out.meta.num_tokens * 4;
+        // The duplication window holds at most DUP_WINDOW documents, so
+        // resident document memory must sit far below the whole corpus.
+        assert!(
+            out.peak_doc_bytes < total_bytes / 3,
+            "peak {} should be well under total {}",
+            out.peak_doc_bytes,
+            total_bytes
+        );
+        assert!(out.peak_doc_bytes > 0);
+        // And the writer side stages at most one block: every block's raw
+        // size is bounded by the budget plus one document.
+        let reader = crate::store::CorpusReader::open(&path).unwrap();
+        let max_doc_bytes = (0..reader.num_blocks())
+            .flat_map(|i| reader.read_block(i).unwrap())
+            .map(|d| {
+                let mut enc = Vec::new();
+                mapreduce::write_vu64(&mut enc, d.id);
+                mapreduce::write_vu64(&mut enc, u64::from(d.year));
+                mapreduce::write_vu64(&mut enc, d.sentences.len() as u64);
+                for s in &d.sentences {
+                    mapreduce::write_vu64(&mut enc, s.len() as u64);
+                    for &t in s {
+                        mapreduce::write_vu64(&mut enc, u64::from(t));
+                    }
+                }
+                enc.len()
+            })
+            .max()
+            .unwrap();
+        for i in 0..reader.num_blocks() {
+            assert!(reader.block_entry(i).raw_bytes as usize <= budget + max_doc_bytes);
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -30,6 +30,7 @@ mod profile;
 mod sample;
 mod stats;
 mod store;
+mod store_codec;
 mod text;
 mod wire;
 mod zipf;
@@ -37,14 +38,14 @@ mod zipf;
 pub use dictionary::Dictionary;
 pub use document::{Collection, Document};
 pub use encode::{load, load_sharded, save, save_sharded};
-pub use generator::generate;
+pub use generator::{generate, generate_store, StreamedGenerate};
 pub use lexicon::{word, Lexicon};
 pub use profile::CorpusProfile;
 pub use sample::sample_fraction;
 pub use stats::CollectionStats;
 pub use store::{
-    is_store_file, save_store, BlockEntry, CorpusReader, CorpusWriter, StoreMeta,
-    STORE_BLOCK_BYTES, STORE_MAGIC,
+    is_store_file, save_store, save_store_codec, BlockEntry, CorpusReader, CorpusWriter,
+    StoreCodec, StoreMeta, STORE_BLOCK_BYTES, STORE_MAGIC,
 };
 pub use text::{
     build_collection_from_text, render_document, split_sentences, strip_boilerplate, tokenize,

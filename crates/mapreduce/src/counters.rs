@@ -21,6 +21,12 @@ pub enum Counter {
     /// in-memory sources (vectors, borrowed slices), which have no
     /// serialized form; counted for run-backed and block-store sources.
     MapInputBytes,
+    /// Decoded (pre-codec) input bytes behind [`Counter::MapInputBytes`].
+    /// Equal to `MapInputBytes` for uncompressed sources; for
+    /// codec-compressed corpus-store blocks the pair exposes the input
+    /// compression ratio the way `EncodedRunBytes` / `RawRunBytes` does
+    /// for the shuffle. Zero for in-memory sources.
+    InputRawBytes,
     /// Input blocks fetched by map tasks (corpus-store blocks, chained
     /// runs). Zero for in-memory sources.
     InputBlocksRead,
@@ -82,11 +88,12 @@ pub enum Counter {
     ReduceOutputRecords,
 }
 
-const NUM_COUNTERS: usize = 19;
+const NUM_COUNTERS: usize = 20;
 
 const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "MAP_INPUT_RECORDS",
     "MAP_INPUT_BYTES",
+    "INPUT_RAW_BYTES",
     "INPUT_BLOCKS_READ",
     "INPUT_PEAK_BLOCK_BYTES",
     "MAP_INPUT_STALL_NANOS",

@@ -53,6 +53,54 @@ pub fn read_vu64_at(buf: &[u8], pos: &mut usize) -> Result<u64> {
     }
 }
 
+/// Decode `n` consecutive varints from `buf` starting at `*pos` into `out`.
+///
+/// This is the batched decode kernel shared by the run decoder
+/// (`Vec<u32>`/`Vec<u64>` values stream through it) and the corpus store's
+/// block parser: the single-byte case — the overwhelming majority, because
+/// term ids are assigned in descending collection-frequency order — takes a
+/// branch-predictable fast path, and the slice bound is checked once per
+/// value instead of once per byte.
+#[inline]
+pub fn read_vu64_seq(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<u64>) -> Result<()> {
+    out.reserve(n.min(buf.len().saturating_sub(*pos)));
+    let mut p = *pos;
+    for _ in 0..n {
+        match buf.get(p) {
+            Some(&b) if b < 0x80 => {
+                out.push(u64::from(b));
+                p += 1;
+            }
+            Some(_) => out.push(read_vu64_at(buf, &mut p)?),
+            None => return Err(MrError::Corrupt("truncated varint")),
+        }
+    }
+    *pos = p;
+    Ok(())
+}
+
+/// `u32` variant of [`read_vu64_seq`], failing if any value does not fit.
+#[inline]
+pub fn read_vu32_seq(buf: &[u8], pos: &mut usize, n: usize, out: &mut Vec<u32>) -> Result<()> {
+    out.reserve(n.min(buf.len().saturating_sub(*pos)));
+    let mut p = *pos;
+    for _ in 0..n {
+        match buf.get(p) {
+            Some(&b) if b < 0x80 => {
+                out.push(u32::from(b));
+                p += 1;
+            }
+            Some(_) => {
+                let v = read_vu64_at(buf, &mut p)?;
+                out.push(u32::try_from(v).map_err(|_| MrError::Corrupt("varint exceeds u32"))?);
+            }
+            None => return Err(MrError::Corrupt("truncated varint")),
+        }
+    }
+    *pos = p;
+    Ok(())
+}
+
 /// A bounded cursor over a serialized record's bytes.
 ///
 /// `Writable::read_from` receives a reader that spans *exactly* one key or
@@ -104,6 +152,18 @@ impl<'a> ByteReader<'a> {
     pub fn read_vu32(&mut self) -> Result<u32> {
         let v = self.read_vu64()?;
         u32::try_from(v).map_err(|_| MrError::Corrupt("varint exceeds u32"))
+    }
+
+    /// Batched decode of `n` varint `u64`s via [`read_vu64_seq`].
+    #[inline]
+    pub fn read_vu64_seq(&mut self, n: usize, out: &mut Vec<u64>) -> Result<()> {
+        read_vu64_seq(self.buf, &mut self.pos, n, out)
+    }
+
+    /// Batched decode of `n` varint `u32`s via [`read_vu32_seq`].
+    #[inline]
+    pub fn read_vu32_seq(&mut self, n: usize, out: &mut Vec<u32>) -> Result<()> {
+        read_vu32_seq(self.buf, &mut self.pos, n, out)
     }
 
     /// Read `n` raw bytes.
@@ -207,10 +267,8 @@ impl Writable for Vec<u32> {
     }
     fn read_from(r: &mut ByteReader<'_>) -> Result<Self> {
         let n = r.read_vu64()? as usize;
-        let mut v = Vec::with_capacity(n.min(r.remaining()));
-        for _ in 0..n {
-            v.push(r.read_vu32()?);
-        }
+        let mut v = Vec::new();
+        r.read_vu32_seq(n, &mut v)?;
         Ok(v)
     }
 }
@@ -225,10 +283,8 @@ impl Writable for Vec<u64> {
     }
     fn read_from(r: &mut ByteReader<'_>) -> Result<Self> {
         let n = r.read_vu64()? as usize;
-        let mut v = Vec::with_capacity(n.min(r.remaining()));
-        for _ in 0..n {
-            v.push(r.read_vu64()?);
-        }
+        let mut v = Vec::new();
+        r.read_vu64_seq(n, &mut v)?;
         Ok(v)
     }
 }
@@ -305,6 +361,50 @@ mod tests {
         let mut bytes = to_bytes(&5u32);
         bytes.push(9);
         assert!(from_bytes::<u32>(&bytes).is_err());
+    }
+
+    #[test]
+    fn seq_decode_matches_scalar_decode() {
+        let values: Vec<u64> = (0..2000u64)
+            .map(|i| i.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (i % 60))
+            .collect();
+        let mut buf = Vec::new();
+        for &v in &values {
+            write_vu64(&mut buf, v);
+        }
+        let mut pos = 0;
+        let mut out = Vec::new();
+        read_vu64_seq(&buf, &mut pos, values.len(), &mut out).unwrap();
+        assert_eq!(out, values);
+        assert_eq!(pos, buf.len());
+
+        let small: Vec<u32> = values.iter().map(|&v| (v & 0xffff) as u32).collect();
+        buf.clear();
+        for &v in &small {
+            write_vu32(&mut buf, v);
+        }
+        pos = 0;
+        let mut out32 = Vec::new();
+        read_vu32_seq(&buf, &mut pos, small.len(), &mut out32).unwrap();
+        assert_eq!(out32, small);
+        assert_eq!(pos, buf.len());
+    }
+
+    #[test]
+    fn seq_decode_rejects_truncation_and_overflow() {
+        let mut buf = Vec::new();
+        write_vu64(&mut buf, 300);
+        write_vu64(&mut buf, 300);
+        let mut pos = 0;
+        let mut out = Vec::new();
+        // Ask for more values than the buffer holds.
+        assert!(read_vu64_seq(&buf, &mut pos, 3, &mut out).is_err());
+        // A u64 value that does not fit in u32 fails the u32 variant.
+        buf.clear();
+        write_vu64(&mut buf, u64::from(u32::MAX) + 1);
+        pos = 0;
+        let mut out32 = Vec::new();
+        assert!(read_vu32_seq(&buf, &mut pos, 1, &mut out32).is_err());
     }
 
     #[test]

@@ -373,6 +373,11 @@ where
             (0..num_reduce).map(|_| Mutex::new(Vec::new())).collect();
         let map_task_times: Mutex<Vec<Duration>> = Mutex::new(Vec::with_capacity(num_map));
         {
+            // LPT claim order: workers take splits in descending predicted
+            // cost so a heavy straggler is started first, not discovered
+            // last. The sort is stable, so cost-free sources (in-memory
+            // splits all predict 0) keep their historical arrival order.
+            let claim_order = lpt_claim_order(splits.iter().map(|s| s.predicted_cost()));
             let splits: Vec<WorkSlot<S::Split>> =
                 splits.into_iter().map(|s| Mutex::new(Some(s))).collect();
             let next = AtomicUsize::new(0);
@@ -381,10 +386,11 @@ where
             std::thread::scope(|scope| {
                 for _ in 0..workers {
                     scope.spawn(|| loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= splits.len() {
+                        let c = next.fetch_add(1, Ordering::Relaxed);
+                        if c >= claim_order.len() {
                             return;
                         }
+                        let i = claim_order[c];
                         let Some(split) = splits[i].lock().take() else {
                             continue;
                         };
@@ -529,6 +535,7 @@ where
         counters.add(Counter::MapInputRecords, records_in);
         let input = split.input_stats();
         counters.add(Counter::MapInputBytes, input.bytes_read);
+        counters.add(Counter::InputRawBytes, input.raw_bytes);
         counters.add(Counter::InputBlocksRead, input.blocks_read);
         counters.max(Counter::InputPeakBlockBytes, input.peak_block_bytes);
         counters.add(Counter::MapInputStallNanos, input.stall_nanos);
@@ -576,6 +583,17 @@ where
         reducer.cleanup(&mut ctx);
         sinks.seal(partition, sink)
     }
+}
+
+/// Claim order for the map phase: split indices sorted by descending
+/// predicted cost (longest processing time first). The stable sort keeps
+/// equal-cost splits — in particular the all-zero costs of in-memory
+/// sources — in arrival order.
+fn lpt_claim_order(costs: impl Iterator<Item = u64>) -> Vec<usize> {
+    let costs: Vec<u64> = costs.collect();
+    let mut order: Vec<usize> = (0..costs.len()).collect();
+    order.sort_by_key(|&i| std::cmp::Reverse(costs[i]));
+    order
 }
 
 fn effective_map_tasks(configured: usize, input_len: usize, slots: usize) -> usize {

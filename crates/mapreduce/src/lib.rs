@@ -90,7 +90,10 @@ pub use comparator::{BytewiseComparator, RawComparator, TypedComparator, VarintS
 pub use counters::{Counter, CounterSnapshot, Counters};
 pub use error::{MrError, Result};
 pub use hash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
-pub use io::{from_bytes, read_vu64_at, to_bytes, write_vu32, write_vu64, ByteReader, Writable};
+pub use io::{
+    from_bytes, read_vu32_seq, read_vu64_at, read_vu64_seq, to_bytes, write_vu32, write_vu64,
+    ByteReader, Writable,
+};
 pub use job::{
     simulated_makespan, Job, JobConfig, JobResult, JobRun, JobStats, DEFAULT_SORT_BUFFER_BYTES,
 };

@@ -34,6 +34,11 @@ use std::sync::Arc;
 pub struct InputStats {
     /// Serialized bytes fetched from the backing input.
     pub bytes_read: u64,
+    /// Decoded (pre-codec) bytes behind `bytes_read` — equal to it for
+    /// uncompressed inputs; larger for codec-compressed corpus-store
+    /// blocks and front-coded runs, where the pair is the input
+    /// compression ratio.
+    pub raw_bytes: u64,
     /// Number of blocks (or runs) fetched.
     pub blocks_read: u64,
     /// Largest single block held in memory at once (under a pipelined
@@ -55,6 +60,17 @@ pub trait RecordStream<K, V>: Send {
     /// Input-side I/O telemetry, read after the stream is drained.
     fn input_stats(&self) -> InputStats {
         InputStats::default()
+    }
+
+    /// Predicted cost of draining this stream, in arbitrary but mutually
+    /// comparable units (serialized sources report their on-disk byte
+    /// size). [`Job::run_streamed`](crate::Job::run_streamed) claims
+    /// splits in descending predicted cost (LPT order) so a long
+    /// straggler late in arrival order cannot serialize the map phase.
+    /// The default of zero keeps arrival order for in-memory sources,
+    /// whose splits are size-balanced by construction.
+    fn predicted_cost(&self) -> u64 {
+        0
     }
 }
 
@@ -236,6 +252,7 @@ where
     fn input_stats(&self) -> InputStats {
         InputStats {
             bytes_read: self.runs.iter().map(|r| r.bytes).sum(),
+            raw_bytes: self.runs.iter().map(|r| r.raw_bytes).sum(),
             blocks_read: self.runs.len() as u64,
             // The run is the block unit of this source (`blocks_read`
             // counts runs), and an in-memory run's backing is resident in
@@ -245,6 +262,10 @@ where
             peak_block_bytes: self.runs.iter().map(|r| r.bytes).max().unwrap_or(0),
             stall_nanos: 0,
         }
+    }
+
+    fn predicted_cost(&self) -> u64 {
+        self.runs.iter().map(|r| r.bytes).sum()
     }
 }
 

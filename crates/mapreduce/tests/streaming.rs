@@ -241,6 +241,92 @@ fn slice_source_matches_vec_source_results() {
     }
 }
 
+/// A synthetic source whose splits advertise fixed predicted costs and
+/// record the order in which map workers actually claim them.
+struct CostSource {
+    costs: Vec<u64>,
+    claimed: std::sync::Arc<parking_lot::Mutex<Vec<u64>>>,
+}
+
+struct CostStream {
+    cost: u64,
+    claimed: std::sync::Arc<parking_lot::Mutex<Vec<u64>>>,
+}
+
+impl RecordStream<u32, u64> for CostStream {
+    fn for_each(&mut self, _f: &mut dyn FnMut(&u32, &u64) -> Result<()>) -> Result<()> {
+        self.claimed.lock().push(self.cost);
+        Ok(())
+    }
+
+    fn predicted_cost(&self) -> u64 {
+        self.cost
+    }
+}
+
+impl RecordSource<u32, u64> for CostSource {
+    type Split = CostStream;
+
+    fn len_hint(&self) -> usize {
+        self.costs.len()
+    }
+
+    fn into_splits(self, _n: usize) -> Result<Vec<CostStream>> {
+        let claimed = &self.claimed;
+        Ok(self
+            .costs
+            .iter()
+            .map(|&cost| CostStream {
+                cost,
+                claimed: std::sync::Arc::clone(claimed),
+            })
+            .collect())
+    }
+}
+
+/// Map workers claim splits in LPT order (descending predicted cost), and
+/// on a skewed workload that ordering strictly beats arrival order under
+/// `simulated_makespan` — the straggler starts first instead of last.
+#[test]
+fn map_claims_follow_lpt_order_and_beat_arrival_makespan() {
+    use std::time::Duration;
+
+    // Skewed: the two heaviest splits arrive in the middle and at the end.
+    let arrival: Vec<u64> = vec![1, 50, 3, 40, 2, 60, 5];
+    let claimed = std::sync::Arc::new(parking_lot::Mutex::new(Vec::new()));
+    let source = CostSource {
+        costs: arrival.clone(),
+        claimed: std::sync::Arc::clone(&claimed),
+    };
+
+    // One slot: a single worker claims every split, so the claim log *is*
+    // the queue order.
+    let cluster = Cluster::new(1);
+    let job = Job::<Identity, SumReducer>::new(JobConfig::named("lpt"), || Identity, || SumReducer);
+    job.run_streamed(&cluster, source, &CountingSinkFactory::new())
+        .unwrap();
+
+    let mut expected = arrival.clone();
+    expected.sort_by_key(|&c| std::cmp::Reverse(c));
+    assert_eq!(
+        *claimed.lock(),
+        expected,
+        "workers must claim splits biggest-first"
+    );
+
+    // Cross-check against the scheduling simulator: list-scheduling the
+    // realized (LPT) order on 2 slots beats the arrival order.
+    let as_durations = |costs: &[u64]| -> Vec<Duration> {
+        costs.iter().map(|&c| Duration::from_millis(c)).collect()
+    };
+    let lpt = simulated_makespan(&as_durations(&claimed.lock()), 2);
+    let fifo = simulated_makespan(&as_durations(&arrival), 2);
+    assert!(
+        lpt < fifo,
+        "LPT makespan {lpt:?} must beat arrival-order makespan {fifo:?}"
+    );
+}
+
 /// Writer sinks stream every record out during reduce; the bytes written
 /// equal the record set regardless of task interleaving.
 #[test]

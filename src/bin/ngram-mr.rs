@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! ngram-mr generate  --profile nyt|web|tiny --scale 0.1 --seed 42 --out corpus.bin
-//!                    [--format legacy|blocks]
+//!                    [--format legacy|blocks] [--store-codec plain|rank|lz]
 //! ngram-mr stats     --input corpus.bin
 //! ngram-mr compute   --input corpus.bin --method suffix-sigma --tau 5 --sigma 5
 //!                    [--mode cf|df] [--output all|closed|maximal] [--slots N]
@@ -19,11 +19,16 @@
 //! ```
 //!
 //! `--format blocks` writes the block-structured corpus store (magic
-//! `NGRAMMR2`): documents stream to disk in ~256 KiB blocks with a footer
-//! carrying the block index, metadata, dictionary and unigram statistics.
-//! Every `--input` auto-detects the format: `stats` answers from a store's
-//! footer in O(1), and `compute` reads store blocks lazily per map split —
-//! with `--spill-to-disk`, the collection is never materialized at all.
+//! `NGRAMMR2`) with a streaming two-pass generator: pass 1 streams the
+//! synthetic documents to count words and build the dictionary, pass 2
+//! replays the stream and encodes straight into ~256 KiB blocks — the
+//! collection is never materialized. `--store-codec rank|lz` compresses
+//! each block (frequency-rank remap + LZ/Huffman, or the raw byte codec);
+//! readers auto-detect per block from the footer. Every `--input`
+//! auto-detects the format: `stats` answers from a store's footer in O(1)
+//! — including on-disk vs decoded bytes and the per-codec block mix —
+//! and `compute` reads store blocks lazily per map split, decoding one
+//! block at a time.
 //!
 //! `compute` streams its results: records are written to `--out` (or
 //! stdout) *during* the reduce phase through a
@@ -51,7 +56,7 @@ use std::sync::Arc;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  ngram-mr generate   --profile nyt|web|tiny --scale F --seed N --out FILE\n                      \
-         [--format legacy|blocks]\n  \
+         [--format legacy|blocks] [--store-codec plain|rank|lz]\n  \
          ngram-mr stats      --input FILE\n  \
          ngram-mr compute    --input FILE --method naive|apriori-scan|apriori-index|suffix-sigma\n                      \
          --tau N --sigma N [--mode cf|df] [--output all|closed|maximal]\n                      \
@@ -192,27 +197,55 @@ fn cmd_generate(args: &Args) -> ExitCode {
     };
     let out = PathBuf::from(args.require("out"));
     let format = args.get("format").unwrap_or("legacy");
+    let codec = match args.get("store-codec") {
+        None => corpus::StoreCodec::Plain,
+        Some(name) => corpus::StoreCodec::parse(name).unwrap_or_else(|| {
+            eprintln!("unknown store codec {name} (expected plain, rank, or lz)");
+            usage()
+        }),
+    };
     let t0 = std::time::Instant::now();
-    let coll = generate(&profile, seed);
     match format {
-        "legacy" => corpus::save(&coll, &out).expect("cannot write corpus"),
+        "legacy" => {
+            if args.has("store-codec") {
+                eprintln!("--store-codec requires --format blocks");
+                usage()
+            }
+            let coll = generate(&profile, seed);
+            corpus::save(&coll, &out).expect("cannot write corpus");
+            println!(
+                "wrote {} ({} docs, {} tokens, legacy) in {:?}",
+                out.display(),
+                coll.docs.len(),
+                coll.term_occurrences(),
+                t0.elapsed()
+            );
+        }
         "blocks" | "store" => {
-            // Documents stream through the CorpusWriter one block at a
-            // time — the serialized corpus never exists in memory.
-            corpus::save_store(&coll, &out).expect("cannot write corpus store");
+            // Streaming two-pass generation: documents are streamed to
+            // count words, then re-streamed straight into (optionally
+            // compressed) blocks — the collection never exists in memory.
+            let streamed =
+                corpus::generate_store(&profile, seed, &out, codec).expect("cannot write store");
+            let meta = &streamed.meta;
+            println!(
+                "wrote {} ({} docs, {} tokens, blocks/{}, {} bytes on disk / {} raw, \
+                 peak doc window {} bytes) in {:?}",
+                out.display(),
+                meta.num_docs,
+                meta.num_tokens,
+                codec.name(),
+                meta.data_bytes,
+                meta.raw_data_bytes,
+                streamed.peak_doc_bytes,
+                t0.elapsed()
+            );
         }
         other => {
             eprintln!("unknown format {other} (expected legacy or blocks)");
             usage()
         }
     }
-    println!(
-        "wrote {} ({} docs, {} tokens, {format}) in {:?}",
-        out.display(),
-        coll.docs.len(),
-        coll.term_occurrences(),
-        t0.elapsed()
-    );
     ExitCode::SUCCESS
 }
 
@@ -224,7 +257,25 @@ fn cmd_stats(args: &Args) -> ExitCode {
             println!("corpus `{}` (block store):", meta.name);
             println!("{}", meta.stats());
             println!("{:<28}{:>14}", "# blocks", reader.num_blocks());
-            println!("{:<28}{:>14}", "data bytes", meta.data_bytes);
+            println!("{:<28}{:>14}", "data bytes (on disk)", meta.data_bytes);
+            println!("{:<28}{:>14}", "data bytes (decoded)", meta.raw_data_bytes);
+            if meta.raw_data_bytes > 0 {
+                println!(
+                    "{:<28}{:>14.3}",
+                    "compression ratio",
+                    meta.data_bytes as f64 / meta.raw_data_bytes as f64
+                );
+            }
+            // Per-codec block mix, counted from the footer's block index —
+            // still O(#blocks) footer data, no document I/O.
+            for codec in corpus::StoreCodec::ALL {
+                let n = (0..reader.num_blocks())
+                    .filter(|&i| reader.block_entry(i).codec == codec)
+                    .count();
+                if n > 0 {
+                    println!("{:<28}{:>14}", format!("blocks[{}]", codec.name()), n);
+                }
+            }
         }
         CorpusInput::Legacy(coll) => {
             println!("corpus `{}`:", coll.name);
