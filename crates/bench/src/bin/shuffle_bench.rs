@@ -82,6 +82,9 @@ struct Entry {
     input_stall_nanos: u64,
     spill_stall_nanos: u64,
     decode_stall_nanos: u64,
+    task_attempts: u64,
+    task_retries: u64,
+    task_panics: u64,
     output: usize,
 }
 
@@ -132,6 +135,9 @@ fn run_one(
             input_stall_nanos: c.get(Counter::MapInputStallNanos),
             spill_stall_nanos: c.get(Counter::SpillStallNanos),
             decode_stall_nanos: c.get(Counter::ReduceDecodeStallNanos),
+            task_attempts: c.get(Counter::TaskAttempts),
+            task_retries: c.get(Counter::TaskRetries),
+            task_panics: c.get(Counter::TaskPanics),
             output: result.grams.len(),
         };
         if best.as_ref().is_none_or(|b| entry.wall < b.wall) {
@@ -151,7 +157,8 @@ fn json_line(e: &Entry) -> String {
             "\"input_bytes\": {}, \"input_blocks\": {}, \"input_peak_block_bytes\": {}, ",
             "\"output_grams\": {}, \"pipelined\": {}, ",
             "\"map_input_stall_nanos\": {}, \"spill_stall_nanos\": {}, ",
-            "\"reduce_decode_stall_nanos\": {}, \"input_raw_bytes\": {}}}"
+            "\"reduce_decode_stall_nanos\": {}, \"input_raw_bytes\": {}, ",
+            "\"task_attempts\": {}, \"task_retries\": {}, \"task_panics\": {}}}"
         ),
         e.method,
         e.config,
@@ -173,6 +180,9 @@ fn json_line(e: &Entry) -> String {
         e.spill_stall_nanos,
         e.decode_stall_nanos,
         e.input_raw_bytes,
+        e.task_attempts,
+        e.task_retries,
+        e.task_panics,
     )
 }
 

@@ -13,14 +13,15 @@
 //! without touching a single document.
 //!
 //! ```text
-//! store   := magic "NGRAMMR2"  block*  footer  trailer
+//! store   := magic "NGRAMMR3"  block*  footer  [footer-crc32 LE]  trailer
 //! block   := doc+                      (≈ STORE_BLOCK_BYTES raw each)
 //! doc     := [did][year][#sentences]([len][term]*)*        (all varints)
 //! footer  := [#blocks]([offset][bytes][#docs][first-did])*   block index
 //!            [name][#docs][#sentences][#tokens][Σ len²][year-lo][year-hi]
 //!            [#terms]([term][dict-cf])*                      dictionary
 //!            [#terms]([unigram-cf])*            occurrence counts by id
-//!            [[#blocks]([codec: u8][raw-bytes])*]   optional codec index
+//!            [#blocks]([codec: u8][raw-bytes])*              codec index
+//!            [#blocks]([block-crc32])*       per-block payload checksums
 //! trailer := [footer-offset: u64 LE]  magic                  (16 bytes)
 //! ```
 //!
@@ -31,27 +32,34 @@
 //! infrequent terms needs no in-memory counting pass over the corpus.
 //!
 //! Blocks may be compressed per-block ([`StoreCodec`], mirroring the
-//! shuffle's `RunCodec`): the optional trailing codec index records each
-//! block's codec byte and decoded size, and is written only when some
-//! block is non-plain — an all-plain store is byte-identical to the
-//! pre-codec format, and old stores open unchanged. The `rank` codec's
-//! id↔rank permutation is *derived* from the footer's unigram counts on
-//! both sides, so it costs nothing to store.
+//! shuffle's `RunCodec`): the codec index records each block's codec byte
+//! and decoded size. The `rank` codec's id↔rank permutation is *derived*
+//! from the footer's unigram counts on both sides, so it costs nothing to
+//! store.
+//!
+//! **Integrity and atomicity** (format `NGRAMMR3`): every block payload
+//! is covered by a CRC32 in the footer, verified before decode, and the
+//! footer itself carries a trailing CRC32 verified at open — a flipped
+//! bit anywhere in data or metadata is a typed error, never a silent
+//! mis-decode. The writer stages the whole file at `<path>.tmp` and
+//! renames it into place at [`CorpusWriter::finish`], so a crashed or
+//! failed writer never leaves a half-written store under the final name.
 
 use crate::dictionary::Dictionary;
 use crate::document::{Collection, Document};
 use crate::stats::CollectionStats;
 use crate::store_codec;
 use crate::wire::{read_str, read_u64, write_str};
-use mapreduce::{read_vu32_seq, write_vu64};
+use mapreduce::{crc32, read_vu32_seq, write_vu64};
 use std::fs::File;
 use std::io::{self, BufWriter, Read, Write};
 use std::path::{Path, PathBuf};
 use std::sync::Arc;
 
 /// Magic bytes opening and closing a store file (`NGRAMMR1` is the legacy
-/// single-blob format of [`crate::encode`]).
-pub const STORE_MAGIC: &[u8; 8] = b"NGRAMMR2";
+/// single-blob format of [`crate::encode`]; `NGRAMMR2` was the block
+/// store before per-block checksums).
+pub const STORE_MAGIC: &[u8; 8] = b"NGRAMMR3";
 
 /// Raw-byte budget per document block. A block closes at the first
 /// document boundary past this size, so one oversized document can push a
@@ -148,6 +156,9 @@ pub struct BlockEntry {
     /// Decoded size of the block in bytes (equals `bytes` for plain
     /// blocks) — what a reader materializes when it loads the block.
     pub raw_bytes: u64,
+    /// CRC32 of the encoded (on-disk) block payload, verified before
+    /// every decode.
+    pub crc: u32,
 }
 
 // ---------------------------------------------------------------------------
@@ -298,6 +309,10 @@ impl StoreMeta {
 /// counters that land in the footer.
 pub struct CorpusWriter {
     out: BufWriter<File>,
+    /// Staging path the bytes actually go to until `finish` renames it.
+    tmp_path: PathBuf,
+    /// Final path the sealed store atomically appears at.
+    final_path: PathBuf,
     name: String,
     block_budget: usize,
     /// Encoded documents of the block being staged.
@@ -328,17 +343,24 @@ pub struct CorpusWriter {
 }
 
 impl CorpusWriter {
-    /// Create a store at `path` for a collection called `name`.
+    /// Create a store at `path` for a collection called `name`. The bytes
+    /// are staged at `<path>.tmp`; the store appears at `path` only when
+    /// [`CorpusWriter::finish`] renames the sealed file into place.
     pub fn create(path: &Path, name: &str) -> io::Result<Self> {
         if let Some(dir) = path.parent() {
             if !dir.as_os_str().is_empty() {
                 std::fs::create_dir_all(dir)?;
             }
         }
-        let mut out = BufWriter::with_capacity(256 * 1024, File::create(path)?);
+        let mut tmp_path = path.to_path_buf().into_os_string();
+        tmp_path.push(".tmp");
+        let tmp_path = PathBuf::from(tmp_path);
+        let mut out = BufWriter::with_capacity(256 * 1024, File::create(&tmp_path)?);
         out.write_all(STORE_MAGIC)?;
         Ok(CorpusWriter {
             out,
+            tmp_path,
+            final_path: path.to_path_buf(),
             name: name.to_string(),
             block_budget: STORE_BLOCK_BYTES,
             block: Vec::new(),
@@ -437,16 +459,15 @@ impl CorpusWriter {
             }
         }
         // Per-block plain fallback: never store an expansion.
-        if codec == StoreCodec::Plain || self.enc_buf.len() >= self.block.len() {
+        let payload: &[u8] = if codec == StoreCodec::Plain || self.enc_buf.len() >= self.block.len()
+        {
             codec = StoreCodec::Plain;
-            self.out.write_all(&self.block)?;
+            &self.block
         } else {
-            self.out.write_all(&self.enc_buf)?;
-        }
-        let stored = match codec {
-            StoreCodec::Plain => self.block.len() as u64,
-            _ => self.enc_buf.len() as u64,
+            &self.enc_buf
         };
+        self.out.write_all(payload)?;
+        let stored = payload.len() as u64;
         self.index.push(BlockEntry {
             offset: self.offset,
             bytes: stored,
@@ -454,6 +475,7 @@ impl CorpusWriter {
             first_did: self.block_first_did,
             codec,
             raw_bytes: self.block.len() as u64,
+            crc: crc32(payload),
         });
         self.offset += stored;
         self.block.clear();
@@ -509,19 +531,26 @@ impl CorpusWriter {
         for id in 0..n_terms {
             write_vu64(&mut footer, self.unigram_cf.get(id).copied().unwrap_or(0));
         }
-        // Codec index, written only when some block is non-plain: an
-        // all-plain store stays byte-identical to the pre-codec format.
-        if self.index.iter().any(|b| b.codec != StoreCodec::Plain) {
-            write_vu64(&mut footer, self.index.len() as u64);
-            for b in &self.index {
-                footer.push(b.codec as u8);
-                write_vu64(&mut footer, b.raw_bytes);
-            }
+        // Codec index (always present in NGRAMMR3).
+        write_vu64(&mut footer, self.index.len() as u64);
+        for b in &self.index {
+            footer.push(b.codec as u8);
+            write_vu64(&mut footer, b.raw_bytes);
         }
+        // Per-block payload checksums, then the footer's own checksum:
+        // the 4 trailing CRC bytes cover everything above them.
+        write_vu64(&mut footer, self.index.len() as u64);
+        for b in &self.index {
+            write_vu64(&mut footer, u64::from(b.crc));
+        }
+        footer.extend_from_slice(&crc32(&footer).to_le_bytes());
         self.out.write_all(&footer)?;
         self.out.write_all(&footer_offset.to_le_bytes())?;
         self.out.write_all(STORE_MAGIC)?;
         self.out.flush()?;
+        // Publish atomically: the store exists under its final name only
+        // once every byte (and checksum) above is on disk.
+        std::fs::rename(&self.tmp_path, &self.final_path)?;
         let data_bytes = footer_offset - STORE_MAGIC.len() as u64;
         Ok(StoreMeta {
             name: self.name,
@@ -640,18 +669,29 @@ impl CorpusReader {
         let footer_len = (file_len - TRAILER_BYTES - footer_offset) as usize;
         let mut footer = vec![0u8; footer_len];
         read_exact_at(&file, path, &mut footer, footer_offset)?;
+        // The footer's last 4 bytes checksum everything before them:
+        // verify before trusting a single parsed field.
+        if footer_len < 4 {
+            return Err(bad("footer too short"));
+        }
+        let (footer, crc_bytes) = footer.split_at(footer_len - 4);
+        let stored_crc = u32::from_le_bytes(crc_bytes.try_into().expect("4 bytes"));
+        if crc32(footer) != stored_crc {
+            return Err(bad("footer checksum mismatch"));
+        }
 
         let pos = &mut 0usize;
-        let n_blocks = read_u64(&footer, pos)? as usize;
+        let n_blocks = read_u64(footer, pos)? as usize;
         let mut index = Vec::with_capacity(n_blocks.min(footer_len));
         for _ in 0..n_blocks {
             let entry = BlockEntry {
-                offset: read_u64(&footer, pos)?,
-                bytes: read_u64(&footer, pos)?,
-                docs: read_u64(&footer, pos)?,
-                first_did: read_u64(&footer, pos)?,
+                offset: read_u64(footer, pos)?,
+                bytes: read_u64(footer, pos)?,
+                docs: read_u64(footer, pos)?,
+                first_did: read_u64(footer, pos)?,
                 codec: StoreCodec::Plain,
                 raw_bytes: 0,
+                crc: 0,
             };
             let end = entry
                 .offset
@@ -662,13 +702,13 @@ impl CorpusReader {
             }
             index.push(entry);
         }
-        let name = read_str(&footer, pos)?;
-        let num_docs = read_u64(&footer, pos)?;
-        let num_sentences = read_u64(&footer, pos)?;
-        let num_tokens = read_u64(&footer, pos)?;
-        let sentence_len_sum_sq = read_u64(&footer, pos)?;
-        let year_lo = read_u64(&footer, pos)?;
-        let year_hi = read_u64(&footer, pos)?;
+        let name = read_str(footer, pos)?;
+        let num_docs = read_u64(footer, pos)?;
+        let num_sentences = read_u64(footer, pos)?;
+        let num_tokens = read_u64(footer, pos)?;
+        let sentence_len_sum_sq = read_u64(footer, pos)?;
+        let year_lo = read_u64(footer, pos)?;
+        let year_hi = read_u64(footer, pos)?;
         let years = if num_docs == 0 {
             None
         } else {
@@ -679,52 +719,52 @@ impl CorpusReader {
         if index.iter().map(|b| b.docs).sum::<u64>() != num_docs {
             return Err(bad("block index disagrees with document count"));
         }
-        let n_terms = read_u64(&footer, pos)? as usize;
+        let n_terms = read_u64(footer, pos)? as usize;
         let mut dict_counts = Vec::with_capacity(n_terms.min(footer_len));
         for _ in 0..n_terms {
-            let term = read_str(&footer, pos)?;
-            let cf = read_u64(&footer, pos)?;
+            let term = read_str(footer, pos)?;
+            let cf = read_u64(footer, pos)?;
             dict_counts.push((term, cf));
         }
-        let n_cf = read_u64(&footer, pos)? as usize;
+        let n_cf = read_u64(footer, pos)? as usize;
         let mut unigram_cf = Vec::with_capacity(n_cf.min(footer_len));
         for _ in 0..n_cf {
-            unigram_cf.push(read_u64(&footer, pos)?);
+            unigram_cf.push(read_u64(footer, pos)?);
         }
-        if *pos == footer.len() {
-            // Pre-codec footer (or an all-plain store, which writes no
-            // codec index): every block is plain and raw == on-disk.
-            for b in &mut index {
-                b.raw_bytes = b.bytes;
-            }
-        } else {
-            let n_codec = read_u64(&footer, pos)? as usize;
-            if n_codec != index.len() {
-                return Err(bad("codec index disagrees with block index"));
-            }
-            for b in &mut index {
-                let byte = *footer
-                    .get(*pos)
-                    .ok_or_else(|| bad("truncated codec index"))?;
-                *pos += 1;
-                b.codec = StoreCodec::from_byte(byte)?;
-                b.raw_bytes = read_u64(&footer, pos)?;
-                match b.codec {
-                    StoreCodec::Plain if b.raw_bytes != b.bytes => {
-                        return Err(bad("plain block raw size disagrees with stored size"));
-                    }
-                    StoreCodec::Rank | StoreCodec::Lz if b.raw_bytes <= b.bytes => {
-                        return Err(bad("compressed block not smaller than raw"));
-                    }
-                    _ => {}
+        let n_codec = read_u64(footer, pos)? as usize;
+        if n_codec != index.len() {
+            return Err(bad("codec index disagrees with block index"));
+        }
+        for b in &mut index {
+            let byte = *footer
+                .get(*pos)
+                .ok_or_else(|| bad("truncated codec index"))?;
+            *pos += 1;
+            b.codec = StoreCodec::from_byte(byte)?;
+            b.raw_bytes = read_u64(footer, pos)?;
+            match b.codec {
+                StoreCodec::Plain if b.raw_bytes != b.bytes => {
+                    return Err(bad("plain block raw size disagrees with stored size"));
                 }
-                if b.raw_bytes > 1 << 31 {
-                    return Err(bad("block raw size implausible"));
+                StoreCodec::Rank | StoreCodec::Lz if b.raw_bytes <= b.bytes => {
+                    return Err(bad("compressed block not smaller than raw"));
                 }
+                _ => {}
             }
-            if *pos != footer.len() {
-                return Err(bad("trailing bytes in footer"));
+            if b.raw_bytes > 1 << 31 {
+                return Err(bad("block raw size implausible"));
             }
+        }
+        let n_crc = read_u64(footer, pos)? as usize;
+        if n_crc != index.len() {
+            return Err(bad("checksum index disagrees with block index"));
+        }
+        for b in &mut index {
+            b.crc = u32::try_from(read_u64(footer, pos)?)
+                .map_err(|_| bad("block checksum out of range"))?;
+        }
+        if *pos != footer.len() {
+            return Err(bad("trailing bytes in footer"));
         }
         let rank_to_id = if index.iter().any(|b| b.codec == StoreCodec::Rank) {
             rank_inverse(&unigram_cf)
@@ -788,6 +828,14 @@ impl CorpusReader {
         let entry = self.index[i];
         let mut disk = vec![0u8; entry.bytes as usize];
         read_exact_at(&self.file, &self.path, &mut disk, entry.offset)?;
+        // Integrity gate: the payload checksum must match the footer's
+        // before any decode logic sees the bytes.
+        if crc32(&disk) != entry.crc {
+            return Err(bad(&format!(
+                "checksum mismatch in {} at block {i}",
+                self.path.display()
+            )));
+        }
         let buf = match entry.codec {
             StoreCodec::Plain => disk,
             StoreCodec::Lz => store_codec::unpack(&disk, entry.raw_bytes as usize)?,
@@ -939,6 +987,56 @@ mod tests {
 
     fn sample(docs: usize, seed: u64) -> Collection {
         generate(&CorpusProfile::tiny("store-test", docs), seed)
+    }
+
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Property: arbitrary byte-level damage to a store — any single
+        /// bit flip, any truncation, any codec — is rejected with a typed
+        /// `io::Error` by open or by the first damaged block read. Never
+        /// a panic, never silently altered documents.
+        #[test]
+        fn corrupted_stores_error_and_never_misread(
+            docs in 5usize..40,
+            seed in 0u64..1_000,
+            codec_i in 0usize..3,
+            at in 0usize..usize::MAX,
+            bit in 0u8..8,
+            truncate in any::<bool>(),
+        ) {
+            let codec = [StoreCodec::Plain, StoreCodec::Rank, StoreCodec::Lz][codec_i];
+            let coll = sample(docs, seed);
+            let path = temp_path(&format!("prop-{}-{seed}-{docs}", codec.name()));
+            save_store_codec(&coll, &path, codec).unwrap();
+            let clean = std::fs::read(&path).unwrap();
+            let damaged = if truncate {
+                clean[..at % clean.len()].to_vec()
+            } else {
+                let mut bytes = clean.clone();
+                bytes[at % clean.len()] ^= 1 << bit;
+                bytes
+            };
+            std::fs::write(&path, &damaged).unwrap();
+            let outcome = (|| -> io::Result<Vec<Document>> {
+                let r = CorpusReader::open(&path)?;
+                let mut all = Vec::new();
+                for i in 0..r.num_blocks() {
+                    all.extend(r.read_block(i)?);
+                }
+                Ok(all)
+            })();
+            let _ = std::fs::remove_file(&path);
+            match outcome {
+                Err(_) => {} // typed rejection is the expected outcome
+                Ok(all) => prop_assert_eq!(
+                    all, coll.docs,
+                    "damage at {} (truncate={}) must not alter documents", at, truncate
+                ),
+            }
+        }
     }
 
     #[test]
@@ -1148,8 +1246,13 @@ mod tests {
         let _ = std::fs::remove_file(&rank_path);
     }
 
+    /// The pre-checksum format (`NGRAMMR2`) promised all-plain stores
+    /// byte-identical to the original layout; `NGRAMMR3` deliberately
+    /// trades that for integrity metadata. What must still hold: the two
+    /// plain writer paths agree byte for byte, and the sealed file is
+    /// deterministic.
     #[test]
-    fn all_plain_store_is_byte_identical_to_pre_codec_format() {
+    fn plain_store_writers_are_deterministic_and_identical() {
         let coll = sample(40, 11);
         let a = temp_path("ident-a");
         let b = temp_path("ident-b");
@@ -1158,6 +1261,76 @@ mod tests {
         assert_eq!(std::fs::read(&a).unwrap(), std::fs::read(&b).unwrap());
         let _ = std::fs::remove_file(&a);
         let _ = std::fs::remove_file(&b);
+    }
+
+    #[test]
+    fn store_appears_atomically_at_finish() {
+        let coll = sample(15, 3);
+        let path = temp_path("atomic");
+        let mut w = CorpusWriter::create(&path, &coll.name).unwrap();
+        for d in &coll.docs {
+            w.push(d).unwrap();
+        }
+        assert!(
+            !path.exists(),
+            "store must not exist under its final name before finish"
+        );
+        w.finish(&coll.dictionary).unwrap();
+        assert!(path.exists());
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        assert!(
+            !PathBuf::from(tmp).exists(),
+            "staging file must be renamed away"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flipped_block_byte_fails_the_block_checksum() {
+        let coll = sample(60, 17);
+        let path = temp_path("blockflip");
+        save_store(&coll, &path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        let reader = CorpusReader::open(&path).unwrap();
+        let entry = reader.block_entry(0);
+        drop(reader);
+        for frac in [0.0, 0.5, 0.99] {
+            let mut bytes = clean.clone();
+            let at = entry.offset as usize + (entry.bytes as f64 * frac) as usize;
+            bytes[at] ^= 0x01;
+            std::fs::write(&path, &bytes).unwrap();
+            let r = CorpusReader::open(&path).expect("footer untouched, open succeeds");
+            let err = r.read_block(0).expect_err("flip must fail the checksum");
+            assert!(
+                err.to_string().contains("checksum mismatch"),
+                "unexpected error: {err}"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flipped_footer_byte_fails_the_footer_checksum() {
+        let coll = sample(25, 31);
+        let path = temp_path("footerflip");
+        save_store(&coll, &path).unwrap();
+        let clean = std::fs::read(&path).unwrap();
+        let trailer = clean.len() - 16;
+        let footer_offset =
+            u64::from_le_bytes(clean[trailer..trailer + 8].try_into().unwrap()) as usize;
+        // Flip one bit of every 7th footer byte (exhaustive would be slow
+        // for nothing); each must be caught at open.
+        for at in (footer_offset..trailer).step_by(7) {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x10;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                CorpusReader::open(&path).is_err(),
+                "footer flip at {at} must be rejected at open"
+            );
+        }
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]
@@ -1217,6 +1390,10 @@ mod tests {
             .try_for_each(|d| w.push(d))
             .and_then(|()| w.finish(&coll.dictionary).map(|_| ()));
         assert!(err.is_err(), "mismatched rank counts must be rejected");
+        // finish() failed before the rename, so only the staging file exists.
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        let _ = std::fs::remove_file(tmp);
         let _ = std::fs::remove_file(&path);
     }
 
@@ -1231,23 +1408,23 @@ mod tests {
             assert_eq!(entry.codec, codec, "first block should be compressed");
             let clean = std::fs::read(&path).unwrap();
 
-            // Flip bytes throughout the first block's payload: decode
-            // must error or still satisfy the structural checks — never
-            // panic or hand back silently permuted documents with the
-            // wrong byte count.
+            // Flip bytes throughout the first block's payload: since every
+            // block carries a CRC32 over its on-disk bytes, *every* flip —
+            // harmless to the codec or not — must be rejected at read.
             for frac in [0.1, 0.5, 0.9] {
                 let mut bytes = clean.clone();
                 let at = entry.offset as usize + (entry.bytes as f64 * frac) as usize;
                 bytes[at] ^= 0x55;
                 std::fs::write(&path, &bytes).unwrap();
-                if let Ok(r) = CorpusReader::open(&path) {
-                    // Either the block fails to decode, or the flip landed
-                    // somewhere harmless — but a successful decode must
-                    // reproduce a structurally valid block.
-                    if let Ok(docs) = r.read_block(0) {
-                        assert_eq!(docs.len() as u64, entry.docs);
-                    }
-                }
+                let r = CorpusReader::open(&path).expect("footer untouched, open succeeds");
+                let err = r
+                    .read_block(0)
+                    .expect_err("payload flip must fail the block checksum");
+                assert!(
+                    err.to_string().contains("checksum mismatch"),
+                    "{}: unexpected error: {err}",
+                    codec.name()
+                );
             }
 
             // Truncating the block (shifting everything after) breaks the
@@ -1259,7 +1436,8 @@ mod tests {
             assert!(open_or_decode.is_err(), "{}: truncated block", codec.name());
 
             // A codec byte flipped to an unknown value must be rejected
-            // at open.
+            // at open (by the footer checksum, and failing that by the
+            // codec-tag validation).
             let mut bytes = clean.clone();
             let pos = bytes
                 .iter()

@@ -113,7 +113,7 @@ pub type CombinerFactory<K, V> = Arc<dyn Fn() -> BoxedCombiner<K, V> + Send + Sy
 
 /// Shuffle-relevant knobs of one map task's collector, extracted from the
 /// job configuration.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Debug)]
 pub(crate) struct CollectorConfig {
     pub sort_buffer_bytes: usize,
     pub spill_to_disk: bool,
@@ -126,6 +126,9 @@ pub(crate) struct CollectorConfig {
     /// sort + encode + write runs off the mapper thread, double-buffering
     /// the arena (mapping continues into a fresh buffer during the spill).
     pub pipelined: bool,
+    /// Injected-fault schedule (spill EIO, read-side frame corruption),
+    /// propagated into every run this collector seals.
+    pub fault: Option<Arc<crate::fault::FaultPlan>>,
 }
 
 /// One dispatched spill: the non-empty arenas of a full sort buffer,
@@ -311,7 +314,7 @@ where
         // buffers.
         let (tx, rx) = std::sync::mpsc::sync_channel::<SpillBatch>(0);
         let num_partitions = self.arenas.len();
-        let config = self.config;
+        let config = self.config.clone();
         let temp = self.temp.clone();
         let cmp = Arc::clone(&self.cmp);
         let combiner_f = self.combiner_f.clone();
@@ -407,6 +410,9 @@ where
         Counter::MapSortNanos,
         sort_started.elapsed().as_nanos() as u64,
     );
+    if let Some(plan) = &config.fault {
+        plan.check_spill_write()?;
+    }
     let mut writer = if config.spill_to_disk {
         RunWriter::file_codec(
             temp.expect("spill_to_disk requires a temp dir"),
@@ -426,7 +432,8 @@ where
             }
         }
     }
-    let run = writer.finish()?;
+    let mut run = writer.finish()?;
+    run.fault = config.fault.clone();
     counters.add(Counter::ShuffleBytes, run.bytes);
     counters.add(Counter::RawRunBytes, run.raw_bytes);
     counters.add(Counter::EncodedRunBytes, run.bytes);

@@ -86,9 +86,18 @@ pub enum Counter {
     ReduceInputRecords,
     /// Records emitted by reducers.
     ReduceOutputRecords,
+    /// Task attempts started (map + reduce). Equals the task count on a
+    /// fault-free run; each retry adds one.
+    TaskAttempts,
+    /// Failed attempts that were re-enqueued (attempts minus tasks on a
+    /// run that eventually succeeded).
+    TaskRetries,
+    /// Attempts that ended in a caught panic (a subset of the failures
+    /// behind [`Counter::TaskRetries`]).
+    TaskPanics,
 }
 
-const NUM_COUNTERS: usize = 20;
+const NUM_COUNTERS: usize = 23;
 
 const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "MAP_INPUT_RECORDS",
@@ -111,6 +120,9 @@ const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "REDUCE_INPUT_GROUPS",
     "REDUCE_INPUT_RECORDS",
     "REDUCE_OUTPUT_RECORDS",
+    "TASK_ATTEMPTS",
+    "TASK_RETRIES",
+    "TASK_PANICS",
 ];
 
 /// Live counter bank shared by all tasks of one job.
@@ -157,6 +169,30 @@ impl Counters {
     /// Add `n` to a named user counter.
     pub fn add_user(&self, name: &'static str, n: u64) {
         *self.user.lock().entry(name).or_insert(0) += n;
+    }
+
+    /// Fold a snapshot into this live bank — how a successful task
+    /// attempt publishes its privately counted work. Peak counters fold
+    /// by maximum, everything else by sum, mirroring
+    /// [`CounterSnapshot::merge`]. Failed attempts simply drop their
+    /// private bank, so retried work is never double-counted.
+    pub fn absorb(&self, snap: &CounterSnapshot) {
+        for (i, &v) in snap.builtin.iter().enumerate() {
+            if v == 0 {
+                continue;
+            }
+            if i == Counter::InputPeakBlockBytes as usize {
+                self.builtin[i].fetch_max(v, Ordering::Relaxed);
+            } else {
+                self.builtin[i].fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        if !snap.user.is_empty() {
+            let mut user = self.user.lock();
+            for (k, v) in &snap.user {
+                *user.entry(k).or_insert(0) += v;
+            }
+        }
     }
 
     /// Capture an immutable snapshot of all counters.

@@ -13,6 +13,27 @@ pub enum MrError {
     Config(String),
     /// A worker thread panicked while running a task.
     TaskPanic(String),
+    /// A task exhausted its retry budget: every attempt (panic or error)
+    /// failed, so the job as a whole fails with the last attempt's cause.
+    TaskFailed {
+        /// Which phase the task belonged to (`"map"` or `"reduce"`).
+        phase: &'static str,
+        /// Task index within its phase (split index or partition).
+        task: usize,
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The last attempt's failure.
+        cause: Box<MrError>,
+    },
+    /// A CRC-guarded block failed verification on read. The retry layer
+    /// treats this as a failed attempt whenever the producer can
+    /// regenerate the artifact.
+    ChecksumMismatch {
+        /// The file (or `<mem>` for in-memory buffers) holding the block.
+        file: String,
+        /// Zero-based index of the failing block within the file.
+        block: u64,
+    },
 }
 
 impl fmt::Display for MrError {
@@ -22,6 +43,18 @@ impl fmt::Display for MrError {
             MrError::Corrupt(what) => write!(f, "corrupt record: {what}"),
             MrError::Config(msg) => write!(f, "invalid job configuration: {msg}"),
             MrError::TaskPanic(msg) => write!(f, "task panicked: {msg}"),
+            MrError::TaskFailed {
+                phase,
+                task,
+                attempts,
+                cause,
+            } => write!(
+                f,
+                "{phase} task {task} failed after {attempts} attempt(s): {cause}"
+            ),
+            MrError::ChecksumMismatch { file, block } => {
+                write!(f, "checksum mismatch in {file} at block {block}")
+            }
         }
     }
 }
@@ -30,6 +63,7 @@ impl std::error::Error for MrError {
     fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
         match self {
             MrError::Io(e) => Some(e),
+            MrError::TaskFailed { cause, .. } => Some(cause.as_ref()),
             _ => None,
         }
     }

@@ -1,0 +1,197 @@
+//! Deterministic fault injection for exercising the recovery paths.
+//!
+//! A [`FaultPlan`] is an explicit, fully deterministic schedule of faults
+//! — "panic map task 2 on attempt 0", "fail the 3rd spill write with
+//! EIO", "corrupt the 5th run frame read" — threaded through
+//! [`JobConfig`](crate::JobConfig) into the spill writers and run
+//! readers. Every trigger is one-shot by construction (panics key on the
+//! attempt number; counted faults fire at exactly the Nth event), so a
+//! retried attempt sees clean behavior and the job converges: the same
+//! property Hadoop's re-execution model relies on.
+//!
+//! Ordinary tests and the CI fault-injection smoke leg build plans either
+//! programmatically or from the compact spec string accepted by
+//! [`FaultPlan::parse`] (the CLI's `--faults`).
+
+use crate::error::{MrError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A deterministic schedule of injected faults for one job.
+#[derive(Debug, Default)]
+pub struct FaultPlan {
+    /// Panic map task `(index, attempt)` — one-shot because the retried
+    /// attempt has a higher attempt number.
+    map_panic: Option<(usize, u32)>,
+    /// Panic reduce partition `(index, attempt)`.
+    reduce_panic: Option<(usize, u32)>,
+    /// Fail the Nth (1-based) spill write with an injected EIO.
+    spill_eio: Option<u64>,
+    /// Corrupt one byte of the Nth (1-based) run frame as it is read, so
+    /// the frame CRC check must catch it. Read-side and one-shot: the
+    /// retrying attempt re-reads the same frame clean.
+    corrupt_frame: Option<u64>,
+    spills: AtomicU64,
+    frames: AtomicU64,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Panic map task `task` when it runs as attempt `attempt`.
+    pub fn panic_map_task(mut self, task: usize, attempt: u32) -> Self {
+        self.map_panic = Some((task, attempt));
+        self
+    }
+
+    /// Panic reduce partition `task` when it runs as attempt `attempt`.
+    pub fn panic_reduce_task(mut self, task: usize, attempt: u32) -> Self {
+        self.reduce_panic = Some((task, attempt));
+        self
+    }
+
+    /// Fail the `nth` (1-based) spill write with an injected I/O error.
+    pub fn fail_spill_write(mut self, nth: u64) -> Self {
+        self.spill_eio = Some(nth.max(1));
+        self
+    }
+
+    /// Flip one byte of the `nth` (1-based) run frame at read time, so
+    /// the frame's CRC check must reject it.
+    pub fn corrupt_frame_read(mut self, nth: u64) -> Self {
+        self.corrupt_frame = Some(nth.max(1));
+        self
+    }
+
+    /// Parse a compact fault spec: comma- or semicolon-separated
+    /// `kind=value` clauses, e.g.
+    /// `"map-panic=2@0,spill-eio=3,corrupt-frame=5,reduce-panic=0@1"`.
+    /// Panic clauses take `task@attempt` (`@attempt` defaults to 0);
+    /// counted clauses take a 1-based event number.
+    pub fn parse(spec: &str) -> Result<FaultPlan> {
+        let mut plan = FaultPlan::new();
+        for clause in spec.split([',', ';']).filter(|c| !c.trim().is_empty()) {
+            let (kind, value) = clause
+                .trim()
+                .split_once('=')
+                .ok_or_else(|| MrError::Config(format!("fault clause '{clause}' needs '='")))?;
+            let bad =
+                |what: &str| MrError::Config(format!("bad {what} in fault clause '{clause}'"));
+            match kind {
+                "map-panic" | "reduce-panic" => {
+                    let (task, attempt) = match value.split_once('@') {
+                        Some((t, a)) => (
+                            t.parse::<usize>().map_err(|_| bad("task"))?,
+                            a.parse::<u32>().map_err(|_| bad("attempt"))?,
+                        ),
+                        None => (value.parse::<usize>().map_err(|_| bad("task"))?, 0),
+                    };
+                    if kind == "map-panic" {
+                        plan = plan.panic_map_task(task, attempt);
+                    } else {
+                        plan = plan.panic_reduce_task(task, attempt);
+                    }
+                }
+                "spill-eio" => {
+                    plan = plan.fail_spill_write(value.parse().map_err(|_| bad("count"))?);
+                }
+                "corrupt-frame" => {
+                    plan = plan.corrupt_frame_read(value.parse().map_err(|_| bad("count"))?);
+                }
+                _ => {
+                    return Err(MrError::Config(format!(
+                        "unknown fault kind '{kind}' (expected map-panic, reduce-panic, \
+                         spill-eio, or corrupt-frame)"
+                    )))
+                }
+            }
+        }
+        Ok(plan)
+    }
+
+    /// Map-task hook: panics iff this `(task, attempt)` is scheduled.
+    /// Called inside the driver's `catch_unwind` attempt wrapper.
+    pub(crate) fn maybe_panic_map(&self, task: usize, attempt: u32) {
+        if self.map_panic == Some((task, attempt)) {
+            panic!("injected fault: map task {task} attempt {attempt}");
+        }
+    }
+
+    /// Reduce-task hook: panics iff this `(partition, attempt)` is
+    /// scheduled.
+    pub(crate) fn maybe_panic_reduce(&self, task: usize, attempt: u32) {
+        if self.reduce_panic == Some((task, attempt)) {
+            panic!("injected fault: reduce partition {task} attempt {attempt}");
+        }
+    }
+
+    /// Spill-write hook: counts one spill write and returns the injected
+    /// error when this is the scheduled one.
+    pub(crate) fn check_spill_write(&self) -> std::io::Result<()> {
+        let n = self.spills.fetch_add(1, Ordering::Relaxed) + 1;
+        if Some(n) == self.spill_eio {
+            return Err(std::io::Error::other(format!(
+                "injected fault: EIO on spill write {n}"
+            )));
+        }
+        Ok(())
+    }
+
+    /// Frame-read hook: counts one frame read and returns `true` when the
+    /// reader must corrupt this frame's payload before the CRC check.
+    pub(crate) fn corrupt_this_frame(&self) -> bool {
+        let n = self.frames.fetch_add(1, Ordering::Relaxed) + 1;
+        Some(n) == self.corrupt_frame
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_full_spec() {
+        let plan = FaultPlan::parse("map-panic=2@1, spill-eio=3; corrupt-frame=5").unwrap();
+        assert_eq!(plan.map_panic, Some((2, 1)));
+        assert_eq!(plan.spill_eio, Some(3));
+        assert_eq!(plan.corrupt_frame, Some(5));
+        assert_eq!(plan.reduce_panic, None);
+    }
+
+    #[test]
+    fn parse_defaults_attempt_to_zero() {
+        let plan = FaultPlan::parse("reduce-panic=4").unwrap();
+        assert_eq!(plan.reduce_panic, Some((4, 0)));
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(FaultPlan::parse("map-panic").is_err());
+        assert!(FaultPlan::parse("map-panic=x").is_err());
+        assert!(FaultPlan::parse("map-panic=1@y").is_err());
+        assert!(FaultPlan::parse("frobnicate=1").is_err());
+        assert!(FaultPlan::parse("spill-eio=many").is_err());
+    }
+
+    #[test]
+    fn counted_faults_fire_exactly_once() {
+        let plan = FaultPlan::new().fail_spill_write(2).corrupt_frame_read(2);
+        assert!(plan.check_spill_write().is_ok());
+        assert!(plan.check_spill_write().is_err());
+        assert!(plan.check_spill_write().is_ok());
+        assert!(!plan.corrupt_this_frame());
+        assert!(plan.corrupt_this_frame());
+        assert!(!plan.corrupt_this_frame());
+    }
+
+    #[test]
+    fn panic_hooks_key_on_task_and_attempt() {
+        let plan = FaultPlan::new().panic_map_task(1, 0);
+        plan.maybe_panic_map(0, 0); // other task: no panic
+        plan.maybe_panic_map(1, 1); // retried attempt: no panic
+        let hit = std::panic::catch_unwind(|| plan.maybe_panic_map(1, 0));
+        assert!(hit.is_err());
+    }
+}

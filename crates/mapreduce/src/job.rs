@@ -15,6 +15,7 @@ use crate::cluster::Cluster;
 use crate::comparator::{RawComparator, TypedComparator};
 use crate::counters::{Counter, CounterSnapshot, Counters};
 use crate::error::{MrError, Result};
+use crate::fault::FaultPlan;
 use crate::io::{ByteReader, Writable};
 use crate::merge::MergeStream;
 use crate::partition::{HashPartition, Partitioner};
@@ -88,6 +89,15 @@ pub struct JobConfig {
     /// threads. Default 2. Set to 1 to force the threaded machinery
     /// regardless of the host (tests, ablation runs).
     pub pipeline_min_cpus: usize,
+    /// Maximum attempts per task (Hadoop's `mapred.map.max.attempts`).
+    /// Each map task and reduce partition runs in a panic-isolated
+    /// attempt; a failed attempt discards its partial output and the task
+    /// is retried until this budget is exhausted, at which point the job
+    /// fails with [`MrError::TaskFailed`]. Values below 1 behave as 1.
+    pub max_task_attempts: u32,
+    /// Deterministic fault-injection schedule (tests, CI smoke legs);
+    /// `None` — the default — injects nothing.
+    pub fault_plan: Option<Arc<FaultPlan>>,
 }
 
 impl Default for JobConfig {
@@ -104,6 +114,8 @@ impl Default for JobConfig {
             prefix_sort: true,
             pipelined: false,
             pipeline_min_cpus: 2,
+            max_task_attempts: 3,
+            fault_plan: None,
         }
     }
 }
@@ -391,11 +403,23 @@ where
                             return;
                         }
                         let i = claim_order[c];
-                        let Some(split) = splits[i].lock().take() else {
+                        let Some(mut split) = splits[i].lock().take() else {
                             continue;
                         };
                         let task_started = Instant::now();
-                        match self.run_map_task(split, num_reduce, &counters, temp.clone()) {
+                        let attempted =
+                            self.run_task_attempts("map", i, &counters, |attempt, attempt_ctrs| {
+                                if let Some(plan) = &self.config.fault_plan {
+                                    plan.maybe_panic_map(i, attempt);
+                                }
+                                self.run_map_task(
+                                    &mut split,
+                                    num_reduce,
+                                    attempt_ctrs,
+                                    temp.clone(),
+                                )
+                            });
+                        match attempted {
                             Ok(runs) => {
                                 map_task_times.lock().push(task_started.elapsed());
                                 for (p, rs) in runs.into_iter().enumerate() {
@@ -438,7 +462,18 @@ where
                         }
                         let runs = std::mem::take(&mut *partition_runs[p].lock());
                         let task_started = Instant::now();
-                        match self.run_reduce_task(p, &runs, &counters, sinks) {
+                        let attempted = self.run_task_attempts(
+                            "reduce",
+                            p,
+                            &counters,
+                            |attempt, attempt_ctrs| {
+                                if let Some(plan) = &self.config.fault_plan {
+                                    plan.maybe_panic_reduce(p, attempt);
+                                }
+                                self.run_reduce_task(p, &runs, attempt_ctrs, sinks)
+                            },
+                        );
+                        match attempted {
                             Ok(artifact) => {
                                 reduce_task_times.lock().push(task_started.elapsed());
                                 *artifacts[p].lock() = Some(artifact)
@@ -484,9 +519,60 @@ where
         Ok(JobRun { artifacts, stats })
     }
 
+    /// Run one task as a sequence of isolated attempts: each attempt runs
+    /// under `catch_unwind` with a private counter bank, so a panic or
+    /// error discards the attempt's counted work (its partial sink/run
+    /// output is discarded by the attempt body itself — streams restart
+    /// from the beginning, sinks are recreated per attempt) and the task
+    /// is retried with linear backoff until
+    /// [`JobConfig::max_task_attempts`] is exhausted. Only a successful
+    /// attempt folds its counters into the shared bank, so retried work is
+    /// never double-counted; the bookkeeping trio
+    /// ([`Counter::TaskAttempts`], [`Counter::TaskRetries`],
+    /// [`Counter::TaskPanics`]) is recorded unconditionally.
+    fn run_task_attempts<T>(
+        &self,
+        phase: &'static str,
+        task: usize,
+        counters: &Arc<Counters>,
+        mut attempt_fn: impl FnMut(u32, &Arc<Counters>) -> Result<T>,
+    ) -> Result<T> {
+        let max = self.config.max_task_attempts.max(1);
+        let mut attempt = 0u32;
+        loop {
+            counters.inc(Counter::TaskAttempts);
+            let attempt_counters = Arc::new(Counters::new());
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                attempt_fn(attempt, &attempt_counters)
+            }));
+            let err = match outcome {
+                Ok(Ok(value)) => {
+                    counters.absorb(&attempt_counters.snapshot());
+                    return Ok(value);
+                }
+                Ok(Err(e)) => e,
+                Err(payload) => {
+                    counters.inc(Counter::TaskPanics);
+                    MrError::TaskPanic(panic_message(payload))
+                }
+            };
+            attempt += 1;
+            if attempt >= max {
+                return Err(MrError::TaskFailed {
+                    phase,
+                    task,
+                    attempts: attempt,
+                    cause: Box::new(err),
+                });
+            }
+            counters.inc(Counter::TaskRetries);
+            std::thread::sleep(Duration::from_millis(10 * u64::from(attempt)));
+        }
+    }
+
     fn run_map_task<St>(
         &self,
-        mut split: St,
+        split: &mut St,
         num_reduce: usize,
         counters: &Arc<Counters>,
         temp: Option<Arc<TempDir>>,
@@ -502,6 +588,7 @@ where
                 run_codec: self.config.run_codec,
                 prefix_sort: self.config.prefix_sort,
                 pipelined: self.config.effective_pipelined(),
+                fault: self.config.fault_plan.clone(),
             },
             temp,
             Arc::clone(&self.comparator),
@@ -582,6 +669,19 @@ where
         let mut ctx = ReduceContext::new(&mut sink, counters, Counter::ReduceOutputRecords);
         reducer.cleanup(&mut ctx);
         sinks.seal(partition, sink)
+    }
+}
+
+/// Best-effort human-readable message out of a caught panic payload
+/// (`panic!` with a literal or a formatted string covers practically all
+/// real payloads; anything else is opaque).
+fn panic_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".to_string()
     }
 }
 

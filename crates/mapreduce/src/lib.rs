@@ -73,7 +73,9 @@ mod buffer;
 mod cluster;
 mod comparator;
 mod counters;
+mod crc;
 mod error;
+mod fault;
 mod hash;
 mod io;
 pub(crate) mod job;
@@ -88,7 +90,9 @@ mod values;
 pub use cluster::{Cluster, DistCache, JobLogEntry};
 pub use comparator::{BytewiseComparator, RawComparator, TypedComparator, VarintSeqComparator};
 pub use counters::{Counter, CounterSnapshot, Counters};
+pub use crc::{crc32, Crc32};
 pub use error::{MrError, Result};
+pub use fault::FaultPlan;
 pub use hash::{fx_hash, FxBuildHasher, FxHashMap, FxHashSet, FxHasher};
 pub use io::{
     from_bytes, read_vu32_seq, read_vu64_at, read_vu64_seq, to_bytes, write_vu32, write_vu64,

@@ -24,7 +24,7 @@ use crate::io::Writable;
 use crate::run::{Run, RunCodec, RunWriter, TempDir};
 use crate::task::{RecordSink, VecSink};
 use parking_lot::Mutex;
-use std::io::Write;
+use std::io::{Read, Write};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{Receiver, SyncSender};
 use std::sync::Arc;
@@ -198,9 +198,43 @@ where
 // WriterSinkFactory
 // ---------------------------------------------------------------------------
 
-/// How many formatted bytes a writer sink buffers locally before taking
-/// the shared-writer lock.
+/// How many formatted bytes a writer sink buffers in memory before
+/// overflowing to its private spool file.
 const WRITER_SINK_FLUSH_BYTES: usize = 64 * 1024;
+
+/// Process-unique sequence for spool-file names.
+static SPOOL_SEQ: AtomicU64 = AtomicU64::new(0);
+
+/// Private overflow file of one [`WriterSink`]: formatted bytes beyond the
+/// in-memory budget accumulate here instead of escaping to the shared
+/// writer mid-task, so a failed (and retried) reduce attempt leaves no
+/// partial output behind — the spool is simply dropped, which removes the
+/// file.
+struct Spool {
+    path: std::path::PathBuf,
+    file: std::io::BufWriter<std::fs::File>,
+}
+
+impl Spool {
+    fn create() -> Result<Spool> {
+        let path = std::env::temp_dir().join(format!(
+            "mr-writer-spool-{}-{}.tmp",
+            std::process::id(),
+            SPOOL_SEQ.fetch_add(1, Ordering::Relaxed)
+        ));
+        let file = std::fs::File::create(&path)?;
+        Ok(Spool {
+            path,
+            file: std::io::BufWriter::new(file),
+        })
+    }
+}
+
+impl Drop for Spool {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_file(&self.path);
+    }
+}
 
 /// A full buffer or a flush barrier, handed to the dedicated writer
 /// thread of a pipelined [`WriterSinkFactory`].
@@ -257,6 +291,10 @@ fn writer_thread(
 struct SharedWriter {
     backend: WriterBackend,
     records: AtomicU64,
+    /// Held for the whole of one sink's seal-time publish, so the spool's
+    /// arbitrary-boundary chunks of different partitions never interleave
+    /// mid-record in the shared output.
+    seal_lock: Mutex<()>,
 }
 
 impl SharedWriter {
@@ -264,6 +302,7 @@ impl SharedWriter {
         SharedWriter {
             backend: WriterBackend::Direct(Mutex::new(writer)),
             records: AtomicU64::new(0),
+            seal_lock: Mutex::new(()),
         }
     }
 
@@ -279,6 +318,7 @@ impl SharedWriter {
                 error,
             },
             records: AtomicU64::new(0),
+            seal_lock: Mutex::new(()),
         }
     }
 
@@ -343,10 +383,13 @@ impl Drop for SharedWriter {
     }
 }
 
-/// Factory streaming formatted records to one shared writer as reduce
-/// tasks produce them. Each sink buffers locally and appends under a lock,
-/// so the output is complete but interleaved across partitions in task
-/// completion order — callers needing a global order must sort downstream.
+/// Factory streaming formatted records to one shared writer. Each sink
+/// buffers in memory, overflows to a private spool file, and publishes
+/// everything to the shared writer only when its task is *sealed* — so a
+/// failed reduce attempt contributes no partial output and a retried task
+/// writes exactly once. Each partition's output is contiguous, but
+/// partitions appear in task completion order — callers needing a global
+/// order must sort downstream.
 pub struct WriterSinkFactory<K, V, F>
 where
     F: Fn(&mut Vec<u8>, &K, &V) + Send + Sync,
@@ -396,7 +439,8 @@ where
     }
 }
 
-/// Per-task sink of a [`WriterSinkFactory`]; holds a local line buffer.
+/// Per-task sink of a [`WriterSinkFactory`]; buffers locally (memory,
+/// then a private spool file) and publishes at seal time.
 pub struct WriterSink<K, V, F>
 where
     F: Fn(&mut Vec<u8>, &K, &V) + Send + Sync,
@@ -404,9 +448,27 @@ where
     shared: Arc<SharedWriter>,
     format: Arc<F>,
     buf: Vec<u8>,
+    /// Overflow spool, created lazily at the first full buffer. Dropping
+    /// the sink unsealed (failed attempt) removes the file.
+    spool: Option<Spool>,
     records: u64,
     error: Option<MrError>,
     _marker: std::marker::PhantomData<fn(K, V)>,
+}
+
+impl<K, V, F> WriterSink<K, V, F>
+where
+    F: Fn(&mut Vec<u8>, &K, &V) + Send + Sync,
+{
+    fn spill_to_spool(&mut self) -> Result<()> {
+        if self.spool.is_none() {
+            self.spool = Some(Spool::create()?);
+        }
+        let spool = self.spool.as_mut().expect("spool was just created");
+        spool.file.write_all(&self.buf)?;
+        self.buf.clear();
+        Ok(())
+    }
 }
 
 impl<K, V, F> RecordSink<K, V> for WriterSink<K, V, F>
@@ -420,7 +482,7 @@ where
         (self.format)(&mut self.buf, &k, &v);
         self.records += 1;
         if self.buf.len() >= WRITER_SINK_FLUSH_BYTES {
-            if let Err(e) = self.shared.drain(&mut self.buf) {
+            if let Err(e) = self.spill_to_spool() {
                 self.error = Some(e);
             }
         }
@@ -441,6 +503,7 @@ where
             shared: Arc::clone(&self.shared),
             format: Arc::clone(&self.format),
             buf: Vec::new(),
+            spool: None,
             records: 0,
             error: None,
             _marker: std::marker::PhantomData,
@@ -450,6 +513,24 @@ where
     fn seal(&self, _partition: usize, mut sink: WriterSink<K, V, F>) -> Result<u64> {
         if let Some(e) = sink.error.take() {
             return Err(e);
+        }
+        // Publish spool + tail as one unit: the lock keeps this task's
+        // bytes contiguous in the shared output even when other tasks
+        // seal concurrently.
+        let _publish = sink.shared.seal_lock.lock();
+        if let Some(mut spool) = sink.spool.take() {
+            spool.file.flush()?;
+            let mut rd = std::fs::File::open(&spool.path)?;
+            let mut chunk = vec![0u8; WRITER_SINK_FLUSH_BYTES];
+            loop {
+                let n = rd.read(&mut chunk)?;
+                if n == 0 {
+                    break;
+                }
+                let mut out = chunk[..n].to_vec();
+                sink.shared.drain(&mut out)?;
+            }
+            // `spool` drops here, removing its file.
         }
         sink.shared.drain(&mut sink.buf)?;
         sink.shared

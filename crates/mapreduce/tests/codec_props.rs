@@ -88,9 +88,14 @@ proptest! {
         prop_assert_eq!(plain.records, records.len() as u64);
         prop_assert_eq!(front.records, records.len() as u64);
         // Raw (pre-codec) bytes are codec-independent, and the plain
-        // codec is the identity.
+        // codec is the identity on frame payloads: the encoded size
+        // exceeds the raw size by exactly the per-frame header + CRC.
         prop_assert_eq!(plain.raw_bytes, front.raw_bytes);
-        prop_assert_eq!(plain.bytes, plain.raw_bytes);
+        prop_assert!(plain.bytes >= plain.raw_bytes);
+        prop_assert!(
+            records.is_empty() || plain.bytes > plain.raw_bytes,
+            "non-empty plain runs carry frame overhead"
+        );
 
         let plain_decoded = read_run(&plain);
         prop_assert_eq!(&plain_decoded, &records, "plain run must reproduce its input");

@@ -1,0 +1,93 @@
+//! Property: arbitrary byte-level damage to a run file — any single bit
+//! flip, any truncation point, any codec — must surface as a typed
+//! [`MrError`], never a panic and never silently altered records. The
+//! per-frame CRC32 is what makes the strong half (flips are *detected*,
+//! not merely survived) hold.
+
+use mapreduce::*;
+use proptest::prelude::*;
+
+type Records = Vec<(Vec<u8>, Vec<u8>)>;
+
+fn records_strategy() -> impl Strategy<Value = Records> {
+    prop::collection::vec(
+        (
+            prop::collection::vec(0u8..4, 0..10),
+            prop::collection::vec(0u8..=255, 0..5),
+        ),
+        1..80,
+    )
+}
+
+/// Write `records` into a file-backed run and return it with its path.
+fn file_run(dir: &TempDir, codec: RunCodec, records: &Records) -> (Run, std::path::PathBuf) {
+    let mut w = RunWriter::file_codec(dir, codec).unwrap().block_budget(64);
+    for (k, v) in records {
+        w.write_record(k, v).unwrap();
+    }
+    let run = w.finish().unwrap();
+    let path = std::fs::read_dir(dir.path())
+        .unwrap()
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .find(|p| p.extension().is_some_and(|e| e == "run"))
+        .expect("finish() left a sealed .run file");
+    (run, path)
+}
+
+/// Drain a run through its reader.
+fn read_all(run: &Run) -> Result<Records> {
+    let mut rd = run.reader()?;
+    let (mut k, mut v) = (Vec::new(), Vec::new());
+    let mut out = Vec::new();
+    while rd.next_into(&mut k, &mut v)? {
+        out.push((k.clone(), v.clone()));
+    }
+    Ok(out)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn corrupted_run_files_error_and_never_misread(
+        records in records_strategy(),
+        codec_i in 0usize..3,
+        at in 0usize..usize::MAX,
+        bit in 0u8..8,
+        truncate in any::<bool>(),
+    ) {
+        let codec = [RunCodec::Plain, RunCodec::FrontCoded, RunCodec::PostingDelta][codec_i];
+        let dir = TempDir::create(None).unwrap();
+        let (run, path) = file_run(&dir, codec, &records);
+        let clean = std::fs::read(&path).unwrap();
+        prop_assert!(!clean.is_empty(), "non-empty input yields non-empty run");
+
+        let damaged = if truncate {
+            clean[..at % clean.len()].to_vec()
+        } else {
+            let mut bytes = clean.clone();
+            bytes[at % clean.len()] ^= 1 << bit;
+            bytes
+        };
+        std::fs::write(&path, &damaged).unwrap();
+
+        match read_all(&run) {
+            // A typed error is the expected outcome; reaching here at all
+            // means no panic escaped the decode path.
+            Err(_) => {}
+            // The only acceptable silent outcome is an exact prefix of
+            // the original records (truncation landing on a frame
+            // boundary) — never altered data.
+            Ok(got) => {
+                prop_assert!(truncate, "a bit flip must be caught by the frame CRC");
+                prop_assert!(got.len() <= records.len());
+                prop_assert_eq!(
+                    &got[..],
+                    &records[..got.len()],
+                    "corruption silently altered records (codec {:?})",
+                    codec
+                );
+            }
+        }
+    }
+}

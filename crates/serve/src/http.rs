@@ -12,6 +12,16 @@
 //! | `/v1/{index}/prefix` | `q=`, `limit=` | extensions of the prefix, in gram order |
 //! | `/v1/{index}/topk` | `k=` | highest-frequency grams |
 //! | `/v1/{index}/stats` | — | manifest + cache telemetry |
+//!
+//! The serving path is hardened against misbehaving clients: every
+//! request head must arrive within [`HEADER_READ_TIMEOUT`] (a slowloris
+//! trickling bytes is disconnected with 408, a silent one just dropped),
+//! writes carry a socket timeout so a peer that stops reading cannot
+//! wedge a worker, oversized heads are rejected with 400, and accepted
+//! connections beyond the worker pool's [`ACCEPT_BACKLOG`] are shed
+//! immediately with 503 instead of queueing without bound. Shutdown
+//! drains: workers finish the request in flight, answer it with
+//! `connection: close`, and exit.
 
 use crate::index::StatsIndex;
 use crate::json::{json_array, JsonObject};
@@ -22,6 +32,7 @@ use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{mpsc, Arc};
+use std::time::{Duration, Instant};
 
 /// Default worker threads serving requests.
 pub const DEFAULT_WORKERS: usize = 4;
@@ -29,6 +40,16 @@ pub const DEFAULT_WORKERS: usize = 4;
 const MAX_REQUEST_BYTES: usize = 8 * 1024;
 /// Cap on `limit=` / `k=` to bound per-request work.
 const MAX_ROWS: usize = 10_000;
+/// A complete request head (and any keep-alive idle gap) must arrive
+/// within this budget; the deadline spans the whole head, so trickling
+/// one byte per read cannot hold a worker indefinitely.
+pub const HEADER_READ_TIMEOUT: Duration = Duration::from_secs(5);
+/// Socket write timeout: a peer that stops reading its response is
+/// disconnected rather than blocking a worker on a full send buffer.
+pub const WRITE_TIMEOUT: Duration = Duration::from_secs(10);
+/// Accepted connections queued for a worker beyond this bound are shed
+/// with 503 instead of growing the queue without limit.
+pub const ACCEPT_BACKLOG: usize = 64;
 
 /// The HTTP server: a listener plus the indexes it serves, keyed by the
 /// `{index}` path component.
@@ -37,6 +58,7 @@ pub struct StatsServer {
     addr: SocketAddr,
     indexes: Arc<HashMap<String, Arc<StatsIndex>>>,
     workers: usize,
+    header_timeout: Duration,
     shutdown: Arc<AtomicBool>,
 }
 
@@ -87,6 +109,7 @@ impl StatsServer {
             addr,
             indexes: Arc::new(indexes),
             workers: DEFAULT_WORKERS,
+            header_timeout: HEADER_READ_TIMEOUT,
             shutdown: Arc::new(AtomicBool::new(false)),
         })
     }
@@ -94,6 +117,13 @@ impl StatsServer {
     /// Override the worker thread count.
     pub fn workers(mut self, n: usize) -> Self {
         self.workers = n.max(1);
+        self
+    }
+
+    /// Override how long one request head may take to arrive (tests;
+    /// the default [`HEADER_READ_TIMEOUT`] is right for production).
+    pub fn header_timeout(mut self, timeout: Duration) -> Self {
+        self.header_timeout = timeout.max(Duration::from_millis(1));
         self
     }
 
@@ -105,18 +135,25 @@ impl StatsServer {
     /// Serve until the shutdown flag flips: accept connections and hand
     /// them to the worker pool. Blocks the calling thread.
     pub fn run(self) -> Result<()> {
-        let (tx, rx) = mpsc::channel::<TcpStream>();
+        // Bounded hand-off queue: when every worker is busy and the
+        // backlog is full, new connections are shed with 503 right on
+        // the accept thread instead of queueing without bound.
+        let (tx, rx) = mpsc::sync_channel::<TcpStream>(ACCEPT_BACKLOG);
         let rx = Arc::new(Mutex::new(rx));
+        let header_timeout = self.header_timeout;
         std::thread::scope(|scope| {
             for worker in 0..self.workers {
                 let rx = Arc::clone(&rx);
                 let indexes = Arc::clone(&self.indexes);
+                let shutdown = Arc::clone(&self.shutdown);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{worker}"))
                     .spawn_scoped(scope, move || loop {
                         let conn = { rx.lock().recv() };
                         match conn {
-                            Ok(stream) => serve_connection(stream, &indexes),
+                            Ok(stream) => {
+                                serve_connection(stream, &indexes, header_timeout, &shutdown)
+                            }
                             Err(_) => break, // accept loop gone
                         }
                     })
@@ -131,12 +168,22 @@ impl StatsServer {
                         // Interactive point lookups: never trade latency
                         // for coalescing.
                         let _ = stream.set_nodelay(true);
-                        let _ = tx.send(stream);
+                        let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
+                        if let Err(mpsc::TrySendError::Full(mut stream)) = tx.try_send(stream) {
+                            let _ = write_response(
+                                &mut stream,
+                                503,
+                                &error_json("server overloaded, retry later"),
+                                true,
+                            );
+                        }
                     }
                     Err(_) => break,
                 }
             }
-            drop(tx); // release workers blocked on recv
+            // Graceful drain: closing the queue lets each worker finish
+            // the connection it is serving, then exit; the scope joins.
+            drop(tx);
         });
         Ok(())
     }
@@ -159,37 +206,86 @@ impl StatsServer {
     }
 }
 
-/// One keep-alive connection: read requests until close/EOF/error.
-fn serve_connection(mut stream: TcpStream, indexes: &HashMap<String, Arc<StatsIndex>>) {
-    let peer_open = |stream: &mut TcpStream, buf: &mut Vec<u8>| -> Option<usize> {
-        // Read until the header terminator; none of our requests carry a
-        // body, so the headers are the request.
-        let mut chunk = [0u8; 1024];
-        loop {
-            if let Some(end) = find_header_end(buf) {
-                return Some(end);
-            }
-            if buf.len() > MAX_REQUEST_BYTES {
-                return Some(usize::MAX); // oversized: flagged for 400
-            }
-            match stream.read(&mut chunk) {
-                Ok(0) | Err(_) => return None,
-                Ok(n) => buf.extend_from_slice(&chunk[..n]),
-            }
+/// How one attempt to read a request head ended.
+enum HeadRead {
+    /// Header terminator found at this offset.
+    Complete(usize),
+    /// Peer closed (or errored) the connection.
+    Closed,
+    /// The head did not arrive within the deadline.
+    TimedOut,
+    /// The head exceeded [`MAX_REQUEST_BYTES`].
+    TooLarge,
+}
+
+/// Read one request head into `buf`, bounded in both bytes and time.
+/// The deadline covers the whole head, so a slowloris trickling a byte
+/// per timeout window still gets disconnected.
+fn read_request_head(stream: &mut TcpStream, buf: &mut Vec<u8>, timeout: Duration) -> HeadRead {
+    let deadline = Instant::now() + timeout;
+    let mut chunk = [0u8; 1024];
+    loop {
+        // None of our requests carry a body, so the headers are the
+        // request (a pipelined head may already be buffered).
+        if let Some(end) = find_header_end(buf) {
+            return HeadRead::Complete(end);
         }
-    };
+        if buf.len() > MAX_REQUEST_BYTES {
+            return HeadRead::TooLarge;
+        }
+        let remaining = deadline.saturating_duration_since(Instant::now());
+        if remaining.is_zero() || stream.set_read_timeout(Some(remaining)).is_err() {
+            return HeadRead::TimedOut;
+        }
+        match stream.read(&mut chunk) {
+            Ok(0) => return HeadRead::Closed,
+            Ok(n) => buf.extend_from_slice(&chunk[..n]),
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return HeadRead::TimedOut;
+            }
+            Err(_) => return HeadRead::Closed,
+        }
+    }
+}
+
+/// One keep-alive connection: read requests until close/EOF/error,
+/// timeout, or server drain.
+fn serve_connection(
+    mut stream: TcpStream,
+    indexes: &HashMap<String, Arc<StatsIndex>>,
+    header_timeout: Duration,
+    shutdown: &AtomicBool,
+) {
     let mut buf: Vec<u8> = Vec::new();
     loop {
-        let Some(end) = peer_open(&mut stream, &mut buf) else {
-            return;
+        let end = match read_request_head(&mut stream, &mut buf, header_timeout) {
+            HeadRead::Complete(end) => end,
+            HeadRead::Closed => return,
+            HeadRead::TimedOut => {
+                // An idle keep-alive peer is just dropped; one that sent a
+                // partial head gets told why before the disconnect.
+                if !buf.is_empty() {
+                    let _ = write_response(
+                        &mut stream,
+                        408,
+                        &error_json("request head timed out"),
+                        true,
+                    );
+                }
+                return;
+            }
+            HeadRead::TooLarge => {
+                let _ = write_response(&mut stream, 400, &error_json("request too large"), true);
+                return;
+            }
         };
-        if end == usize::MAX {
-            let _ = write_response(&mut stream, 400, &error_json("request too large"), true);
-            return;
-        }
         let head = String::from_utf8_lossy(&buf[..end]).into_owned();
         buf.drain(..end + 4);
-        let close = wants_close(&head);
+        // Draining: answer the request in flight, then close.
+        let close = wants_close(&head) || shutdown.load(Ordering::SeqCst);
         let (status, body) = handle_request(&head, indexes);
         if write_response(&mut stream, status, &body, close).is_err() || close {
             return;
@@ -221,6 +317,8 @@ fn write_response(
         400 => "Bad Request",
         404 => "Not Found",
         405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        503 => "Service Unavailable",
         _ => "Internal Server Error",
     };
     // One write for head+body: a split write would leave the body segment
@@ -488,5 +586,87 @@ mod tests {
         assert!(wants_close("GET / HTTP/1.1\r\nConnection: close"));
         assert!(!wants_close("GET / HTTP/1.1\r\nConnection: keep-alive"));
         assert!(!wants_close("GET / HTTP/1.1"));
+    }
+
+    /// Issue one request on a fresh connection and return the raw reply.
+    fn round_trip(addr: SocketAddr) -> String {
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        conn.write_all(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+            .unwrap();
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply).unwrap();
+        reply
+    }
+
+    #[test]
+    fn slowloris_is_disconnected_and_never_wedges_a_worker() {
+        // A single worker makes wedging observable: if the slow client
+        // held it, no later request could ever be answered.
+        let server = StatsServer::bind("127.0.0.1:0", HashMap::new())
+            .unwrap()
+            .workers(1)
+            .header_timeout(Duration::from_millis(200));
+        let addr = server.local_addr();
+        let handle = server.spawn().unwrap();
+
+        // Client A sends a partial request head, then goes silent.
+        let mut slow = TcpStream::connect(addr).unwrap();
+        slow.write_all(b"GET / HT").unwrap();
+        slow.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+
+        // Client B's ordinary request must still be answered promptly.
+        let started = Instant::now();
+        let reply = round_trip(addr);
+        assert!(reply.starts_with("HTTP/1.1 200"), "reply: {reply}");
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "request stalled behind the slowloris: {:?}",
+            started.elapsed()
+        );
+
+        // The slow client gets a 408 (it sent a partial head) and then
+        // EOF — the server, not the client, ends the connection.
+        let mut tail = Vec::new();
+        slow.read_to_end(&mut tail).unwrap();
+        let tail = String::from_utf8_lossy(&tail);
+        assert!(tail.starts_with("HTTP/1.1 408"), "slow client saw: {tail}");
+
+        // A fully silent client is dropped without a response.
+        let mut silent = TcpStream::connect(addr).unwrap();
+        silent
+            .set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let mut tail = Vec::new();
+        silent.read_to_end(&mut tail).unwrap();
+        assert!(tail.is_empty(), "silent client saw: {tail:?}");
+
+        // And the pool still serves after both abuses.
+        assert!(round_trip(addr).starts_with("HTTP/1.1 200"));
+        handle.shutdown();
+    }
+
+    #[test]
+    fn oversized_request_heads_are_rejected() {
+        let server = StatsServer::bind("127.0.0.1:0", HashMap::new())
+            .unwrap()
+            .workers(1);
+        let addr = server.local_addr();
+        let handle = server.spawn().unwrap();
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        // Never-terminating header stream well past MAX_REQUEST_BYTES.
+        let filler = format!(
+            "GET / HTTP/1.1\r\nx-filler: {}\r\n",
+            "y".repeat(MAX_REQUEST_BYTES)
+        );
+        conn.write_all(filler.as_bytes()).unwrap();
+        let mut reply = String::new();
+        conn.read_to_string(&mut reply).unwrap();
+        assert!(reply.starts_with("HTTP/1.1 400"), "reply: {reply}");
+        handle.shutdown();
     }
 }

@@ -103,11 +103,17 @@ pub fn build_index(
     let (metas, _stats) = computation.run_to_sink(cluster, &sinks)?;
     let entries: u64 = metas.iter().map(|m| m.entries).sum();
 
-    let mut terms = std::io::BufWriter::new(std::fs::File::create(dir.join(TERMS_FILE))?);
+    // Dictionary and manifest are staged at `.tmp` and renamed into
+    // place, so a crash mid-build never leaves a directory that opens
+    // with a truncated dictionary or manifest.
+    let terms_tmp = dir.join(format!("{TERMS_FILE}.tmp"));
+    let mut terms = std::io::BufWriter::new(std::fs::File::create(&terms_tmp)?);
     for (_id, term, cf) in dictionary.iter() {
         writeln!(terms, "{term}\t{cf}")?;
     }
     terms.flush()?;
+    drop(terms);
+    std::fs::rename(&terms_tmp, dir.join(TERMS_FILE))?;
 
     let params = computation.params();
     let mut manifest = String::new();
@@ -124,7 +130,11 @@ pub fn build_index(
     let _ = writeln!(manifest, "codec\t{}", opts.codec.name());
     let _ = writeln!(manifest, "segments\t{}", metas.len());
     let _ = writeln!(manifest, "entries\t{entries}");
-    std::fs::write(dir.join(MANIFEST_FILE), manifest)?;
+    // The manifest is written last: its presence marks the index
+    // complete, so it must never exist before every segment is sealed.
+    let manifest_tmp = dir.join(format!("{MANIFEST_FILE}.tmp"));
+    std::fs::write(&manifest_tmp, manifest)?;
+    std::fs::rename(&manifest_tmp, dir.join(MANIFEST_FILE))?;
 
     Ok(IndexMeta {
         dir: dir.to_path_buf(),

@@ -10,28 +10,38 @@
 //! never the file.
 //!
 //! ```text
-//! segment := magic "NGRAMSG1"  block*  footer  trailer
+//! segment := magic "NGRAMSG2"  block*  footer  [footer-crc32 LE]  trailer
 //! block   := codec-encoded records      (≈ SEGMENT_BLOCK_BYTES raw each)
 //! record  := key = gram term-id varints, val = count varint
 //! footer  := [codec][#entries][#blocks]
-//!            ([offset][bytes][#recs][first-key][last-key])*  block index
+//!            ([offset][bytes][#recs][crc32][first-key][last-key])*  index
 //!            [#top]([count][key])*              top entries by frequency
 //! trailer := [footer-offset: u64 LE]  magic                  (16 bytes)
 //! ```
 //!
-//! The layout mirrors the corpus store (`NGRAMMR2`): a fixed trailer
+//! The layout mirrors the corpus store (`NGRAMMR3`): a fixed trailer
 //! locates the footer with two positioned reads at open; block payloads
 //! are only touched by queries. First/last keys in the block index bound
 //! every block, so a lookup reads at most one block and a prefix scan
 //! reads exactly the overlapping range.
+//!
+//! Integrity and atomicity: the footer carries a CRC32 over its own
+//! bytes (verified at open) and each index entry carries a CRC32 over
+//! its encoded block (verified before decode), so a flipped bit anywhere
+//! is a typed [`MrError`] — never a silently wrong count. The writer
+//! stages the file at `<path>.tmp` and renames it into place at finish,
+//! so a crash mid-build never leaves a half-written segment where the
+//! index expects a sealed one.
 
-use mapreduce::{decode_block, read_vu64_at, write_vu64, BlockEncoder, MrError, Result, RunCodec};
+use mapreduce::{
+    crc32, decode_block, read_vu64_at, write_vu64, BlockEncoder, MrError, Result, RunCodec,
+};
 use std::fs::File;
 use std::io::{self, BufWriter, Write};
 use std::path::{Path, PathBuf};
 
 /// Magic bytes opening and closing a segment file.
-pub const SEGMENT_MAGIC: &[u8; 8] = b"NGRAMSG1";
+pub const SEGMENT_MAGIC: &[u8; 8] = b"NGRAMSG2";
 
 /// Raw-frame budget per block. Smaller than the shuffle's 32 KiB because
 /// the unit of serving work is one point lookup: a block is the amount of
@@ -91,6 +101,8 @@ pub struct SegmentBlock {
     pub bytes: u64,
     /// Number of records in the block.
     pub records: u64,
+    /// CRC32 over the encoded block bytes, verified before decode.
+    pub crc: u32,
     /// Raw key bytes of the block's first record.
     pub first_key: Vec<u8>,
     /// Raw key bytes of the block's last record.
@@ -123,6 +135,7 @@ pub struct SegmentMeta {
 pub struct SegmentWriter {
     out: BufWriter<File>,
     path: PathBuf,
+    tmp_path: PathBuf,
     codec: RunCodec,
     block_budget: usize,
     top_budget: usize,
@@ -147,11 +160,17 @@ impl SegmentWriter {
                 std::fs::create_dir_all(dir)?;
             }
         }
-        let mut out = BufWriter::with_capacity(128 * 1024, File::create(path)?);
+        // Stage at `<path>.tmp`; finish() renames into place so readers
+        // only ever see fully sealed segments under the final name.
+        let mut tmp = path.as_os_str().to_os_string();
+        tmp.push(".tmp");
+        let tmp_path = PathBuf::from(tmp);
+        let mut out = BufWriter::with_capacity(128 * 1024, File::create(&tmp_path)?);
         out.write_all(SEGMENT_MAGIC)?;
         Ok(SegmentWriter {
             out,
             path: path.to_path_buf(),
+            tmp_path,
             codec,
             block_budget: SEGMENT_BLOCK_BYTES,
             top_budget: SEGMENT_TOP_ENTRIES,
@@ -222,6 +241,7 @@ impl SegmentWriter {
             offset: self.offset,
             bytes: self.scratch.len() as u64,
             records: self.block_records,
+            crc: crc32(&self.scratch),
             first_key: self.first_key.clone(),
             last_key: self.last_key.clone(),
         });
@@ -242,6 +262,7 @@ impl SegmentWriter {
             write_vu64(&mut footer, b.offset);
             write_vu64(&mut footer, b.bytes);
             write_vu64(&mut footer, b.records);
+            write_vu64(&mut footer, u64::from(b.crc));
             write_bytes(&mut footer, &b.first_key);
             write_bytes(&mut footer, &b.last_key);
         }
@@ -255,9 +276,11 @@ impl SegmentWriter {
             write_bytes(&mut footer, key);
         }
         self.out.write_all(&footer)?;
+        self.out.write_all(&crc32(&footer).to_le_bytes())?;
         self.out.write_all(&footer_offset.to_le_bytes())?;
         self.out.write_all(SEGMENT_MAGIC)?;
         self.out.flush()?;
+        std::fs::rename(&self.tmp_path, &self.path)?;
         Ok(SegmentMeta {
             path: self.path,
             entries: self.entries,
@@ -326,21 +349,31 @@ impl SegmentReader {
             return Err(bad("segment footer offset out of bounds"));
         }
         let footer_len = (file_len - TRAILER_BYTES - footer_offset) as usize;
-        let mut footer = vec![0u8; footer_len];
-        read_exact_at(&file, path, &mut footer, footer_offset)?;
+        if footer_len < 4 {
+            return Err(bad("segment footer too short for its checksum"));
+        }
+        let mut raw_footer = vec![0u8; footer_len];
+        read_exact_at(&file, path, &mut raw_footer, footer_offset)?;
+        let (footer, crc_bytes) = raw_footer.split_at(footer_len - 4);
+        let stored = u32::from_le_bytes(crc_bytes.try_into().expect("split_at leaves 4 bytes"));
+        if crc32(footer) != stored {
+            return Err(bad("segment footer checksum mismatch"));
+        }
 
         let pos = &mut 0usize;
-        let codec = codec_from_id(read_vu64_at(&footer, pos)?)?;
-        let entries = read_vu64_at(&footer, pos)?;
-        let n_blocks = read_vu64_at(&footer, pos)? as usize;
+        let codec = codec_from_id(read_vu64_at(footer, pos)?)?;
+        let entries = read_vu64_at(footer, pos)?;
+        let n_blocks = read_vu64_at(footer, pos)? as usize;
         let mut index = Vec::with_capacity(n_blocks.min(footer_len));
         for _ in 0..n_blocks {
             let block = SegmentBlock {
-                offset: read_vu64_at(&footer, pos)?,
-                bytes: read_vu64_at(&footer, pos)?,
-                records: read_vu64_at(&footer, pos)?,
-                first_key: read_bytes(&footer, pos)?,
-                last_key: read_bytes(&footer, pos)?,
+                offset: read_vu64_at(footer, pos)?,
+                bytes: read_vu64_at(footer, pos)?,
+                records: read_vu64_at(footer, pos)?,
+                crc: u32::try_from(read_vu64_at(footer, pos)?)
+                    .map_err(|_| bad("segment block checksum out of range"))?,
+                first_key: read_bytes(footer, pos)?,
+                last_key: read_bytes(footer, pos)?,
             };
             let end = block
                 .offset
@@ -363,11 +396,11 @@ impl SegmentReader {
         if index.iter().map(|b| b.records).sum::<u64>() != entries {
             return Err(bad("segment block index disagrees with entry count"));
         }
-        let n_top = read_vu64_at(&footer, pos)? as usize;
+        let n_top = read_vu64_at(footer, pos)? as usize;
         let mut top = Vec::with_capacity(n_top.min(footer_len));
         for _ in 0..n_top {
-            let count = read_vu64_at(&footer, pos)?;
-            let key = read_bytes(&footer, pos)?;
+            let count = read_vu64_at(footer, pos)?;
+            let key = read_bytes(footer, pos)?;
             top.push((count, key));
         }
         if *pos != footer.len() {
@@ -418,6 +451,12 @@ impl SegmentReader {
         let entry = &self.index[i];
         let mut buf = vec![0u8; entry.bytes as usize];
         read_exact_at(&self.file, &self.path, &mut buf, entry.offset)?;
+        if crc32(&buf) != entry.crc {
+            return Err(MrError::ChecksumMismatch {
+                file: self.path.display().to_string(),
+                block: i as u64,
+            });
+        }
         decode_block(self.codec, buf, |key, val| {
             let mut vpos = 0usize;
             let count = read_vu64_at(val, &mut vpos)?;
@@ -648,6 +687,84 @@ mod tests {
         assert_eq!(r.entries(), 0);
         assert_eq!(r.num_blocks(), 0);
         assert_eq!(r.lookup(b"x").unwrap(), None);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn segment_appears_atomically_at_finish() {
+        let path = temp_path("atomic");
+        let mut w = SegmentWriter::create(&path, RunCodec::Plain).unwrap();
+        w.push(b"aa", 1).unwrap();
+        assert!(
+            !path.exists(),
+            "segment must not exist under its final name before finish"
+        );
+        w.finish().unwrap();
+        assert!(path.exists());
+        let mut tmp = path.clone().into_os_string();
+        tmp.push(".tmp");
+        assert!(
+            !PathBuf::from(tmp).exists(),
+            "staging file must be renamed away"
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn flipped_block_byte_is_a_checksum_mismatch() {
+        let recs = sample_records(300);
+        for codec in [
+            RunCodec::Plain,
+            RunCodec::FrontCoded,
+            RunCodec::PostingDelta,
+        ] {
+            let path = temp_path(&format!("blockflip-{}", codec.name()));
+            write_segment(&path, codec, &recs);
+            let clean = std::fs::read(&path).unwrap();
+            let r = SegmentReader::open(&path).unwrap();
+            let entry = r.index[1].clone();
+            drop(r);
+            for frac in [0.0, 0.5, 0.99] {
+                let mut bytes = clean.clone();
+                let at = entry.offset as usize + (entry.bytes as f64 * frac) as usize;
+                bytes[at] ^= 0x01;
+                std::fs::write(&path, &bytes).unwrap();
+                let r = SegmentReader::open(&path).expect("footer untouched, open succeeds");
+                // Walking every block must surface the corrupt one as a
+                // typed checksum error, not a wrong count.
+                let err = r
+                    .scan_all(&mut |_, _| Ok(()))
+                    .expect_err("flip must fail the block checksum");
+                match err {
+                    MrError::ChecksumMismatch { block, .. } => assert_eq!(block, 1),
+                    other => panic!("expected ChecksumMismatch, got {other:?}"),
+                }
+                // A lookup that lands in the corrupt block fails the same
+                // way instead of answering from corrupted bytes.
+                assert!(r.lookup(&entry.first_key).is_err(), "codec {codec:?}");
+            }
+            let _ = std::fs::remove_file(&path);
+        }
+    }
+
+    #[test]
+    fn flipped_footer_byte_is_rejected_at_open() {
+        let recs = sample_records(200);
+        let path = temp_path("footerflip");
+        write_segment(&path, RunCodec::FrontCoded, &recs);
+        let clean = std::fs::read(&path).unwrap();
+        let trailer = clean.len() - TRAILER_BYTES as usize;
+        let footer_offset =
+            u64::from_le_bytes(clean[trailer..trailer + 8].try_into().unwrap()) as usize;
+        for at in (footer_offset..trailer).step_by(11) {
+            let mut bytes = clean.clone();
+            bytes[at] ^= 0x40;
+            std::fs::write(&path, &bytes).unwrap();
+            assert!(
+                SegmentReader::open(&path).is_err(),
+                "footer flip at {at} must be rejected at open"
+            );
+        }
         let _ = std::fs::remove_file(&path);
     }
 

@@ -8,6 +8,7 @@
 //!                    [--mode cf|df] [--output all|closed|maximal] [--slots N]
 //!                    [--spill-to-disk] [--tmp-dir DIR] [--pipelined]
 //!                    [--run-codec plain|front|posting-delta]
+//!                    [--max-task-attempts N] [--faults SPEC]
 //!                    [--decode] [--out results.tsv]
 //! ngram-mr timeseries --input corpus.bin --tau 5 --sigma 3 [--out series.tsv]
 //! ngram-mr index     --input corpus.bin --dir stats.idx --method suffix-sigma
@@ -19,7 +20,7 @@
 //! ```
 //!
 //! `--format blocks` writes the block-structured corpus store (magic
-//! `NGRAMMR2`) with a streaming two-pass generator: pass 1 streams the
+//! `NGRAMMR3`) with a streaming two-pass generator: pass 1 streams the
 //! synthetic documents to count words and build the dictionary, pass 2
 //! replays the stream and encodes straight into ~256 KiB blocks — the
 //! collection is never materialized. `--store-codec rank|lz` compresses
@@ -62,6 +63,7 @@ fn usage() -> ! {
          --tau N --sigma N [--mode cf|df] [--output all|closed|maximal]\n                      \
          [--slots N] [--spill-to-disk] [--tmp-dir DIR] [--pipelined]\n                      \
          [--run-codec plain|front|posting-delta]\n                      \
+         [--max-task-attempts N] [--faults map-panic=T[@A],reduce-panic=T[@A],spill-eio=N,corrupt-frame=N]\n                      \
          [--decode] [--out FILE]\n  \
          ngram-mr timeseries --input FILE --tau N --sigma N [--decode] [--out FILE]\n  \
          ngram-mr index      --input FILE --dir DIR --method METHOD --tau N --sigma N\n                      \
@@ -70,7 +72,7 @@ fn usage() -> ! {
          [--workers N] [--cache-bytes N]\n  \
          ngram-mr query      --addr HOST:PORT --path /v1/NAME/ENDPOINT[?QUERY]\n\n\
          corpus FILEs may be legacy blobs (NGRAMMR1) or block stores\n\
-         (NGRAMMR2, `generate --format blocks`); every --input auto-detects."
+         (NGRAMMR3, `generate --format blocks`); every --input auto-detects."
     );
     std::process::exit(2)
 }
@@ -328,6 +330,16 @@ fn parse_params(args: &Args) -> NGramParams {
                     usage()
                 }),
             },
+            max_task_attempts: args.parse_num(
+                "max-task-attempts",
+                mapreduce::JobConfig::default().max_task_attempts,
+            ),
+            fault_plan: args.get("faults").map(|spec| {
+                std::sync::Arc::new(mapreduce::FaultPlan::parse(spec).unwrap_or_else(|e| {
+                    eprintln!("invalid --faults spec: {e}");
+                    usage()
+                }))
+            }),
             ..mapreduce::JobConfig::default()
         },
         ..NGramParams::new(args.parse_num("tau", 2u64), args.parse_num("sigma", 5usize))
