@@ -22,7 +22,7 @@ use mapreduce::RunCodec;
 use ngrams::{Computation, Method, NGramParams};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use serve::{build_index, IndexOptions, StatsIndex, StatsServer};
+use serve::{build_index, IndexOptions, LatencyHistogram, StatsIndex, StatsServer};
 use std::collections::HashMap;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpStream};
@@ -39,10 +39,15 @@ fn env_usize(key: &str, default: usize) -> usize {
         .unwrap_or(default)
 }
 
-/// One measured request: class index and client-side latency.
-struct Sample {
-    class: usize,
-    nanos: u64,
+/// Per-class latency histograms one client accumulates locally; merged
+/// into the run totals when the client finishes — the same bounded
+/// log2-bucket [`LatencyHistogram`] the server's `/metrics` endpoint
+/// exports, so bench percentiles and scrape quantiles agree by
+/// construction.
+fn class_histograms() -> Vec<LatencyHistogram> {
+    (0..CLASSES.len())
+        .map(|_| LatencyHistogram::default())
+        .collect()
 }
 
 /// Issue `GET path` on a kept-alive connection; return the status code.
@@ -95,12 +100,12 @@ fn client_loop(
     prefixes: &[String],
     requests: usize,
     seed: u64,
-) -> Vec<Sample> {
+) -> Vec<LatencyHistogram> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut stream = TcpStream::connect(addr).expect("client connect");
     stream.set_nodelay(true).expect("nodelay");
     let mut scratch = Vec::with_capacity(1024);
-    let mut samples = Vec::with_capacity(requests);
+    let hists = class_histograms();
     for _ in 0..requests {
         let roll: u32 = rng.random_range(0..100);
         let (class, path) = if roll < 80 {
@@ -114,29 +119,27 @@ fn client_loop(
         };
         let start = Instant::now();
         let status = get_keep_alive(&mut stream, &path, &mut scratch);
-        let nanos = start.elapsed().as_nanos() as u64;
+        hists[class].record(start.elapsed());
         assert_eq!(status, 200, "GET {path}");
-        samples.push(Sample { class, nanos });
     }
-    samples
+    hists
 }
 
-/// Percentile over an ascending-sorted latency slice, in microseconds.
-fn percentile_us(sorted: &[u64], q: f64) -> f64 {
-    if sorted.is_empty() {
-        return 0.0;
-    }
-    let ix = ((sorted.len() - 1) as f64 * q).round() as usize;
-    sorted[ix] as f64 / 1e3
+/// A histogram quantile in microseconds.
+fn quantile_us(h: &LatencyHistogram, q: f64) -> f64 {
+    h.quantile_nanos(q) as f64 / 1e3
 }
 
-fn latency_json(sorted: &[u64]) -> String {
+fn latency_json(h: &LatencyHistogram) -> String {
     format!(
-        "{{\"requests\": {}, \"p50_us\": {:.1}, \"p99_us\": {:.1}, \"max_us\": {:.1}}}",
-        sorted.len(),
-        percentile_us(sorted, 0.50),
-        percentile_us(sorted, 0.99),
-        percentile_us(sorted, 1.0),
+        "{{\"requests\": {}, \"p50_us\": {:.1}, \"p90_us\": {:.1}, \"p99_us\": {:.1}, \
+         \"p999_us\": {:.1}, \"max_us\": {:.1}}}",
+        h.count(),
+        quantile_us(h, 0.50),
+        quantile_us(h, 0.90),
+        quantile_us(h, 0.99),
+        quantile_us(h, 0.999),
+        h.max_nanos() as f64 / 1e3,
     )
 }
 
@@ -213,7 +216,9 @@ fn main() {
 
     let per_client = requests / clients;
     let load_start = Instant::now();
-    let samples: Vec<Sample> = std::thread::scope(|scope| {
+    // Each client records into private histograms; merging them (and the
+    // per-class ones into the overall) is exact — bucket counts add.
+    let by_class = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..clients)
             .map(|c| {
                 let grams = Arc::clone(&grams);
@@ -223,36 +228,34 @@ fn main() {
                 })
             })
             .collect();
-        handles
-            .into_iter()
-            .flat_map(|h| h.join().expect("client thread"))
-            .collect()
+        let totals = class_histograms();
+        for h in handles {
+            for (total, local) in totals.iter().zip(h.join().expect("client thread")) {
+                total.merge(&local);
+            }
+        }
+        totals
     });
     let load_wall = load_start.elapsed();
     handle.shutdown();
 
+    let overall = LatencyHistogram::default();
+    for h in &by_class {
+        overall.merge(h);
+    }
+
     let (hits, misses) = index.cache_stats();
     let hit_rate = hits as f64 / (hits + misses).max(1) as f64;
-    let qps = samples.len() as f64 / load_wall.as_secs_f64();
-
-    let mut overall: Vec<u64> = samples.iter().map(|s| s.nanos).collect();
-    overall.sort_unstable();
-    let mut by_class: Vec<Vec<u64>> = vec![Vec::new(); CLASSES.len()];
-    for s in &samples {
-        by_class[s.class].push(s.nanos);
-    }
-    for v in &mut by_class {
-        v.sort_unstable();
-    }
+    let qps = overall.count() as f64 / load_wall.as_secs_f64();
 
     eprintln!(
         "load: {} requests over {} client(s) in {:.2}s — {:.0} req/s, p50 {:.0}µs, p99 {:.0}µs, cache hit rate {:.3}",
-        samples.len(),
+        overall.count(),
         clients,
         load_wall.as_secs_f64(),
         qps,
-        percentile_us(&overall, 0.50),
-        percentile_us(&overall, 0.99),
+        quantile_us(&overall, 0.50),
+        quantile_us(&overall, 0.99),
         hit_rate,
     );
 
@@ -275,7 +278,7 @@ fn main() {
     ));
     json.push_str(&format!("  \"server_workers\": {workers},\n"));
     json.push_str(&format!("  \"clients\": {clients},\n"));
-    json.push_str(&format!("  \"requests\": {},\n", samples.len()));
+    json.push_str(&format!("  \"requests\": {},\n", overall.count()));
     json.push_str(&format!(
         "  \"wall_ms\": {:.3},\n",
         load_wall.as_secs_f64() * 1e3
@@ -285,8 +288,8 @@ fn main() {
         "  \"latency\": {{\"overall\": {}",
         latency_json(&overall)
     ));
-    for (class, lats) in CLASSES.iter().zip(&by_class) {
-        json.push_str(&format!(", \"{class}\": {}", latency_json(lats)));
+    for (class, hist) in CLASSES.iter().zip(&by_class) {
+        json.push_str(&format!(", \"{class}\": {}", latency_json(hist)));
     }
     json.push_str("},\n");
     json.push_str(&format!(

@@ -29,6 +29,10 @@
 //!   output stay identical.
 //!
 //! Wall clocks are the best of [`REPS`] runs to damp scheduler noise.
+//! One extra rep per configuration runs with [`JobConfig::trace`] on and
+//! folds its spans into the trailing per-phase keys (`map_wall_nanos`,
+//! `merge_wall_nanos`, `reduce_wall_nanos`, `task_skew`); the recorded
+//! best-of wall itself stays untraced.
 //! Knobs: `NGRAM_BENCH_SCALE` (default [`bench::DEFAULT_SCALE`]),
 //! `NGRAM_BENCH_SLOTS`, `NGRAM_BENCH_SHUFFLE_OUT` (default
 //! `BENCH_shuffle.json` in the working directory).
@@ -86,6 +90,43 @@ struct Entry {
     task_retries: u64,
     task_panics: u64,
     output: usize,
+    map_wall_nanos: u64,
+    merge_wall_nanos: u64,
+    reduce_wall_nanos: u64,
+    task_skew: f64,
+}
+
+/// The [`NGramParams`] of one configuration; `trace` turns span tracing
+/// on for the extra profiled rep only.
+fn bench_params(config: Config, trace: bool) -> NGramParams {
+    let (_, codec, prefix_sort, pipelined, sort_buffer) = config;
+    let mut params = NGramParams::new(5, 5);
+    params.job.run_codec = codec;
+    params.job.prefix_sort = prefix_sort;
+    params.job.pipelined = pipelined;
+    params.job.trace = trace;
+    if sort_buffer > 0 {
+        params.job.sort_buffer_bytes = sort_buffer;
+    }
+    params
+}
+
+fn run_once(
+    cluster: &mapreduce::Cluster,
+    input: &BenchInput<'_>,
+    method: Method,
+    params: &NGramParams,
+) -> NGramResult {
+    match input {
+        BenchInput::Mem(coll) => Computation::new(method, params)
+            .input(coll)
+            .run(cluster)
+            .expect("method run failed"),
+        BenchInput::Store(reader) => Computation::new(method, params)
+            .input_store(std::sync::Arc::clone(reader))
+            .run(cluster)
+            .expect("store run failed"),
+    }
 }
 
 fn run_one(
@@ -94,26 +135,11 @@ fn run_one(
     method: Method,
     config: Config,
 ) -> Entry {
-    let (name, codec, prefix_sort, pipelined, sort_buffer) = config;
+    let (name, codec, prefix_sort, pipelined, _) = config;
     let mut best: Option<Entry> = None;
     for _ in 0..REPS {
-        let mut params = NGramParams::new(5, 5);
-        params.job.run_codec = codec;
-        params.job.prefix_sort = prefix_sort;
-        params.job.pipelined = pipelined;
-        if sort_buffer > 0 {
-            params.job.sort_buffer_bytes = sort_buffer;
-        }
-        let result: NGramResult = match input {
-            BenchInput::Mem(coll) => Computation::new(method, &params)
-                .input(coll)
-                .run(cluster)
-                .expect("method run failed"),
-            BenchInput::Store(reader) => Computation::new(method, &params)
-                .input_store(std::sync::Arc::clone(reader))
-                .run(cluster)
-                .expect("store run failed"),
-        };
+        let params = bench_params(config, false);
+        let result = run_once(cluster, input, method, &params);
         let c = &result.counters;
         let entry = Entry {
             method: method.name(),
@@ -139,12 +165,36 @@ fn run_one(
             task_retries: c.get(Counter::TaskRetries),
             task_panics: c.get(Counter::TaskPanics),
             output: result.grams.len(),
+            map_wall_nanos: 0,
+            merge_wall_nanos: 0,
+            reduce_wall_nanos: 0,
+            task_skew: 1.0,
         };
         if best.as_ref().is_none_or(|b| entry.wall < b.wall) {
             best = Some(entry);
         }
     }
-    best.expect("REPS > 0")
+    let mut best = best.expect("REPS > 0");
+
+    // One extra *traced* rep decomposes the wall into per-phase times
+    // (map / k-way merge / reduce) and task skew — the units the paper
+    // compares methods by. It runs after, and apart from, the untraced
+    // reps so tracing overhead never touches the recorded best-of wall.
+    let mark = cluster.job_log().len();
+    let params = bench_params(config, true);
+    run_once(cluster, input, method, &params);
+    let traces: Vec<mapreduce::JobTrace> = cluster
+        .job_log()
+        .into_iter()
+        .skip(mark)
+        .filter_map(|entry| entry.trace)
+        .collect();
+    let profile = mapreduce::JobProfile::from_traces(traces);
+    best.map_wall_nanos = profile.phase_wall("map").as_nanos() as u64;
+    best.merge_wall_nanos = profile.merge_wall.as_nanos() as u64;
+    best.reduce_wall_nanos = profile.phase_wall("reduce").as_nanos() as u64;
+    best.task_skew = profile.task_skew;
+    best
 }
 
 fn json_line(e: &Entry) -> String {
@@ -158,7 +208,9 @@ fn json_line(e: &Entry) -> String {
             "\"output_grams\": {}, \"pipelined\": {}, ",
             "\"map_input_stall_nanos\": {}, \"spill_stall_nanos\": {}, ",
             "\"reduce_decode_stall_nanos\": {}, \"input_raw_bytes\": {}, ",
-            "\"task_attempts\": {}, \"task_retries\": {}, \"task_panics\": {}}}"
+            "\"task_attempts\": {}, \"task_retries\": {}, \"task_panics\": {}, ",
+            "\"map_wall_nanos\": {}, \"merge_wall_nanos\": {}, ",
+            "\"reduce_wall_nanos\": {}, \"task_skew\": {:.3}}}"
         ),
         e.method,
         e.config,
@@ -183,6 +235,10 @@ fn json_line(e: &Entry) -> String {
         e.task_attempts,
         e.task_retries,
         e.task_panics,
+        e.map_wall_nanos,
+        e.merge_wall_nanos,
+        e.reduce_wall_nanos,
+        e.task_skew,
     )
 }
 

@@ -143,6 +143,11 @@ pub struct NGramRunStats {
     pub jobs: usize,
     /// End-to-end wallclock (includes driver work between jobs).
     pub elapsed: Duration,
+    /// Span traces of the run's jobs, in launch order — non-empty iff
+    /// the computation ran with `JobConfig::trace` on. Fold with
+    /// [`mapreduce::JobProfile::from_traces`] for the `--profile`
+    /// artifact.
+    pub traces: Vec<mapreduce::JobTrace>,
 }
 
 /// Check that `method` supports the requested parameter combination
@@ -694,13 +699,18 @@ pub fn compute_inverted_index(
 fn stats_since(cluster: &Cluster, log_mark: usize, started: Instant) -> NGramRunStats {
     let log = cluster.job_log();
     let mut counters = CounterSnapshot::default();
+    let mut traces = Vec::new();
     for entry in &log[log_mark..] {
         counters.merge(&entry.counters);
+        if let Some(trace) = &entry.trace {
+            traces.push(trace.clone());
+        }
     }
     NGramRunStats {
         counters,
         jobs: log.len() - log_mark,
         elapsed: started.elapsed(),
+        traces,
     }
 }
 

@@ -4,6 +4,7 @@
 //! methods, which is exactly what [`Cluster::session`] supports.
 
 use crate::counters::CounterSnapshot;
+use crate::trace::JobTrace;
 use parking_lot::Mutex;
 use std::sync::Arc;
 use std::time::Duration;
@@ -21,6 +22,8 @@ pub struct JobLogEntry {
     pub map_task_times: Vec<Duration>,
     /// Per-reduce-task times.
     pub reduce_task_times: Vec<Duration>,
+    /// Span trace of the job; `Some` iff it ran with `JobConfig::trace`.
+    pub trace: Option<JobTrace>,
 }
 
 impl JobLogEntry {
@@ -70,6 +73,7 @@ impl Cluster {
         counters: &CounterSnapshot,
         map_task_times: &[Duration],
         reduce_task_times: &[Duration],
+        trace: Option<JobTrace>,
     ) {
         self.log.lock().push(JobLogEntry {
             name: name.to_string(),
@@ -77,6 +81,7 @@ impl Cluster {
             counters: counters.clone(),
             map_task_times: map_task_times.to_vec(),
             reduce_task_times: reduce_task_times.to_vec(),
+            trace,
         });
     }
 
@@ -154,8 +159,8 @@ mod tests {
     fn session_totals_aggregate() {
         let c = Cluster::new(2);
         let snap = CounterSnapshot::default();
-        c.record_job("a", Duration::from_millis(5), &snap, &[], &[]);
-        c.record_job("b", Duration::from_millis(7), &snap, &[], &[]);
+        c.record_job("a", Duration::from_millis(5), &snap, &[], &[], None);
+        c.record_job("b", Duration::from_millis(7), &snap, &[], &[], None);
         let (total, _) = c.session_totals();
         assert_eq!(total, Duration::from_millis(12));
         assert_eq!(c.job_log().len(), 2);

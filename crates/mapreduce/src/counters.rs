@@ -80,6 +80,12 @@ pub enum Counter {
     /// batch was not ready yet. Zero on the synchronous path, where run
     /// fetch + codec decode run inline between reduce calls.
     ReduceDecodeStallNanos,
+    /// Nanoseconds reduce tasks spent inside the k-way merge pulling the
+    /// next record (heap maintenance + run fetch + codec decode). Only
+    /// measured when `JobConfig::trace` is on — the timing calls would
+    /// otherwise tax the per-record hot path — so the per-phase
+    /// merge-wall breakdown in job profiles comes from here.
+    ReduceMergeNanos,
     /// Distinct keys seen by reducers.
     ReduceInputGroups,
     /// Records consumed by reducers.
@@ -97,7 +103,7 @@ pub enum Counter {
     TaskPanics,
 }
 
-const NUM_COUNTERS: usize = 23;
+const NUM_COUNTERS: usize = 24;
 
 const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "MAP_INPUT_RECORDS",
@@ -117,6 +123,7 @@ const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "ENCODED_RUN_BYTES",
     "MAP_SORT_NANOS",
     "REDUCE_DECODE_STALL_NANOS",
+    "REDUCE_MERGE_NANOS",
     "REDUCE_INPUT_GROUPS",
     "REDUCE_INPUT_RECORDS",
     "REDUCE_OUTPUT_RECORDS",
@@ -227,6 +234,18 @@ impl CounterSnapshot {
     /// Value of a named user counter (zero when never incremented).
     pub fn get_user(&self, name: &str) -> u64 {
         self.user.get(name).copied().unwrap_or(0)
+    }
+
+    /// All counters with their display names: built-ins first (in enum
+    /// order, zeros included), then user counters. This is how job
+    /// profiles and the CLI serialize a snapshot without enumerating the
+    /// enum themselves.
+    pub fn iter(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        COUNTER_NAMES
+            .iter()
+            .copied()
+            .zip(self.builtin.iter().copied())
+            .chain(self.user.iter().map(|(k, v)| (*k, *v)))
     }
 
     /// Accumulate another snapshot into this one (multi-job aggregation).

@@ -23,6 +23,7 @@ use crate::run::{Run, RunCodec, TempDir};
 use crate::sink::{RecordSinkFactory, VecSinkFactory};
 use crate::source::{RecordSource, RecordStream, VecSource};
 use crate::task::{BoxedCombiner, MapContext, Mapper, ReduceContext, Reducer};
+use crate::trace::{JobSpan, JobTrace, TaskSpan, TraceSink};
 use crate::values::ValueIter;
 use parking_lot::Mutex;
 use std::cmp::Reverse;
@@ -98,6 +99,12 @@ pub struct JobConfig {
     /// Deterministic fault-injection schedule (tests, CI smoke legs);
     /// `None` — the default — injects nothing.
     pub fault_plan: Option<Arc<FaultPlan>>,
+    /// Record a [`TaskSpan`] per task attempt and job-level spans for the
+    /// setup / map / reduce / seal stretches, published as
+    /// [`JobStats::trace`] and into the cluster job log. Off by default;
+    /// the disabled path costs a single branch per attempt (plus one per
+    /// merged record on the reduce side), so production runs pay nothing.
+    pub trace: bool,
 }
 
 impl Default for JobConfig {
@@ -116,6 +123,7 @@ impl Default for JobConfig {
             pipeline_min_cpus: 2,
             max_task_attempts: 3,
             fault_plan: None,
+            trace: false,
         }
     }
 }
@@ -155,6 +163,8 @@ pub struct JobStats {
     pub map_task_times: Vec<Duration>,
     /// Per-reduce-task execution times.
     pub reduce_task_times: Vec<Duration>,
+    /// Span trace of the run; `Some` iff [`JobConfig::trace`] was on.
+    pub trace: Option<JobTrace>,
 }
 
 impl JobStats {
@@ -368,6 +378,9 @@ where
         };
         let num_map = effective_map_tasks(self.config.num_map_tasks, source.len_hint(), slots);
         let counters = Arc::new(Counters::new());
+        // One branch when off: every tracing hook below is behind this
+        // `Option`.
+        let trace_sink = self.config.trace.then(|| TraceSink::new(slots));
 
         let temp = if self.config.spill_to_disk {
             Some(Arc::new(TempDir::create(self.config.tmp_dir.as_deref())?))
@@ -396,8 +409,15 @@ where
             let first_error: Mutex<Option<MrError>> = Mutex::new(None);
             let workers = slots.min(num_map).max(1);
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
+                for w in 0..workers {
+                    // Move closures capture `w` by value; everything else
+                    // is re-aliased as a reference first.
+                    let (splits, claim_order, next) = (&splits, &claim_order, &next);
+                    let (first_error, map_task_times) = (&first_error, &map_task_times);
+                    let (counters, partition_runs) = (&counters, &partition_runs);
+                    let trace_sink = trace_sink.as_ref();
+                    let temp = temp.clone();
+                    scope.spawn(move || loop {
                         let c = next.fetch_add(1, Ordering::Relaxed);
                         if c >= claim_order.len() {
                             return;
@@ -407,8 +427,15 @@ where
                             continue;
                         };
                         let task_started = Instant::now();
-                        let attempted =
-                            self.run_task_attempts("map", i, &counters, |attempt, attempt_ctrs| {
+                        let queue_wait = task_started.duration_since(map_started);
+                        let attempted = self.run_task_attempts(
+                            "map",
+                            i,
+                            counters,
+                            trace_sink,
+                            w,
+                            queue_wait,
+                            |attempt, attempt_ctrs| {
                                 if let Some(plan) = &self.config.fault_plan {
                                     plan.maybe_panic_map(i, attempt);
                                 }
@@ -418,7 +445,8 @@ where
                                     attempt_ctrs,
                                     temp.clone(),
                                 )
-                            });
+                            },
+                        );
                         match attempted {
                             Ok(runs) => {
                                 map_task_times.lock().push(task_started.elapsed());
@@ -454,18 +482,26 @@ where
             let first_error: Mutex<Option<MrError>> = Mutex::new(None);
             let workers = slots.min(num_reduce).max(1);
             std::thread::scope(|scope| {
-                for _ in 0..workers {
-                    scope.spawn(|| loop {
+                for w in 0..workers {
+                    let (next, first_error) = (&next, &first_error);
+                    let (counters, partition_runs) = (&counters, &partition_runs);
+                    let (artifacts, reduce_task_times) = (&artifacts, &reduce_task_times);
+                    let trace_sink = trace_sink.as_ref();
+                    scope.spawn(move || loop {
                         let p = next.fetch_add(1, Ordering::Relaxed);
                         if p >= num_reduce {
                             return;
                         }
                         let runs = std::mem::take(&mut *partition_runs[p].lock());
                         let task_started = Instant::now();
+                        let queue_wait = task_started.duration_since(reduce_started);
                         let attempted = self.run_task_attempts(
                             "reduce",
                             p,
-                            &counters,
+                            counters,
+                            trace_sink,
+                            w,
+                            queue_wait,
                             |attempt, attempt_ctrs| {
                                 if let Some(plan) = &self.config.fault_plan {
                                     plan.maybe_panic_reduce(p, attempt);
@@ -501,13 +537,52 @@ where
                     .ok_or(MrError::Config("reduce task produced no artifact".into()))
             })
             .collect::<Result<_>>()?;
+        let elapsed = started.elapsed();
+        // The four driver spans partition `elapsed` end to end: setup is
+        // everything before the map scope (split planning), seal is
+        // everything after the reduce scope (artifact collection), and
+        // the only unspanned stretch is the handful of allocations
+        // between the map and reduce scopes.
+        let trace = trace_sink.map(|sink| {
+            let setup_wall = map_started.duration_since(started);
+            let reduce_start = reduce_started.duration_since(started);
+            let seal_start = reduce_start + reduce_time;
+            JobTrace {
+                name: self.config.name.clone(),
+                elapsed,
+                job_spans: vec![
+                    JobSpan {
+                        name: "setup",
+                        start: Duration::ZERO,
+                        wall: setup_wall,
+                    },
+                    JobSpan {
+                        name: "map",
+                        start: setup_wall,
+                        wall: map_time,
+                    },
+                    JobSpan {
+                        name: "reduce",
+                        start: reduce_start,
+                        wall: reduce_time,
+                    },
+                    JobSpan {
+                        name: "seal",
+                        start: seal_start,
+                        wall: elapsed.saturating_sub(seal_start),
+                    },
+                ],
+                task_spans: sink.into_spans(),
+            }
+        });
         let stats = JobStats {
             counters: counters.snapshot(),
-            elapsed: started.elapsed(),
+            elapsed,
             map_time,
             reduce_time,
             map_task_times: map_task_times.into_inner(),
             reduce_task_times: reduce_task_times.into_inner(),
+            trace,
         };
         cluster.record_job(
             &self.config.name,
@@ -515,6 +590,7 @@ where
             &stats.counters,
             &stats.map_task_times,
             &stats.reduce_task_times,
+            stats.trace.clone(),
         );
         Ok(JobRun { artifacts, stats })
     }
@@ -530,11 +606,15 @@ where
     /// never double-counted; the bookkeeping trio
     /// ([`Counter::TaskAttempts`], [`Counter::TaskRetries`],
     /// [`Counter::TaskPanics`]) is recorded unconditionally.
+    #[allow(clippy::too_many_arguments)]
     fn run_task_attempts<T>(
         &self,
         phase: &'static str,
         task: usize,
         counters: &Arc<Counters>,
+        trace: Option<&TraceSink>,
+        worker: usize,
+        queue_wait: Duration,
         mut attempt_fn: impl FnMut(u32, &Arc<Counters>) -> Result<T>,
     ) -> Result<T> {
         let max = self.config.max_task_attempts.max(1);
@@ -542,9 +622,27 @@ where
         loop {
             counters.inc(Counter::TaskAttempts);
             let attempt_counters = Arc::new(Counters::new());
+            let attempt_started = Instant::now();
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 attempt_fn(attempt, &attempt_counters)
             }));
+            if let Some(sink) = trace {
+                // Every attempt gets a span — failed ones too, carrying
+                // the private counter bank the retry machinery is about
+                // to throw away.
+                sink.record(
+                    worker,
+                    TaskSpan {
+                        phase,
+                        task,
+                        attempt: attempt + 1,
+                        queue_wait,
+                        wall: attempt_started.elapsed(),
+                        ok: matches!(outcome, Ok(Ok(_))),
+                        counters: attempt_counters.snapshot(),
+                    },
+                );
+            }
             let err = match outcome {
                 Ok(Ok(value)) => {
                     counters.absorb(&attempt_counters.snapshot());
@@ -558,6 +656,10 @@ where
             };
             attempt += 1;
             if attempt >= max {
+                crate::log_error!(
+                    "job",
+                    "{phase} task {task} failed after {attempt} attempt(s): {err}"
+                );
                 return Err(MrError::TaskFailed {
                     phase,
                     task,
@@ -566,7 +668,13 @@ where
                 });
             }
             counters.inc(Counter::TaskRetries);
-            std::thread::sleep(Duration::from_millis(10 * u64::from(attempt)));
+            let backoff = Duration::from_millis(10 * u64::from(attempt));
+            crate::log_warn!(
+                "job",
+                "{phase} task {task} attempt {attempt} failed: {err}; retrying in {} ms",
+                backoff.as_millis()
+            );
+            std::thread::sleep(backoff);
         }
     }
 
@@ -645,7 +753,8 @@ where
             Arc::clone(&self.comparator),
             self.config.prefix_sort,
             self.config.effective_pipelined(),
-        )?;
+        )?
+        .timed(self.config.trace);
         let mut reducer = (self.reducer_f)();
         let mut sink = sinks.make(partition)?;
         let mut key_buf: Vec<u8> = Vec::new();
@@ -666,6 +775,7 @@ where
             counters.add(Counter::ReduceInputRecords, consumed);
         }
         counters.add(Counter::ReduceDecodeStallNanos, stream.stall_nanos());
+        counters.add(Counter::ReduceMergeNanos, stream.merge_nanos());
         let mut ctx = ReduceContext::new(&mut sink, counters, Counter::ReduceOutputRecords);
         reducer.cleanup(&mut ctx);
         sinks.seal(partition, sink)

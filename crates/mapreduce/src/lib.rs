@@ -79,12 +79,16 @@ mod fault;
 mod hash;
 mod io;
 pub(crate) mod job;
+pub mod json;
+pub mod logging;
 mod merge;
 mod partition;
+mod profile;
 mod run;
 mod sink;
 mod source;
 mod task;
+mod trace;
 mod values;
 
 pub use cluster::{Cluster, DistCache, JobLogEntry};
@@ -103,6 +107,7 @@ pub use job::{
 };
 pub use merge::MergeStream;
 pub use partition::{FnPartitioner, HashPartition, Partitioner};
+pub use profile::{JobProfile, PhaseProfile, TaskProfile};
 pub use run::{
     decode_block, BlockCodec, BlockEncoder, DecodeState, FrontCodedCodec, PlainCodec,
     PostingDeltaCodec, RawBlock, Run, RunCodec, RunInput, RunReader, RunWriter, TempDir,
@@ -117,4 +122,5 @@ pub use source::{
     SliceSource, SliceStream, VecSource, VecStream,
 };
 pub use task::{BoxedCombiner, MapContext, Mapper, RecordSink, ReduceContext, Reducer, VecSink};
+pub use trace::{JobSpan, JobTrace, TaskSpan, TraceSink};
 pub use values::ValueIter;

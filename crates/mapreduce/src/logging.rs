@@ -1,0 +1,194 @@
+//! A tiny leveled stderr logger — the observability substrate's fourth
+//! leg, replacing ad-hoc `eprintln!`s across the job driver, the CLI and
+//! the HTTP server with one consistent, filterable stream.
+//!
+//! Dependency-free by design (like the rest of the workspace): one atomic
+//! holds the active level, one `OnceLock<Instant>` anchors a monotonic
+//! timestamp, and each record is a single `write_all` so concurrent
+//! workers never interleave mid-line.
+//!
+//! The level comes from `NGRAM_MR_LOG` (`error`, `warn`, `info`,
+//! `debug`; default `warn`), read once on first use. Emit through the
+//! [`log_error!`](crate::log_error), [`log_warn!`](crate::log_warn),
+//! [`log_info!`](crate::log_info) and [`log_debug!`](crate::log_debug)
+//! macros, which evaluate their format arguments only when the level is
+//! enabled:
+//!
+//! ```
+//! mapreduce::log_warn!("doctest", "task {} failed, retrying", 7);
+//! assert!(!mapreduce::logging::enabled(mapreduce::logging::Level::Debug)
+//!     || mapreduce::logging::enabled(mapreduce::logging::Level::Warn));
+//! ```
+//!
+//! Record shape (stderr, one line):
+//!
+//! ```text
+//! [   12.345s WARN  job] map task 3 attempt 0 failed: …; retrying in 10 ms
+//! ```
+
+use std::io::Write;
+use std::sync::atomic::{AtomicU8, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
+
+/// Log severity, ordered from most to least severe.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+#[repr(u8)]
+pub enum Level {
+    /// Unrecoverable problems surfaced to the operator.
+    Error = 0,
+    /// Degraded-but-continuing events (task retries, shed connections).
+    Warn = 1,
+    /// Progress milestones (job start/finish, index mounts).
+    Info = 2,
+    /// Per-request / per-task detail (HTTP access log).
+    Debug = 3,
+}
+
+impl Level {
+    fn name(self) -> &'static str {
+        match self {
+            Level::Error => "ERROR",
+            Level::Warn => "WARN",
+            Level::Info => "INFO",
+            Level::Debug => "DEBUG",
+        }
+    }
+
+    fn parse(s: &str) -> Option<Level> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "error" => Some(Level::Error),
+            "warn" | "warning" => Some(Level::Warn),
+            "info" => Some(Level::Info),
+            "debug" | "trace" => Some(Level::Debug),
+            _ => None,
+        }
+    }
+}
+
+/// Sentinel meaning "not initialized yet" in the level atomic.
+const UNSET: u8 = u8::MAX;
+
+static LEVEL: AtomicU8 = AtomicU8::new(UNSET);
+static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+fn active_level() -> Level {
+    match LEVEL.load(Ordering::Relaxed) {
+        UNSET => {
+            let level = std::env::var("NGRAM_MR_LOG")
+                .ok()
+                .and_then(|v| Level::parse(&v))
+                .unwrap_or(Level::Warn);
+            LEVEL.store(level as u8, Ordering::Relaxed);
+            level
+        }
+        0 => Level::Error,
+        1 => Level::Warn,
+        2 => Level::Info,
+        _ => Level::Debug,
+    }
+}
+
+/// Override the active level programmatically (tests, CLI flags). Wins
+/// over `NGRAM_MR_LOG` from the moment it is called.
+pub fn set_level(level: Level) {
+    LEVEL.store(level as u8, Ordering::Relaxed);
+}
+
+/// Whether records at `level` are currently emitted. The macros check
+/// this before evaluating their format arguments, so a disabled
+/// `log_debug!` in a hot loop costs one relaxed load and one branch.
+#[inline]
+pub fn enabled(level: Level) -> bool {
+    level <= active_level()
+}
+
+/// Seconds since the logger first ran (monotonic; independent of wall
+/// clock adjustments).
+fn uptime_secs() -> f64 {
+    EPOCH.get_or_init(Instant::now).elapsed().as_secs_f64()
+}
+
+/// Emit one record. Use the macros instead of calling this directly —
+/// they carry the level check.
+pub fn log(level: Level, target: &str, args: std::fmt::Arguments<'_>) {
+    // One formatted buffer, one write: concurrent workers cannot
+    // interleave halves of each other's lines.
+    let line = format!(
+        "[{:>9.3}s {:<5} {}] {}\n",
+        uptime_secs(),
+        level.name(),
+        target,
+        args
+    );
+    let _ = std::io::stderr().write_all(line.as_bytes());
+}
+
+/// Log at [`Level::Error`]: `log_error!(target, fmt, args…)`.
+#[macro_export]
+macro_rules! log_error {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::logging::enabled($crate::logging::Level::Error) {
+            $crate::logging::log($crate::logging::Level::Error, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Warn`]: `log_warn!(target, fmt, args…)`.
+#[macro_export]
+macro_rules! log_warn {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::logging::enabled($crate::logging::Level::Warn) {
+            $crate::logging::log($crate::logging::Level::Warn, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Info`]: `log_info!(target, fmt, args…)`.
+#[macro_export]
+macro_rules! log_info {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::logging::enabled($crate::logging::Level::Info) {
+            $crate::logging::log($crate::logging::Level::Info, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+/// Log at [`Level::Debug`]: `log_debug!(target, fmt, args…)`.
+#[macro_export]
+macro_rules! log_debug {
+    ($target:expr, $($arg:tt)*) => {
+        if $crate::logging::enabled($crate::logging::Level::Debug) {
+            $crate::logging::log($crate::logging::Level::Debug, $target, format_args!($($arg)*));
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn levels_order_and_parse() {
+        assert!(Level::Error < Level::Warn);
+        assert!(Level::Warn < Level::Info);
+        assert!(Level::Info < Level::Debug);
+        assert_eq!(Level::parse("warn"), Some(Level::Warn));
+        assert_eq!(Level::parse("WARNING"), Some(Level::Warn));
+        assert_eq!(Level::parse(" Debug "), Some(Level::Debug));
+        assert_eq!(Level::parse("verbose"), None);
+    }
+
+    #[test]
+    fn set_level_gates_enabled() {
+        // Tests in this binary share the atomic; set it explicitly
+        // rather than relying on the environment.
+        set_level(Level::Info);
+        assert!(enabled(Level::Error));
+        assert!(enabled(Level::Warn));
+        assert!(enabled(Level::Info));
+        assert!(!enabled(Level::Debug));
+        set_level(Level::Warn);
+        assert!(!enabled(Level::Info));
+    }
+}

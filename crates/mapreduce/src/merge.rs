@@ -30,6 +30,12 @@ pub struct MergeStream {
     /// digest is `0` and comparisons always fall through to `cmp` (the
     /// unaccelerated engine, kept as the bench ablation baseline).
     prefix_sort: bool,
+    /// Measure the wall time spent inside [`MergeStream::next_record`]
+    /// (job tracing); off by default so the per-record hot path pays only
+    /// this branch.
+    timed: bool,
+    /// Accumulated [`MergeStream::next_record`] nanoseconds when `timed`.
+    merge_nanos: u64,
 }
 
 impl MergeStream {
@@ -88,6 +94,8 @@ impl MergeStream {
             heap,
             cmp,
             prefix_sort,
+            timed: false,
+            merge_nanos: 0,
         };
         // Heapify.
         if !s.heap.is_empty() {
@@ -132,9 +140,37 @@ impl MergeStream {
         self.heap.first().map(|&i| self.heads[i].key.as_slice())
     }
 
+    /// Turn per-record wall measurement on or off (see
+    /// [`MergeStream::merge_nanos`]). Chainable at construction time.
+    pub fn timed(mut self, on: bool) -> Self {
+        self.timed = on;
+        self
+    }
+
+    /// Total nanoseconds spent inside [`MergeStream::next_record`] —
+    /// heap maintenance plus run fetch plus codec decode. Zero unless
+    /// [`MergeStream::timed`] enabled measurement.
+    pub fn merge_nanos(&self) -> u64 {
+        self.merge_nanos
+    }
+
     /// Move the next record into `key_out`/`val_out` (buffers are swapped,
     /// not copied). Returns `false` when all runs are exhausted.
     pub fn next_record(&mut self, key_out: &mut Vec<u8>, val_out: &mut Vec<u8>) -> Result<bool> {
+        if self.timed {
+            let t = std::time::Instant::now();
+            let got = self.next_record_untimed(key_out, val_out);
+            self.merge_nanos += t.elapsed().as_nanos() as u64;
+            return got;
+        }
+        self.next_record_untimed(key_out, val_out)
+    }
+
+    fn next_record_untimed(
+        &mut self,
+        key_out: &mut Vec<u8>,
+        val_out: &mut Vec<u8>,
+    ) -> Result<bool> {
         let Some(&top) = self.heap.first() else {
             return Ok(false);
         };

@@ -1,0 +1,349 @@
+//! Job profiles: the folded, human-consumable form of a span trace.
+//!
+//! [`JobProfile::from_traces`] takes the [`JobTrace`]s of one run — one
+//! per job, so an APRIORI chain folds as naturally as a single SUFFIX-σ
+//! job — and derives what the paper's experimental sections need: the
+//! per-phase wall breakdown (setup / map / reduce / seal, plus the
+//! merge wall measured inside reduce), the per-task attempt timeline,
+//! partition skew (max over mean task wall), retry/fault events, and
+//! the counter totals folded from the successful attempts' banks.
+//! [`JobProfile::to_json`] serializes the whole thing through
+//! [`crate::json`] for the CLI's `--profile <path>` flag.
+
+use crate::counters::{Counter, CounterSnapshot};
+use crate::json::{json_array, JsonObject};
+use crate::trace::{JobTrace, TaskSpan};
+use std::time::Duration;
+
+/// Aggregate wall time of one named driver stretch, summed over jobs.
+#[derive(Debug, Clone)]
+pub struct PhaseProfile {
+    /// `"setup"`, `"map"`, `"reduce"` or `"seal"`.
+    pub name: &'static str,
+    /// Total wall across all folded jobs.
+    pub wall: Duration,
+}
+
+/// One failed task attempt — the profile's retry/fault event record.
+#[derive(Debug, Clone)]
+pub struct TaskProfile {
+    /// Index into the folded traces (which job the event belongs to).
+    pub job: usize,
+    /// `"map"` or `"reduce"`.
+    pub phase: &'static str,
+    /// Task index within its phase.
+    pub task: usize,
+    /// 1-based attempt number that failed.
+    pub attempt: u32,
+    /// Wall time the failed attempt burned.
+    pub wall: Duration,
+}
+
+/// The folded profile of one run (one or more traced jobs).
+#[derive(Debug, Clone)]
+pub struct JobProfile {
+    /// The raw traces, kept for the per-job timeline section of the
+    /// JSON artifact.
+    pub jobs: Vec<JobTrace>,
+    /// Sum of the folded jobs' wall times.
+    pub elapsed: Duration,
+    /// Per-phase aggregate walls in driver order (setup, map, reduce,
+    /// seal); their sum accounts for the whole of `elapsed` minus the
+    /// driver's unspanned bookkeeping between phases.
+    pub phases: Vec<PhaseProfile>,
+    /// Wall time reduce tasks spent inside the k-way merge (from
+    /// [`Counter::ReduceMergeNanos`]); a subset of the reduce phase
+    /// wall, broken out because map-vs-merge-vs-reduce is the paper's
+    /// unit of comparison.
+    pub merge_wall: Duration,
+    /// Max over mean of successful map attempt walls (1.0 = balanced).
+    pub map_skew: f64,
+    /// Max over mean of successful reduce attempt walls — the partition
+    /// skew the paper's §VII discusses.
+    pub reduce_skew: f64,
+    /// Max over mean across *all* successful task attempts, both phases.
+    pub task_skew: f64,
+    /// Failed attempts, in trace order.
+    pub faults: Vec<TaskProfile>,
+    /// Counter totals folded from the successful attempts' private
+    /// banks (identical to job counter totals, since only successful
+    /// attempts are ever absorbed).
+    pub counters: CounterSnapshot,
+}
+
+fn skew(walls: impl Iterator<Item = Duration> + Clone) -> f64 {
+    let n = walls.clone().count() as f64;
+    if n == 0.0 {
+        return 1.0;
+    }
+    let total: Duration = walls.clone().sum();
+    let max = walls.max().unwrap_or(Duration::ZERO);
+    let mean = total.as_secs_f64() / n;
+    if mean <= 0.0 {
+        1.0
+    } else {
+        max.as_secs_f64() / mean
+    }
+}
+
+fn nanos(d: Duration) -> u64 {
+    d.as_nanos() as u64
+}
+
+impl JobProfile {
+    /// Fold one run's traces (one per job) into a profile.
+    pub fn from_traces(traces: Vec<JobTrace>) -> JobProfile {
+        let mut phase_walls: [(&'static str, Duration); 4] = [
+            ("setup", Duration::ZERO),
+            ("map", Duration::ZERO),
+            ("reduce", Duration::ZERO),
+            ("seal", Duration::ZERO),
+        ];
+        let mut elapsed = Duration::ZERO;
+        let mut faults = Vec::new();
+        let mut counters = CounterSnapshot::default();
+        for (ji, trace) in traces.iter().enumerate() {
+            elapsed += trace.elapsed;
+            for span in &trace.job_spans {
+                if let Some(slot) = phase_walls.iter_mut().find(|(n, _)| *n == span.name) {
+                    slot.1 += span.wall;
+                }
+            }
+            for span in &trace.task_spans {
+                if span.ok {
+                    counters.merge(&span.counters);
+                } else {
+                    faults.push(TaskProfile {
+                        job: ji,
+                        phase: span.phase,
+                        task: span.task,
+                        attempt: span.attempt,
+                        wall: span.wall,
+                    });
+                }
+            }
+        }
+        let ok_walls = |phase: Option<&'static str>| {
+            let traces = &traces;
+            traces
+                .iter()
+                .flat_map(|t| t.task_spans.iter())
+                .filter(move |s| s.ok && phase.is_none_or(|p| s.phase == p))
+                .map(|s| s.wall)
+        };
+        JobProfile {
+            elapsed,
+            phases: phase_walls
+                .into_iter()
+                .map(|(name, wall)| PhaseProfile { name, wall })
+                .collect(),
+            merge_wall: Duration::from_nanos(counters.get(Counter::ReduceMergeNanos)),
+            map_skew: skew(ok_walls(Some("map"))),
+            reduce_skew: skew(ok_walls(Some("reduce"))),
+            task_skew: skew(ok_walls(None)),
+            faults,
+            counters,
+            jobs: traces,
+        }
+    }
+
+    /// Aggregate wall of one named phase (zero for unknown names).
+    pub fn phase_wall(&self, name: &str) -> Duration {
+        self.phases
+            .iter()
+            .find(|p| p.name == name)
+            .map_or(Duration::ZERO, |p| p.wall)
+    }
+
+    /// Fraction of `elapsed` the four driver phases account for — the
+    /// profile's own coverage check (≈ 1.0; the only unspanned stretch
+    /// is the driver's bookkeeping between phases).
+    pub fn phase_coverage(&self) -> f64 {
+        let spanned: Duration = self.phases.iter().map(|p| p.wall).sum();
+        if self.elapsed.is_zero() {
+            1.0
+        } else {
+            spanned.as_secs_f64() / self.elapsed.as_secs_f64()
+        }
+    }
+
+    /// Serialize the profile as a self-contained JSON document.
+    pub fn to_json(&self) -> String {
+        let mut root = JsonObject::new();
+        root.field_u64("version", 1);
+        root.field_u64("elapsed_nanos", nanos(self.elapsed));
+        let mut phases = JsonObject::new();
+        for p in &self.phases {
+            phases.field_u64(p.name, nanos(p.wall));
+        }
+        root.field("phase_wall_nanos", &phases.finish());
+        root.field_u64("merge_wall_nanos", nanos(self.merge_wall));
+        root.field_f64("phase_coverage", self.phase_coverage());
+        root.field_f64("map_skew", self.map_skew);
+        root.field_f64("reduce_skew", self.reduce_skew);
+        root.field_f64("task_skew", self.task_skew);
+        root.field("jobs", &json_array(self.jobs.iter().map(job_json)));
+        root.field(
+            "faults",
+            &json_array(self.faults.iter().map(|f| {
+                let mut o = JsonObject::new();
+                o.field_u64("job", f.job as u64)
+                    .field_str("phase", f.phase)
+                    .field_u64("task", f.task as u64)
+                    .field_u64("attempt", u64::from(f.attempt))
+                    .field_u64("wall_nanos", nanos(f.wall));
+                o.finish()
+            })),
+        );
+        let mut ctrs = JsonObject::new();
+        for (name, value) in self.counters.iter() {
+            if value != 0 {
+                ctrs.field_u64(name, value);
+            }
+        }
+        root.field("counters", &ctrs.finish());
+        root.finish()
+    }
+}
+
+fn task_span_json(span: &TaskSpan) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("phase", span.phase)
+        .field_u64("task", span.task as u64)
+        .field_u64("attempt", u64::from(span.attempt))
+        .field_u64("queue_wait_nanos", nanos(span.queue_wait))
+        .field_u64("wall_nanos", nanos(span.wall))
+        .field("ok", if span.ok { "true" } else { "false" });
+    let mut ctrs = JsonObject::new();
+    for (name, value) in span.counters.iter() {
+        if value != 0 {
+            ctrs.field_u64(name, value);
+        }
+    }
+    o.field("counters", &ctrs.finish());
+    o.finish()
+}
+
+fn job_json(trace: &JobTrace) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("name", &trace.name)
+        .field_u64("elapsed_nanos", nanos(trace.elapsed));
+    o.field(
+        "job_spans",
+        &json_array(trace.job_spans.iter().map(|s| {
+            let mut span = JsonObject::new();
+            span.field_str("name", s.name)
+                .field_u64("start_nanos", nanos(s.start))
+                .field_u64("wall_nanos", nanos(s.wall));
+            span.finish()
+        })),
+    );
+    o.field(
+        "task_spans",
+        &json_array(trace.task_spans.iter().map(task_span_json)),
+    );
+    o.finish()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::JobSpan;
+
+    fn ms(n: u64) -> Duration {
+        Duration::from_millis(n)
+    }
+
+    fn trace() -> JobTrace {
+        let span = |phase, task, attempt, wall_ms, ok| TaskSpan {
+            phase,
+            task,
+            attempt,
+            queue_wait: ms(1),
+            wall: ms(wall_ms),
+            ok,
+            counters: CounterSnapshot::default(),
+        };
+        JobTrace {
+            name: "test".into(),
+            elapsed: ms(100),
+            job_spans: vec![
+                JobSpan {
+                    name: "setup",
+                    start: ms(0),
+                    wall: ms(5),
+                },
+                JobSpan {
+                    name: "map",
+                    start: ms(5),
+                    wall: ms(60),
+                },
+                JobSpan {
+                    name: "reduce",
+                    start: ms(65),
+                    wall: ms(30),
+                },
+                JobSpan {
+                    name: "seal",
+                    start: ms(95),
+                    wall: ms(5),
+                },
+            ],
+            task_spans: vec![
+                span("map", 0, 1, 30, false),
+                span("map", 0, 2, 30, true),
+                span("map", 1, 1, 10, true),
+                span("reduce", 0, 1, 20, true),
+                span("reduce", 1, 1, 10, true),
+            ],
+        }
+    }
+
+    #[test]
+    fn folds_phases_faults_and_skew() {
+        let p = JobProfile::from_traces(vec![trace(), trace()]);
+        assert_eq!(p.elapsed, ms(200));
+        assert_eq!(p.phase_wall("map"), ms(120));
+        assert_eq!(p.phase_wall("seal"), ms(10));
+        assert_eq!(p.phase_wall("nope"), Duration::ZERO);
+        // 5+60+30+5 per job spans the full 100ms job wall.
+        assert!((p.phase_coverage() - 1.0).abs() < 1e-9);
+        // Successful map walls 30,10 (×2 jobs): max 30, mean 20 → 1.5.
+        assert!((p.map_skew - 1.5).abs() < 1e-9);
+        // Reduce walls 20,10: max 20, mean 15 → 4/3.
+        assert!((p.reduce_skew - 4.0 / 3.0).abs() < 1e-9);
+        assert_eq!(p.faults.len(), 2);
+        assert_eq!(p.faults[0].attempt, 1);
+        assert_eq!(p.faults[1].job, 1);
+    }
+
+    #[test]
+    fn empty_run_is_neutral() {
+        let p = JobProfile::from_traces(Vec::new());
+        assert_eq!(p.elapsed, Duration::ZERO);
+        assert_eq!(p.map_skew, 1.0);
+        assert_eq!(p.phase_coverage(), 1.0);
+        assert!(p.to_json().contains("\"jobs\":[]"));
+    }
+
+    #[test]
+    fn json_has_schema_keys() {
+        let j = JobProfile::from_traces(vec![trace()]).to_json();
+        for key in [
+            "\"version\":1",
+            "\"elapsed_nanos\":",
+            "\"phase_wall_nanos\":{\"setup\":",
+            "\"merge_wall_nanos\":",
+            "\"phase_coverage\":",
+            "\"task_skew\":",
+            "\"jobs\":[{\"name\":\"test\"",
+            "\"job_spans\":",
+            "\"task_spans\":",
+            "\"queue_wait_nanos\":",
+            "\"faults\":[{\"job\":0,\"phase\":\"map\",\"task\":0,\"attempt\":1",
+            "\"counters\":",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+    }
+}

@@ -1,0 +1,143 @@
+//! End-to-end tracing tests: with [`JobConfig::trace`] on, a job must
+//! emit one [`TaskSpan`] per task *attempt* and four driver
+//! [`JobSpan`]s (setup / map / reduce / seal) whose walls partition the
+//! job wall, and [`JobProfile::from_traces`] must fold them into a
+//! profile whose phase coverage meets the ≥ 90% acceptance bar.
+
+use mapreduce::*;
+use std::sync::Arc;
+
+struct Tokenize;
+impl Mapper for Tokenize {
+    type InKey = u64;
+    type InValue = String;
+    type OutKey = u64;
+    type OutValue = u64;
+    fn map(&mut self, _k: &u64, text: &String, ctx: &mut MapContext<'_, u64, u64>) {
+        for word in text.split_whitespace() {
+            ctx.emit(&fx_hash(&word), &1);
+        }
+    }
+}
+
+struct Sum;
+impl Reducer for Sum {
+    type Key = u64;
+    type ValueIn = u64;
+    type KeyOut = u64;
+    type ValueOut = u64;
+    fn reduce(
+        &mut self,
+        key: u64,
+        values: &mut ValueIter<'_, u64>,
+        ctx: &mut ReduceContext<'_, u64, u64>,
+    ) {
+        let total: u64 = values.sum();
+        ctx.emit(key, total);
+    }
+}
+
+fn corpus() -> Vec<(u64, String)> {
+    (0..64u64)
+        .map(|i| (i, format!("alpha beta gamma w{} shared", i % 7)))
+        .collect()
+}
+
+fn traced_config() -> JobConfig {
+    JobConfig {
+        name: "trace-test".into(),
+        num_map_tasks: 4,
+        num_reduce_tasks: 3,
+        sort_buffer_bytes: 256,
+        trace: true,
+        ..Default::default()
+    }
+}
+
+fn run_traced(config: JobConfig) -> Result<JobStats> {
+    let cluster = Cluster::new(2);
+    let job = Job::<Tokenize, Sum>::new(config, || Tokenize, || Sum);
+    let sinks = VecSinkFactory::default();
+    Ok(job
+        .run_streamed(&cluster, VecSource::new(corpus()), &sinks)?
+        .stats)
+}
+
+#[test]
+fn untraced_job_has_no_trace() {
+    let mut config = traced_config();
+    config.trace = false;
+    let stats = run_traced(config).unwrap();
+    assert!(stats.trace.is_none());
+}
+
+#[test]
+fn traced_job_phase_walls_partition_the_job_wall() {
+    let stats = run_traced(traced_config()).unwrap();
+    let trace = stats.trace.expect("trace requested");
+    assert_eq!(trace.name, "trace-test");
+
+    // Exactly the four driver spans, in order, starting at zero.
+    let names: Vec<&str> = trace.job_spans.iter().map(|s| s.name).collect();
+    assert_eq!(names, ["setup", "map", "reduce", "seal"]);
+    assert_eq!(trace.job_spans[0].start, std::time::Duration::ZERO);
+    for pair in trace.job_spans.windows(2) {
+        assert!(pair[1].start >= pair[0].start, "spans out of order");
+    }
+
+    // Per-phase walls never exceed the job wall, and the profile's
+    // coverage meets the ≥ 90% acceptance bar (here ≈ 100% by
+    // construction: the four spans partition the elapsed time).
+    let spanned: std::time::Duration = trace.job_spans.iter().map(|s| s.wall).sum();
+    assert!(spanned <= trace.elapsed + std::time::Duration::from_millis(1));
+    let profile = JobProfile::from_traces(vec![trace.clone()]);
+    assert!(
+        profile.phase_coverage() >= 0.9,
+        "coverage {}",
+        profile.phase_coverage()
+    );
+
+    // One successful span per task: 4 map + 3 reduce, map spans first,
+    // each carrying that attempt's counter bank.
+    assert_eq!(trace.task_spans.len(), 7);
+    assert!(trace.task_spans.iter().all(|s| s.ok && s.attempt == 1));
+    let map_spans: Vec<_> = trace
+        .task_spans
+        .iter()
+        .filter(|s| s.phase == "map")
+        .collect();
+    assert_eq!(map_spans.len(), 4);
+    // Map spans sort ahead of reduce spans in the merged trace.
+    assert!(trace.task_spans[..4].iter().all(|s| s.phase == "map"));
+    let spilled: u64 = map_spans
+        .iter()
+        .map(|s| s.counters.get(Counter::MapOutputRecords))
+        .sum();
+    assert_eq!(spilled, stats.counters.get(Counter::MapOutputRecords));
+}
+
+#[test]
+fn retried_task_yields_one_span_per_attempt() {
+    let mut config = traced_config();
+    config.fault_plan = Some(Arc::new(FaultPlan::new().panic_map_task(1, 0)));
+    let stats = run_traced(config).unwrap();
+    let trace = stats.trace.expect("trace requested");
+
+    // Task 1 panicked on attempt 1 and succeeded on attempt 2; both
+    // attempts must appear, in order, with `ok` telling them apart.
+    let attempts: Vec<(u32, bool)> = trace
+        .task_spans
+        .iter()
+        .filter(|s| s.phase == "map" && s.task == 1)
+        .map(|s| (s.attempt, s.ok))
+        .collect();
+    assert_eq!(attempts, [(1, false), (2, true)]);
+    assert_eq!(trace.task_spans.len(), 8); // 4 map + 1 retry + 3 reduce
+
+    // The profile surfaces the failed attempt as a fault event.
+    let profile = JobProfile::from_traces(vec![trace]);
+    assert_eq!(profile.faults.len(), 1);
+    assert_eq!(profile.faults[0].phase, "map");
+    assert_eq!(profile.faults[0].task, 1);
+    assert_eq!(profile.faults[0].attempt, 1);
+}

@@ -12,6 +12,7 @@
 //! | `/v1/{index}/prefix` | `q=`, `limit=` | extensions of the prefix, in gram order |
 //! | `/v1/{index}/topk` | `k=` | highest-frequency grams |
 //! | `/v1/{index}/stats` | — | manifest + cache telemetry |
+//! | `/metrics` | — | Prometheus text exposition (see [`crate::metrics`]) |
 //!
 //! The serving path is hardened against misbehaving clients: every
 //! request head must arrive within [`HEADER_READ_TIMEOUT`] (a slowloris
@@ -25,7 +26,8 @@
 
 use crate::index::StatsIndex;
 use crate::json::{json_array, JsonObject};
-use mapreduce::{MrError, Result};
+use crate::metrics::{Endpoint, ServerMetrics};
+use mapreduce::{log_debug, MrError, Result};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::io::{Read, Write};
@@ -60,6 +62,7 @@ pub struct StatsServer {
     workers: usize,
     header_timeout: Duration,
     shutdown: Arc<AtomicBool>,
+    metrics: Arc<ServerMetrics>,
 }
 
 /// Handle to a server running on a background thread.
@@ -67,12 +70,18 @@ pub struct ServerHandle {
     addr: SocketAddr,
     shutdown: Arc<AtomicBool>,
     join: Option<std::thread::JoinHandle<()>>,
+    metrics: Arc<ServerMetrics>,
 }
 
 impl ServerHandle {
     /// The bound address (useful with port 0).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// The server's metric registry (live; the server keeps updating it).
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Stop the accept loop and join the server thread.
@@ -111,7 +120,13 @@ impl StatsServer {
             workers: DEFAULT_WORKERS,
             header_timeout: HEADER_READ_TIMEOUT,
             shutdown: Arc::new(AtomicBool::new(false)),
+            metrics: ServerMetrics::new(),
         })
+    }
+
+    /// The server's metric registry.
+    pub fn metrics(&self) -> Arc<ServerMetrics> {
+        Arc::clone(&self.metrics)
     }
 
     /// Override the worker thread count.
@@ -146,14 +161,19 @@ impl StatsServer {
                 let rx = Arc::clone(&rx);
                 let indexes = Arc::clone(&self.indexes);
                 let shutdown = Arc::clone(&self.shutdown);
+                let metrics = Arc::clone(&self.metrics);
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{worker}"))
                     .spawn_scoped(scope, move || loop {
                         let conn = { rx.lock().recv() };
                         match conn {
-                            Ok(stream) => {
-                                serve_connection(stream, &indexes, header_timeout, &shutdown)
-                            }
+                            Ok(stream) => serve_connection(
+                                stream,
+                                &indexes,
+                                header_timeout,
+                                &shutdown,
+                                &metrics,
+                            ),
                             Err(_) => break, // accept loop gone
                         }
                     })
@@ -169,13 +189,19 @@ impl StatsServer {
                         // for coalescing.
                         let _ = stream.set_nodelay(true);
                         let _ = stream.set_write_timeout(Some(WRITE_TIMEOUT));
-                        if let Err(mpsc::TrySendError::Full(mut stream)) = tx.try_send(stream) {
-                            let _ = write_response(
-                                &mut stream,
-                                503,
-                                &error_json("server overloaded, retry later"),
-                                true,
-                            );
+                        match tx.try_send(stream) {
+                            Ok(()) => self.metrics.connection(),
+                            Err(mpsc::TrySendError::Full(mut stream)) => {
+                                self.metrics.shed();
+                                let _ = write_response(
+                                    &mut stream,
+                                    503,
+                                    &error_json("server overloaded, retry later"),
+                                    JSON_CONTENT_TYPE,
+                                    true,
+                                );
+                            }
+                            Err(mpsc::TrySendError::Disconnected(_)) => break,
                         }
                     }
                     Err(_) => break,
@@ -192,6 +218,7 @@ impl StatsServer {
     pub fn spawn(self) -> Result<ServerHandle> {
         let addr = self.addr;
         let shutdown = Arc::clone(&self.shutdown);
+        let metrics = Arc::clone(&self.metrics);
         let join = std::thread::Builder::new()
             .name("serve-accept".into())
             .spawn(move || {
@@ -202,6 +229,7 @@ impl StatsServer {
             addr,
             shutdown,
             join: Some(join),
+            metrics,
         })
     }
 }
@@ -258,6 +286,7 @@ fn serve_connection(
     indexes: &HashMap<String, Arc<StatsIndex>>,
     header_timeout: Duration,
     shutdown: &AtomicBool,
+    metrics: &ServerMetrics,
 ) {
     let mut buf: Vec<u8> = Vec::new();
     loop {
@@ -265,6 +294,7 @@ fn serve_connection(
             HeadRead::Complete(end) => end,
             HeadRead::Closed => return,
             HeadRead::TimedOut => {
+                metrics.timeout();
                 // An idle keep-alive peer is just dropped; one that sent a
                 // partial head gets told why before the disconnect.
                 if !buf.is_empty() {
@@ -272,13 +302,21 @@ fn serve_connection(
                         &mut stream,
                         408,
                         &error_json("request head timed out"),
+                        JSON_CONTENT_TYPE,
                         true,
                     );
                 }
                 return;
             }
             HeadRead::TooLarge => {
-                let _ = write_response(&mut stream, 400, &error_json("request too large"), true);
+                metrics.too_large();
+                let _ = write_response(
+                    &mut stream,
+                    400,
+                    &error_json("request too large"),
+                    JSON_CONTENT_TYPE,
+                    true,
+                );
                 return;
             }
         };
@@ -286,8 +324,25 @@ fn serve_connection(
         buf.drain(..end + 4);
         // Draining: answer the request in flight, then close.
         let close = wants_close(&head) || shutdown.load(Ordering::SeqCst);
-        let (status, body) = handle_request(&head, indexes);
-        if write_response(&mut stream, status, &body, close).is_err() || close {
+        let started = Instant::now();
+        let _in_flight = metrics.begin_request();
+        let (status, body, endpoint) = handle_request(&head, indexes, metrics);
+        let content_type = if endpoint == Endpoint::Metrics && status == 200 {
+            METRICS_CONTENT_TYPE
+        } else {
+            JSON_CONTENT_TYPE
+        };
+        let wrote = write_response(&mut stream, status, &body, content_type, close);
+        metrics.observe(endpoint, status, started.elapsed());
+        // Access log: one line per request at debug (the format args are
+        // only evaluated when the level is on).
+        log_debug!(
+            "http",
+            "{status} {} {}us",
+            head.lines().next().unwrap_or(""),
+            started.elapsed().as_micros()
+        );
+        if wrote.is_err() || close {
             return;
         }
     }
@@ -306,10 +361,16 @@ fn wants_close(head: &str) -> bool {
         })
 }
 
+/// `content-type` of every JSON response.
+const JSON_CONTENT_TYPE: &str = "application/json";
+/// `content-type` of the Prometheus text exposition.
+const METRICS_CONTENT_TYPE: &str = "text/plain; version=0.0.4";
+
 fn write_response(
     stream: &mut TcpStream,
     status: u16,
     body: &str,
+    content_type: &str,
     close: bool,
 ) -> std::io::Result<()> {
     let reason = match status {
@@ -325,7 +386,7 @@ fn write_response(
     // queued behind Nagle waiting on the peer's delayed ACK (~40ms per
     // response on keep-alive connections).
     let response = format!(
-        "HTTP/1.1 {status} {reason}\r\ncontent-type: application/json\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{body}",
+        "HTTP/1.1 {status} {reason}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\nconnection: {}\r\n\r\n{body}",
         body.len(),
         if close { "close" } else { "keep-alive" },
     );
@@ -339,27 +400,36 @@ fn error_json(msg: &str) -> String {
     o.finish()
 }
 
-/// Dispatch one parsed request head to `(status, json-body)`.
-fn handle_request(head: &str, indexes: &HashMap<String, Arc<StatsIndex>>) -> (u16, String) {
+/// Dispatch one parsed request head to `(status, body, endpoint-label)`.
+fn handle_request(
+    head: &str,
+    indexes: &HashMap<String, Arc<StatsIndex>>,
+    metrics: &ServerMetrics,
+) -> (u16, String, Endpoint) {
+    let with_endpoint = |(status, body): (u16, String), e: Endpoint| (status, body, e);
     let Some(request_line) = head.lines().next() else {
-        return (400, error_json("empty request"));
+        return (400, error_json("empty request"), Endpoint::Other);
     };
     let mut parts = request_line.split_whitespace();
     let (Some(method), Some(target), Some(version)) = (parts.next(), parts.next(), parts.next())
     else {
-        return (400, error_json("malformed request line"));
+        return (400, error_json("malformed request line"), Endpoint::Other);
     };
     if !version.starts_with("HTTP/1.") {
-        return (400, error_json("unsupported protocol"));
+        return (400, error_json("unsupported protocol"), Endpoint::Other);
     }
     if method != "GET" {
-        return (405, error_json("only GET is supported"));
+        return (405, error_json("only GET is supported"), Endpoint::Other);
     }
     let (path, query) = match target.split_once('?') {
         Some((p, q)) => (p, q),
         None => (target, ""),
     };
     let params = parse_query(query);
+
+    if path == "/metrics" {
+        return (200, metrics.render_prometheus(indexes), Endpoint::Metrics);
+    }
 
     if path == "/" || path == "/v1" || path == "/v1/" {
         let mut names: Vec<&str> = indexes.keys().map(String::as_str).collect();
@@ -373,25 +443,29 @@ fn handle_request(head: &str, indexes: &HashMap<String, Arc<StatsIndex>>) -> (u1
                 s
             })),
         );
-        return (200, o.finish());
+        return (200, o.finish(), Endpoint::Root);
     }
 
     let rest = match path.strip_prefix("/v1/") {
         Some(rest) => rest,
-        None => return (404, error_json("no such route")),
+        None => return (404, error_json("no such route"), Endpoint::Other),
     };
     let Some((index_name, endpoint)) = rest.split_once('/') else {
-        return (404, error_json("route is /v1/{index}/{endpoint}"));
+        return (
+            404,
+            error_json("route is /v1/{index}/{endpoint}"),
+            Endpoint::Other,
+        );
     };
     let Some(index) = indexes.get(index_name) else {
-        return (404, error_json("unknown index"));
+        return (404, error_json("unknown index"), Endpoint::Other);
     };
     match endpoint {
-        "ngram" => handle_ngram(index, &params),
-        "prefix" => handle_prefix(index, &params),
-        "topk" => handle_topk(index, &params),
-        "stats" => handle_stats(index_name, index),
-        _ => (404, error_json("unknown endpoint")),
+        "ngram" => with_endpoint(handle_ngram(index, &params), Endpoint::Ngram),
+        "prefix" => with_endpoint(handle_prefix(index, &params), Endpoint::Prefix),
+        "topk" => with_endpoint(handle_topk(index, &params), Endpoint::Topk),
+        "stats" => with_endpoint(handle_stats(index_name, index), Endpoint::Stats),
+        _ => (404, error_json("unknown endpoint"), Endpoint::Other),
     }
 }
 
@@ -469,6 +543,7 @@ fn handle_stats(name: &str, index: &StatsIndex) -> (u16, String) {
     cache
         .field_u64("hits", hits)
         .field_u64("misses", misses)
+        .field_u64("negative_hits", index.cache_negative_hits())
         .field_f64(
             "hit_rate",
             if total == 0 {
@@ -570,15 +645,19 @@ mod tests {
     #[test]
     fn bad_requests_get_structured_errors() {
         let indexes = HashMap::new();
-        let (s, _) = handle_request("POST /v1/x/ngram HTTP/1.1", &indexes);
-        assert_eq!(s, 405);
-        let (s, _) = handle_request("GET /v2/nope HTTP/1.1", &indexes);
+        let metrics = ServerMetrics::new();
+        let (s, _, e) = handle_request("POST /v1/x/ngram HTTP/1.1", &indexes, &metrics);
+        assert_eq!((s, e), (405, Endpoint::Other));
+        let (s, _, _) = handle_request("GET /v2/nope HTTP/1.1", &indexes, &metrics);
         assert_eq!(s, 404);
-        let (s, _) = handle_request("GET /v1/missing/ngram?q=a HTTP/1.1", &indexes);
+        let (s, _, _) = handle_request("GET /v1/missing/ngram?q=a HTTP/1.1", &indexes, &metrics);
         assert_eq!(s, 404);
-        let (s, body) = handle_request("GET / HTTP/1.1", &indexes);
-        assert_eq!(s, 200);
+        let (s, body, e) = handle_request("GET / HTTP/1.1", &indexes, &metrics);
+        assert_eq!((s, e), (200, Endpoint::Root));
         assert_eq!(body, r#"{"indexes":[]}"#);
+        let (s, body, e) = handle_request("GET /metrics HTTP/1.1", &indexes, &metrics);
+        assert_eq!((s, e), (200, Endpoint::Metrics));
+        assert!(body.contains("# TYPE http_requests_total counter"));
     }
 
     #[test]
@@ -645,6 +724,122 @@ mod tests {
 
         // And the pool still serves after both abuses.
         assert!(round_trip(addr).starts_with("HTTP/1.1 200"));
+        handle.shutdown();
+    }
+
+    /// Read one keep-alive response off `conn` (head + content-length
+    /// body) and return `(head, body)`.
+    fn read_one_response(conn: &mut TcpStream) -> (String, String) {
+        let mut buf = Vec::new();
+        let mut chunk = [0u8; 1024];
+        let head_end = loop {
+            if let Some(end) = buf.windows(4).position(|w| w == b"\r\n\r\n") {
+                break end;
+            }
+            let n = conn.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-response");
+            buf.extend_from_slice(&chunk[..n]);
+        };
+        let head = String::from_utf8_lossy(&buf[..head_end]).into_owned();
+        let len: usize = head
+            .lines()
+            .filter_map(|l| l.split_once(':'))
+            .find(|(k, _)| k.eq_ignore_ascii_case("content-length"))
+            .and_then(|(_, v)| v.trim().parse().ok())
+            .expect("content-length header");
+        let mut body = buf.split_off(head_end + 4);
+        while body.len() < len {
+            let n = conn.read(&mut chunk).unwrap();
+            assert!(n > 0, "connection closed mid-body");
+            body.extend_from_slice(&chunk[..n]);
+        }
+        (head, String::from_utf8_lossy(&body[..len]).into_owned())
+    }
+
+    /// Every exposition line must be a comment (`# HELP` / `# TYPE`) or
+    /// `name{labels} value` with a numeric value.
+    fn assert_prometheus_parses(text: &str) {
+        for line in text.lines() {
+            if line.starts_with("# HELP ") || line.starts_with("# TYPE ") {
+                continue;
+            }
+            let (name_labels, value) = line
+                .rsplit_once(' ')
+                .unwrap_or_else(|| panic!("bad line: {line}"));
+            assert!(
+                value.parse::<f64>().is_ok() || value == "+Inf",
+                "non-numeric value in: {line}"
+            );
+            let name = name_labels.split('{').next().unwrap();
+            assert!(
+                !name.is_empty() && name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_'),
+                "bad metric name in: {line}"
+            );
+            if let Some(rest) = name_labels.strip_prefix(name) {
+                if !rest.is_empty() {
+                    assert!(
+                        rest.starts_with('{') && rest.ends_with('}'),
+                        "bad labels in: {line}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn metrics_endpoint_parses_and_counts_across_keep_alive() {
+        let server = StatsServer::bind("127.0.0.1:0", HashMap::new())
+            .unwrap()
+            .workers(1);
+        let addr = server.local_addr();
+        let metrics = server.metrics();
+        let handle = server.spawn().unwrap();
+
+        let mut conn = TcpStream::connect(addr).unwrap();
+        conn.set_read_timeout(Some(Duration::from_secs(10)))
+            .unwrap();
+        let request = b"GET /metrics HTTP/1.1\r\n\r\n";
+
+        conn.write_all(request).unwrap();
+        let (head1, body1) = read_one_response(&mut conn);
+        assert!(head1.starts_with("HTTP/1.1 200"), "head: {head1}");
+        assert!(
+            head1
+                .to_ascii_lowercase()
+                .contains("content-type: text/plain"),
+            "head: {head1}"
+        );
+        assert_prometheus_parses(&body1);
+
+        // Second request on the SAME connection. The exposition is
+        // rendered before its own request is observed, so the counter
+        // the client sees lags by one: 0 on the first scrape, 1 on the
+        // second — it must still increment across keep-alive requests.
+        conn.write_all(request).unwrap();
+        let (_, body2) = read_one_response(&mut conn);
+        assert_prometheus_parses(&body2);
+        let count_line = |body: &str| -> u64 {
+            body.lines()
+                .find(|l| l.starts_with("http_requests_total{endpoint=\"metrics\"}"))
+                .and_then(|l| l.rsplit(' ').next())
+                .and_then(|v| v.parse().ok())
+                .unwrap()
+        };
+        assert_eq!(count_line(&body1), 0);
+        assert_eq!(count_line(&body2), 1);
+        // The second observe() runs after its response is written; poll
+        // briefly rather than racing the worker thread.
+        let deadline = Instant::now() + Duration::from_secs(10);
+        while metrics.requests_total() < 2 && Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        assert_eq!(metrics.requests_total(), 2);
+        assert_eq!(metrics.latency(Endpoint::Metrics).count(), 2);
+        // The histogram the exposition renders is the same object the
+        // quantile API reads — p50 ≤ p99 ≤ recorded max.
+        let h = metrics.latency(Endpoint::Metrics);
+        assert!(h.quantile_nanos(0.5) <= h.quantile_nanos(0.99));
+        assert!(h.quantile_nanos(0.99) <= h.max_nanos());
         handle.shutdown();
     }
 

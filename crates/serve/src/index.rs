@@ -157,6 +157,9 @@ pub struct StatsIndex {
     dictionary: Dictionary,
     segments: Vec<SegmentReader>,
     cache: Mutex<LruCache>,
+    /// Cache hits that answered "not present" from a cached empty value
+    /// (a subset of the hits in [`StatsIndex::cache_stats`]).
+    negative_hits: std::sync::atomic::AtomicU64,
 }
 
 impl StatsIndex {
@@ -251,6 +254,7 @@ impl StatsIndex {
             dictionary,
             segments: segs,
             cache: Mutex::new(LruCache::new(cache_bytes)),
+            negative_hits: std::sync::atomic::AtomicU64::new(0),
         })
     }
 
@@ -272,6 +276,14 @@ impl StatsIndex {
     /// `(hits, misses)` of the hot-term cache since open.
     pub fn cache_stats(&self) -> (u64, u64) {
         self.cache.lock().stats()
+    }
+
+    /// Cache hits that answered "below τ / unknown" from a cached empty
+    /// value — the negative-lookup share of the hits in
+    /// [`StatsIndex::cache_stats`].
+    pub fn cache_negative_hits(&self) -> u64 {
+        self.negative_hits
+            .load(std::sync::atomic::Ordering::Relaxed)
     }
 
     /// Current bytes held by the hot-term cache.
@@ -312,6 +324,8 @@ impl StatsIndex {
             if let Some(value) = cache.get(&key) {
                 // Empty value = cached negative (counts are ≥ τ ≥ 1).
                 if value.is_empty() {
+                    self.negative_hits
+                        .fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     return Ok(None);
                 }
                 let mut pos = 0usize;

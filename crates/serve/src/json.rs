@@ -1,137 +1,6 @@
-//! Minimal JSON emission: just enough to serialize responses without a
-//! serializer dependency. Only object/array/string/number writers — the
-//! server never parses JSON.
+//! JSON emission for HTTP responses — re-exported from
+//! [`mapreduce::json`], where the writer moved so the engine's job
+//! profile artifacts and this crate's responses share one
+//! implementation. See that module for the API and its tests.
 
-/// Append `s` as a JSON string literal (quoted, escaped) to `out`.
-pub fn write_json_str(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                out.push_str(&format!("\\u{:04x}", c as u32));
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
-}
-
-/// Incremental writer for one JSON object: `field`/`field_str` prepend
-/// commas as needed; `finish` closes the brace and returns the text.
-pub struct JsonObject {
-    buf: String,
-    first: bool,
-}
-
-impl JsonObject {
-    /// Start an empty object.
-    pub fn new() -> Self {
-        JsonObject {
-            buf: String::from("{"),
-            first: true,
-        }
-    }
-
-    fn key(&mut self, name: &str) {
-        if !self.first {
-            self.buf.push(',');
-        }
-        self.first = false;
-        write_json_str(&mut self.buf, name);
-        self.buf.push(':');
-    }
-
-    /// Add a raw (pre-serialized) value — a number, bool, array, object.
-    pub fn field(&mut self, name: &str, raw: &str) -> &mut Self {
-        self.key(name);
-        self.buf.push_str(raw);
-        self
-    }
-
-    /// Add a u64 value.
-    pub fn field_u64(&mut self, name: &str, v: u64) -> &mut Self {
-        self.key(name);
-        self.buf.push_str(&v.to_string());
-        self
-    }
-
-    /// Add a float value (JSON has no NaN/Inf; they become null).
-    pub fn field_f64(&mut self, name: &str, v: f64) -> &mut Self {
-        self.key(name);
-        if v.is_finite() {
-            self.buf.push_str(&format!("{v:.6}"));
-        } else {
-            self.buf.push_str("null");
-        }
-        self
-    }
-
-    /// Add a string value.
-    pub fn field_str(&mut self, name: &str, v: &str) -> &mut Self {
-        self.key(name);
-        write_json_str(&mut self.buf, v);
-        self
-    }
-
-    /// Close the object and return the JSON text.
-    pub fn finish(mut self) -> String {
-        self.buf.push('}');
-        self.buf
-    }
-}
-
-impl Default for JsonObject {
-    fn default() -> Self {
-        Self::new()
-    }
-}
-
-/// Serialize a list of pre-serialized items as a JSON array.
-pub fn json_array(items: impl IntoIterator<Item = String>) -> String {
-    let mut buf = String::from("[");
-    for (i, item) in items.into_iter().enumerate() {
-        if i > 0 {
-            buf.push(',');
-        }
-        buf.push_str(&item);
-    }
-    buf.push(']');
-    buf
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn escapes_and_composes() {
-        let mut o = JsonObject::new();
-        o.field_str("q", "a \"b\"\n\t\\")
-            .field_u64("count", 42)
-            .field_f64("ratio", 0.5)
-            .field("items", &json_array(["1".into(), "2".into()]));
-        assert_eq!(
-            o.finish(),
-            r#"{"q":"a \"b\"\n\t\\","count":42,"ratio":0.500000,"items":[1,2]}"#
-        );
-    }
-
-    #[test]
-    fn control_chars_are_escaped() {
-        let mut s = String::new();
-        write_json_str(&mut s, "\u{1}x");
-        assert_eq!(s, "\"\\u0001x\"");
-    }
-
-    #[test]
-    fn nonfinite_floats_become_null() {
-        let mut o = JsonObject::new();
-        o.field_f64("r", f64::NAN);
-        assert_eq!(o.finish(), r#"{"r":null}"#);
-    }
-}
+pub use mapreduce::json::{json_array, write_json_str, JsonObject};

@@ -30,6 +30,7 @@
 mod http;
 mod index;
 pub mod json;
+pub mod metrics;
 mod segment;
 mod sink;
 
@@ -38,6 +39,7 @@ pub use index::{
     build_index, IndexMeta, IndexOptions, StatsIndex, DEFAULT_CACHE_BYTES, INDEX_FORMAT,
     MANIFEST_FILE, TERMS_FILE,
 };
+pub use metrics::{Endpoint, LatencyHistogram, ServerMetrics, ENDPOINTS, HISTOGRAM_BUCKETS};
 pub use segment::{
     SegmentBlock, SegmentMeta, SegmentReader, SegmentWriter, SEGMENT_BLOCK_BYTES, SEGMENT_MAGIC,
     SEGMENT_TOP_ENTRIES,

@@ -1,0 +1,545 @@
+//! Serving metrics: atomic counters plus fixed-bucket log2 latency
+//! histograms, exported in Prometheus text exposition format by the
+//! `GET /metrics` endpoint.
+//!
+//! Everything here is bounded-memory and lock-free: a
+//! [`LatencyHistogram`] is 30 relaxed atomics regardless of how many
+//! observations it absorbs, and [`ServerMetrics`] is one histogram per
+//! endpoint plus a handful of counters. Histograms are *mergeable* —
+//! element-wise addition loses nothing — so `serve_bench` records into
+//! per-thread histograms and folds them, and its reported percentiles
+//! come from the very same quantile code `/metrics` exposes.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Number of histogram buckets: 27 finite log2 bounds (1µs, 2µs, …,
+/// ~67s) plus one overflow bucket.
+pub const HISTOGRAM_BUCKETS: usize = 28;
+
+/// Upper bound (inclusive, in nanoseconds) of finite bucket `i`:
+/// `1µs << i`. The last bucket is unbounded.
+#[inline]
+fn bucket_bound_nanos(i: usize) -> u64 {
+    1_000u64 << i
+}
+
+/// Index of the first bucket whose bound covers `nanos`.
+#[inline]
+fn bucket_index(nanos: u64) -> usize {
+    // Smallest i with nanos <= 1000 << i: ceil(log2(ceil(nanos/1µs))).
+    let units = nanos.div_ceil(1_000).max(1);
+    let i = (63 - units.leading_zeros()) as usize + usize::from(!units.is_power_of_two());
+    i.min(HISTOGRAM_BUCKETS - 1)
+}
+
+/// Fixed-bucket log2 latency histogram: bounded memory, atomic updates,
+/// exact merge, monotone quantiles (linear interpolation inside a
+/// bucket, exact tracked maximum at the top).
+#[derive(Default)]
+pub struct LatencyHistogram {
+    buckets: [AtomicU64; HISTOGRAM_BUCKETS],
+    count: AtomicU64,
+    sum_nanos: AtomicU64,
+    max_nanos: AtomicU64,
+}
+
+impl LatencyHistogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Record one latency observation.
+    pub fn record(&self, latency: Duration) {
+        self.record_nanos(latency.as_nanos() as u64);
+    }
+
+    /// Record one observation given directly in nanoseconds.
+    pub fn record_nanos(&self, nanos: u64) {
+        self.buckets[bucket_index(nanos)].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_nanos.fetch_add(nanos, Ordering::Relaxed);
+        self.max_nanos.fetch_max(nanos, Ordering::Relaxed);
+    }
+
+    /// Fold `other` into `self`. Bucket counts, totals and the maximum
+    /// all merge exactly — merging N per-thread histograms is
+    /// indistinguishable from having recorded into one.
+    pub fn merge(&self, other: &LatencyHistogram) {
+        for (mine, theirs) in self.buckets.iter().zip(&other.buckets) {
+            let v = theirs.load(Ordering::Relaxed);
+            if v != 0 {
+                mine.fetch_add(v, Ordering::Relaxed);
+            }
+        }
+        self.count
+            .fetch_add(other.count.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.sum_nanos
+            .fetch_add(other.sum_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+        self.max_nanos
+            .fetch_max(other.max_nanos.load(Ordering::Relaxed), Ordering::Relaxed);
+    }
+
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// Sum of all observations in nanoseconds.
+    pub fn sum_nanos(&self) -> u64 {
+        self.sum_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Largest single observation in nanoseconds (exact, not a bound).
+    pub fn max_nanos(&self) -> u64 {
+        self.max_nanos.load(Ordering::Relaxed)
+    }
+
+    /// Cumulative bucket counts as `(upper_bound_nanos, count ≤ bound)`
+    /// pairs; the final entry has `None` as its bound (`+Inf`). This is
+    /// the exact shape Prometheus histogram exposition wants.
+    pub fn cumulative(&self) -> Vec<(Option<u64>, u64)> {
+        let mut out = Vec::with_capacity(HISTOGRAM_BUCKETS);
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            cum += bucket.load(Ordering::Relaxed);
+            let bound = (i < HISTOGRAM_BUCKETS - 1).then(|| bucket_bound_nanos(i));
+            out.push((bound, cum));
+        }
+        out
+    }
+
+    /// The `q`-quantile (`0.0..=1.0`) in nanoseconds: linear
+    /// interpolation between the containing bucket's bounds, with the
+    /// exact maximum capping the top. Monotone in `q` by construction.
+    pub fn quantile_nanos(&self, q: f64) -> u64 {
+        let count = self.count();
+        if count == 0 {
+            return 0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * count as f64).ceil() as u64).clamp(1, count);
+        let max = self.max_nanos();
+        let mut cum = 0u64;
+        for (i, bucket) in self.buckets.iter().enumerate() {
+            let c = bucket.load(Ordering::Relaxed);
+            if c == 0 {
+                continue;
+            }
+            if cum + c >= target {
+                let lo = if i == 0 { 0 } else { bucket_bound_nanos(i - 1) };
+                let hi = if i < HISTOGRAM_BUCKETS - 1 {
+                    bucket_bound_nanos(i).min(max.max(lo))
+                } else {
+                    max.max(lo)
+                };
+                let frac = (target - cum) as f64 / c as f64;
+                let v = lo as f64 + (hi - lo) as f64 * frac;
+                return (v as u64).min(max);
+            }
+            cum += c;
+        }
+        max
+    }
+
+    /// [`LatencyHistogram::quantile_nanos`] as a `Duration`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        Duration::from_nanos(self.quantile_nanos(q))
+    }
+}
+
+/// The HTTP endpoints the server labels metrics with.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[repr(usize)]
+pub enum Endpoint {
+    /// `/`, `/v1`, `/v1/` — the index listing.
+    Root,
+    /// `/v1/{index}/ngram` point lookups.
+    Ngram,
+    /// `/v1/{index}/prefix` scans.
+    Prefix,
+    /// `/v1/{index}/topk`.
+    Topk,
+    /// `/v1/{index}/stats`.
+    Stats,
+    /// `/metrics` itself.
+    Metrics,
+    /// Anything else (404s, unknown endpoints).
+    Other,
+}
+
+/// All endpoints, in label order.
+pub const ENDPOINTS: [Endpoint; 7] = [
+    Endpoint::Root,
+    Endpoint::Ngram,
+    Endpoint::Prefix,
+    Endpoint::Topk,
+    Endpoint::Stats,
+    Endpoint::Metrics,
+    Endpoint::Other,
+];
+
+impl Endpoint {
+    /// The `endpoint="…"` label value.
+    pub fn label(self) -> &'static str {
+        match self {
+            Endpoint::Root => "root",
+            Endpoint::Ngram => "ngram",
+            Endpoint::Prefix => "prefix",
+            Endpoint::Topk => "topk",
+            Endpoint::Stats => "stats",
+            Endpoint::Metrics => "metrics",
+            Endpoint::Other => "other",
+        }
+    }
+}
+
+/// Shared metric registry of one [`crate::StatsServer`]: request and
+/// status-class counters, an in-flight gauge, connection-hygiene
+/// counters (shed / timed-out / rejected), and a latency histogram per
+/// endpoint.
+#[derive(Default)]
+pub struct ServerMetrics {
+    /// Requests dispatched to a handler, total.
+    requests_total: AtomicU64,
+    /// Responses by status class: index 0..=3 ↔ 2xx, 3xx, 4xx, 5xx.
+    status_classes: [AtomicU64; 4],
+    /// Requests currently being handled (gauge).
+    in_flight: AtomicU64,
+    /// Connections accepted and handed to a worker.
+    connections_total: AtomicU64,
+    /// Connections shed with 503 because the worker backlog was full.
+    shed_total: AtomicU64,
+    /// Request heads that timed out (slowloris 408s and silent drops).
+    timeout_total: AtomicU64,
+    /// Request heads rejected with 400 for exceeding the size cap.
+    too_large_total: AtomicU64,
+    /// Per-endpoint request latency (handler + response write).
+    latency: [LatencyHistogram; ENDPOINTS.len()],
+}
+
+impl ServerMetrics {
+    /// A fresh registry with all counters at zero.
+    pub fn new() -> Arc<Self> {
+        Arc::new(Self::default())
+    }
+
+    /// Record one dispatched request: its endpoint, response status and
+    /// wall time (handler plus response write).
+    pub fn observe(&self, endpoint: Endpoint, status: u16, latency: Duration) {
+        self.requests_total.fetch_add(1, Ordering::Relaxed);
+        let class = (status / 100).clamp(2, 5) as usize - 2;
+        self.status_classes[class].fetch_add(1, Ordering::Relaxed);
+        self.latency[endpoint as usize].record(latency);
+    }
+
+    /// Count an accepted connection.
+    pub fn connection(&self) {
+        self.connections_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a connection shed with 503 at the accept loop.
+    pub fn shed(&self) {
+        self.shed_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a request head that did not arrive in time.
+    pub fn timeout(&self) {
+        self.timeout_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Count a request head rejected for size.
+    pub fn too_large(&self) {
+        self.too_large_total.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Raise the in-flight gauge; the returned guard lowers it.
+    pub fn begin_request(&self) -> InFlightGuard<'_> {
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        InFlightGuard { metrics: self }
+    }
+
+    /// Total requests dispatched to a handler.
+    pub fn requests_total(&self) -> u64 {
+        self.requests_total.load(Ordering::Relaxed)
+    }
+
+    /// The latency histogram of one endpoint.
+    pub fn latency(&self, endpoint: Endpoint) -> &LatencyHistogram {
+        &self.latency[endpoint as usize]
+    }
+
+    /// Render the registry (plus per-index cache telemetry) in
+    /// Prometheus text exposition format.
+    pub fn render_prometheus(&self, indexes: &HashMap<String, Arc<crate::StatsIndex>>) -> String {
+        let mut out = String::with_capacity(4096);
+        let mut counter = |name: &str, help: &str, lines: &[(String, u64)]| {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for (labels, value) in lines {
+                let _ = writeln!(out, "{name}{labels} {value}");
+            }
+        };
+        counter(
+            "http_requests_total",
+            "Requests dispatched to a handler, by endpoint.",
+            &ENDPOINTS
+                .iter()
+                .map(|e| {
+                    (
+                        format!("{{endpoint=\"{}\"}}", e.label()),
+                        self.latency[*e as usize].count(),
+                    )
+                })
+                .collect::<Vec<_>>(),
+        );
+        counter(
+            "http_responses_total",
+            "Responses sent, by status class.",
+            &["2xx", "3xx", "4xx", "5xx"]
+                .iter()
+                .zip(&self.status_classes)
+                .map(|(class, v)| (format!("{{class=\"{class}\"}}"), v.load(Ordering::Relaxed)))
+                .collect::<Vec<_>>(),
+        );
+        counter(
+            "http_connections_total",
+            "Connections accepted and handed to a worker.",
+            &[(
+                String::new(),
+                self.connections_total.load(Ordering::Relaxed),
+            )],
+        );
+        counter(
+            "http_shed_total",
+            "Connections shed with 503 because the backlog was full.",
+            &[(String::new(), self.shed_total.load(Ordering::Relaxed))],
+        );
+        counter(
+            "http_request_timeouts_total",
+            "Request heads that did not arrive within the deadline.",
+            &[(String::new(), self.timeout_total.load(Ordering::Relaxed))],
+        );
+        counter(
+            "http_requests_too_large_total",
+            "Request heads rejected with 400 for exceeding the size cap.",
+            &[(String::new(), self.too_large_total.load(Ordering::Relaxed))],
+        );
+        let _ = writeln!(
+            out,
+            "# HELP http_requests_in_flight Requests currently being handled."
+        );
+        let _ = writeln!(out, "# TYPE http_requests_in_flight gauge");
+        let _ = writeln!(
+            out,
+            "http_requests_in_flight {}",
+            self.in_flight.load(Ordering::Relaxed)
+        );
+
+        let name = "http_request_duration_seconds";
+        let _ = writeln!(
+            out,
+            "# HELP {name} Request latency (handler plus response write), by endpoint."
+        );
+        let _ = writeln!(out, "# TYPE {name} histogram");
+        for e in ENDPOINTS {
+            let hist = &self.latency[e as usize];
+            if hist.count() == 0 {
+                continue;
+            }
+            let label = e.label();
+            for (bound, cum) in hist.cumulative() {
+                let le = match bound {
+                    Some(nanos) => format_seconds(nanos),
+                    None => "+Inf".to_string(),
+                };
+                let _ = writeln!(
+                    out,
+                    "{name}_bucket{{endpoint=\"{label}\",le=\"{le}\"}} {cum}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "{name}_sum{{endpoint=\"{label}\"}} {}",
+                format_seconds(hist.sum_nanos())
+            );
+            let _ = writeln!(out, "{name}_count{{endpoint=\"{label}\"}} {}", hist.count());
+        }
+
+        let mut names: Vec<&String> = indexes.keys().collect();
+        names.sort_unstable();
+        for kind in ["hits", "misses", "negative_hits"] {
+            let name = format!("index_cache_{kind}_total");
+            let _ = writeln!(out, "# HELP {name} Hot-term cache {kind} since open.");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            for n in &names {
+                let index = &indexes[n.as_str()];
+                let (hits, misses) = index.cache_stats();
+                let value = match kind {
+                    "hits" => hits,
+                    "misses" => misses,
+                    _ => index.cache_negative_hits(),
+                };
+                let _ = writeln!(out, "{name}{{index=\"{n}\"}} {value}");
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP index_cache_used_bytes Bytes held by the hot-term cache."
+        );
+        let _ = writeln!(out, "# TYPE index_cache_used_bytes gauge");
+        for n in &names {
+            let _ = writeln!(
+                out,
+                "index_cache_used_bytes{{index=\"{n}\"}} {}",
+                indexes[n.as_str()].cache_used_bytes()
+            );
+        }
+        out
+    }
+}
+
+/// Lowers [`ServerMetrics`]' in-flight gauge on drop.
+pub struct InFlightGuard<'a> {
+    metrics: &'a ServerMetrics,
+}
+
+impl Drop for InFlightGuard<'_> {
+    fn drop(&mut self) {
+        self.metrics.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// `nanos` as decimal seconds without float formatting surprises
+/// (`1500` → `"0.0000015"`).
+fn format_seconds(nanos: u64) -> String {
+    let secs = nanos / 1_000_000_000;
+    let frac = nanos % 1_000_000_000;
+    if frac == 0 {
+        return secs.to_string();
+    }
+    let mut s = format!("{secs}.{frac:09}");
+    while s.ends_with('0') {
+        s.pop();
+    }
+    s
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_boundaries_are_inclusive_log2() {
+        // Bound of bucket 0 is exactly 1µs; 1µs+1ns spills to bucket 1.
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(1_000), 0);
+        assert_eq!(bucket_index(1_001), 1);
+        assert_eq!(bucket_index(2_000), 1);
+        assert_eq!(bucket_index(2_001), 2);
+        assert_eq!(bucket_index(4_000), 2);
+        // Everything past the last finite bound lands in the overflow.
+        assert_eq!(bucket_index(u64::MAX), HISTOGRAM_BUCKETS - 1);
+        assert_eq!(
+            bucket_index(bucket_bound_nanos(HISTOGRAM_BUCKETS - 2)),
+            HISTOGRAM_BUCKETS - 2
+        );
+        assert_eq!(
+            bucket_index(bucket_bound_nanos(HISTOGRAM_BUCKETS - 2) + 1),
+            HISTOGRAM_BUCKETS - 1
+        );
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let a = LatencyHistogram::new();
+        let b = LatencyHistogram::new();
+        let c = LatencyHistogram::new();
+        let mut state = 0x9e3779b97f4a7c15u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        for i in 0..1000 {
+            let nanos = next() % 10_000_000;
+            if i % 2 == 0 { &a } else { &b }.record_nanos(nanos);
+            c.record_nanos(nanos);
+        }
+        a.merge(&b);
+        assert_eq!(a.count(), c.count());
+        assert_eq!(a.sum_nanos(), c.sum_nanos());
+        assert_eq!(a.max_nanos(), c.max_nanos());
+        assert_eq!(a.cumulative(), c.cumulative());
+        for q in [0.0, 0.5, 0.9, 0.99, 1.0] {
+            assert_eq!(a.quantile_nanos(q), c.quantile_nanos(q));
+        }
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_bounded() {
+        let h = LatencyHistogram::new();
+        let mut state = 42u64;
+        let mut next = move || {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1);
+            state >> 33
+        };
+        for _ in 0..5000 {
+            h.record_nanos(next() % 50_000_000);
+        }
+        let mut prev = 0u64;
+        for i in 0..=1000 {
+            let q = i as f64 / 1000.0;
+            let v = h.quantile_nanos(q);
+            assert!(v >= prev, "quantile not monotone at q={q}: {v} < {prev}");
+            prev = v;
+        }
+        assert_eq!(h.quantile_nanos(1.0), h.max_nanos());
+        assert!(h.quantile_nanos(0.0) <= h.max_nanos());
+    }
+
+    #[test]
+    fn empty_histogram_is_zero() {
+        let h = LatencyHistogram::new();
+        assert_eq!(h.count(), 0);
+        assert_eq!(h.quantile_nanos(0.99), 0);
+        assert_eq!(h.quantile(0.5), Duration::ZERO);
+        assert!(h.cumulative().iter().all(|&(_, c)| c == 0));
+    }
+
+    #[test]
+    fn seconds_formatting_is_exact() {
+        assert_eq!(format_seconds(0), "0");
+        assert_eq!(format_seconds(1_000), "0.000001");
+        assert_eq!(format_seconds(1_500), "0.0000015");
+        assert_eq!(format_seconds(2_000_000_000), "2");
+        assert_eq!(format_seconds(1_048_576_000), "1.048576");
+    }
+
+    #[test]
+    fn observe_tracks_classes_and_endpoints() {
+        let m = ServerMetrics::new();
+        {
+            let _guard = m.begin_request();
+            assert_eq!(m.in_flight.load(Ordering::Relaxed), 1);
+        }
+        assert_eq!(m.in_flight.load(Ordering::Relaxed), 0);
+        m.observe(Endpoint::Ngram, 200, Duration::from_micros(50));
+        m.observe(Endpoint::Ngram, 404, Duration::from_micros(10));
+        m.observe(Endpoint::Metrics, 200, Duration::from_micros(20));
+        assert_eq!(m.requests_total(), 3);
+        assert_eq!(m.latency(Endpoint::Ngram).count(), 2);
+        assert_eq!(m.status_classes[0].load(Ordering::Relaxed), 2);
+        assert_eq!(m.status_classes[2].load(Ordering::Relaxed), 1);
+        let text = m.render_prometheus(&HashMap::new());
+        assert!(text.contains("http_requests_total{endpoint=\"ngram\"} 2"));
+        assert!(text.contains("http_responses_total{class=\"4xx\"} 1"));
+        assert!(text.contains("http_request_duration_seconds_count{endpoint=\"metrics\"} 1"));
+    }
+}

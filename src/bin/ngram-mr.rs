@@ -9,11 +9,12 @@
 //!                    [--spill-to-disk] [--tmp-dir DIR] [--pipelined]
 //!                    [--run-codec plain|front|posting-delta]
 //!                    [--max-task-attempts N] [--faults SPEC]
-//!                    [--decode] [--out results.tsv]
+//!                    [--decode] [--out results.tsv] [--profile report.json]
 //! ngram-mr timeseries --input corpus.bin --tau 5 --sigma 3 [--out series.tsv]
+//!                    [--profile report.json]
 //! ngram-mr index     --input corpus.bin --dir stats.idx --method suffix-sigma
 //!                    --tau 5 --sigma 5 [--mode cf|df] [--codec plain|front|posting-delta]
-//!                    [--top N] [--slots N]
+//!                    [--top N] [--slots N] [--profile report.json]
 //! ngram-mr serve     --index [NAME=]DIR[,[NAME=]DIR...] [--addr HOST:PORT]
 //!                    [--workers N] [--cache-bytes N]
 //! ngram-mr query     --addr HOST:PORT --path /v1/NAME/ngram?q=...
@@ -41,12 +42,22 @@
 //! prefetch, a dedicated spill-writer thread per map task, reduce-side
 //! run read-ahead, and a double-buffered output writer.
 //!
+//! Every compute-shaped subcommand (`compute`, `timeseries`, `index`)
+//! accepts `--profile FILE`: the run executes with
+//! [`mapreduce::JobConfig::trace`] on and the folded
+//! [`mapreduce::JobProfile`] — per-phase wall breakdown, task timeline,
+//! skew, fault events, counters — is written to `FILE` as JSON.
+//! Diagnostics go through the [`mapreduce::logging`] facility: set
+//! `NGRAM_MR_LOG=error|warn|info|debug` (default `warn`) to pick the
+//! stderr verbosity; run summaries print at `info`.
+//!
 //! `index` runs the same computation but lands reduce output in a
 //! serving index (block-compressed segments + dictionary + manifest);
 //! `serve` mounts one or more such indexes behind the HTTP/1.1 query API
 //! (`/v1/{index}/ngram|prefix|topk|stats`); `query` is a minimal HTTP
 //! client for scripting against a running server.
 
+use mapreduce::{log_error, log_info};
 use ngram_mr::prelude::*;
 use std::collections::HashMap;
 use std::io::Write;
@@ -64,15 +75,17 @@ fn usage() -> ! {
          [--slots N] [--spill-to-disk] [--tmp-dir DIR] [--pipelined]\n                      \
          [--run-codec plain|front|posting-delta]\n                      \
          [--max-task-attempts N] [--faults map-panic=T[@A],reduce-panic=T[@A],spill-eio=N,corrupt-frame=N]\n                      \
-         [--decode] [--out FILE]\n  \
-         ngram-mr timeseries --input FILE --tau N --sigma N [--decode] [--out FILE]\n  \
+         [--decode] [--out FILE] [--profile FILE]\n  \
+         ngram-mr timeseries --input FILE --tau N --sigma N [--decode] [--out FILE] [--profile FILE]\n  \
          ngram-mr index      --input FILE --dir DIR --method METHOD --tau N --sigma N\n                      \
-         [--mode cf|df] [--codec plain|front|posting-delta] [--top N] [--slots N]\n  \
+         [--mode cf|df] [--codec plain|front|posting-delta] [--top N] [--slots N] [--profile FILE]\n  \
          ngram-mr serve      --index [NAME=]DIR[,[NAME=]DIR...] [--addr HOST:PORT]\n                      \
          [--workers N] [--cache-bytes N]\n  \
          ngram-mr query      --addr HOST:PORT --path /v1/NAME/ENDPOINT[?QUERY]\n\n\
          corpus FILEs may be legacy blobs (NGRAMMR1) or block stores\n\
-         (NGRAMMR3, `generate --format blocks`); every --input auto-detects."
+         (NGRAMMR3, `generate --format blocks`); every --input auto-detects.\n\
+         --profile FILE traces the run and writes a JSON job profile;\n\
+         NGRAM_MR_LOG=error|warn|info|debug picks stderr verbosity (default warn)."
     );
     std::process::exit(2)
 }
@@ -97,7 +110,7 @@ impl Args {
                     i += 1;
                 }
             } else {
-                eprintln!("unexpected argument: {arg}");
+                log_error!("cli", "unexpected argument: {arg}");
                 usage();
             }
         }
@@ -110,7 +123,7 @@ impl Args {
 
     fn require(&self, name: &str) -> &str {
         self.get(name).unwrap_or_else(|| {
-            eprintln!("missing required flag --{name}");
+            log_error!("cli", "missing required flag --{name}");
             usage()
         })
     }
@@ -119,7 +132,7 @@ impl Args {
         match self.get(name) {
             None => default,
             Some(v) => v.parse().unwrap_or_else(|_| {
-                eprintln!("invalid value for --{name}: {v}");
+                log_error!("cli", "invalid value for --{name}: {v}");
                 usage()
             }),
         }
@@ -144,7 +157,7 @@ fn open_corpus(args: &Args) -> CorpusInput {
         match corpus::CorpusReader::open(&path) {
             Ok(r) => CorpusInput::Store(Arc::new(r)),
             Err(e) => {
-                eprintln!("cannot open corpus store {}: {e}", path.display());
+                log_error!("cli", "cannot open corpus store {}: {e}", path.display());
                 std::process::exit(1)
             }
         }
@@ -152,7 +165,7 @@ fn open_corpus(args: &Args) -> CorpusInput {
         match corpus::load(&path) {
             Ok(c) => CorpusInput::Legacy(c),
             Err(e) => {
-                eprintln!("cannot load corpus {}: {e}", path.display());
+                log_error!("cli", "cannot load corpus {}: {e}", path.display());
                 std::process::exit(1)
             }
         }
@@ -163,10 +176,40 @@ fn load_corpus(args: &Args) -> Collection {
     match open_corpus(args) {
         CorpusInput::Legacy(c) => c,
         CorpusInput::Store(r) => r.load_collection().unwrap_or_else(|e| {
-            eprintln!("cannot read corpus store blocks: {e}");
+            log_error!("cli", "cannot read corpus store blocks: {e}");
             std::process::exit(1)
         }),
     }
+}
+
+/// Collect the span traces the cluster's job log recorded for this
+/// process (every subcommand builds a fresh [`Cluster`], so the whole
+/// log belongs to the current run).
+fn cluster_traces(cluster: &Cluster) -> Vec<mapreduce::JobTrace> {
+    cluster
+        .job_log()
+        .into_iter()
+        .filter_map(|entry| entry.trace)
+        .collect()
+}
+
+/// Fold `traces` into a [`mapreduce::JobProfile`] and write its JSON to
+/// the `--profile` path; no-op when the flag is absent.
+fn write_profile(args: &Args, traces: Vec<mapreduce::JobTrace>) {
+    let Some(path) = args.get("profile") else {
+        return;
+    };
+    let profile = mapreduce::JobProfile::from_traces(traces);
+    if let Err(e) = std::fs::write(path, profile.to_json()) {
+        log_error!("cli", "cannot write profile {path}: {e}");
+        std::process::exit(1)
+    }
+    log_info!(
+        "cli",
+        "wrote profile {path} ({} job(s), phase coverage {:.1}%)",
+        profile.jobs.len(),
+        profile.phase_coverage() * 100.0
+    );
 }
 
 fn cluster(args: &Args) -> Cluster {
@@ -193,7 +236,7 @@ fn cmd_generate(args: &Args) -> ExitCode {
         "web" => CorpusProfile::web_like(scale),
         "tiny" => CorpusProfile::tiny("tiny", (100.0 * scale).max(1.0) as usize),
         other => {
-            eprintln!("unknown profile {other}");
+            log_error!("cli", "unknown profile {other}");
             usage()
         }
     };
@@ -202,7 +245,10 @@ fn cmd_generate(args: &Args) -> ExitCode {
     let codec = match args.get("store-codec") {
         None => corpus::StoreCodec::Plain,
         Some(name) => corpus::StoreCodec::parse(name).unwrap_or_else(|| {
-            eprintln!("unknown store codec {name} (expected plain, rank, or lz)");
+            log_error!(
+                "cli",
+                "unknown store codec {name} (expected plain, rank, or lz)"
+            );
             usage()
         }),
     };
@@ -210,7 +256,7 @@ fn cmd_generate(args: &Args) -> ExitCode {
     match format {
         "legacy" => {
             if args.has("store-codec") {
-                eprintln!("--store-codec requires --format blocks");
+                log_error!("cli", "--store-codec requires --format blocks");
                 usage()
             }
             let coll = generate(&profile, seed);
@@ -244,7 +290,7 @@ fn cmd_generate(args: &Args) -> ExitCode {
             );
         }
         other => {
-            eprintln!("unknown format {other} (expected legacy or blocks)");
+            log_error!("cli", "unknown format {other} (expected legacy or blocks)");
             usage()
         }
     }
@@ -294,7 +340,7 @@ fn parse_method(args: &Args) -> Method {
         "apriori-index" => Method::AprioriIndex,
         "suffix-sigma" => Method::SuffixSigma,
         other => {
-            eprintln!("unknown method {other}");
+            log_error!("cli", "unknown method {other}");
             usage()
         }
     }
@@ -306,7 +352,7 @@ fn parse_params(args: &Args) -> NGramParams {
             "cf" => CountMode::Cf,
             "df" => CountMode::Df,
             other => {
-                eprintln!("unknown mode {other}");
+                log_error!("cli", "unknown mode {other}");
                 usage()
             }
         },
@@ -315,7 +361,7 @@ fn parse_params(args: &Args) -> NGramParams {
             "closed" => OutputMode::Closed,
             "maximal" => OutputMode::Maximal,
             other => {
-                eprintln!("unknown output mode {other}");
+                log_error!("cli", "unknown output mode {other}");
                 usage()
             }
         },
@@ -323,10 +369,12 @@ fn parse_params(args: &Args) -> NGramParams {
             spill_to_disk: args.has("spill-to-disk"),
             pipelined: args.has("pipelined"),
             tmp_dir: args.get("tmp-dir").map(PathBuf::from),
+            // --profile needs the span trace to fold into the report.
+            trace: args.has("profile"),
             run_codec: match args.get("run-codec") {
                 None => mapreduce::RunCodec::default(),
                 Some(name) => mapreduce::RunCodec::parse(name).unwrap_or_else(|| {
-                    eprintln!("unknown run codec {name} (expected plain or front)");
+                    log_error!("cli", "unknown run codec {name} (expected plain or front)");
                     usage()
                 }),
             },
@@ -336,7 +384,7 @@ fn parse_params(args: &Args) -> NGramParams {
             ),
             fault_plan: args.get("faults").map(|spec| {
                 std::sync::Arc::new(mapreduce::FaultPlan::parse(spec).unwrap_or_else(|e| {
-                    eprintln!("invalid --faults spec: {e}");
+                    log_error!("cli", "invalid --faults spec: {e}");
                     usage()
                 }))
             }),
@@ -368,7 +416,7 @@ fn cmd_compute(args: &Args) -> ExitCode {
     // Validate before opening --out: a doomed run must not truncate a
     // pre-existing results file.
     if let Err(e) = computation.validate() {
-        eprintln!("computation failed: {e}");
+        log_error!("cli", "computation failed: {e}");
         return ExitCode::FAILURE;
     }
     let cluster = cluster(args);
@@ -401,12 +449,13 @@ fn cmd_compute(args: &Args) -> ExitCode {
     let stats = match computation.run_to_sink(&cluster, &sinks) {
         Ok((_, stats)) => stats,
         Err(e) => {
-            eprintln!("computation failed: {e}");
+            log_error!("cli", "computation failed: {e}");
             return ExitCode::FAILURE;
         }
     };
     sinks.flush().expect("cannot flush output");
-    eprintln!(
+    log_info!(
+        "cli",
         "{}: {} n-grams, {} job(s), {:?}, {} records, {} bytes ({} input bytes, peak block {})",
         method.name(),
         sinks.records(),
@@ -417,21 +466,23 @@ fn cmd_compute(args: &Args) -> ExitCode {
         stats.counters.get(Counter::MapInputBytes),
         stats.counters.get(Counter::InputPeakBlockBytes),
     );
+    write_profile(args, stats.traces);
     ExitCode::SUCCESS
 }
 
 fn cmd_timeseries(args: &Args) -> ExitCode {
     let coll = load_corpus(args);
-    let params = NGramParams::new(args.parse_num("tau", 2u64), args.parse_num("sigma", 3usize));
+    let mut params = NGramParams::new(args.parse_num("tau", 2u64), args.parse_num("sigma", 3usize));
+    params.job.trace = args.has("profile");
     let cluster = cluster(args);
     let series = match compute_time_series(&cluster, &coll, Method::SuffixSigma, &params) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("computation failed: {e}");
+            log_error!("cli", "computation failed: {e}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!("{} series", series.len());
+    log_info!("cli", "{} series", series.len());
     let decode = args.has("decode");
     let mut w = out_writer(args);
     for (gram, ts) in &series {
@@ -448,6 +499,7 @@ fn cmd_timeseries(args: &Args) -> ExitCode {
         writeln!(w, "{}\t{}\t{}", ts.total(), key, points.join(",")).unwrap();
     }
     w.flush().unwrap();
+    write_profile(args, cluster_traces(&cluster));
     ExitCode::SUCCESS
 }
 
@@ -457,14 +509,14 @@ fn cmd_index(args: &Args) -> ExitCode {
     let params = parse_params(args);
     let computation = computation_for(&input, method, &params);
     if let Err(e) = computation.validate() {
-        eprintln!("index build failed: {e}");
+        log_error!("cli", "index build failed: {e}");
         return ExitCode::FAILURE;
     }
     let dir = PathBuf::from(args.require("dir"));
     let codec = match args.get("codec") {
         None => mapreduce::RunCodec::FrontCoded,
         Some(name) => mapreduce::RunCodec::parse(name).unwrap_or_else(|| {
-            eprintln!("unknown segment codec {name}");
+            log_error!("cli", "unknown segment codec {name}");
             usage()
         }),
     };
@@ -487,7 +539,8 @@ fn cmd_index(args: &Args) -> ExitCode {
         &opts,
     ) {
         Ok(meta) => {
-            eprintln!(
+            log_info!(
+                "cli",
                 "indexed {} ({}, {}): {} entries in {} segment(s), codec {}, {:?}",
                 dir.display(),
                 meta.method,
@@ -497,10 +550,11 @@ fn cmd_index(args: &Args) -> ExitCode {
                 meta.codec.name(),
                 t0.elapsed()
             );
+            write_profile(args, cluster_traces(&cluster));
             ExitCode::SUCCESS
         }
         Err(e) => {
-            eprintln!("index build failed: {e}");
+            log_error!("cli", "index build failed: {e}");
             ExitCode::FAILURE
         }
     }
@@ -523,7 +577,8 @@ fn cmd_serve(args: &Args) -> ExitCode {
         };
         match StatsIndex::open_with_cache(&dir, cache_bytes) {
             Ok(index) => {
-                eprintln!(
+                log_info!(
+                    "cli",
                     "mounted /v1/{name} from {} ({} entries, {} segments)",
                     dir.display(),
                     index.entries(),
@@ -532,7 +587,7 @@ fn cmd_serve(args: &Args) -> ExitCode {
                 indexes.insert(name, Arc::new(index));
             }
             Err(e) => {
-                eprintln!("cannot open index {}: {e}", dir.display());
+                log_error!("cli", "cannot open index {}: {e}", dir.display());
                 return ExitCode::FAILURE;
             }
         }
@@ -542,18 +597,19 @@ fn cmd_serve(args: &Args) -> ExitCode {
     let server = match StatsServer::bind(addr, indexes) {
         Ok(s) => s.workers(workers),
         Err(e) => {
-            eprintln!("cannot bind {addr}: {e}");
+            log_error!("cli", "cannot bind {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
-    eprintln!(
+    log_info!(
+        "cli",
         "serving on http://{}/ ({workers} workers)",
         server.local_addr()
     );
     match server.run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("server failed: {e}");
+            log_error!("cli", "server failed: {e}");
             ExitCode::FAILURE
         }
     }
@@ -565,23 +621,23 @@ fn cmd_query(args: &Args) -> ExitCode {
     let mut stream = match std::net::TcpStream::connect(addr) {
         Ok(s) => s,
         Err(e) => {
-            eprintln!("cannot connect to {addr}: {e}");
+            log_error!("cli", "cannot connect to {addr}: {e}");
             return ExitCode::FAILURE;
         }
     };
     let request = format!("GET {path} HTTP/1.1\r\nhost: {addr}\r\nconnection: close\r\n\r\n");
     if let Err(e) = stream.write_all(request.as_bytes()) {
-        eprintln!("cannot send request: {e}");
+        log_error!("cli", "cannot send request: {e}");
         return ExitCode::FAILURE;
     }
     let mut response = Vec::new();
     if let Err(e) = std::io::Read::read_to_end(&mut stream, &mut response) {
-        eprintln!("cannot read response: {e}");
+        log_error!("cli", "cannot read response: {e}");
         return ExitCode::FAILURE;
     }
     let text = String::from_utf8_lossy(&response);
     let Some((head, body)) = text.split_once("\r\n\r\n") else {
-        eprintln!("malformed response");
+        log_error!("cli", "malformed response");
         return ExitCode::FAILURE;
     };
     let status: u16 = head
@@ -593,7 +649,7 @@ fn cmd_query(args: &Args) -> ExitCode {
     if status == 200 {
         ExitCode::SUCCESS
     } else {
-        eprintln!("HTTP {status}");
+        log_error!("cli", "HTTP {status}");
         ExitCode::FAILURE
     }
 }
