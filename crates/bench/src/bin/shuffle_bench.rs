@@ -94,6 +94,10 @@ struct Entry {
     merge_wall_nanos: u64,
     reduce_wall_nanos: u64,
     task_skew: f64,
+    task_skipped_checkpointed: u64,
+    checkpoint_bytes: u64,
+    speculative_attempts: u64,
+    speculative_wins: u64,
 }
 
 /// The [`NGramParams`] of one configuration; `trace` turns span tracing
@@ -169,6 +173,10 @@ fn run_one(
             merge_wall_nanos: 0,
             reduce_wall_nanos: 0,
             task_skew: 1.0,
+            task_skipped_checkpointed: c.get(Counter::TaskSkippedCheckpointed),
+            checkpoint_bytes: c.get(Counter::CheckpointBytes),
+            speculative_attempts: c.get(Counter::SpeculativeAttempts),
+            speculative_wins: c.get(Counter::SpeculativeWins),
         };
         if best.as_ref().is_none_or(|b| entry.wall < b.wall) {
             best = Some(entry);
@@ -210,7 +218,9 @@ fn json_line(e: &Entry) -> String {
             "\"reduce_decode_stall_nanos\": {}, \"input_raw_bytes\": {}, ",
             "\"task_attempts\": {}, \"task_retries\": {}, \"task_panics\": {}, ",
             "\"map_wall_nanos\": {}, \"merge_wall_nanos\": {}, ",
-            "\"reduce_wall_nanos\": {}, \"task_skew\": {:.3}}}"
+            "\"reduce_wall_nanos\": {}, \"task_skew\": {:.3}, ",
+            "\"task_skipped_checkpointed\": {}, \"checkpoint_bytes\": {}, ",
+            "\"speculative_attempts\": {}, \"speculative_wins\": {}}}"
         ),
         e.method,
         e.config,
@@ -239,6 +249,10 @@ fn json_line(e: &Entry) -> String {
         e.merge_wall_nanos,
         e.reduce_wall_nanos,
         e.task_skew,
+        e.task_skipped_checkpointed,
+        e.checkpoint_bytes,
+        e.speculative_attempts,
+        e.speculative_wins,
     )
 }
 
@@ -356,6 +370,38 @@ fn main() {
     }
     let _ = std::fs::remove_file(&store_path);
     let _ = std::fs::remove_file(&rank_path);
+
+    // Resume timing note: one checkpointed SUFFIX-σ `front` rep against
+    // its resumed twin — what a restart costs when every map task is fed
+    // from the checkpoint instead of re-executed. Stderr only; the JSON
+    // matrix stays fault-free (its checkpoint counters read zero).
+    {
+        let ckpt_root =
+            std::env::temp_dir().join(format!("shuffle-bench-ckpt-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&ckpt_root);
+        let run_ckpt = |resume: bool| {
+            let mut params = bench_params(("front", RunCodec::FrontCoded, true, false, 0), false);
+            params.job.checkpoint = Some(Arc::new(
+                mapreduce::CheckpointSpec::new(&ckpt_root, "shuffle-bench").resume(resume),
+            ));
+            run_once(
+                &cluster,
+                &BenchInput::Mem(&nyt),
+                Method::SuffixSigma,
+                &params,
+            )
+        };
+        let first = run_ckpt(false);
+        let resumed = run_ckpt(true);
+        eprintln!(
+            "resume: SUFFIX-SIGMA front wall {} checkpointed ({} written) -> {} resumed ({} map task(s) skipped)",
+            fmt_duration(first.elapsed),
+            fmt_bytes(first.counters.get(Counter::CheckpointBytes)),
+            fmt_duration(resumed.elapsed),
+            resumed.counters.get(Counter::TaskSkippedCheckpointed),
+        );
+        let _ = std::fs::remove_dir_all(&ckpt_root);
+    }
 
     let out_path = std::env::var("NGRAM_BENCH_SHUFFLE_OUT")
         .unwrap_or_else(|_| "BENCH_shuffle.json".to_string());

@@ -101,9 +101,24 @@ pub enum Counter {
     /// Attempts that ended in a caught panic (a subset of the failures
     /// behind [`Counter::TaskRetries`]).
     TaskPanics,
+    /// Tasks whose completed result was restored from a durable
+    /// checkpoint manifest instead of being re-executed
+    /// (`JobConfig::checkpoint` + resume). A resumed run's
+    /// [`Counter::TaskAttempts`] is lower than a fresh run's by exactly
+    /// this number.
+    TaskSkippedCheckpointed,
+    /// Bytes written to checkpoint manifests (persisted runs plus
+    /// `task-NNN.done` records).
+    CheckpointBytes,
+    /// Backup attempts launched for in-flight straggler tasks
+    /// (`JobConfig::speculative_slack`).
+    SpeculativeAttempts,
+    /// Speculative backup attempts that finished first and published the
+    /// task's result (the original attempt's output was discarded).
+    SpeculativeWins,
 }
 
-const NUM_COUNTERS: usize = 24;
+const NUM_COUNTERS: usize = 28;
 
 const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "MAP_INPUT_RECORDS",
@@ -130,6 +145,10 @@ const COUNTER_NAMES: [&str; NUM_COUNTERS] = [
     "TASK_ATTEMPTS",
     "TASK_RETRIES",
     "TASK_PANICS",
+    "TASK_SKIPPED_CHECKPOINTED",
+    "CHECKPOINT_BYTES",
+    "SPECULATIVE_ATTEMPTS",
+    "SPECULATIVE_WINS",
 ];
 
 /// Live counter bank shared by all tasks of one job.
@@ -246,6 +265,20 @@ impl CounterSnapshot {
             .copied()
             .zip(self.builtin.iter().copied())
             .chain(self.user.iter().map(|(k, v)| (*k, *v)))
+    }
+
+    /// Set a counter by its display name — the inverse of [`Self::iter`],
+    /// used to rebuild a snapshot from a checkpointed `task-NNN.done`
+    /// record. Built-in names map onto their slots; anything else becomes
+    /// a user counter (the name is interned, which is fine for the small
+    /// fixed set of user counter names a resume can encounter).
+    pub fn set_by_name(&mut self, name: &str, value: u64) {
+        if let Some(i) = COUNTER_NAMES.iter().position(|n| *n == name) {
+            self.builtin[i] = value;
+        } else if value > 0 {
+            let name: &'static str = Box::leak(name.to_owned().into_boxed_str());
+            self.user.insert(name, value);
+        }
     }
 
     /// Accumulate another snapshot into this one (multi-job aggregation).

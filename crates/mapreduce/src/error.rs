@@ -34,6 +34,28 @@ pub enum MrError {
         /// Zero-based index of the failing block within the file.
         block: u64,
     },
+    /// An index directory is partial: a file the manifest requires (or
+    /// the manifest itself) is absent. Produced by an interrupted build
+    /// that never published its manifest, or by pointing the server at a
+    /// directory that is not an index. Refused at mount time so a
+    /// half-written index is never served.
+    IndexIncomplete {
+        /// The index directory.
+        dir: String,
+        /// What is missing from it.
+        missing: String,
+    },
+    /// A resume was requested against a checkpoint manifest written by a
+    /// *different* job (fingerprint over method, params, input identity,
+    /// codec and partition count disagrees). Resuming would silently mix
+    /// task outputs from two jobs, so the stale manifest is refused.
+    CheckpointMismatch {
+        /// Fingerprint the current job derived from its own config.
+        expected: String,
+        /// What the on-disk manifest claims (fingerprint, or a
+        /// description of the structural disagreement).
+        found: String,
+    },
 }
 
 impl fmt::Display for MrError {
@@ -55,6 +77,16 @@ impl fmt::Display for MrError {
             MrError::ChecksumMismatch { file, block } => {
                 write!(f, "checksum mismatch in {file} at block {block}")
             }
+            MrError::IndexIncomplete { dir, missing } => write!(
+                f,
+                "incomplete index at {dir}: missing {missing} (interrupted build, or not an \
+                 index directory)"
+            ),
+            MrError::CheckpointMismatch { expected, found } => write!(
+                f,
+                "checkpoint manifest does not match this job (expected {expected}, found \
+                 {found}); delete the checkpoint directory or drop --resume"
+            ),
         }
     }
 }

@@ -30,8 +30,20 @@ pub struct FaultPlan {
     /// the frame CRC check must catch it. Read-side and one-shot: the
     /// retrying attempt re-reads the same frame clean.
     corrupt_frame: Option<u64>,
+    /// Abort the whole process (`std::process::abort`) when map task
+    /// `(index, attempt)` starts — simulated driver death for the
+    /// kill-resume tests. Only meaningful in a subprocess.
+    die_map: Option<(usize, u32)>,
+    /// Abort the whole process when reduce partition `(index, attempt)`
+    /// starts.
+    die_reduce: Option<(usize, u32)>,
+    /// Fail the Nth (1-based) checkpoint write with an injected EIO, so
+    /// tests can prove checkpointing degrades to off instead of failing
+    /// the job.
+    ckpt_eio: Option<u64>,
     spills: AtomicU64,
     frames: AtomicU64,
+    ckpt_writes: AtomicU64,
 }
 
 impl FaultPlan {
@@ -65,11 +77,33 @@ impl FaultPlan {
         self
     }
 
+    /// Abort the process when map task `task` starts attempt `attempt`.
+    pub fn die_at_map_task(mut self, task: usize, attempt: u32) -> Self {
+        self.die_map = Some((task, attempt));
+        self
+    }
+
+    /// Abort the process when reduce partition `task` starts attempt
+    /// `attempt`.
+    pub fn die_at_reduce_task(mut self, task: usize, attempt: u32) -> Self {
+        self.die_reduce = Some((task, attempt));
+        self
+    }
+
+    /// Fail the `nth` (1-based) checkpoint write with an injected I/O
+    /// error.
+    pub fn fail_checkpoint_write(mut self, nth: u64) -> Self {
+        self.ckpt_eio = Some(nth.max(1));
+        self
+    }
+
     /// Parse a compact fault spec: comma- or semicolon-separated
     /// `kind=value` clauses, e.g.
-    /// `"map-panic=2@0,spill-eio=3,corrupt-frame=5,reduce-panic=0@1"`.
-    /// Panic clauses take `task@attempt` (`@attempt` defaults to 0);
-    /// counted clauses take a 1-based event number.
+    /// `"map-panic=2@0,spill-eio=3,corrupt-frame=5,reduce-panic=0@1,die=1@0"`.
+    /// Panic and die clauses take `task@attempt` (`@attempt` defaults to
+    /// 0); counted clauses take a 1-based event number. `die` aborts the
+    /// whole process at a map task, `die-reduce` at a reduce partition;
+    /// `ckpt-eio` fails the Nth checkpoint write.
     pub fn parse(spec: &str) -> Result<FaultPlan> {
         let mut plan = FaultPlan::new();
         for clause in spec.split([',', ';']).filter(|c| !c.trim().is_empty()) {
@@ -80,7 +114,7 @@ impl FaultPlan {
             let bad =
                 |what: &str| MrError::Config(format!("bad {what} in fault clause '{clause}'"));
             match kind {
-                "map-panic" | "reduce-panic" => {
+                "map-panic" | "reduce-panic" | "die" | "die-reduce" => {
                     let (task, attempt) = match value.split_once('@') {
                         Some((t, a)) => (
                             t.parse::<usize>().map_err(|_| bad("task"))?,
@@ -88,11 +122,12 @@ impl FaultPlan {
                         ),
                         None => (value.parse::<usize>().map_err(|_| bad("task"))?, 0),
                     };
-                    if kind == "map-panic" {
-                        plan = plan.panic_map_task(task, attempt);
-                    } else {
-                        plan = plan.panic_reduce_task(task, attempt);
-                    }
+                    plan = match kind {
+                        "map-panic" => plan.panic_map_task(task, attempt),
+                        "reduce-panic" => plan.panic_reduce_task(task, attempt),
+                        "die" => plan.die_at_map_task(task, attempt),
+                        _ => plan.die_at_reduce_task(task, attempt),
+                    };
                 }
                 "spill-eio" => {
                     plan = plan.fail_spill_write(value.parse().map_err(|_| bad("count"))?);
@@ -100,10 +135,13 @@ impl FaultPlan {
                 "corrupt-frame" => {
                     plan = plan.corrupt_frame_read(value.parse().map_err(|_| bad("count"))?);
                 }
+                "ckpt-eio" => {
+                    plan = plan.fail_checkpoint_write(value.parse().map_err(|_| bad("count"))?);
+                }
                 _ => {
                     return Err(MrError::Config(format!(
                         "unknown fault kind '{kind}' (expected map-panic, reduce-panic, \
-                         spill-eio, or corrupt-frame)"
+                         die, die-reduce, spill-eio, ckpt-eio, or corrupt-frame)"
                     )))
                 }
             }
@@ -145,6 +183,37 @@ impl FaultPlan {
         let n = self.frames.fetch_add(1, Ordering::Relaxed) + 1;
         Some(n) == self.corrupt_frame
     }
+
+    /// Map-task hook: aborts the whole process iff this `(task, attempt)`
+    /// is scheduled to die — simulated driver crash, not catchable by the
+    /// retry layer.
+    pub(crate) fn maybe_die_map(&self, task: usize, attempt: u32) {
+        if self.die_map == Some((task, attempt)) {
+            eprintln!("injected fault: dying at map task {task} attempt {attempt}");
+            std::process::abort();
+        }
+    }
+
+    /// Reduce-task hook: aborts the whole process iff this
+    /// `(partition, attempt)` is scheduled to die.
+    pub(crate) fn maybe_die_reduce(&self, task: usize, attempt: u32) {
+        if self.die_reduce == Some((task, attempt)) {
+            eprintln!("injected fault: dying at reduce partition {task} attempt {attempt}");
+            std::process::abort();
+        }
+    }
+
+    /// Checkpoint-write hook: counts one checkpoint write and returns the
+    /// injected error when this is the scheduled one.
+    pub(crate) fn check_ckpt_write(&self) -> std::io::Result<()> {
+        let n = self.ckpt_writes.fetch_add(1, Ordering::Relaxed) + 1;
+        if Some(n) == self.ckpt_eio {
+            return Err(std::io::Error::other(format!(
+                "injected fault: EIO on checkpoint write {n}"
+            )));
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -164,6 +233,26 @@ mod tests {
     fn parse_defaults_attempt_to_zero() {
         let plan = FaultPlan::parse("reduce-panic=4").unwrap();
         assert_eq!(plan.reduce_panic, Some((4, 0)));
+    }
+
+    #[test]
+    fn parse_die_and_ckpt_clauses() {
+        let plan = FaultPlan::parse("die=1@0, die-reduce=2@1, ckpt-eio=3").unwrap();
+        assert_eq!(plan.die_map, Some((1, 0)));
+        assert_eq!(plan.die_reduce, Some((2, 1)));
+        assert_eq!(plan.ckpt_eio, Some(3));
+        // die hooks on non-matching (task, attempt) are no-ops.
+        plan.maybe_die_map(0, 0);
+        plan.maybe_die_map(1, 1);
+        plan.maybe_die_reduce(2, 0);
+    }
+
+    #[test]
+    fn ckpt_eio_fires_exactly_once() {
+        let plan = FaultPlan::new().fail_checkpoint_write(2);
+        assert!(plan.check_ckpt_write().is_ok());
+        assert!(plan.check_ckpt_write().is_err());
+        assert!(plan.check_ckpt_write().is_ok());
     }
 
     #[test]

@@ -11,6 +11,7 @@
 //! a thin wrapper pairing a [`VecSource`] with a [`VecSinkFactory`].
 
 use crate::buffer::{CollectorConfig, CombinerFactory, MapOutputCollector};
+use crate::checkpoint::{CheckpointSpec, JobCheckpoint};
 use crate::cluster::Cluster;
 use crate::comparator::{RawComparator, TypedComparator};
 use crate::counters::{Counter, CounterSnapshot, Counters};
@@ -29,7 +30,7 @@ use parking_lot::Mutex;
 use std::cmp::Reverse;
 use std::collections::BinaryHeap;
 use std::hash::Hash;
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -105,6 +106,30 @@ pub struct JobConfig {
     /// the disabled path costs a single branch per attempt (plus one per
     /// merged record on the reduce side), so production runs pay nothing.
     pub trace: bool,
+    /// Durable checkpointing: when set, every completed map task publishes
+    /// its spill runs plus a CRC-guarded `task-NNN.done` record under the
+    /// spec's manifest directory, and reduce partitions whose sink
+    /// supports it checkpoint their sealed output. With
+    /// [`CheckpointSpec::resume`] enabled, a restarted job skips the
+    /// recorded tasks ([`Counter::TaskSkippedCheckpointed`]) and refuses a
+    /// manifest whose fingerprint does not match
+    /// ([`MrError::CheckpointMismatch`]). `None` — the default —
+    /// checkpoints nothing.
+    pub checkpoint: Option<Arc<CheckpointSpec>>,
+    /// Speculative execution: once the map claim queue drains and a
+    /// worker goes idle, it launches a backup attempt for any in-flight
+    /// task whose elapsed wall exceeds this multiple of the completed-task
+    /// median (Hadoop's straggler mitigation). The first finisher — primary
+    /// or backup — publishes its output through an atomic commit; the
+    /// loser is discarded like a failed attempt. `0.0` — the default —
+    /// disables speculation; values below 1.0 behave as 1.0.
+    pub speculative_slack: f64,
+    /// Minimum host parallelism required before speculation actually
+    /// launches backups (mirrors [`JobConfig::pipeline_min_cpus`]): on a
+    /// single-CPU host a backup could only time-slice against the very
+    /// straggler it races. Default 2; set to 1 to force speculation
+    /// regardless of the host (tests).
+    pub speculative_min_cpus: usize,
 }
 
 impl Default for JobConfig {
@@ -124,6 +149,9 @@ impl Default for JobConfig {
             max_task_attempts: 3,
             fault_plan: None,
             trace: false,
+            checkpoint: None,
+            speculative_slack: 0.0,
+            speculative_min_cpus: 2,
         }
     }
 }
@@ -145,6 +173,15 @@ impl JobConfig {
         self.pipelined
             && std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
                 >= self.pipeline_min_cpus.max(1)
+    }
+
+    /// Whether this job will actually speculate: a positive
+    /// [`JobConfig::speculative_slack`] AND at least
+    /// [`JobConfig::speculative_min_cpus`] host CPUs for backups to run on.
+    pub fn effective_speculation(&self) -> bool {
+        self.speculative_slack > 0.0
+            && std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                >= self.speculative_min_cpus.max(1)
     }
 }
 
@@ -392,6 +429,21 @@ where
         let splits = source.into_splits(num_map)?;
         let num_map = splits.len().max(1);
 
+        // One manifest directory per job, claimed from the spec in launch
+        // order; a spec degraded mid-chain (checkpoint disk failure)
+        // checkpoints nothing further.
+        let ckpt = match &self.config.checkpoint {
+            Some(spec) if !spec.is_disabled() => Some(JobCheckpoint::prepare(
+                spec,
+                self.config.fault_plan.clone(),
+                &self.config.name,
+                num_map,
+                num_reduce,
+                self.config.run_codec,
+            )?),
+            _ => None,
+        };
+
         // ---- Map phase. ----
         let map_started = Instant::now();
         let partition_runs: Vec<Mutex<Vec<Run>>> =
@@ -402,65 +454,230 @@ where
             // cost so a heavy straggler is started first, not discovered
             // last. The sort is stable, so cost-free sources (in-memory
             // splits all predict 0) keep their historical arrival order.
-            let claim_order = lpt_claim_order(splits.iter().map(|s| s.predicted_cost()));
+            let costs: Vec<u64> = splits.iter().map(|s| s.predicted_cost()).collect();
+            let n_splits = costs.len();
+            let claim_order = lpt_claim_order(costs.iter().copied());
             let splits: Vec<WorkSlot<S::Split>> =
                 splits.into_iter().map(|s| Mutex::new(Some(s))).collect();
+            // Per-task commit state: `finished` is the atomic publish
+            // gate primary and speculative attempts race through;
+            // `started_at` / `backups` feed the straggler monitor.
+            let finished: Vec<AtomicBool> = (0..n_splits).map(|_| AtomicBool::new(false)).collect();
+            let started_at: Vec<Mutex<Option<Instant>>> =
+                (0..n_splits).map(|_| Mutex::new(None)).collect();
+            let backups: Vec<WorkSlot<S::Split>> =
+                (0..n_splits).map(|_| Mutex::new(None)).collect();
+            let completed = AtomicUsize::new(0);
+            let speculate = self.config.effective_speculation();
+
+            // Resume: tasks the manifest records complete are taken out of
+            // the claim queue, their persisted runs fed straight into the
+            // merge and their counters restored. A cost mismatch means the
+            // source sliced the input differently — refuse rather than mix.
+            if let Some(ck) = &ckpt {
+                for (&i, done) in ck.completed_map() {
+                    if i >= n_splits {
+                        continue;
+                    }
+                    if done.cost != costs[i] {
+                        return Err(MrError::CheckpointMismatch {
+                            expected: format!("map task {i} with split cost {}", costs[i]),
+                            found: format!("recorded split cost {}", done.cost),
+                        });
+                    }
+                    let _ = splits[i].lock().take();
+                    for (p, run) in done.restore_runs(ck.dir()) {
+                        if p < num_reduce {
+                            partition_runs[p].lock().push(run);
+                        }
+                    }
+                    counters.absorb(&done.counters);
+                    counters.inc(Counter::TaskSkippedCheckpointed);
+                    map_task_times
+                        .lock()
+                        .push(Duration::from_nanos(done.wall_nanos));
+                    finished[i].store(true, Ordering::SeqCst);
+                    completed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+
             let next = AtomicUsize::new(0);
             let first_error: Mutex<Option<MrError>> = Mutex::new(None);
             let workers = slots.min(num_map).max(1);
+            // The single commit path for a completed map task, shared by
+            // primary and speculative attempts: absorb the winning
+            // attempt's counters, durably publish the checkpoint while the
+            // runs are still borrowable, then hand the runs to the merge.
+            let publish = |i: usize, runs: Vec<Vec<Run>>, snap: CounterSnapshot, wall: Duration| {
+                counters.absorb(&snap);
+                if let Some(ck) = &ckpt {
+                    ck.publish_map_task(i, costs[i], wall, &snap, &runs, &counters);
+                }
+                map_task_times.lock().push(wall);
+                for (p, rs) in runs.into_iter().enumerate() {
+                    if !rs.is_empty() {
+                        partition_runs[p].lock().extend(rs);
+                    }
+                }
+                completed.fetch_add(1, Ordering::Relaxed);
+            };
             std::thread::scope(|scope| {
                 for w in 0..workers {
                     // Move closures capture `w` by value; everything else
                     // is re-aliased as a reference first.
                     let (splits, claim_order, next) = (&splits, &claim_order, &next);
                     let (first_error, map_task_times) = (&first_error, &map_task_times);
-                    let (counters, partition_runs) = (&counters, &partition_runs);
+                    let counters = &counters;
+                    let (finished, started_at, backups) = (&finished, &started_at, &backups);
+                    let (completed, publish) = (&completed, &publish);
                     let trace_sink = trace_sink.as_ref();
                     let temp = temp.clone();
-                    scope.spawn(move || loop {
-                        let c = next.fetch_add(1, Ordering::Relaxed);
-                        if c >= claim_order.len() {
-                            return;
-                        }
-                        let i = claim_order[c];
-                        let Some(mut split) = splits[i].lock().take() else {
-                            continue;
-                        };
-                        let task_started = Instant::now();
-                        let queue_wait = task_started.duration_since(map_started);
-                        let attempted = self.run_task_attempts(
-                            "map",
-                            i,
-                            counters,
-                            trace_sink,
-                            w,
-                            queue_wait,
-                            |attempt, attempt_ctrs| {
-                                if let Some(plan) = &self.config.fault_plan {
-                                    plan.maybe_panic_map(i, attempt);
+                    scope.spawn(move || {
+                        loop {
+                            let c = next.fetch_add(1, Ordering::Relaxed);
+                            if c >= claim_order.len() {
+                                break;
+                            }
+                            let i = claim_order[c];
+                            let Some(mut split) = splits[i].lock().take() else {
+                                continue;
+                            };
+                            if speculate {
+                                // Stash a rewindable copy for a potential
+                                // backup attempt (sources that cannot
+                                // re-stream clone to `None`: no backup).
+                                *backups[i].lock() = split.try_clone();
+                            }
+                            let task_started = Instant::now();
+                            *started_at[i].lock() = Some(task_started);
+                            let queue_wait = task_started.duration_since(map_started);
+                            let attempted = self.run_task_attempts(
+                                "map",
+                                i,
+                                counters,
+                                trace_sink,
+                                w,
+                                queue_wait,
+                                |attempt, attempt_ctrs| {
+                                    if let Some(plan) = &self.config.fault_plan {
+                                        plan.maybe_die_map(i, attempt);
+                                        plan.maybe_panic_map(i, attempt);
+                                    }
+                                    self.run_map_task(
+                                        &mut split,
+                                        num_reduce,
+                                        attempt_ctrs,
+                                        temp.clone(),
+                                    )
+                                },
+                            );
+                            match attempted {
+                                Ok((runs, snap)) => {
+                                    let _ = backups[i].lock().take();
+                                    if !finished[i].swap(true, Ordering::SeqCst) {
+                                        publish(i, runs, snap, task_started.elapsed());
+                                    }
                                 }
-                                self.run_map_task(
-                                    &mut split,
-                                    num_reduce,
-                                    attempt_ctrs,
-                                    temp.clone(),
-                                )
-                            },
-                        );
-                        match attempted {
-                            Ok(runs) => {
-                                map_task_times.lock().push(task_started.elapsed());
-                                for (p, rs) in runs.into_iter().enumerate() {
-                                    if !rs.is_empty() {
-                                        partition_runs[p].lock().extend(rs);
+                                Err(e) => {
+                                    // A lost race against our own backup is
+                                    // not a failure; anything else is.
+                                    if !finished[i].load(Ordering::SeqCst) {
+                                        let mut slot = first_error.lock();
+                                        if slot.is_none() {
+                                            *slot = Some(e);
+                                        }
                                     }
                                 }
                             }
-                            Err(e) => {
-                                let mut slot = first_error.lock();
-                                if slot.is_none() {
-                                    *slot = Some(e);
+                        }
+                        if !speculate {
+                            return;
+                        }
+                        // Claim queue drained: this worker is idle. Race
+                        // backups against in-flight stragglers whose wall
+                        // exceeds `speculative_slack` × the completed-task
+                        // median.
+                        loop {
+                            if first_error.lock().is_some()
+                                || completed.load(Ordering::Relaxed) >= n_splits
+                            {
+                                return;
+                            }
+                            let threshold = {
+                                let times = map_task_times.lock();
+                                if times.len() < 3 {
+                                    None
+                                } else {
+                                    let mut walls = times.clone();
+                                    walls.sort();
+                                    Some(
+                                        walls[walls.len() / 2]
+                                            .mul_f64(self.config.speculative_slack.max(1.0)),
+                                    )
                                 }
+                            };
+                            let mut launched = false;
+                            for i in 0..n_splits {
+                                let Some(threshold) = threshold else { break };
+                                if finished[i].load(Ordering::SeqCst) {
+                                    continue;
+                                }
+                                let elapsed = match *started_at[i].lock() {
+                                    Some(t) => t.elapsed(),
+                                    None => continue,
+                                };
+                                if elapsed <= threshold {
+                                    continue;
+                                }
+                                let Some(mut split) = backups[i].lock().take() else {
+                                    continue;
+                                };
+                                launched = true;
+                                counters.inc(Counter::SpeculativeAttempts);
+                                let attempt_counters = Arc::new(Counters::new());
+                                let backup_started = Instant::now();
+                                let outcome =
+                                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                        self.run_map_task(
+                                            &mut split,
+                                            num_reduce,
+                                            &attempt_counters,
+                                            temp.clone(),
+                                        )
+                                    }));
+                                // First finisher through the gate commits;
+                                // the loser's output is dropped wholesale.
+                                let won = matches!(&outcome, Ok(Ok(_)))
+                                    && !finished[i].swap(true, Ordering::SeqCst);
+                                if let Some(sink) = trace_sink {
+                                    sink.record(
+                                        w,
+                                        TaskSpan {
+                                            phase: "map",
+                                            task: i,
+                                            attempt: 1,
+                                            queue_wait: backup_started.duration_since(map_started),
+                                            wall: backup_started.elapsed(),
+                                            ok: won,
+                                            speculative: true,
+                                            counters: attempt_counters.snapshot(),
+                                        },
+                                    );
+                                }
+                                if won {
+                                    if let Ok(Ok(runs)) = outcome {
+                                        counters.inc(Counter::SpeculativeWins);
+                                        publish(
+                                            i,
+                                            runs,
+                                            attempt_counters.snapshot(),
+                                            backup_started.elapsed(),
+                                        );
+                                    }
+                                }
+                            }
+                            if !launched {
+                                std::thread::sleep(Duration::from_millis(1));
                             }
                         }
                     });
@@ -486,11 +703,35 @@ where
                     let (next, first_error) = (&next, &first_error);
                     let (counters, partition_runs) = (&counters, &partition_runs);
                     let (artifacts, reduce_task_times) = (&artifacts, &reduce_task_times);
+                    let ckpt = ckpt.as_ref();
                     let trace_sink = trace_sink.as_ref();
                     scope.spawn(move || loop {
                         let p = next.fetch_add(1, Ordering::Relaxed);
                         if p >= num_reduce {
                             return;
+                        }
+                        // Resume: a partition whose sealed artifact the
+                        // sink can restore from the manifest is not re-run.
+                        // A restore failure (corrupt file) just re-runs.
+                        if let Some(ck) = ckpt {
+                            if let Some(done) = ck.reduce_done(p) {
+                                match sinks.restore(p, ck.dir()) {
+                                    Ok(Some(artifact)) => {
+                                        counters.absorb(&done.counters);
+                                        counters.inc(Counter::TaskSkippedCheckpointed);
+                                        reduce_task_times
+                                            .lock()
+                                            .push(Duration::from_nanos(done.wall_nanos));
+                                        *artifacts[p].lock() = Some(artifact);
+                                        continue;
+                                    }
+                                    Ok(None) => {}
+                                    Err(e) => crate::log_warn!(
+                                        "checkpoint",
+                                        "reduce {p} restore failed ({e}); re-running"
+                                    ),
+                                }
+                            }
                         }
                         let runs = std::mem::take(&mut *partition_runs[p].lock());
                         let task_started = Instant::now();
@@ -504,14 +745,28 @@ where
                             queue_wait,
                             |attempt, attempt_ctrs| {
                                 if let Some(plan) = &self.config.fault_plan {
+                                    plan.maybe_die_reduce(p, attempt);
                                     plan.maybe_panic_reduce(p, attempt);
                                 }
                                 self.run_reduce_task(p, &runs, attempt_ctrs, sinks)
                             },
                         );
                         match attempted {
-                            Ok(artifact) => {
-                                reduce_task_times.lock().push(task_started.elapsed());
+                            Ok((artifact, snap)) => {
+                                counters.absorb(&snap);
+                                let wall = task_started.elapsed();
+                                reduce_task_times.lock().push(wall);
+                                if let Some(ck) = ckpt {
+                                    if ck.active() {
+                                        match sinks.checkpoint(p, &artifact, ck.dir()) {
+                                            Ok(Some(bytes)) => ck.publish_reduce_task(
+                                                p, wall, &snap, bytes, counters,
+                                            ),
+                                            Ok(None) => {}
+                                            Err(e) => ck.degrade("reduce sink checkpoint", &e),
+                                        }
+                                    }
+                                }
                                 *artifacts[p].lock() = Some(artifact)
                             }
                             Err(e) => {
@@ -601,10 +856,12 @@ where
     /// output is discarded by the attempt body itself — streams restart
     /// from the beginning, sinks are recreated per attempt) and the task
     /// is retried with linear backoff until
-    /// [`JobConfig::max_task_attempts`] is exhausted. Only a successful
-    /// attempt folds its counters into the shared bank, so retried work is
-    /// never double-counted; the bookkeeping trio
-    /// ([`Counter::TaskAttempts`], [`Counter::TaskRetries`],
+    /// [`JobConfig::max_task_attempts`] is exhausted. The successful
+    /// attempt's private counter snapshot is returned alongside its value
+    /// — the *caller* absorbs it into the shared bank iff the attempt wins
+    /// the publish race (speculation may have finished the task first), so
+    /// retried and losing work is never double-counted; the bookkeeping
+    /// trio ([`Counter::TaskAttempts`], [`Counter::TaskRetries`],
     /// [`Counter::TaskPanics`]) is recorded unconditionally.
     #[allow(clippy::too_many_arguments)]
     fn run_task_attempts<T>(
@@ -616,7 +873,7 @@ where
         worker: usize,
         queue_wait: Duration,
         mut attempt_fn: impl FnMut(u32, &Arc<Counters>) -> Result<T>,
-    ) -> Result<T> {
+    ) -> Result<(T, CounterSnapshot)> {
         let max = self.config.max_task_attempts.max(1);
         let mut attempt = 0u32;
         loop {
@@ -626,6 +883,7 @@ where
             let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                 attempt_fn(attempt, &attempt_counters)
             }));
+            let snap = attempt_counters.snapshot();
             if let Some(sink) = trace {
                 // Every attempt gets a span — failed ones too, carrying
                 // the private counter bank the retry machinery is about
@@ -639,15 +897,13 @@ where
                         queue_wait,
                         wall: attempt_started.elapsed(),
                         ok: matches!(outcome, Ok(Ok(_))),
-                        counters: attempt_counters.snapshot(),
+                        speculative: false,
+                        counters: snap.clone(),
                     },
                 );
             }
             let err = match outcome {
-                Ok(Ok(value)) => {
-                    counters.absorb(&attempt_counters.snapshot());
-                    return Ok(value);
-                }
+                Ok(Ok(value)) => return Ok((value, snap)),
                 Ok(Err(e)) => e,
                 Err(payload) => {
                     counters.inc(Counter::TaskPanics);

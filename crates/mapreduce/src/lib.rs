@@ -70,6 +70,7 @@
 #![warn(missing_docs)]
 
 mod buffer;
+mod checkpoint;
 mod cluster;
 mod comparator;
 mod counters;
@@ -91,6 +92,7 @@ mod task;
 mod trace;
 mod values;
 
+pub use checkpoint::CheckpointSpec;
 pub use cluster::{Cluster, DistCache, JobLogEntry};
 pub use comparator::{BytewiseComparator, RawComparator, TypedComparator, VarintSeqComparator};
 pub use counters::{Counter, CounterSnapshot, Counters};

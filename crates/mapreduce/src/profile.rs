@@ -213,7 +213,11 @@ fn task_span_json(span: &TaskSpan) -> String {
         .field_u64("attempt", u64::from(span.attempt))
         .field_u64("queue_wait_nanos", nanos(span.queue_wait))
         .field_u64("wall_nanos", nanos(span.wall))
-        .field("ok", if span.ok { "true" } else { "false" });
+        .field("ok", if span.ok { "true" } else { "false" })
+        .field(
+            "speculative",
+            if span.speculative { "true" } else { "false" },
+        );
     let mut ctrs = JsonObject::new();
     for (name, value) in span.counters.iter() {
         if value != 0 {
@@ -262,6 +266,7 @@ mod tests {
             queue_wait: ms(1),
             wall: ms(wall_ms),
             ok,
+            speculative: false,
             counters: CounterSnapshot::default(),
         };
         JobTrace {
@@ -340,6 +345,7 @@ mod tests {
             "\"job_spans\":",
             "\"task_spans\":",
             "\"queue_wait_nanos\":",
+            "\"speculative\":false",
             "\"faults\":[{\"job\":0,\"phase\":\"map\",\"task\":0,\"attempt\":1",
             "\"counters\":",
         ] {

@@ -571,12 +571,17 @@ pub fn decode_block(
 // Run + writer + reader
 // ---------------------------------------------------------------------------
 
+#[derive(Clone)]
 enum RunSource {
     Mem(Arc<Vec<u8>>),
     File(PathBuf),
 }
 
-/// One sorted run of serialized records.
+/// One sorted run of serialized records. Cloning is cheap — the backing
+/// bytes are shared (`Arc` in memory, a path on disk) — which is what
+/// lets run-backed map splits hand out rewindable copies for speculative
+/// backup attempts.
+#[derive(Clone)]
 pub struct Run {
     source: RunSource,
     /// Number of records in the run.
@@ -655,6 +660,45 @@ impl Run {
     /// True when the run holds no records.
     pub fn is_empty(&self) -> bool {
         self.records == 0
+    }
+
+    /// Reopen a run persisted by [`Run::persist_to`] (checkpoint resume).
+    /// The framed bytes at `path` carry their own per-block CRCs, so a
+    /// truncated or corrupted file is caught at read time.
+    pub fn from_file(
+        path: PathBuf,
+        records: u64,
+        bytes: u64,
+        raw_bytes: u64,
+        codec: RunCodec,
+    ) -> Run {
+        Run {
+            source: RunSource::File(path),
+            records,
+            bytes,
+            raw_bytes,
+            codec,
+            fault: None,
+        }
+    }
+
+    /// Durably copy the run's framed bytes to `path` (checkpoint
+    /// publication), staging through `path.tmp` and renaming into place so
+    /// a crash mid-copy never leaves a file a resume would trust. Returns
+    /// the number of bytes written.
+    pub fn persist_to(&self, path: &Path) -> Result<u64> {
+        let mut tmp = path.to_path_buf().into_os_string();
+        tmp.push(".tmp");
+        let tmp = PathBuf::from(tmp);
+        let written = match &self.source {
+            RunSource::Mem(data) => {
+                std::fs::write(&tmp, data.as_slice())?;
+                data.len() as u64
+            }
+            RunSource::File(src) => std::fs::copy(src, &tmp)?,
+        };
+        std::fs::rename(&tmp, path)?;
+        Ok(written)
     }
 }
 

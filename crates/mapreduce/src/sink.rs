@@ -42,6 +42,27 @@ pub trait RecordSinkFactory<K, V>: Sync {
 
     /// Seal a finished sink, surfacing any deferred write error.
     fn seal(&self, partition: usize, sink: Self::Sink) -> Result<Self::Artifact>;
+
+    /// Durably persist a sealed artifact under the job's checkpoint
+    /// manifest directory, returning the bytes written. `Ok(None)` — the
+    /// default — means this sink kind does not checkpoint its output and
+    /// the partition is simply re-run on resume (the writer sink's shared
+    /// output stream, for instance, is rebuilt from scratch anyway).
+    fn checkpoint(
+        &self,
+        _partition: usize,
+        _artifact: &Self::Artifact,
+        _dir: &std::path::Path,
+    ) -> Result<Option<u64>> {
+        Ok(None)
+    }
+
+    /// Reopen the artifact [`RecordSinkFactory::checkpoint`] persisted for
+    /// `partition`, if this sink kind supports it and the files are intact.
+    /// `Ok(None)` means "nothing restorable — re-run the partition".
+    fn restore(&self, _partition: usize, _dir: &std::path::Path) -> Result<Option<Self::Artifact>> {
+        Ok(None)
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -191,6 +212,57 @@ where
             return Err(e);
         }
         sink.writer.take().expect("sink sealed twice").finish()
+    }
+
+    /// Persist the sealed run as `reduce-NNN.run` plus a CRC-guarded
+    /// `reduce-NNN.meta` descriptor — what lets chained (APRIORI) jobs
+    /// resume with their intermediate reduce output intact.
+    fn checkpoint(
+        &self,
+        partition: usize,
+        artifact: &Run,
+        dir: &std::path::Path,
+    ) -> Result<Option<u64>> {
+        let rel = format!("reduce-{partition:03}.run");
+        let mut bytes = artifact.persist_to(&dir.join(&rel))?;
+        bytes += crate::checkpoint::write_record_file(
+            &dir.join(format!("reduce-{partition:03}.meta")),
+            &[format!(
+                "run\t{rel}\t{}\t{}\t{}\t{}",
+                artifact.records,
+                artifact.bytes,
+                artifact.raw_bytes,
+                artifact.codec.name()
+            )],
+        )?;
+        Ok(Some(bytes))
+    }
+
+    fn restore(&self, partition: usize, dir: &std::path::Path) -> Result<Option<Run>> {
+        let meta = dir.join(format!("reduce-{partition:03}.meta"));
+        if !meta.is_file() {
+            return Ok(None);
+        }
+        let lines = crate::checkpoint::read_record_file(&meta)?;
+        let bad = || MrError::Config(format!("malformed reduce meta {}", meta.display()));
+        let line = lines.first().ok_or_else(bad)?;
+        let fields: Vec<&str> = line.split('\t').collect();
+        let ["run", rel, records, bytes, raw_bytes, codec] = fields[..] else {
+            return Err(bad());
+        };
+        let path = dir.join(rel);
+        if !path.is_file() {
+            return Err(MrError::Config(format!(
+                "reduce meta references missing run file {rel}"
+            )));
+        }
+        Ok(Some(Run::from_file(
+            path,
+            records.parse().map_err(|_| bad())?,
+            bytes.parse().map_err(|_| bad())?,
+            raw_bytes.parse().map_err(|_| bad())?,
+            RunCodec::parse(codec).ok_or_else(bad)?,
+        )))
     }
 }
 

@@ -72,6 +72,18 @@ pub trait RecordStream<K, V>: Send {
     fn predicted_cost(&self) -> u64 {
         0
     }
+
+    /// A rewindable copy of this stream *before it is drained*, used by
+    /// speculative execution to race a backup attempt against a straggling
+    /// primary. `None` — the default — means the stream cannot be
+    /// re-streamed and the task is never speculated; sources whose splits
+    /// are cheap views (borrowed slices, `Arc`-backed runs) return a copy.
+    fn try_clone(&self) -> Option<Self>
+    where
+        Self: Sized,
+    {
+        None
+    }
 }
 
 /// A job input: knows its approximate size and how to split itself into
@@ -176,6 +188,14 @@ impl<K: Send + Sync, V: Send + Sync> RecordStream<K, V> for SliceStream<'_, K, V
         }
         Ok(())
     }
+
+    fn try_clone(&self) -> Option<Self> {
+        Some(SliceStream {
+            records: self.records,
+            offset: self.offset,
+            stride: self.stride,
+        })
+    }
 }
 
 impl<'a, K: Send + Sync, V: Send + Sync> RecordSource<K, V> for SliceSource<'a, K, V> {
@@ -266,6 +286,14 @@ where
 
     fn predicted_cost(&self) -> u64 {
         self.runs.iter().map(|r| r.bytes).sum()
+    }
+
+    fn try_clone(&self) -> Option<Self> {
+        Some(RunStream {
+            runs: self.runs.clone(),
+            _temp: self._temp.clone(),
+            _marker: std::marker::PhantomData,
+        })
     }
 }
 

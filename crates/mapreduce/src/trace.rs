@@ -41,6 +41,11 @@ pub struct TaskSpan {
     pub wall: Duration,
     /// Whether the attempt succeeded (its counters were absorbed).
     pub ok: bool,
+    /// Whether this was a speculative backup attempt launched against a
+    /// straggling in-flight task (`JobConfig::speculative_slack`). A
+    /// backup that loses the publish race reports `ok: false` even
+    /// though it ran cleanly — its output was discarded.
+    pub speculative: bool,
     /// The attempt's private counter bank: exactly the work this attempt
     /// did, including spill/stall/merge time, isolated from every other
     /// attempt.
@@ -122,6 +127,7 @@ mod tests {
             queue_wait: Duration::ZERO,
             wall: Duration::from_millis(1),
             ok: true,
+            speculative: false,
             counters: CounterSnapshot::default(),
         }
     }

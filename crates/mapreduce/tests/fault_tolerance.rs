@@ -172,6 +172,110 @@ fn exhausted_attempts_fail_with_task_failed() {
     }
 }
 
+fn ckpt_dir(tag: &str) -> std::path::PathBuf {
+    std::env::temp_dir().join(format!("mr-ckpt-{}-{tag}", std::process::id()))
+}
+
+#[test]
+fn checkpointed_rerun_skips_every_map_task() {
+    let dir = ckpt_dir("rerun");
+    let _ = std::fs::remove_dir_all(&dir);
+    let expected = fault_free();
+
+    let mut config = base_config();
+    config.checkpoint = Some(Arc::new(CheckpointSpec::new(&dir, "tok-v1")));
+    let (records, counters) = run_sorted(config).expect("checkpointed run succeeds");
+    assert_eq!(records, expected);
+    assert_eq!(counters.get(Counter::TaskSkippedCheckpointed), 0);
+    assert!(counters.get(Counter::CheckpointBytes) > 0);
+    let fresh_attempts = counters.get(Counter::TaskAttempts);
+
+    // Resuming over a completed manifest re-runs no map task at all:
+    // every run is fed from the checkpoint and only reduce re-executes.
+    let mut config = base_config();
+    config.checkpoint = Some(Arc::new(CheckpointSpec::new(&dir, "tok-v1").resume(true)));
+    let (records, counters) = run_sorted(config).expect("resumed run succeeds");
+    assert_eq!(records, expected);
+    assert_eq!(counters.get(Counter::TaskSkippedCheckpointed), 4);
+    assert!(
+        counters.get(Counter::TaskAttempts) < fresh_attempts,
+        "resume must re-execute strictly fewer tasks ({} vs {fresh_attempts})",
+        counters.get(Counter::TaskAttempts)
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn resume_against_a_stale_manifest_is_refused() {
+    let dir = ckpt_dir("stale");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = base_config();
+    config.checkpoint = Some(Arc::new(CheckpointSpec::new(&dir, "tok-v1")));
+    run_sorted(config).expect("checkpointed run succeeds");
+
+    // Same directory, different job identity: the fingerprint disagrees,
+    // so resuming must refuse rather than mix task outputs across jobs.
+    let mut config = base_config();
+    config.checkpoint = Some(Arc::new(CheckpointSpec::new(&dir, "tok-v2").resume(true)));
+    let err = run_sorted(config).expect_err("stale manifest must be refused");
+    assert!(
+        matches!(err, MrError::CheckpointMismatch { .. }),
+        "expected CheckpointMismatch, got {err:?}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn ckpt_eio_degrades_to_checkpoint_off_not_job_failure() {
+    let dir = ckpt_dir("eio");
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut config = base_config();
+    config.checkpoint = Some(Arc::new(CheckpointSpec::new(&dir, "tok-v1")));
+    config.fault_plan = Some(Arc::new(FaultPlan::parse("ckpt-eio=1").unwrap()));
+    let (records, _) = run_sorted(config).expect("checkpoint EIO must not fail the job");
+    assert_eq!(records, fault_free());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn speculative_backup_converges_to_identical_output() {
+    // Seven trivial documents and one enormous one, a split each: the
+    // huge split is still in flight long after the rest finish, so the
+    // idle worker's monitor sees elapsed > median and launches a backup.
+    let mut docs: Vec<(u64, String)> = (0..7u64).map(|i| (i, format!("alpha beta w{i}"))).collect();
+    docs.push((7, "straggler word ".repeat(400_000)));
+
+    let run = |speculate: bool| {
+        let mut config = base_config();
+        config.num_map_tasks = 8;
+        if speculate {
+            config.speculative_slack = 1.0;
+            config.speculative_min_cpus = 1;
+        }
+        let cluster = Cluster::new(2);
+        let job = Job::<Tokenize, Sum>::new(config, || Tokenize, || Sum);
+        let sinks = VecSinkFactory::default();
+        let result: JobResult<u64, u64> = job
+            .run_streamed(&cluster, SliceSource::new(&docs), &sinks)
+            .expect("job succeeds")
+            .into();
+        let counters = result.counters.clone();
+        let mut records = result.into_records();
+        records.sort();
+        (records, counters)
+    };
+
+    let (expected, baseline) = run(false);
+    assert_eq!(baseline.get(Counter::SpeculativeAttempts), 0);
+    let (records, counters) = run(true);
+    assert_eq!(records, expected, "speculation must not change the output");
+    assert!(
+        counters.get(Counter::SpeculativeAttempts) >= 1,
+        "the straggler split must draw a backup attempt"
+    );
+    assert!(counters.get(Counter::SpeculativeWins) <= counters.get(Counter::SpeculativeAttempts));
+}
+
 #[test]
 fn reduce_exhaustion_reports_the_partition() {
     let mut config = base_config();

@@ -13,6 +13,7 @@
 //! | `/v1/{index}/topk` | `k=` | highest-frequency grams |
 //! | `/v1/{index}/stats` | — | manifest + cache telemetry |
 //! | `/metrics` | — | Prometheus text exposition (see [`crate::metrics`]) |
+//! | `/healthz` | — | liveness: `{"status":"ok","indexes":N}` |
 //!
 //! The serving path is hardened against misbehaving clients: every
 //! request head must arrive within [`HEADER_READ_TIMEOUT`] (a slowloris
@@ -427,6 +428,17 @@ fn handle_request(
     };
     let params = parse_query(query);
 
+    if path == "/healthz" {
+        // Liveness only: answering at all proves the accept loop and a
+        // worker are alive. Index health is enforced at mount time —
+        // StatsIndex::open refuses a partial index — so a mounted index
+        // needs no per-probe re-validation.
+        let mut o = JsonObject::new();
+        o.field_str("status", "ok")
+            .field_u64("indexes", indexes.len() as u64);
+        return (200, o.finish(), Endpoint::Healthz);
+    }
+
     if path == "/metrics" {
         return (200, metrics.render_prometheus(indexes), Endpoint::Metrics);
     }
@@ -658,6 +670,9 @@ mod tests {
         let (s, body, e) = handle_request("GET /metrics HTTP/1.1", &indexes, &metrics);
         assert_eq!((s, e), (200, Endpoint::Metrics));
         assert!(body.contains("# TYPE http_requests_total counter"));
+        let (s, body, e) = handle_request("GET /healthz HTTP/1.1", &indexes, &metrics);
+        assert_eq!((s, e), (200, Endpoint::Healthz));
+        assert_eq!(body, r#"{"status":"ok","indexes":0}"#);
     }
 
     #[test]

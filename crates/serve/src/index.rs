@@ -171,6 +171,17 @@ impl StatsIndex {
     /// Open the index at `dir` with a `cache_bytes` hot-term cache
     /// (0 disables caching in practice: nothing fits).
     pub fn open_with_cache(dir: &Path, cache_bytes: usize) -> Result<Self> {
+        // The manifest is the build's commit record — written last, so
+        // its absence means the build never finished (or this is not an
+        // index directory at all). Refuse with a typed error instead of
+        // serving whatever segments happen to exist.
+        let incomplete = |missing: String| MrError::IndexIncomplete {
+            dir: dir.display().to_string(),
+            missing,
+        };
+        if !dir.join(MANIFEST_FILE).is_file() {
+            return Err(incomplete(MANIFEST_FILE.to_string()));
+        }
         let manifest = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
         let mut corpus = None;
         let mut method = None;
@@ -212,6 +223,9 @@ impl StatsIndex {
             entries: entries.ok_or(bad("manifest missing entries"))?,
         };
 
+        if !dir.join(TERMS_FILE).is_file() {
+            return Err(incomplete(TERMS_FILE.to_string()));
+        }
         let terms = std::fs::read_to_string(dir.join(TERMS_FILE))?;
         let counts = terms
             .lines()
@@ -233,6 +247,13 @@ impl StatsIndex {
             })
             .collect();
         paths.sort();
+        if (paths.len() as u64) < meta.segments {
+            return Err(incomplete(format!(
+                "{} of {} segments",
+                meta.segments - paths.len() as u64,
+                meta.segments
+            )));
+        }
         if paths.len() as u64 != meta.segments {
             return Err(bad("segment count disagrees with manifest"));
         }
@@ -510,6 +531,42 @@ mod tests {
             expected.iter().take(k).map(|(_, c)| *c).collect::<Vec<_>>()
         );
         let _ = std::fs::remove_dir_all(&index.meta().dir);
+    }
+
+    #[test]
+    fn partial_index_is_refused_with_a_typed_error() {
+        let (index, _) = build("partial", &IndexOptions::default());
+        let dir = index.meta().dir.clone();
+        drop(index);
+
+        // A segment named by the manifest is gone: mid-write copy.
+        let seg = std::fs::read_dir(&dir)
+            .unwrap()
+            .filter_map(|e| e.ok().map(|e| e.path()))
+            .find(|p| p.extension().is_some_and(|e| e == "seg"))
+            .unwrap();
+        let stashed = std::fs::read(&seg).unwrap();
+        std::fs::remove_file(&seg).unwrap();
+        let err = StatsIndex::open(&dir)
+            .err()
+            .expect("missing segment must refuse open");
+        assert!(
+            matches!(&err, MrError::IndexIncomplete { .. }),
+            "wanted IndexIncomplete, got {err:?}"
+        );
+        std::fs::write(&seg, stashed).unwrap();
+        assert!(StatsIndex::open(&dir).is_ok(), "restored index must open");
+
+        // No MANIFEST: the build never committed.
+        std::fs::remove_file(dir.join(MANIFEST_FILE)).unwrap();
+        let err = StatsIndex::open(&dir)
+            .err()
+            .expect("missing manifest must refuse open");
+        assert!(
+            matches!(&err, MrError::IndexIncomplete { missing, .. } if missing == MANIFEST_FILE),
+            "wanted IndexIncomplete(MANIFEST), got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

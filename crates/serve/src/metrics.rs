@@ -168,18 +168,21 @@ pub enum Endpoint {
     Stats,
     /// `/metrics` itself.
     Metrics,
+    /// `/healthz` liveness probes.
+    Healthz,
     /// Anything else (404s, unknown endpoints).
     Other,
 }
 
 /// All endpoints, in label order.
-pub const ENDPOINTS: [Endpoint; 7] = [
+pub const ENDPOINTS: [Endpoint; 8] = [
     Endpoint::Root,
     Endpoint::Ngram,
     Endpoint::Prefix,
     Endpoint::Topk,
     Endpoint::Stats,
     Endpoint::Metrics,
+    Endpoint::Healthz,
     Endpoint::Other,
 ];
 
@@ -193,6 +196,7 @@ impl Endpoint {
             Endpoint::Topk => "topk",
             Endpoint::Stats => "stats",
             Endpoint::Metrics => "metrics",
+            Endpoint::Healthz => "healthz",
             Endpoint::Other => "other",
         }
     }

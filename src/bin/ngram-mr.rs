@@ -9,12 +9,14 @@
 //!                    [--spill-to-disk] [--tmp-dir DIR] [--pipelined]
 //!                    [--run-codec plain|front|posting-delta]
 //!                    [--max-task-attempts N] [--faults SPEC]
+//!                    [--checkpoint-dir DIR] [--resume] [--speculate F]
 //!                    [--decode] [--out results.tsv] [--profile report.json]
 //! ngram-mr timeseries --input corpus.bin --tau 5 --sigma 3 [--out series.tsv]
 //!                    [--profile report.json]
 //! ngram-mr index     --input corpus.bin --dir stats.idx --method suffix-sigma
 //!                    --tau 5 --sigma 5 [--mode cf|df] [--codec plain|front|posting-delta]
-//!                    [--top N] [--slots N] [--profile report.json]
+//!                    [--top N] [--slots N] [--checkpoint-dir DIR] [--resume]
+//!                    [--profile report.json]
 //! ngram-mr serve     --index [NAME=]DIR[,[NAME=]DIR...] [--addr HOST:PORT]
 //!                    [--workers N] [--cache-bytes N]
 //! ngram-mr query     --addr HOST:PORT --path /v1/NAME/ngram?q=...
@@ -41,6 +43,16 @@
 //! `--pipelined` overlaps I/O with compute end to end: store-block input
 //! prefetch, a dedicated spill-writer thread per map task, reduce-side
 //! run read-ahead, and a double-buffered output writer.
+//!
+//! `--checkpoint-dir DIR` makes `compute` and `index` crash-safe: every
+//! completed map task durably publishes its spill runs plus a CRC-guarded
+//! completion record under a manifest keyed by the computation's
+//! fingerprint (input path and size, method, τ/σ/mode/output). After a
+//! crash, re-running the same command with `--resume` skips the recorded
+//! tasks (`TASK_SKIPPED_CHECKPOINTED` counts them) and refuses a manifest
+//! written for different input or parameters. `--speculate F` enables
+//! straggler backups: idle workers re-run in-flight map tasks whose wall
+//! exceeds F× the completed-task median, first finisher wins.
 //!
 //! Every compute-shaped subcommand (`compute`, `timeseries`, `index`)
 //! accepts `--profile FILE`: the run executes with
@@ -74,11 +86,13 @@ fn usage() -> ! {
          --tau N --sigma N [--mode cf|df] [--output all|closed|maximal]\n                      \
          [--slots N] [--spill-to-disk] [--tmp-dir DIR] [--pipelined]\n                      \
          [--run-codec plain|front|posting-delta]\n                      \
-         [--max-task-attempts N] [--faults map-panic=T[@A],reduce-panic=T[@A],spill-eio=N,corrupt-frame=N]\n                      \
+         [--max-task-attempts N] [--faults map-panic=T[@A],reduce-panic=T[@A],die=T[@A],die-reduce=T[@A],spill-eio=N,ckpt-eio=N,corrupt-frame=N]\n                      \
+         [--checkpoint-dir DIR] [--resume] [--speculate F]\n                      \
          [--decode] [--out FILE] [--profile FILE]\n  \
          ngram-mr timeseries --input FILE --tau N --sigma N [--decode] [--out FILE] [--profile FILE]\n  \
          ngram-mr index      --input FILE --dir DIR --method METHOD --tau N --sigma N\n                      \
-         [--mode cf|df] [--codec plain|front|posting-delta] [--top N] [--slots N] [--profile FILE]\n  \
+         [--mode cf|df] [--codec plain|front|posting-delta] [--top N] [--slots N]\n                      \
+         [--checkpoint-dir DIR] [--resume] [--speculate F] [--profile FILE]\n  \
          ngram-mr serve      --index [NAME=]DIR[,[NAME=]DIR...] [--addr HOST:PORT]\n                      \
          [--workers N] [--cache-bytes N]\n  \
          ngram-mr query      --addr HOST:PORT --path /v1/NAME/ENDPOINT[?QUERY]\n\n\
@@ -388,10 +402,39 @@ fn parse_params(args: &Args) -> NGramParams {
                     usage()
                 }))
             }),
+            speculative_slack: args.parse_num("speculate", 0.0f64),
             ..mapreduce::JobConfig::default()
         },
         ..NGramParams::new(args.parse_num("tau", 2u64), args.parse_num("sigma", 5usize))
     }
+}
+
+/// Wire `--checkpoint-dir`/`--resume` into the job config. The spec
+/// token binds the manifest to this exact computation — input path and
+/// size plus every parameter that changes the task plan — so a resume
+/// against different input or parameters is refused, not silently
+/// merged.
+fn install_checkpoint(args: &Args, method: Method, params: &mut NGramParams) {
+    let Some(dir) = args.get("checkpoint-dir") else {
+        if args.has("resume") {
+            log_error!("cli", "--resume requires --checkpoint-dir");
+            usage();
+        }
+        return;
+    };
+    let input = args.require("input");
+    let size = std::fs::metadata(input).map(|m| m.len()).unwrap_or(0);
+    let token = format!(
+        "{input}|{size}|{}|tau={}|sigma={}|mode={:?}|output={:?}",
+        method.name(),
+        params.tau,
+        params.sigma,
+        params.mode,
+        params.output,
+    );
+    params.job.checkpoint = Some(std::sync::Arc::new(
+        mapreduce::CheckpointSpec::new(PathBuf::from(dir), token).resume(args.has("resume")),
+    ));
 }
 
 /// Attach the right input shape for an auto-detected corpus: block
@@ -411,7 +454,8 @@ fn computation_for<'a>(
 fn cmd_compute(args: &Args) -> ExitCode {
     let input = open_corpus(args);
     let method = parse_method(args);
-    let params = parse_params(args);
+    let mut params = parse_params(args);
+    install_checkpoint(args, method, &mut params);
     let computation = computation_for(&input, method, &params);
     // Validate before opening --out: a doomed run must not truncate a
     // pre-existing results file.
@@ -466,6 +510,17 @@ fn cmd_compute(args: &Args) -> ExitCode {
         stats.counters.get(Counter::MapInputBytes),
         stats.counters.get(Counter::InputPeakBlockBytes),
     );
+    if params.job.checkpoint.is_some() {
+        log_info!(
+            "cli",
+            "checkpoint: TASK_SKIPPED_CHECKPOINTED={} TASK_ATTEMPTS={} CHECKPOINT_BYTES={} SPECULATIVE_ATTEMPTS={} SPECULATIVE_WINS={}",
+            stats.counters.get(Counter::TaskSkippedCheckpointed),
+            stats.counters.get(Counter::TaskAttempts),
+            stats.counters.get(Counter::CheckpointBytes),
+            stats.counters.get(Counter::SpeculativeAttempts),
+            stats.counters.get(Counter::SpeculativeWins),
+        );
+    }
     write_profile(args, stats.traces);
     ExitCode::SUCCESS
 }
@@ -506,7 +561,8 @@ fn cmd_timeseries(args: &Args) -> ExitCode {
 fn cmd_index(args: &Args) -> ExitCode {
     let input = open_corpus(args);
     let method = parse_method(args);
-    let params = parse_params(args);
+    let mut params = parse_params(args);
+    install_checkpoint(args, method, &mut params);
     let computation = computation_for(&input, method, &params);
     if let Err(e) = computation.validate() {
         log_error!("cli", "index build failed: {e}");
@@ -550,6 +606,14 @@ fn cmd_index(args: &Args) -> ExitCode {
                 meta.codec.name(),
                 t0.elapsed()
             );
+            if params.job.checkpoint.is_some() {
+                let skipped: u64 = cluster
+                    .job_log()
+                    .iter()
+                    .map(|e| e.counters.get(Counter::TaskSkippedCheckpointed))
+                    .sum();
+                log_info!("cli", "checkpoint: TASK_SKIPPED_CHECKPOINTED={skipped}");
+            }
             write_profile(args, cluster_traces(&cluster));
             ExitCode::SUCCESS
         }

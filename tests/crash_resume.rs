@@ -1,0 +1,251 @@
+//! Kill-resume crash safety, end to end through the CLI binary: a
+//! `compute` run with `--checkpoint-dir` is killed mid-job by a
+//! `die=T@A` fault (`std::process::abort` inside a map attempt), then
+//! restarted with `--resume`. The resumed run must skip the checkpointed
+//! tasks (`TASK_SKIPPED_CHECKPOINTED ≥ 1`, `TASK_ATTEMPTS` strictly
+//! below a fresh run's) and produce byte-identical output — for all four
+//! methods and both run codecs, at proptest-sampled kill points.
+
+use proptest::prelude::*;
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::sync::OnceLock;
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_ngram-mr"))
+}
+
+fn temp_path(name: &str) -> PathBuf {
+    std::env::temp_dir().join(format!("ngram-crash-{}-{name}", std::process::id()))
+}
+
+/// Generate the shared test corpus once per process.
+fn corpus_path() -> &'static Path {
+    static CORPUS: OnceLock<PathBuf> = OnceLock::new();
+    CORPUS.get_or_init(|| {
+        let path = temp_path("corpus.bin");
+        let status = bin()
+            .args([
+                "generate",
+                "--profile",
+                "tiny",
+                "--scale",
+                "0.5",
+                "--seed",
+                "7",
+                "--out",
+            ])
+            .arg(&path)
+            .status()
+            .expect("run generate");
+        assert!(status.success(), "corpus generation failed");
+        path
+    })
+}
+
+/// One `compute` invocation. `--slots 1` keeps claim order (and with it
+/// output line order and kill determinism) identical across runs.
+fn compute(
+    method: &str,
+    codec: &str,
+    out: &Path,
+    ckpt: &Path,
+    resume: bool,
+    faults: Option<&str>,
+) -> std::process::Output {
+    let mut cmd = bin();
+    cmd.env("NGRAM_MR_LOG", "info");
+    cmd.args([
+        "compute",
+        "--method",
+        method,
+        "--tau",
+        "2",
+        "--sigma",
+        "3",
+        "--slots",
+        "1",
+        "--run-codec",
+        codec,
+        "--input",
+    ])
+    .arg(corpus_path())
+    .arg("--out")
+    .arg(out)
+    .arg("--checkpoint-dir")
+    .arg(ckpt);
+    if resume {
+        cmd.arg("--resume");
+    }
+    if let Some(spec) = faults {
+        cmd.args(["--faults", spec]);
+    }
+    cmd.output().expect("run ngram-mr compute")
+}
+
+/// Pull `NAME=value` out of the checkpoint summary log line on stderr.
+fn counter(output: &std::process::Output, name: &str) -> u64 {
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    stderr
+        .split(&format!("{name}="))
+        .nth(1)
+        .and_then(|rest| {
+            let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+            digits.parse().ok()
+        })
+        .unwrap_or_else(|| panic!("no {name}= in stderr:\n{stderr}"))
+}
+
+/// Completed map-task records under any job manifest in `ckpt`.
+fn done_records(ckpt: &Path) -> usize {
+    let Ok(jobs) = std::fs::read_dir(ckpt) else {
+        return 0;
+    };
+    jobs.filter_map(|e| e.ok())
+        .filter(|e| e.path().is_dir())
+        .flat_map(|job| std::fs::read_dir(job.path()).into_iter().flatten())
+        .filter_map(|e| e.ok())
+        .filter(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy().into_owned();
+            name.starts_with("task-") && name.ends_with(".done")
+        })
+        .count()
+}
+
+/// Kill one compute at a map task, resume it, and require the resumed
+/// run to be record-identical to an uninterrupted one while re-executing
+/// strictly fewer tasks.
+fn kill_and_resume(method: &str, codec: &str, hint: usize) {
+    let tag = format!("{method}-{codec}-{hint}");
+    let fresh_out = temp_path(&format!("{tag}-fresh.tsv"));
+    let fresh_ckpt = temp_path(&format!("{tag}-fresh.ckpt"));
+    let out = temp_path(&format!("{tag}.tsv"));
+    let ckpt = temp_path(&format!("{tag}.ckpt"));
+    let _ = std::fs::remove_dir_all(&fresh_ckpt);
+
+    let fresh = compute(method, codec, &fresh_out, &fresh_ckpt, false, None);
+    assert!(fresh.status.success(), "fresh run failed: {fresh:?}");
+    let fresh_attempts = counter(&fresh, "TASK_ATTEMPTS");
+    let fresh_bytes = std::fs::read(&fresh_out).expect("fresh output");
+
+    // The die target must not be the first-claimed task, or nothing is
+    // checkpointed before the abort; claim order is deterministic, so
+    // probe forward from the sampled hint until ≥1 task completed.
+    let mut killed = false;
+    for t in 0..8usize {
+        let die = (hint + t) % 8;
+        let _ = std::fs::remove_dir_all(&ckpt);
+        let output = compute(
+            method,
+            codec,
+            &out,
+            &ckpt,
+            false,
+            Some(&format!("die={die}@0")),
+        );
+        if output.status.success() {
+            continue; // die index beyond this job's task count
+        }
+        if done_records(&ckpt) >= 1 {
+            killed = true;
+            break;
+        }
+    }
+    assert!(killed, "{tag}: no kill point left a completed checkpoint");
+
+    let resumed = compute(method, codec, &out, &ckpt, true, None);
+    assert!(resumed.status.success(), "resume failed: {resumed:?}");
+    assert!(
+        counter(&resumed, "TASK_SKIPPED_CHECKPOINTED") >= 1,
+        "{tag}: resume must skip at least one checkpointed task"
+    );
+    let resumed_attempts = counter(&resumed, "TASK_ATTEMPTS");
+    assert!(
+        resumed_attempts < fresh_attempts,
+        "{tag}: resume ran {resumed_attempts} attempts, fresh ran {fresh_attempts}"
+    );
+    let resumed_bytes = std::fs::read(&out).expect("resumed output");
+    assert_eq!(
+        resumed_bytes, fresh_bytes,
+        "{tag}: resumed output differs from an uninterrupted run"
+    );
+
+    for p in [&fresh_out, &out] {
+        let _ = std::fs::remove_file(p);
+    }
+    for d in [&fresh_ckpt, &ckpt] {
+        let _ = std::fs::remove_dir_all(d);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(2))]
+
+    #[test]
+    fn resumed_job_is_record_identical_to_fresh_run(hint in 0usize..4) {
+        for method in ["naive", "apriori-scan", "apriori-index", "suffix-sigma"] {
+            for codec in ["plain", "front"] {
+                kill_and_resume(method, codec, hint);
+            }
+        }
+    }
+}
+
+#[test]
+fn resume_with_changed_parameters_is_refused() {
+    let out = temp_path("mismatch.tsv");
+    let ckpt = temp_path("mismatch.ckpt");
+    let _ = std::fs::remove_dir_all(&ckpt);
+    let first = compute("suffix-sigma", "plain", &out, &ckpt, false, None);
+    assert!(first.status.success(), "seed run failed: {first:?}");
+
+    // Same checkpoint dir, different τ: the fingerprint disagrees, and
+    // the stale manifest must be refused rather than silently reused.
+    let mut cmd = bin();
+    cmd.env("NGRAM_MR_LOG", "info");
+    cmd.args([
+        "compute",
+        "--method",
+        "suffix-sigma",
+        "--tau",
+        "3",
+        "--sigma",
+        "3",
+        "--slots",
+        "1",
+        "--input",
+    ])
+    .arg(corpus_path())
+    .arg("--out")
+    .arg(&out)
+    .arg("--checkpoint-dir")
+    .arg(&ckpt)
+    .arg("--resume");
+    let output = cmd.output().expect("run ngram-mr compute");
+    assert!(!output.status.success(), "stale resume must fail");
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("checkpoint manifest does not match"),
+        "stderr: {stderr}"
+    );
+    let _ = std::fs::remove_file(&out);
+    let _ = std::fs::remove_dir_all(&ckpt);
+}
+
+#[test]
+fn resume_without_checkpoint_dir_is_an_error() {
+    let output = bin()
+        .args([
+            "compute", "--method", "naive", "--tau", "2", "--sigma", "3", "--resume", "--input",
+        ])
+        .arg(corpus_path())
+        .output()
+        .expect("run ngram-mr compute");
+    assert!(!output.status.success());
+    let stderr = String::from_utf8_lossy(&output.stderr);
+    assert!(
+        stderr.contains("--resume requires --checkpoint-dir"),
+        "stderr: {stderr}"
+    );
+}
